@@ -1,0 +1,76 @@
+//! Dataplane (substrate) throughput: packets/second through the full
+//! edge-router and gateway pipelines on a well-formed flow mix.
+//!
+//! Not a paper figure — it documents that the verifiable data
+//! structures (pre-allocated chained-array hash table, flattened LPM)
+//! sustain the streaming workload they were designed for, i.e. the
+//! "performance is preserved" half of the paper's thesis.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dataplane::workload::FlowMix;
+use dataplane::Runner;
+use elements::pipelines::{build_all_stores, edge_router, network_gateway, to_pipeline};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataplane_throughput");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1));
+
+    {
+        let p = to_pipeline("edge", edge_router(3));
+        let stores = build_all_stores(&p);
+        let mut runner = Runner::new(p, stores);
+        let mut mix = FlowMix::new(1, 64);
+        g.bench_function("edge_router_pkt", |b| {
+            b.iter(|| {
+                let mut pkt = mix.next_packet();
+                pkt.write_be(dataplane::headers::IP_DST, 4, 0x0A030101);
+                dataplane::headers::set_ipv4_checksum(&mut pkt);
+                runner.run_packet(&mut pkt)
+            })
+        });
+    }
+
+    {
+        let p = to_pipeline("gateway", network_gateway(5));
+        let stores = build_all_stores(&p);
+        let mut runner = Runner::new(p, stores);
+        let mut mix = FlowMix::new(2, 64);
+        g.bench_function("gateway_pkt", |b| {
+            b.iter(|| {
+                let mut pkt = mix.next_packet();
+                runner.run_packet(&mut pkt)
+            })
+        });
+    }
+
+    // The verifiable stores in isolation.
+    {
+        use dataplane::store::{ChainedHashMap, KvStore, LpmTable};
+        let mut hm = ChainedHashMap::new(3, 4096);
+        let mut i = 0u64;
+        g.bench_function("chained_hashmap_write_read", |b| {
+            b.iter(|| {
+                i = i.wrapping_add(0x9E3779B9);
+                hm.write(i % 8192, i);
+                hm.read(i % 8192)
+            })
+        });
+        let mut lpm = LpmTable::new(16);
+        for r in elements::pipelines::core_fib(10_000) {
+            lpm.insert(r.0, r.1, r.2);
+        }
+        let mut addr = 0u32;
+        g.bench_function("lpm_lookup", |b| {
+            b.iter(|| {
+                addr = addr.wrapping_add(0x01000193);
+                lpm.lookup(addr)
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

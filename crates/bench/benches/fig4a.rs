@@ -1,0 +1,49 @@
+//! Criterion timing for the Fig. 4(a) router pipelines (reduced scale:
+//! the full sweep lives in the `fig4a` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpv_bench::{fig_verify_config, generic_sym_config};
+use elements::pipelines::{edge_fib, to_pipeline, ROUTER_IP};
+use verifier::{generic_verify, verify_crash_freedom};
+
+fn router(opts: u32, with_lookup: bool) -> dataplane::Pipeline {
+    let mut v = vec![
+        elements::classifier::classifier(),
+        elements::check_ip_header::check_ip_header(false),
+        elements::dec_ttl::dec_ttl(),
+        elements::ip_options::ip_options(opts, Some(ROUTER_IP)),
+    ];
+    if with_lookup {
+        v.push(elements::ip_lookup::ip_lookup(4, edge_fib()));
+    }
+    to_pipeline("router", v)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4a");
+    g.sample_size(10);
+    for opts in [1u32, 2] {
+        g.bench_with_input(
+            BenchmarkId::new("specific_crash_freedom", opts),
+            &opts,
+            |b, &opts| {
+                b.iter(|| {
+                    let p = router(opts, true);
+                    let r = verify_crash_freedom(&p, &fig_verify_config());
+                    assert!(r.verdict.is_proved());
+                })
+            },
+        );
+    }
+    // Generic completes only at 1 option; time that case.
+    g.bench_function("generic_1opt", |b| {
+        b.iter(|| {
+            let p = router(1, true);
+            generic_verify(&p, &generic_sym_config(), 8)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion timing for the Fig. 4(b) gateway pipelines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpv_bench::fig_verify_config;
+use elements::pipelines::{network_gateway, to_pipeline};
+use verifier::verify_crash_freedom;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4b");
+    g.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        g.bench_with_input(BenchmarkId::new("specific", n), &n, |b, &n| {
+            b.iter(|| {
+                let p = to_pipeline("gateway", network_gateway(n));
+                let r = verify_crash_freedom(&p, &fig_verify_config());
+                assert!(r.verdict.is_proved());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

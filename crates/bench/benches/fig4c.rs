@@ -1,0 +1,35 @@
+//! Criterion timing for the Fig. 4(c) filter microbenchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpv_bench::{fig_verify_config, generic_sym_config};
+use elements::micro::{field_filter, FilterField};
+use elements::pipelines::to_pipeline;
+use verifier::{generic_verify, verify_crash_freedom};
+
+fn filters(n: usize) -> dataplane::Pipeline {
+    to_pipeline(
+        "filters",
+        FilterField::ALL[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| field_filter(f, i as u64 + 1))
+            .collect(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4c");
+    g.sample_size(10);
+    for n in 1..=4usize {
+        g.bench_with_input(BenchmarkId::new("specific", n), &n, |b, &n| {
+            b.iter(|| verify_crash_freedom(&filters(n), &fig_verify_config()))
+        });
+        g.bench_with_input(BenchmarkId::new("generic", n), &n, |b, &n| {
+            b.iter(|| generic_verify(&filters(n), &generic_sym_config(), 4))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion timing for the Fig. 4(d) loop microbenchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpv_bench::{fig_verify_config, generic_sym_config};
+use elements::micro::loop_micro;
+use elements::pipelines::to_pipeline;
+use verifier::{generic_verify, verify_crash_freedom};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4d");
+    g.sample_size(10);
+    for iters in [1u32, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("specific", iters), &iters, |b, &it| {
+            b.iter(|| {
+                let p = to_pipeline("loop", vec![loop_micro(it)]);
+                verify_crash_freedom(&p, &fig_verify_config())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("generic", iters), &iters, |b, &it| {
+            b.iter(|| {
+                let p = to_pipeline("loop", vec![loop_micro(it)]);
+                generic_verify(&p, &generic_sym_config(), 2 * it + 2)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 4(b): network-gateway verification time — dataplane-specific vs
+//! generic.
+//!
+//! Expected shape (paper): specific completes in minutes; generic
+//! exceeds its budget the moment the TrafficMonitor or NAT element
+//! (mutable private state behind a hash table) joins the pipeline.
+
+use dpv_bench::*;
+use elements::pipelines::{network_gateway, to_pipeline};
+use verifier::{analyze_private_state, generic_verify, summarize_pipeline, verify_crash_freedom, MapMode};
+
+fn main() {
+    println!("Fig. 4(b): network gateway — verification time vs pipeline length");
+    println!("(generic budget: {GENERIC_BUDGET} states)");
+    println!();
+    row(&[
+        "pipeline".into(),
+        "specific".into(),
+        "verdict".into(),
+        "generic".into(),
+        "state findings (§3.4)".into(),
+    ]);
+    let labels = ["preproc", "+TrafficMonitor", "+NAT", "+EthEncap"];
+    for (i, label) in labels.iter().enumerate() {
+        let n = i + 2; // preproc = classifier + checkiphdr
+        let elems = network_gateway(n.min(5));
+        let p = to_pipeline(label, elems);
+        let (rep, t_spec) = timed(|| verify_crash_freedom(&p, &fig_verify_config()));
+
+        // §3.4 private-state pattern analysis.
+        let mut pool = bvsolve::TermPool::new();
+        let findings = summarize_pipeline(&mut pool, &p, &fig_sym_config(), MapMode::Abstract)
+            .map(|sums| analyze_private_state(&mut pool, &sums, &p))
+            .unwrap_or_default();
+        let findings_cell = if findings.is_empty() {
+            "-".to_string()
+        } else {
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        };
+
+        let elems_g = network_gateway(n.min(5));
+        let pg = to_pipeline(label, elems_g);
+        let (g, tg) = timed(|| generic_verify(&pg, &generic_sym_config(), 16));
+
+        row(&[
+            (*label).into(),
+            format!("{} ({} states)", fmt_dur(t_spec), rep.step1_states),
+            verdict_cell(&rep.verdict).into(),
+            generic_cell(&g, tg),
+            findings_cell,
+        ]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig. 4(d): the loop microbenchmark — verification time vs number of
+//! loop iterations.
+//!
+//! Expected shape (paper): dataplane-specific time stays ~constant
+//! (one loop-body summary regardless of iteration count; composition
+//! grows mildly), generic time grows exponentially (the loop unrolls,
+//! each iteration multiplying states). The paper also notes specific
+//! is *slower* at exactly one iteration — the body is summarized for an
+//! arbitrary cursor position even though only one is reachable — and
+//! that inversion reproduces here.
+
+use dpv_bench::*;
+use elements::micro::loop_micro;
+use elements::pipelines::to_pipeline;
+use verifier::{generic_verify, verify_crash_freedom};
+
+fn main() {
+    println!("Fig. 4(d): loop microbenchmark — verification time vs iterations");
+    println!();
+    row(&[
+        "iterations".into(),
+        "specific".into(),
+        "specific states".into(),
+        "generic".into(),
+        "generic states".into(),
+    ]);
+    for iters in 1..=6u32 {
+        let p = to_pipeline("loop", vec![loop_micro(iters)]);
+        let (rep, ts) = timed(|| verify_crash_freedom(&p, &fig_verify_config()));
+        let pg = to_pipeline("loop", vec![loop_micro(iters)]);
+        let (g, tg) = timed(|| generic_verify(&pg, &generic_sym_config(), 2 * iters + 2));
+        row(&[
+            format!("{iters}"),
+            fmt_dur(ts),
+            format!("{}", rep.step1_states),
+            fmt_dur(tg),
+            format!("{}", g.states),
+        ]);
+        let _ = rep;
+    }
+}

@@ -1,0 +1,101 @@
+//! # dpv-bench — the evaluation harness
+//!
+//! One binary per table/figure of the NSDI'14 evaluation (run with
+//! `cargo run --release -p dpv-bench --bin <name>`):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table2` | Table 2 — element inventory & techniques |
+//! | `fig4a` | Fig. 4(a) — IP-router verification time vs pipeline length |
+//! | `fig4b` | Fig. 4(b) — network-gateway verification time |
+//! | `fig4c` | Fig. 4(c) — filter-pipeline states, generic vs specific |
+//! | `fig4d` | Fig. 4(d) — loop microbenchmark |
+//! | `table3` | Table 3 — bug-finding time and #paths composed |
+//! | `longest_paths` | §5.3 — adversarial workload construction |
+//! | `lsrr` | §5.3 — LSRR firewall bypass |
+//!
+//! Criterion benches in `benches/` time the same harnesses at reduced
+//! scale, plus the DESIGN.md ablations.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+use symexec::SymConfig;
+use verifier::VerifyConfig;
+
+/// The state budget standing in for the paper's 12-hour wall.
+pub const GENERIC_BUDGET: usize = 200_000;
+
+/// Standard step-1 configuration for the figure binaries.
+pub fn fig_sym_config() -> SymConfig {
+    SymConfig {
+        max_pkt_bytes: 48,
+        ..Default::default()
+    }
+}
+
+/// Standard verifier configuration for the figure binaries.
+pub fn fig_verify_config() -> VerifyConfig {
+    VerifyConfig {
+        sym: fig_sym_config(),
+        ..Default::default()
+    }
+}
+
+/// Generic-baseline configuration: budgeted, cheap-layer fork checks
+/// (a real general-purpose engine checks feasibility too; the cheap
+/// layers keep our baseline honest about *state counts* rather than
+/// solver throughput).
+pub fn generic_sym_config() -> SymConfig {
+    SymConfig {
+        max_pkt_bytes: 48,
+        max_states: GENERIC_BUDGET,
+        exact_forks: false,
+        ..Default::default()
+    }
+}
+
+/// Times a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Formats a duration like the paper's axes (seconds / minutes).
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1.0 {
+        format!("{:.0} ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.1} s")
+    } else {
+        format!("{:.1} min", s / 60.0)
+    }
+}
+
+/// Renders a verdict cell.
+pub fn verdict_cell(v: &verifier::Verdict) -> &'static str {
+    match v {
+        verifier::Verdict::Proved => "proved",
+        verifier::Verdict::Disproved(_) => "DISPROVED",
+        verifier::Verdict::Unknown(_) => "unknown",
+    }
+}
+
+/// Renders a generic-baseline outcome cell (the "12h+" analogue).
+pub fn generic_cell(r: &verifier::GenericReport, t: Duration) -> String {
+    match r.outcome {
+        verifier::GenericOutcome::Completed => {
+            format!("{} ({} states)", fmt_dur(t), r.states)
+        }
+        verifier::GenericOutcome::Exceeded => {
+            format!("BUDGET⁺ (> {} states)", r.states)
+        }
+    }
+}
+
+/// Prints a markdown-ish table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}

@@ -1,0 +1,550 @@
+//! Bit-blasting: bitvector terms → CNF gates on a [`bitsat::Solver`].
+//!
+//! Every term is lowered to a vector of literals (LSB first) with
+//! Tseitin-encoded gate clauses. Word-level operations use the textbook
+//! circuits: ripple-carry adders, borrow-chain comparators, shift-add
+//! multipliers, barrel shifters, and restoring division.
+
+use crate::term::{Term, TermId, TermPool, UnOp};
+use bitsat::{Lit, SolveResult, Solver};
+use std::collections::HashMap;
+
+/// A bit-blasting context wrapping a SAT solver.
+///
+/// Blast terms with [`Blaster::assert_true`], then call
+/// [`Blaster::check`] and read back variable values with
+/// [`Blaster::model_var`].
+pub struct Blaster {
+    sat: Solver,
+    true_lit: Lit,
+    bits: HashMap<TermId, Vec<Lit>>,
+    var_bits: HashMap<u32, Vec<Lit>>,
+}
+
+impl Default for Blaster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Blaster {
+    /// Creates a blaster with an empty solver.
+    pub fn new() -> Self {
+        let mut sat = Solver::new();
+        let t = sat.new_var();
+        let true_lit = Lit::pos(t);
+        sat.add_clause(&[true_lit]);
+        Blaster {
+            sat,
+            true_lit,
+            bits: HashMap::new(),
+            var_bits: HashMap::new(),
+        }
+    }
+
+    /// Sets the CDCL conflict budget (see [`Solver::set_conflict_budget`]).
+    pub fn set_conflict_budget(&mut self, budget: u64) {
+        self.sat.set_conflict_budget(budget);
+    }
+
+    fn false_lit(&self) -> Lit {
+        !self.true_lit
+    }
+
+    fn const_lit(&self, b: bool) -> Lit {
+        if b {
+            self.true_lit
+        } else {
+            self.false_lit()
+        }
+    }
+
+    fn fresh(&mut self) -> Lit {
+        Lit::pos(self.sat.new_var())
+    }
+
+    // --- gates ---------------------------------------------------------
+
+    fn g_and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == self.false_lit() || b == self.false_lit() {
+            return self.false_lit();
+        }
+        if a == self.true_lit {
+            return b;
+        }
+        if b == self.true_lit {
+            return a;
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return self.false_lit();
+        }
+        let o = self.fresh();
+        self.sat.add_clause(&[!o, a]);
+        self.sat.add_clause(&[!o, b]);
+        self.sat.add_clause(&[!a, !b, o]);
+        o
+    }
+
+    fn g_or(&mut self, a: Lit, b: Lit) -> Lit {
+        let na = !a;
+        let nb = !b;
+        let n = self.g_and(na, nb);
+        !n
+    }
+
+    fn g_xor(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == self.false_lit() {
+            return b;
+        }
+        if b == self.false_lit() {
+            return a;
+        }
+        if a == self.true_lit {
+            return !b;
+        }
+        if b == self.true_lit {
+            return !a;
+        }
+        if a == b {
+            return self.false_lit();
+        }
+        if a == !b {
+            return self.true_lit;
+        }
+        let o = self.fresh();
+        self.sat.add_clause(&[!o, a, b]);
+        self.sat.add_clause(&[!o, !a, !b]);
+        self.sat.add_clause(&[o, !a, b]);
+        self.sat.add_clause(&[o, a, !b]);
+        o
+    }
+
+    fn g_ite(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        if c == self.true_lit {
+            return t;
+        }
+        if c == self.false_lit() {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        let a = self.g_and(c, t);
+        let b = self.g_and(!c, e);
+        self.g_or(a, b)
+    }
+
+    /// Majority of three — the carry/borrow gate.
+    fn g_maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.g_and(a, b);
+        let ac = self.g_and(a, c);
+        let bc = self.g_and(b, c);
+        let t = self.g_or(ab, ac);
+        self.g_or(t, bc)
+    }
+
+    // --- word-level circuits --------------------------------------------
+
+    fn add_vec(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        let mut carry = self.false_lit();
+        for i in 0..a.len() {
+            let axb = self.g_xor(a[i], b[i]);
+            let s = self.g_xor(axb, carry);
+            carry = self.g_maj(a[i], b[i], carry);
+            out.push(s);
+        }
+        out
+    }
+
+    fn neg_vec(&mut self, a: &[Lit]) -> Vec<Lit> {
+        // -a = ~a + 1
+        let inv: Vec<Lit> = a.iter().map(|&l| !l).collect();
+        let mut one = vec![self.false_lit(); a.len()];
+        one[0] = self.true_lit;
+        self.add_vec(&inv, &one)
+    }
+
+    fn sub_vec(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let nb = self.neg_vec(b);
+        self.add_vec(a, &nb)
+    }
+
+    /// `a <u b` via the borrow chain.
+    fn ult_vec(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut borrow = self.false_lit();
+        for i in 0..a.len() {
+            borrow = self.g_maj(!a[i], b[i], borrow);
+        }
+        borrow
+    }
+
+    /// `a <s b` = (a <u b) XOR sign(a) XOR sign(b).
+    fn slt_vec(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let u = self.ult_vec(a, b);
+        let sa = a[a.len() - 1];
+        let sb = b[b.len() - 1];
+        let x = self.g_xor(u, sa);
+        self.g_xor(x, sb)
+    }
+
+    fn eq_vec(&mut self, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut acc = self.true_lit;
+        for i in 0..a.len() {
+            let x = self.g_xor(a[i], b[i]);
+            acc = self.g_and(acc, !x);
+        }
+        acc
+    }
+
+    fn mul_vec(&mut self, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc = vec![self.false_lit(); w];
+        for i in 0..w {
+            let mut addend = vec![self.false_lit(); w];
+            for j in i..w {
+                addend[j] = self.g_and(a[i], b[j - i]);
+            }
+            acc = self.add_vec(&acc, &addend);
+        }
+        acc
+    }
+
+    /// Barrel shifter; `left` selects shl vs lshr. Shifts ≥ width give 0.
+    fn shift_vec(&mut self, a: &[Lit], sh: &[Lit], left: bool) -> Vec<Lit> {
+        let w = a.len();
+        let stages = usize::BITS as usize - (w - 1).leading_zeros() as usize; // ceil(log2 w)
+        let mut cur: Vec<Lit> = a.to_vec();
+        for k in 0..stages.min(sh.len()) {
+            let amt = 1usize << k;
+            let mut shifted = vec![self.false_lit(); w];
+            for i in 0..w {
+                let src = if left {
+                    i.checked_sub(amt)
+                } else if i + amt < w {
+                    Some(i + amt)
+                } else {
+                    None
+                };
+                if let Some(s) = src {
+                    shifted[i] = cur[s];
+                }
+            }
+            let mut next = Vec::with_capacity(w);
+            for i in 0..w {
+                next.push(self.g_ite(sh[k], shifted[i], cur[i]));
+            }
+            cur = next;
+        }
+        // Any shift-amount bit ≥ stages ⇒ shift ≥ width ⇒ zero. Also the
+        // staged amount itself can reach width (e.g. w not a power of 2).
+        let mut toobig = self.false_lit();
+        for (k, &bit) in sh.iter().enumerate() {
+            if k >= stages {
+                toobig = self.g_or(toobig, bit);
+            }
+        }
+        // Staged shift can encode up to 2^stages - 1 ≥ w - 1; values in
+        // [w, 2^stages) must also produce zero.
+        if (1usize << stages) > w {
+            // Compare the low `stages` bits against w.
+            let lowbits: Vec<Lit> = sh.iter().take(stages).copied().collect();
+            let wconst = self.const_bits(w as u64, stages);
+            let lt = self.ult_vec(&lowbits, &wconst);
+            toobig = self.g_or(toobig, !lt);
+        }
+        cur.iter().map(|&b| self.g_and(b, !toobig)).collect::<Vec<_>>()
+    }
+
+    /// Restoring division: returns (quotient, remainder) with the
+    /// SMT-LIB div-by-zero conventions.
+    fn divrem_vec(&mut self, a: &[Lit], d: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        // w+1-bit remainder to absorb the shifted-in bit.
+        let mut r: Vec<Lit> = vec![self.false_lit(); w + 1];
+        let mut dext: Vec<Lit> = d.to_vec();
+        dext.push(self.false_lit());
+        let mut q = vec![self.false_lit(); w];
+        for i in (0..w).rev() {
+            // r = (r << 1) | a_i
+            let mut r2 = Vec::with_capacity(w + 1);
+            r2.push(a[i]);
+            r2.extend_from_slice(&r[..w]);
+            // qbit = r2 >= dext
+            let lt = self.ult_vec(&r2, &dext);
+            let qbit = !lt;
+            let diff = self.sub_vec(&r2, &dext);
+            let mut rn = Vec::with_capacity(w + 1);
+            for j in 0..w + 1 {
+                rn.push(self.g_ite(qbit, diff[j], r2[j]));
+            }
+            r = rn;
+            q[i] = qbit;
+        }
+        // div-by-zero: q = all ones, r = a.
+        let zero = vec![self.false_lit(); w];
+        let dz = self.eq_vec(d, &zero);
+        let qf = (0..w)
+            .map(|i| self.g_ite(dz, self.true_lit, q[i]))
+            .collect::<Vec<_>>();
+        let rf = (0..w)
+            .map(|i| self.g_ite(dz, a[i], r[i]))
+            .collect::<Vec<_>>();
+        (qf, rf)
+    }
+
+    fn const_bits(&self, v: u64, w: usize) -> Vec<Lit> {
+        (0..w).map(|i| self.const_lit(v >> i & 1 == 1)).collect()
+    }
+
+    // --- term lowering ---------------------------------------------------
+
+    /// Lowers `t` to its bit vector (LSB first), memoized.
+    pub fn blast(&mut self, pool: &TermPool, t: TermId) -> Vec<Lit> {
+        if let Some(b) = self.bits.get(&t) {
+            return b.clone();
+        }
+        let w = pool.width(t) as usize;
+        let out: Vec<Lit> = match *pool.get(t) {
+            Term::Const { value, .. } => self.const_bits(value, w),
+            Term::Var { id, .. } => {
+                if let Some(b) = self.var_bits.get(&id) {
+                    b.clone()
+                } else {
+                    let b: Vec<Lit> = (0..w).map(|_| self.fresh()).collect();
+                    self.var_bits.insert(id, b.clone());
+                    b
+                }
+            }
+            Term::Unary(op, a) => {
+                let av = self.blast(pool, a);
+                match op {
+                    UnOp::Not => av.iter().map(|&l| !l).collect(),
+                    UnOp::Neg => self.neg_vec(&av),
+                }
+            }
+            Term::Binary(op, a, b) => {
+                use crate::term::BinOp::*;
+                let av = self.blast(pool, a);
+                let bv = self.blast(pool, b);
+                match op {
+                    Add => self.add_vec(&av, &bv),
+                    Sub => self.sub_vec(&av, &bv),
+                    Mul => self.mul_vec(&av, &bv),
+                    UDiv => self.divrem_vec(&av, &bv).0,
+                    URem => self.divrem_vec(&av, &bv).1,
+                    And => (0..av.len()).map(|i| self.g_and(av[i], bv[i])).collect(),
+                    Or => (0..av.len()).map(|i| self.g_or(av[i], bv[i])).collect(),
+                    Xor => (0..av.len()).map(|i| self.g_xor(av[i], bv[i])).collect(),
+                    Shl => self.shift_vec(&av, &bv, true),
+                    Lshr => self.shift_vec(&av, &bv, false),
+                    Eq => vec![self.eq_vec(&av, &bv)],
+                    Ult => vec![self.ult_vec(&av, &bv)],
+                    Ule => {
+                        let gt = self.ult_vec(&bv, &av);
+                        vec![!gt]
+                    }
+                    Slt => vec![self.slt_vec(&av, &bv)],
+                    Sle => {
+                        let gt = self.slt_vec(&bv, &av);
+                        vec![!gt]
+                    }
+                }
+            }
+            Term::Ite(c, a, b) => {
+                let cv = self.blast(pool, c)[0];
+                let av = self.blast(pool, a);
+                let bv = self.blast(pool, b);
+                (0..av.len()).map(|i| self.g_ite(cv, av[i], bv[i])).collect()
+            }
+            Term::ZExt(a, wid) => {
+                let mut av = self.blast(pool, a);
+                while av.len() < wid as usize {
+                    av.push(self.false_lit());
+                }
+                av
+            }
+            Term::SExt(a, wid) => {
+                let mut av = self.blast(pool, a);
+                let sign = av[av.len() - 1];
+                while av.len() < wid as usize {
+                    av.push(sign);
+                }
+                av
+            }
+            Term::Extract { hi, lo, arg } => {
+                let av = self.blast(pool, arg);
+                av[lo as usize..=hi as usize].to_vec()
+            }
+            Term::Concat(hi, lo) => {
+                let hv = self.blast(pool, hi);
+                let mut lv = self.blast(pool, lo);
+                lv.extend(hv);
+                lv
+            }
+        };
+        debug_assert_eq!(out.len(), w, "blasted width mismatch");
+        self.bits.insert(t, out.clone());
+        out
+    }
+
+    /// Asserts that the width-1 term `t` is true.
+    pub fn assert_true(&mut self, pool: &TermPool, t: TermId) {
+        debug_assert_eq!(pool.width(t), 1);
+        let b = self.blast(pool, t);
+        self.sat.add_clause(&[b[0]]);
+    }
+
+    /// Runs the SAT solver.
+    pub fn check(&mut self) -> SolveResult {
+        self.sat.solve()
+    }
+
+    /// After a SAT verdict: the value of symbolic variable `id`.
+    /// Variables that never appeared in an asserted term return `None`.
+    pub fn model_var(&self, id: u32) -> Option<u64> {
+        let bits = self.var_bits.get(&id)?;
+        let mut v = 0u64;
+        for (i, &l) in bits.iter().enumerate() {
+            let bit = self.sat.value(l.var()).unwrap_or(false) == l.is_positive();
+            if bit {
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+
+    /// Propositional statistics of the underlying solver.
+    pub fn sat_stats(&self) -> bitsat::SolverStats {
+        self.sat.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, Assignment};
+
+    /// Asserts `t` is satisfiable and every model it returns satisfies
+    /// `t` under the reference evaluator.
+    fn check_sat_and_model(pool: &TermPool, t: TermId) -> Assignment {
+        let mut bl = Blaster::new();
+        bl.assert_true(pool, t);
+        assert!(bl.check().is_sat());
+        let mut a = Assignment::new();
+        for id in 0..pool.num_vars() as u32 {
+            if let Some(v) = bl.model_var(id) {
+                a.set(id, v);
+            }
+        }
+        assert_eq!(eval(pool, t, &a), 1, "model must satisfy the term");
+        a
+    }
+
+    fn check_unsat(pool: &TermPool, t: TermId) {
+        let mut bl = Blaster::new();
+        bl.assert_true(pool, t);
+        assert!(bl.check().is_unsat());
+    }
+
+    #[test]
+    fn simple_equation() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let c3 = p.mk_const(8, 3);
+        let c10 = p.mk_const(8, 10);
+        let s = p.mk_add(x, c3);
+        let eq = p.mk_eq(s, c10);
+        let a = check_sat_and_model(&p, eq);
+        assert_eq!(a.get(0), 7);
+    }
+
+    #[test]
+    fn contradiction() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let c5 = p.mk_const(8, 5);
+        let lt = p.mk_ult(x, c5);
+        let gt = p.mk_ult(c5, x);
+        let both = p.mk_bool_and(lt, gt);
+        check_unsat(&p, both);
+    }
+
+    #[test]
+    fn mul_factoring() {
+        // x * y == 35, x > 1, y > 1 has solutions {5,7}.
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let y = p.fresh_var("y", 8);
+        let prod = p.mk_mul(x, y);
+        let c35 = p.mk_const(8, 35);
+        let one = p.mk_const(8, 1);
+        let eq = p.mk_eq(prod, c35);
+        let gx = p.mk_ult(one, x);
+        let gy = p.mk_ult(one, y);
+        let t1 = p.mk_bool_and(eq, gx);
+        let all = p.mk_bool_and(t1, gy);
+        let a = check_sat_and_model(&p, all);
+        assert_eq!((a.get(0) * a.get(1)) & 0xFF, 35);
+    }
+
+    #[test]
+    fn division_inverse() {
+        // x / 3 == 5 && x % 3 == 1  ⇒  x == 16
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let c3 = p.mk_const(8, 3);
+        let c5 = p.mk_const(8, 5);
+        let c1 = p.mk_const(8, 1);
+        let q = p.mk_udiv(x, c3);
+        let r = p.mk_urem(x, c3);
+        let e1 = p.mk_eq(q, c5);
+        let e2 = p.mk_eq(r, c1);
+        let both = p.mk_bool_and(e1, e2);
+        let a = check_sat_and_model(&p, both);
+        assert_eq!(a.get(0), 16);
+    }
+
+    #[test]
+    fn shifts_symbolic_amount() {
+        // (1 << s) == 16 ⇒ s == 4
+        let mut p = TermPool::new();
+        let s = p.fresh_var("s", 8);
+        let one = p.mk_const(8, 1);
+        let c16 = p.mk_const(8, 16);
+        let sh = p.mk_shl(one, s);
+        let eq = p.mk_eq(sh, c16);
+        let a = check_sat_and_model(&p, eq);
+        assert_eq!(a.get(0), 4);
+    }
+
+    #[test]
+    fn shift_overflow_is_zero() {
+        // (x << 9) == 0 for all 8-bit x — the negation is UNSAT.
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let c9 = p.mk_const(8, 9);
+        let sh = p.mk_shl(x, c9);
+        let z = p.mk_const(8, 0);
+        let ne = p.mk_ne(sh, z);
+        check_unsat(&p, ne);
+    }
+
+    #[test]
+    fn signed_comparison() {
+        // x <s 0 && x >u 127 is consistent for 8-bit (x in 128..=255).
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let z = p.mk_const(8, 0);
+        let c127 = p.mk_const(8, 127);
+        let sl = p.mk_slt(x, z);
+        let gu = p.mk_ult(c127, x);
+        let both = p.mk_bool_and(sl, gu);
+        let a = check_sat_and_model(&p, both);
+        assert!(a.get(0) >= 128);
+    }
+}

@@ -1,0 +1,272 @@
+//! Concrete evaluation and substitution of terms.
+//!
+//! `eval` is the reference semantics: the bit-blaster and the interval
+//! analysis are both differential-tested against it. `substitute` is the
+//! workhorse of verification step 2 — composing an element's summary
+//! with its upstream neighbor's output is exactly a substitution of
+//! symbolic input variables by output terms.
+
+use crate::term::{mask, sext64, BinOp, Term, TermId, TermPool, UnOp};
+use std::collections::HashMap;
+
+/// An assignment of concrete values to symbolic variables (by var id).
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    values: HashMap<u32, u64>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value of variable `id` (masked to its width on read).
+    pub fn set(&mut self, id: u32, value: u64) {
+        self.values.insert(id, value);
+    }
+
+    /// Reads the value of variable `id`, defaulting to 0.
+    pub fn get(&self, id: u32) -> u64 {
+        self.values.get(&id).copied().unwrap_or(0)
+    }
+}
+
+/// Evaluates `t` under `a`. Unassigned variables read as 0.
+pub fn eval(pool: &TermPool, t: TermId, a: &Assignment) -> u64 {
+    let mut memo: HashMap<TermId, u64> = HashMap::new();
+    eval_memo(pool, t, a, &mut memo)
+}
+
+fn eval_memo(pool: &TermPool, t: TermId, a: &Assignment, memo: &mut HashMap<TermId, u64>) -> u64 {
+    if let Some(&v) = memo.get(&t) {
+        return v;
+    }
+    let w = pool.width(t);
+    let v = match *pool.get(t) {
+        Term::Const { value, .. } => value,
+        Term::Var { id, width } => mask(width, a.get(id)),
+        Term::Unary(op, x) => {
+            let xv = eval_memo(pool, x, a, memo);
+            match op {
+                UnOp::Not => mask(w, !xv),
+                UnOp::Neg => mask(w, xv.wrapping_neg()),
+            }
+        }
+        Term::Binary(op, x, y) => {
+            let xw = pool.width(x);
+            let xv = eval_memo(pool, x, a, memo);
+            let yv = eval_memo(pool, y, a, memo);
+            eval_binop(op, xw, xv, yv)
+        }
+        Term::Ite(c, x, y) => {
+            if eval_memo(pool, c, a, memo) == 1 {
+                eval_memo(pool, x, a, memo)
+            } else {
+                eval_memo(pool, y, a, memo)
+            }
+        }
+        Term::ZExt(x, _) => eval_memo(pool, x, a, memo),
+        Term::SExt(x, wid) => {
+            let xw = pool.width(x);
+            let xv = eval_memo(pool, x, a, memo);
+            mask(wid, sext64(xw, xv) as u64)
+        }
+        Term::Extract { hi, lo, arg } => {
+            let xv = eval_memo(pool, arg, a, memo);
+            mask(hi - lo + 1, xv >> lo)
+        }
+        Term::Concat(hi, lo) => {
+            let lw = pool.width(lo);
+            let hv = eval_memo(pool, hi, a, memo);
+            let lv = eval_memo(pool, lo, a, memo);
+            (hv << lw) | lv
+        }
+    };
+    memo.insert(t, v);
+    v
+}
+
+/// The concrete semantics of a binary operator on `w`-bit operands.
+pub(crate) fn eval_binop(op: BinOp, w: u32, x: u64, y: u64) -> u64 {
+    let xv = mask(w, x);
+    let yv = mask(w, y);
+    match op {
+        BinOp::Add => mask(w, xv.wrapping_add(yv)),
+        BinOp::Sub => mask(w, xv.wrapping_sub(yv)),
+        BinOp::Mul => mask(w, xv.wrapping_mul(yv)),
+        BinOp::UDiv => {
+            if yv == 0 {
+                mask(w, u64::MAX)
+            } else {
+                xv / yv
+            }
+        }
+        BinOp::URem => {
+            if yv == 0 {
+                xv
+            } else {
+                xv % yv
+            }
+        }
+        BinOp::And => xv & yv,
+        BinOp::Or => xv | yv,
+        BinOp::Xor => xv ^ yv,
+        BinOp::Shl => {
+            if yv >= w as u64 {
+                0
+            } else {
+                mask(w, xv << yv)
+            }
+        }
+        BinOp::Lshr => {
+            if yv >= w as u64 {
+                0
+            } else {
+                xv >> yv
+            }
+        }
+        BinOp::Eq => (xv == yv) as u64,
+        BinOp::Ult => (xv < yv) as u64,
+        BinOp::Ule => (xv <= yv) as u64,
+        BinOp::Slt => (sext64(w, xv) < sext64(w, yv)) as u64,
+        BinOp::Sle => (sext64(w, xv) <= sext64(w, yv)) as u64,
+    }
+}
+
+/// Replaces every occurrence of variable `id` in `t` with `map[id]`,
+/// rebuilding (and thus re-simplifying) the term bottom-up.
+///
+/// Variables absent from `map` are left in place. This is the
+/// composition primitive of verification step 2: substituting element
+/// A's output terms for element B's input variables yields
+/// `C_B(S_A(in))` exactly as in the paper's §3.1 walkthrough.
+pub fn substitute(pool: &mut TermPool, t: TermId, map: &HashMap<u32, TermId>) -> TermId {
+    let mut memo: HashMap<TermId, TermId> = HashMap::new();
+    subst_memo(pool, t, map, &mut memo)
+}
+
+fn subst_memo(
+    pool: &mut TermPool,
+    t: TermId,
+    map: &HashMap<u32, TermId>,
+    memo: &mut HashMap<TermId, TermId>,
+) -> TermId {
+    if let Some(&r) = memo.get(&t) {
+        return r;
+    }
+    let node = pool.get(t).clone();
+    let r = match node {
+        Term::Const { .. } => t,
+        Term::Var { id, width } => match map.get(&id) {
+            Some(&rep) => {
+                debug_assert_eq!(pool.width(rep), width, "substitution width mismatch");
+                rep
+            }
+            None => t,
+        },
+        Term::Unary(op, a) => {
+            let a2 = subst_memo(pool, a, map, memo);
+            pool.mk_unary(op, a2)
+        }
+        Term::Binary(op, a, b) => {
+            let a2 = subst_memo(pool, a, map, memo);
+            let b2 = subst_memo(pool, b, map, memo);
+            pool.mk_binary(op, a2, b2)
+        }
+        Term::Ite(c, a, b) => {
+            let c2 = subst_memo(pool, c, map, memo);
+            let a2 = subst_memo(pool, a, map, memo);
+            let b2 = subst_memo(pool, b, map, memo);
+            pool.mk_ite(c2, a2, b2)
+        }
+        Term::ZExt(a, w) => {
+            let a2 = subst_memo(pool, a, map, memo);
+            pool.mk_zext(a2, w)
+        }
+        Term::SExt(a, w) => {
+            let a2 = subst_memo(pool, a, map, memo);
+            pool.mk_sext(a2, w)
+        }
+        Term::Extract { hi, lo, arg } => {
+            let a2 = subst_memo(pool, arg, map, memo);
+            pool.mk_extract(a2, hi, lo)
+        }
+        Term::Concat(a, b) => {
+            let a2 = subst_memo(pool, a, map, memo);
+            let b2 = subst_memo(pool, b, map, memo);
+            pool.mk_concat(a2, b2)
+        }
+    };
+    memo.insert(t, r);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_arith() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let y = p.fresh_var("y", 8);
+        let s = p.mk_add(x, y);
+        let mut a = Assignment::new();
+        a.set(0, 200);
+        a.set(1, 100);
+        assert_eq!(eval(&p, s, &a), 44);
+    }
+
+    #[test]
+    fn eval_comparison_and_ite() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let ten = p.mk_const(8, 10);
+        let c = p.mk_ult(x, ten);
+        let hi = p.mk_const(8, 1);
+        let lo = p.mk_const(8, 0);
+        let t = p.mk_ite(c, hi, lo);
+        let mut a = Assignment::new();
+        a.set(0, 5);
+        assert_eq!(eval(&p, t, &a), 1);
+        a.set(0, 10);
+        assert_eq!(eval(&p, t, &a), 0);
+    }
+
+    #[test]
+    fn substitute_composes() {
+        // E1: out = (in < 0sig) ? 0 : in  — here modeled unsigned 8-bit:
+        // out = (in >= 128) ? 0 : in ;  E2 constraint: in2 < 128.
+        let mut p = TermPool::new();
+        let in1 = p.fresh_var("in1", 8);
+        let in2 = p.fresh_var("in2", 8);
+        let c128 = p.mk_const(8, 128);
+        let zero = p.mk_const(8, 0);
+        let ge = p.mk_ule(c128, in1);
+        let out1 = p.mk_ite(ge, zero, in1);
+        // E2's constraint over its own input:
+        let c2 = p.mk_ult(in2, c128);
+        // Compose: substitute in2 := out1.
+        let mut map = HashMap::new();
+        map.insert(1u32, out1);
+        let composed = substitute(&mut p, c2, &map);
+        // For any in1, out1 < 128 always holds, so composed must be
+        // valid: check by evaluating at the boundary points.
+        for v in [0u64, 1, 127, 128, 200, 255] {
+            let mut a = Assignment::new();
+            a.set(0, v);
+            assert_eq!(eval(&p, composed, &a), 1, "in1 = {v}");
+        }
+    }
+
+    #[test]
+    fn substitute_identity_when_unmapped() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let y = p.fresh_var("y", 8);
+        let s = p.mk_add(x, y);
+        let r = substitute(&mut p, s, &HashMap::new());
+        assert_eq!(r, s);
+    }
+}

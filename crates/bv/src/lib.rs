@@ -1,0 +1,53 @@
+//! # bvsolve — bitvector terms and a bit-blasting decision procedure
+//!
+//! This crate is the constraint-solving layer of the dataplane verifier.
+//! The symbolic executor builds **fixed-width bitvector terms** over
+//! symbolic packet bytes; path feasibility queries are decided here.
+//!
+//! The stack is layered exactly as DESIGN.md §6 describes:
+//!
+//! 1. **Eager algebraic simplification** in the term constructors
+//!    (constant folding, identities, structural equalities) — most terms
+//!    never reach a solver at all.
+//! 2. **Interval analysis** ([`interval_of`]) — a cheap unsigned-range
+//!    pre-check that discharges comparisons whose operand ranges are
+//!    disjoint or nested.
+//! 3. **Bit-blasting** ([`Blaster`]) to CNF, decided by the from-scratch
+//!    [`bitsat`] CDCL solver, with model extraction for counterexample
+//!    packets.
+//!
+//! ## Example
+//!
+//! ```
+//! use bvsolve::{TermPool, BvSolver, SatVerdict};
+//!
+//! let mut pool = TermPool::new();
+//! let x = pool.fresh_var("x", 8);
+//! let five = pool.mk_const(8, 5);
+//! let lt = pool.mk_ult(x, five);          // x < 5
+//! let three = pool.mk_const(8, 3);
+//! let gt = pool.mk_ult(three, x);         // x > 3
+//! let mut solver = BvSolver::new();
+//! let verdict = solver.check(&mut pool, &[lt, gt]);
+//! assert!(matches!(verdict, SatVerdict::Sat(_)));
+//! if let SatVerdict::Sat(model) = verdict {
+//!     assert_eq!(model.value_of(x, &pool), Some(4)); // only solution
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blast;
+mod eval;
+mod interval;
+mod pretty;
+mod solver;
+mod term;
+
+pub use blast::Blaster;
+pub use eval::{eval, substitute, Assignment};
+pub use interval::{interval_of, Interval};
+pub use pretty::print_term;
+pub use solver::{BvSolver, Model, SatVerdict, SolverLayerStats};
+pub use term::{BinOp, Term, TermId, TermPool, UnOp, Width};

@@ -1,0 +1,132 @@
+//! Human-readable printing of terms — used for DESIGN/EXPERIMENTS output
+//! and counterexample explanations.
+
+use crate::term::{BinOp, Term, TermId, TermPool, UnOp};
+
+/// Renders `t` as an SMT-ish infix string.
+pub fn print_term(pool: &TermPool, t: TermId) -> String {
+    let mut s = String::new();
+    go(pool, t, &mut s);
+    s
+}
+
+fn go(pool: &TermPool, t: TermId, out: &mut String) {
+    match *pool.get(t) {
+        Term::Const { width, value } => {
+            if width == 1 {
+                out.push_str(if value == 1 { "true" } else { "false" });
+            } else {
+                out.push_str(&format!("{value}"));
+            }
+        }
+        Term::Var { id, .. } => out.push_str(pool.var_name(id)),
+        Term::Unary(op, a) => {
+            out.push_str(match op {
+                UnOp::Not => {
+                    if pool.width(a) == 1 {
+                        "!"
+                    } else {
+                        "~"
+                    }
+                }
+                UnOp::Neg => "-",
+            });
+            paren(pool, a, out);
+        }
+        Term::Binary(op, a, b) => {
+            paren(pool, a, out);
+            out.push_str(match op {
+                BinOp::Add => " + ",
+                BinOp::Sub => " - ",
+                BinOp::Mul => " * ",
+                BinOp::UDiv => " / ",
+                BinOp::URem => " % ",
+                BinOp::And => {
+                    if pool.width(a) == 1 {
+                        " && "
+                    } else {
+                        " & "
+                    }
+                }
+                BinOp::Or => {
+                    if pool.width(a) == 1 {
+                        " || "
+                    } else {
+                        " | "
+                    }
+                }
+                BinOp::Xor => " ^ ",
+                BinOp::Shl => " << ",
+                BinOp::Lshr => " >> ",
+                BinOp::Eq => " == ",
+                BinOp::Ult => " <u ",
+                BinOp::Ule => " <=u ",
+                BinOp::Slt => " <s ",
+                BinOp::Sle => " <=s ",
+            });
+            paren(pool, b, out);
+        }
+        Term::Ite(c, a, b) => {
+            out.push_str("ite(");
+            go(pool, c, out);
+            out.push_str(", ");
+            go(pool, a, out);
+            out.push_str(", ");
+            go(pool, b, out);
+            out.push(')');
+        }
+        Term::ZExt(a, w) => {
+            out.push_str(&format!("zext{w}("));
+            go(pool, a, out);
+            out.push(')');
+        }
+        Term::SExt(a, w) => {
+            out.push_str(&format!("sext{w}("));
+            go(pool, a, out);
+            out.push(')');
+        }
+        Term::Extract { hi, lo, arg } => {
+            paren(pool, arg, out);
+            out.push_str(&format!("[{hi}:{lo}]"));
+        }
+        Term::Concat(a, b) => {
+            paren(pool, a, out);
+            out.push_str(" ++ ");
+            paren(pool, b, out);
+        }
+    }
+}
+
+fn paren(pool: &TermPool, t: TermId, out: &mut String) {
+    let atomic = matches!(*pool.get(t), Term::Const { .. } | Term::Var { .. });
+    if atomic {
+        go(pool, t, out);
+    } else {
+        out.push('(');
+        go(pool, t, out);
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_infix() {
+        let mut p = TermPool::new();
+        let x = p.fresh_var("x", 8);
+        let c = p.mk_const(8, 10);
+        let lt = p.mk_ult(x, c);
+        assert_eq!(print_term(&p, lt), "x <u 10");
+    }
+
+    #[test]
+    fn renders_bool_ops() {
+        let mut p = TermPool::new();
+        let a = p.fresh_var("a", 1);
+        let b = p.fresh_var("b", 1);
+        let and = p.mk_bool_and(a, b);
+        assert_eq!(print_term(&p, and), "a && b");
+    }
+}

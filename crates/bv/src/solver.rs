@@ -1,0 +1,245 @@
+//! The layered decision procedure: simplify → intervals → bit-blast.
+
+use crate::blast::Blaster;
+use crate::eval::{eval, Assignment};
+use crate::interval::{interval_of, Interval};
+use crate::term::{TermId, TermPool};
+
+/// Outcome of a feasibility query.
+#[derive(Debug, Clone)]
+pub enum SatVerdict {
+    /// Satisfiable, with a model assigning every relevant variable.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget exhausted (only possible with a conflict budget set).
+    Unknown,
+}
+
+impl SatVerdict {
+    /// `true` iff satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatVerdict::Sat(_))
+    }
+
+    /// `true` iff unsatisfiable.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatVerdict::Unsat)
+    }
+}
+
+/// A satisfying assignment, mapping symbolic variables to values.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    assignment: Assignment,
+}
+
+impl Model {
+    /// Builds a model from a raw assignment.
+    pub fn from_assignment(assignment: Assignment) -> Self {
+        Model { assignment }
+    }
+
+    /// The value of symbolic variable `id` (0 if irrelevant).
+    pub fn var(&self, id: u32) -> u64 {
+        self.assignment.get(id)
+    }
+
+    /// Evaluates an arbitrary term under this model.
+    pub fn value_of(&self, t: TermId, pool: &TermPool) -> Option<u64> {
+        Some(eval(pool, t, &self.assignment))
+    }
+
+    /// The underlying assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+}
+
+/// Counters for the solver-layering ablation (DESIGN.md §6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverLayerStats {
+    /// Queries answered by constructor-level simplification alone
+    /// (the conjunction folded to a constant).
+    pub by_simplify: u64,
+    /// Queries answered by interval analysis.
+    pub by_interval: u64,
+    /// Queries that reached the bit-blaster.
+    pub by_blast: u64,
+    /// Total queries.
+    pub queries: u64,
+}
+
+/// The layered bitvector solver.
+///
+/// Stateless between queries (each `check` builds a fresh SAT instance);
+/// the [`TermPool`] provides cross-query sharing of the term structure.
+#[derive(Debug, Default)]
+pub struct BvSolver {
+    stats: SolverLayerStats,
+    conflict_budget: Option<u64>,
+}
+
+impl BvSolver {
+    /// Creates a solver with no budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limits each SAT call to `budget` conflicts; exceeding it yields
+    /// [`SatVerdict::Unknown`].
+    pub fn with_conflict_budget(budget: u64) -> Self {
+        BvSolver {
+            stats: SolverLayerStats::default(),
+            conflict_budget: Some(budget),
+        }
+    }
+
+    /// Layer statistics accumulated so far.
+    pub fn stats(&self) -> SolverLayerStats {
+        self.stats
+    }
+
+    /// Decides satisfiability of the conjunction of width-1 `constraints`.
+    pub fn check(&mut self, pool: &mut TermPool, constraints: &[TermId]) -> SatVerdict {
+        self.stats.queries += 1;
+        // Layer 1: constructor-level simplification.
+        let conj = pool.mk_conj(constraints);
+        if pool.is_true(conj) {
+            self.stats.by_simplify += 1;
+            return SatVerdict::Sat(Model::default());
+        }
+        if pool.is_false(conj) {
+            self.stats.by_simplify += 1;
+            return SatVerdict::Unsat;
+        }
+        // Layer 2: interval analysis.
+        match interval_of(pool, conj) {
+            Interval { lo: 1, .. } => {
+                self.stats.by_interval += 1;
+                return SatVerdict::Sat(Model::default());
+            }
+            Interval { hi: 0, .. } => {
+                self.stats.by_interval += 1;
+                return SatVerdict::Unsat;
+            }
+            _ => {}
+        }
+        // Layer 3: bit-blast + CDCL.
+        self.stats.by_blast += 1;
+        let mut bl = Blaster::new();
+        if let Some(b) = self.conflict_budget {
+            bl.set_conflict_budget(b);
+        }
+        bl.assert_true(pool, conj);
+        match bl.check() {
+            bitsat::SolveResult::Sat => {
+                let mut a = Assignment::new();
+                for id in 0..pool.num_vars() as u32 {
+                    if let Some(v) = bl.model_var(id) {
+                        a.set(id, v);
+                    }
+                }
+                debug_assert_eq!(
+                    eval(pool, conj, &a),
+                    1,
+                    "blaster model must satisfy the query"
+                );
+                SatVerdict::Sat(Model::from_assignment(a))
+            }
+            bitsat::SolveResult::Unsat => SatVerdict::Unsat,
+            bitsat::SolveResult::Unknown => SatVerdict::Unknown,
+        }
+    }
+
+    /// Checks whether `t` is valid (true under every assignment) by
+    /// refuting its negation. Returns `(valid, counterexample)`.
+    pub fn check_valid(&mut self, pool: &mut TermPool, t: TermId) -> (bool, Option<Model>) {
+        let neg = pool.mk_not(t);
+        match self.check(pool, &[neg]) {
+            SatVerdict::Sat(m) => (false, Some(m)),
+            SatVerdict::Unsat => (true, None),
+            SatVerdict::Unknown => (false, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layering_stats() {
+        let mut pool = TermPool::new();
+        let mut s = BvSolver::new();
+        let x = pool.fresh_var("x", 8);
+
+        // Simplify layer: x == x.
+        let t1 = pool.mk_eq(x, x);
+        assert!(s.check(&mut pool, &[t1]).is_sat());
+        assert_eq!(s.stats().by_simplify, 1);
+
+        // Interval layer: (x & 3) < 100.
+        let c3 = pool.mk_const(8, 3);
+        let c100 = pool.mk_const(8, 100);
+        let m = pool.mk_and(x, c3);
+        let t2 = pool.mk_ult(m, c100);
+        assert!(s.check(&mut pool, &[t2]).is_sat());
+        assert_eq!(s.stats().by_interval, 1);
+
+        // Blast layer: x + x == 10.
+        let s2 = pool.mk_add(x, x);
+        let c10 = pool.mk_const(8, 10);
+        let t3 = pool.mk_eq(s2, c10);
+        assert!(s.check(&mut pool, &[t3]).is_sat());
+        assert_eq!(s.stats().by_blast, 1);
+    }
+
+    #[test]
+    fn validity_with_counterexample() {
+        let mut pool = TermPool::new();
+        let mut s = BvSolver::new();
+        let x = pool.fresh_var("x", 8);
+        let c200 = pool.mk_const(8, 200);
+        let claim = pool.mk_ult(x, c200); // not valid; cex x >= 200
+        let (valid, cex) = s.check_valid(&mut pool, claim);
+        assert!(!valid);
+        let m = cex.expect("counterexample");
+        assert!(m.var(0) >= 200);
+    }
+
+    #[test]
+    fn unsat_conjunction() {
+        let mut pool = TermPool::new();
+        let mut s = BvSolver::new();
+        let x = pool.fresh_var("x", 16);
+        let c1 = pool.mk_const(16, 100);
+        let c2 = pool.mk_const(16, 200);
+        let a = pool.mk_ult(x, c1);
+        let b = pool.mk_ult(c2, x);
+        assert!(s.check(&mut pool, &[a, b]).is_unsat());
+    }
+
+    #[test]
+    fn multi_constraint_model() {
+        let mut pool = TermPool::new();
+        let mut s = BvSolver::new();
+        let x = pool.fresh_var("x", 8);
+        let y = pool.fresh_var("y", 8);
+        let sum = pool.mk_add(x, y);
+        let c50 = pool.mk_const(8, 50);
+        let c20 = pool.mk_const(8, 20);
+        let e = pool.mk_eq(sum, c50);
+        let g = pool.mk_ult(c20, x);
+        let l = pool.mk_ult(x, c50);
+        match s.check(&mut pool, &[e, g, l]) {
+            SatVerdict::Sat(m) => {
+                let xv = m.var(0);
+                let yv = m.var(1);
+                assert_eq!((xv + yv) & 0xFF, 50);
+                assert!(xv > 20 && xv < 50);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Differential property tests: random terms evaluated concretely must
+//! agree with the bit-blaster, and interval analysis must be sound.
+
+use bvsolve::{eval, interval_of, Assignment, Blaster, TermId, TermPool};
+use proptest::prelude::*;
+
+/// A small AST we generate randomly, then lower into the pool.
+#[derive(Debug, Clone)]
+enum Ast {
+    Var(u8),
+    Const(u64),
+    Add(Box<Ast>, Box<Ast>),
+    Sub(Box<Ast>, Box<Ast>),
+    Mul(Box<Ast>, Box<Ast>),
+    And(Box<Ast>, Box<Ast>),
+    Or(Box<Ast>, Box<Ast>),
+    Xor(Box<Ast>, Box<Ast>),
+    Shl(Box<Ast>, Box<Ast>),
+    Lshr(Box<Ast>, Box<Ast>),
+    UDiv(Box<Ast>, Box<Ast>),
+    URem(Box<Ast>, Box<Ast>),
+    Not(Box<Ast>),
+    Neg(Box<Ast>),
+    Ite(Box<Ast>, Box<Ast>, Box<Ast>),
+}
+
+fn arb_ast(depth: u32) -> BoxedStrategy<Ast> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(Ast::Var),
+        any::<u64>().prop_map(Ast::Const),
+    ];
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Or(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Xor(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Shl(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::Lshr(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::UDiv(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::URem(a.into(), b.into())),
+            inner.clone().prop_map(|a| Ast::Not(a.into())),
+            inner.clone().prop_map(|a| Ast::Neg(a.into())),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| Ast::Ite(c.into(), a.into(), b.into())),
+        ]
+    })
+    .boxed()
+}
+
+fn lower(pool: &mut TermPool, vars: &[TermId], ast: &Ast, w: u32) -> TermId {
+    match ast {
+        Ast::Var(i) => vars[*i as usize % vars.len()],
+        Ast::Const(v) => pool.mk_const(w, *v),
+        Ast::Add(a, b) => {
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_add(x, y)
+        }
+        Ast::Sub(a, b) => {
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_sub(x, y)
+        }
+        Ast::Mul(a, b) => {
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_mul(x, y)
+        }
+        Ast::And(a, b) => {
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_and(x, y)
+        }
+        Ast::Or(a, b) => {
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_or(x, y)
+        }
+        Ast::Xor(a, b) => {
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_xor(x, y)
+        }
+        Ast::Shl(a, b) => {
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_shl(x, y)
+        }
+        Ast::Lshr(a, b) => {
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_lshr(x, y)
+        }
+        Ast::UDiv(a, b) => {
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_udiv(x, y)
+        }
+        Ast::URem(a, b) => {
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_urem(x, y)
+        }
+        Ast::Not(a) => {
+            let x = lower(pool, vars, a, w);
+            pool.mk_not(x)
+        }
+        Ast::Neg(a) => {
+            let x = lower(pool, vars, a, w);
+            pool.mk_neg(x)
+        }
+        Ast::Ite(c, a, b) => {
+            let cv = lower(pool, vars, c, w);
+            let z = pool.mk_const(w, 0);
+            let cb = pool.mk_ne(cv, z);
+            let (x, y) = (lower(pool, vars, a, w), lower(pool, vars, b, w));
+            pool.mk_ite(cb, x, y)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Constructor simplification preserves semantics: lowering the AST
+    /// (with all simplifications firing) then evaluating must equal a
+    /// direct interpretation of the AST. We check by lowering twice with
+    /// different variable bindings and comparing against eval.
+    #[test]
+    fn simplifier_sound(ast in arb_ast(4), vals in proptest::array::uniform4(any::<u64>()), w in prop_oneof![Just(8u32), Just(16), Just(32)]) {
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..4).map(|i| pool.fresh_var(&format!("v{i}"), w)).collect();
+        let t = lower(&mut pool, &vars, &ast, w);
+        let mut a = Assignment::new();
+        for (i, v) in vals.iter().enumerate() {
+            a.set(i as u32, *v);
+        }
+        let got = eval(&pool, t, &a);
+        let expect = interp(&ast, &vals, w);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Interval analysis is sound: the concrete value always lies inside
+    /// the computed interval.
+    #[test]
+    fn interval_sound(ast in arb_ast(4), vals in proptest::array::uniform4(any::<u64>()), w in prop_oneof![Just(8u32), Just(16)]) {
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..4).map(|i| pool.fresh_var(&format!("v{i}"), w)).collect();
+        let t = lower(&mut pool, &vars, &ast, w);
+        let mut a = Assignment::new();
+        for (i, v) in vals.iter().enumerate() {
+            a.set(i as u32, *v);
+        }
+        let got = eval(&pool, t, &a);
+        let iv = interval_of(&pool, t);
+        prop_assert!(iv.lo <= got && got <= iv.hi,
+            "value {} outside interval [{}, {}]", got, iv.lo, iv.hi);
+    }
+
+    /// The bit-blaster agrees with the evaluator: assert `t == eval(t)`
+    /// pinned to the same variable values and expect SAT; assert
+    /// `t != eval(t)` and expect UNSAT.
+    #[test]
+    fn blaster_matches_eval(ast in arb_ast(3), vals in proptest::array::uniform4(0u64..256), ) {
+        let w = 8u32;
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..4).map(|i| pool.fresh_var(&format!("v{i}"), w)).collect();
+        let t = lower(&mut pool, &vars, &ast, w);
+        let mut a = Assignment::new();
+        for (i, v) in vals.iter().enumerate() {
+            a.set(i as u32, *v);
+        }
+        let concrete = eval(&pool, t, &a);
+
+        // Pin the variables, require t == concrete: must be SAT.
+        let mut constraints = Vec::new();
+        for (i, v) in vals.iter().enumerate() {
+            let c = pool.mk_const(w, *v);
+            constraints.push(pool.mk_eq(vars[i], c));
+        }
+        let cval = pool.mk_const(w, concrete);
+        let eq = pool.mk_eq(t, cval);
+        let ne = pool.mk_not(eq);
+
+        let mut bl = Blaster::new();
+        for &c in &constraints {
+            bl.assert_true(&pool, c);
+        }
+        bl.assert_true(&pool, eq);
+        prop_assert!(bl.check().is_sat(), "t == concrete must be SAT");
+
+        let mut bl2 = Blaster::new();
+        for &c in &constraints {
+            bl2.assert_true(&pool, c);
+        }
+        bl2.assert_true(&pool, ne);
+        prop_assert!(bl2.check().is_unsat(), "t != concrete must be UNSAT");
+    }
+}
+
+/// Direct interpreter of the random AST — independent of the pool.
+fn interp(ast: &Ast, vals: &[u64; 4], w: u32) -> u64 {
+    let m = |v: u64| if w >= 64 { v } else { v & ((1u64 << w) - 1) };
+    match ast {
+        Ast::Var(i) => m(vals[*i as usize % 4]),
+        Ast::Const(v) => m(*v),
+        Ast::Add(a, b) => m(interp(a, vals, w).wrapping_add(interp(b, vals, w))),
+        Ast::Sub(a, b) => m(interp(a, vals, w).wrapping_sub(interp(b, vals, w))),
+        Ast::Mul(a, b) => m(interp(a, vals, w).wrapping_mul(interp(b, vals, w))),
+        Ast::And(a, b) => interp(a, vals, w) & interp(b, vals, w),
+        Ast::Or(a, b) => interp(a, vals, w) | interp(b, vals, w),
+        Ast::Xor(a, b) => interp(a, vals, w) ^ interp(b, vals, w),
+        Ast::Shl(a, b) => {
+            let (x, s) = (interp(a, vals, w), interp(b, vals, w));
+            if s >= w as u64 {
+                0
+            } else {
+                m(x << s)
+            }
+        }
+        Ast::Lshr(a, b) => {
+            let (x, s) = (interp(a, vals, w), interp(b, vals, w));
+            if s >= w as u64 {
+                0
+            } else {
+                x >> s
+            }
+        }
+        Ast::UDiv(a, b) => {
+            let (x, d) = (interp(a, vals, w), interp(b, vals, w));
+            if d == 0 {
+                m(u64::MAX)
+            } else {
+                x / d
+            }
+        }
+        Ast::URem(a, b) => {
+            let (x, d) = (interp(a, vals, w), interp(b, vals, w));
+            if d == 0 {
+                x
+            } else {
+                x % d
+            }
+        }
+        Ast::Not(a) => m(!interp(a, vals, w)),
+        Ast::Neg(a) => m(interp(a, vals, w).wrapping_neg()),
+        Ast::Ite(c, a, b) => {
+            if interp(c, vals, w) != 0 {
+                interp(a, vals, w)
+            } else {
+                interp(b, vals, w)
+            }
+        }
+    }
+}

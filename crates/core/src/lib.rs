@@ -1,0 +1,60 @@
+//! # verifier — software dataplane verification (the paper's tool)
+//!
+//! Proves, or disproves with concrete counterexample packets, the three
+//! target properties of §4 over pipelines of `dataplane` elements:
+//!
+//! * **crash-freedom** ([`verify_crash_freedom`]) — no packet can make
+//!   the pipeline terminate abnormally,
+//! * **bounded-execution** ([`verify_bounded_execution`]) — no packet
+//!   executes more than `I_max` instructions; also returns the longest
+//!   feasible path and the packet that exercises it (§5.3 "longest
+//!   paths"),
+//! * **filtering** ([`verify_filtering`]) — e.g. "any packet with
+//!   source IP A is dropped", under a specific configuration.
+//!
+//! ## How it works (paper §3)
+//!
+//! **Step 1** ([`summary`]) symbolically executes each element in
+//! isolation with an unconstrained symbolic packet, producing segment
+//! summaries; data structures are *abstracted* behind the Condition 2
+//! interface (reads havoc), so the engine never touches store
+//! internals. Loop elements contribute the summary of a *single*
+//! iteration (Condition 1).
+//!
+//! **Step 2** ([`compose`], [`step2`]) composes segment summaries along
+//! pipeline paths that can still reach a *suspect* segment, renaming
+//! havoc variables per instantiation and substituting each element's
+//! symbolic input with its upstream neighbor's output terms — literally
+//! the paper's `C*(in) = C1(in) ∧ C2(S1(in)[out])`. Feasibility is
+//! decided by the layered `bvsolve` stack; a satisfiable suspect path
+//! yields a counterexample packet, an exhausted search is a proof.
+//!
+//! **Mutable private state** ([`stateful`]) is handled by the §3.4
+//! two-sub-step scheme: havoc the reads (already done in step 1), then
+//! pattern-match the logged map operations against known state shapes
+//! (the monotonic counter of Fig. 3) and discharge or confirm them by
+//! induction.
+//!
+//! The **generic baseline** ([`generic`]) executes the whole pipeline
+//! monolithically with forking data-structure models — the behavior of
+//! a general-purpose engine, reproducing the exponential blow-ups of
+//! Fig. 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod generic;
+pub mod report;
+pub mod stateful;
+pub mod step2;
+pub mod summary;
+
+pub use generic::{generic_verify, GenericOutcome, GenericReport};
+pub use report::{CounterExample, Verdict, VerifyReport};
+pub use stateful::{analyze_private_state, StateFinding};
+pub use step2::{
+    longest_paths, verify_bounded_execution, verify_crash_freedom, verify_filtering,
+    FilterProperty, LongestPath, VerifyConfig,
+};
+pub use summary::{summarize_pipeline, MapMode, PipelineSummaries, StageSummary};

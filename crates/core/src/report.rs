@@ -1,0 +1,118 @@
+//! Verdicts, counterexamples and report formatting.
+
+use bvsolve::{Model, TermPool};
+use symexec::SymInput;
+use std::time::Duration;
+
+/// A concrete packet disproving a property — "a specific packet and
+/// specific state that causes such an instruction to be executed" (§4).
+#[derive(Debug, Clone)]
+pub struct CounterExample {
+    /// The packet bytes as they enter the pipeline.
+    pub bytes: Vec<u8>,
+    /// What the packet triggers.
+    pub description: String,
+    /// The (stage, segment) trace of the violating path.
+    pub trace: Vec<(usize, usize)>,
+}
+
+impl CounterExample {
+    /// Extracts the input packet from a satisfying model.
+    pub fn from_model(
+        _pool: &TermPool,
+        input: &SymInput,
+        model: &Model,
+        description: String,
+        trace: Vec<(usize, usize)>,
+    ) -> Self {
+        let len = (model.var(input.len_var) as usize).min(input.pkt_byte_vars.len());
+        let bytes = input.pkt_byte_vars[..len]
+            .iter()
+            .map(|&vid| model.var(vid) as u8)
+            .collect();
+        CounterExample {
+            bytes,
+            description,
+            trace,
+        }
+    }
+
+    /// Hex rendering for reports.
+    pub fn hex(&self) -> String {
+        self.bytes
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Outcome of a verification run.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The property holds for every packet (complete and sound proof).
+    Proved,
+    /// The property is violated; here is the packet.
+    Disproved(CounterExample),
+    /// No verdict (budget exhausted or a solver Unknown en route).
+    Unknown(String),
+}
+
+impl Verdict {
+    /// `true` iff proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved)
+    }
+
+    /// `true` iff disproved.
+    pub fn is_disproved(&self) -> bool {
+        matches!(self, Verdict::Disproved(_))
+    }
+}
+
+/// A full verification report (one property, one pipeline).
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// Property name (e.g. `"crash-freedom"`).
+    pub property: String,
+    /// Pipeline name.
+    pub pipeline: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// States explored in step 1 (Fig. 4(c) annotation).
+    pub step1_states: usize,
+    /// Total segments summarized in step 1.
+    pub step1_segments: usize,
+    /// Suspect segments after step 1.
+    pub suspects: usize,
+    /// Paths composed (feasibility-checked) in step 2 — Table 3's
+    /// "# Paths".
+    pub composed_paths: usize,
+    /// Wall-clock time of step 1.
+    pub step1_time: Duration,
+    /// Wall-clock time of step 2.
+    pub step2_time: Duration,
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = match &self.verdict {
+            Verdict::Proved => "PROVED".to_string(),
+            Verdict::Disproved(cex) => format!("DISPROVED ({})", cex.description),
+            Verdict::Unknown(r) => format!("UNKNOWN ({r})"),
+        };
+        write!(
+            f,
+            "{} / {}: {} | step1: {} states, {} segments, {} suspects ({:?}) | step2: {} paths ({:?})",
+            self.pipeline,
+            self.property,
+            v,
+            self.step1_states,
+            self.step1_segments,
+            self.suspects,
+            self.step1_time,
+            self.composed_paths,
+            self.step2_time,
+        )
+    }
+}

@@ -1,0 +1,810 @@
+//! Verification step 2: composing suspect paths and deciding
+//! feasibility — plus the three §4 property drivers.
+
+use crate::compose::{compose, ComposedState};
+use crate::report::{CounterExample, Verdict, VerifyReport};
+use crate::summary::{summarize_pipeline, MapMode, PipelineSummaries};
+use bvsolve::{BvSolver, SatVerdict, TermPool};
+use dataplane::{Pipeline, Route};
+use dpir::PORT_CONTINUE;
+use symexec::{SegOutcome, SymConfig};
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Configuration of a verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Step-1 symbolic execution settings.
+    pub sym: SymConfig,
+    /// Step-2 budget: maximum paths composed before giving up
+    /// (the analogue of the paper's 12-hour wall).
+    pub max_composed_paths: usize,
+    /// CDCL conflict budget per step-2 feasibility query.
+    pub solver_conflict_budget: u64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            sym: SymConfig::default(),
+            max_composed_paths: 1 << 20,
+            solver_conflict_budget: 200_000,
+        }
+    }
+}
+
+/// A search node: position in the pipeline plus the composed state.
+struct Node {
+    stage: usize,
+    iter: u32,
+    state: ComposedState,
+}
+
+enum Feas {
+    Sat(bvsolve::Model),
+    Unsat,
+    Unknown,
+}
+
+fn check(
+    pool: &mut TermPool,
+    solver: &mut BvSolver,
+    state: &ComposedState,
+    extra: &[bvsolve::TermId],
+) -> Feas {
+    let mut cs = state.constraint.clone();
+    cs.extend_from_slice(extra);
+    match solver.check(pool, &cs) {
+        SatVerdict::Sat(m) => Feas::Sat(m),
+        SatVerdict::Unsat => Feas::Unsat,
+        SatVerdict::Unknown => Feas::Unknown,
+    }
+}
+
+/// Whether any stage ≥ `k` can still host a property violation.
+fn lookahead(sums: &PipelineSummaries, is_suspect: impl Fn(usize) -> bool) -> Vec<bool> {
+    let n = sums.stages.len();
+    let mut v = vec![false; n + 1];
+    for k in (0..n).rev() {
+        v[k] = v[k + 1] || is_suspect(k);
+    }
+    v
+}
+
+/// Internal search result.
+enum SearchOutcome {
+    Clean,
+    Violation(CounterExample),
+    Budget,
+    SolverUnknown,
+}
+
+/// Generic step-2 DFS over composed paths.
+///
+/// `suspect(stage, seg)` marks the segment outcomes that violate the
+/// property; `unknown_marker` marks outcomes that, if feasible, make a
+/// *proof* impossible without being violations themselves (step-1 fuel
+/// exhaustion: the summary is incomplete past that point);
+/// `terminal_violates` additionally treats packets *leaving* the
+/// pipeline via a sink as violations (filtering properties).
+///
+/// Loops: a segment still requesting another iteration at the
+/// composed-iteration bound is likewise a proof blocker (crashes could
+/// hide in uncovered iterations), so a feasible one degrades the
+/// verdict to Unknown. With the bound set to the packet-size-derived
+/// maximum (§3.2: "the number of loop iterations is bounded by the
+/// maximum packet size"), convergent loops make that branch infeasible
+/// and full proofs go through.
+#[allow(clippy::too_many_arguments)]
+fn search(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    sums: &PipelineSummaries,
+    cfg: &VerifyConfig,
+    init: ComposedState,
+    suspect: &dyn Fn(usize, &symexec::Segment) -> bool,
+    unknown_marker: &dyn Fn(&symexec::Segment) -> bool,
+    terminal_violates: bool,
+    reach: &[bool],
+    composed: &mut usize,
+) -> SearchOutcome {
+    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
+    let mut stack = vec![Node {
+        stage: 0,
+        iter: 0,
+        state: init,
+    }];
+    let mut saw_unknown = false;
+    while let Some(node) = stack.pop() {
+        let summary = &sums.stages[node.stage];
+        let is_loop = summary.loop_iters.is_some();
+        let max_iters = summary.loop_iters.unwrap_or(0);
+        for (i, seg) in summary.segments.iter().enumerate() {
+            if *composed >= cfg.max_composed_paths {
+                return SearchOutcome::Budget;
+            }
+            let next = compose(pool, &node.state, &summary.input, seg, node.stage, i);
+            if suspect(node.stage, seg) {
+                *composed += 1;
+                match check(pool, &mut solver, &next, &[]) {
+                    Feas::Sat(m) => {
+                        let cex = CounterExample::from_model(
+                            pool,
+                            &sums.input,
+                            &m,
+                            describe_outcome(pipeline, node.stage, seg),
+                            next.trace.clone(),
+                        );
+                        return SearchOutcome::Violation(cex);
+                    }
+                    Feas::Unsat => continue,
+                    Feas::Unknown => {
+                        saw_unknown = true;
+                        continue;
+                    }
+                }
+            }
+            if unknown_marker(seg) {
+                *composed += 1;
+                if !matches!(check(pool, &mut solver, &next, &[]), Feas::Unsat) {
+                    saw_unknown = true;
+                }
+                continue;
+            }
+            match seg.outcome {
+                SegOutcome::Drop | SegOutcome::Crash(_) | SegOutcome::FuelExhausted => {
+                    // Non-suspect terminal for this property: ignore.
+                    // (Crash segments are suspects under crash-freedom;
+                    // under other properties the packet simply stops.)
+                }
+                SegOutcome::Emit(p) if is_loop && p == PORT_CONTINUE => {
+                    *composed += 1;
+                    if node.iter + 1 < max_iters {
+                        match check(pool, &mut solver, &next, &[]) {
+                            Feas::Sat(_) | Feas::Unknown => stack.push(Node {
+                                stage: node.stage,
+                                iter: node.iter + 1,
+                                state: next,
+                            }),
+                            Feas::Unsat => {}
+                        }
+                    } else {
+                        // Still continuing at the bound: proof blocker.
+                        if !matches!(check(pool, &mut solver, &next, &[]), Feas::Unsat) {
+                            saw_unknown = true;
+                        }
+                    }
+                }
+                SegOutcome::Emit(p) => {
+                    let route = pipeline.stages[node.stage].resolve(p);
+                    match route {
+                        Route::Next | Route::To(_) => {
+                            let target = match route {
+                                Route::Next => node.stage + 1,
+                                Route::To(s) => s,
+                                _ => unreachable!(),
+                            };
+                            if target < sums.stages.len() && reach[target] {
+                                *composed += 1;
+                                match check(pool, &mut solver, &next, &[]) {
+                                    Feas::Sat(_) | Feas::Unknown => stack.push(Node {
+                                        stage: target,
+                                        iter: 0,
+                                        state: next,
+                                    }),
+                                    Feas::Unsat => {}
+                                }
+                            }
+                        }
+                        Route::Sink(_) if terminal_violates => {
+                            *composed += 1;
+                            match check(pool, &mut solver, &next, &[]) {
+                                Feas::Sat(m) => {
+                                    let cex = CounterExample::from_model(
+                                        pool,
+                                        &sums.input,
+                                        &m,
+                                        format!(
+                                            "packet delivered via {} despite the filter property",
+                                            summary.name
+                                        ),
+                                        next.trace.clone(),
+                                    );
+                                    return SearchOutcome::Violation(cex);
+                                }
+                                Feas::Unsat => {}
+                                Feas::Unknown => saw_unknown = true,
+                            }
+                        }
+                        Route::Sink(_) | Route::Drop => {}
+                    }
+                }
+            }
+        }
+    }
+    if saw_unknown {
+        SearchOutcome::SolverUnknown
+    } else {
+        SearchOutcome::Clean
+    }
+}
+
+fn describe_outcome(pipeline: &Pipeline, stage: usize, seg: &symexec::Segment) -> String {
+    let name = &pipeline.stages[stage].element.name;
+    match seg.outcome {
+        SegOutcome::Crash(r) => {
+            let prog = pipeline.stages[stage].element.program();
+            let detail = match r {
+                dpir::CrashReason::AssertFailed(m) | dpir::CrashReason::Explicit(m) => {
+                    format!("{r}: \"{}\"", prog.assert_msgs[m as usize])
+                }
+                other => other.to_string(),
+            };
+            format!("{name} crashes: {detail}")
+        }
+        SegOutcome::FuelExhausted => format!("{name} exceeds the instruction budget"),
+        SegOutcome::Emit(p) if p == PORT_CONTINUE => {
+            format!("{name}'s loop does not terminate within its bound")
+        }
+        SegOutcome::Emit(p) => format!("{name} emits on port {p}"),
+        SegOutcome::Drop => format!("{name} drops the packet"),
+    }
+}
+
+/// Builds the step-1 summaries and an initial composed state whose
+/// metadata is zero (packets enter the pipeline with fresh metadata).
+fn prepare(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    cfg: &VerifyConfig,
+    mode: MapMode,
+) -> Result<(PipelineSummaries, ComposedState), symexec::SymError> {
+    let sums = summarize_pipeline(pool, pipeline, &cfg.sym, mode)?;
+    let mut init = ComposedState::initial(&sums.input);
+    let zero = pool.mk_const(dpir::META_WIDTH, 0);
+    for m in &mut init.meta {
+        *m = zero;
+    }
+    Ok((sums, init))
+}
+
+fn segment_count(sums: &PipelineSummaries) -> usize {
+    sums.stages.iter().map(|s| s.segments.len()).sum()
+}
+
+/// Proves or disproves **crash-freedom** (§4) for `pipeline`, assuming
+/// arbitrary packets and arbitrary configuration.
+pub fn verify_crash_freedom(pipeline: &Pipeline, cfg: &VerifyConfig) -> VerifyReport {
+    let mut pool = TermPool::new();
+    let t0 = Instant::now();
+    let (sums, init) = match prepare(&mut pool, pipeline, cfg, MapMode::Abstract) {
+        Ok(x) => x,
+        Err(e) => {
+            return VerifyReport {
+                property: "crash-freedom".into(),
+                pipeline: pipeline.name.clone(),
+                verdict: Verdict::Unknown(format!("step 1 aborted: {e}")),
+                step1_states: 0,
+                step1_segments: 0,
+                suspects: 0,
+                composed_paths: 0,
+                step1_time: t0.elapsed(),
+                step2_time: Default::default(),
+            }
+        }
+    };
+    let step1_time = t0.elapsed();
+    let suspects: usize = sums
+        .stages
+        .iter()
+        .map(|s| s.segments.iter().filter(|g| g.outcome.is_crash()).count())
+        .sum();
+
+    // Crash suspects, plus loop stations (we must establish that loops
+    // converge within their bound to cover all iterations), plus any
+    // fuel-exhausted step-1 segment (cannot be summarized past).
+    let needs_visit = |k: usize| {
+        let s = &sums.stages[k];
+        s.loop_iters.is_some()
+            || s.segments
+                .iter()
+                .any(|g| g.outcome.is_crash() || g.outcome == SegOutcome::FuelExhausted)
+    };
+    let reach = lookahead(&sums, needs_visit);
+
+    let t1 = Instant::now();
+    let mut composed = 0usize;
+    let is_suspect = |_stage: usize, seg: &symexec::Segment| seg.outcome.is_crash();
+    // A feasible fuel-exhausted segment means step 1 could not finish
+    // summarizing that path: no crash was *observed*, but none can be
+    // ruled out either — proof degrades to Unknown.
+    let fuel = |seg: &symexec::Segment| seg.outcome == SegOutcome::FuelExhausted;
+    let outcome = search(
+        &mut pool, pipeline, &sums, cfg, init, &is_suspect, &fuel, false, &reach, &mut composed,
+    );
+    let verdict = match outcome {
+        SearchOutcome::Clean => Verdict::Proved,
+        SearchOutcome::Violation(cex) => Verdict::Disproved(cex),
+        SearchOutcome::Budget => Verdict::Unknown("step-2 path budget exceeded".into()),
+        SearchOutcome::SolverUnknown => Verdict::Unknown("solver budget exceeded".into()),
+    };
+    VerifyReport {
+        property: "crash-freedom".into(),
+        pipeline: pipeline.name.clone(),
+        verdict,
+        step1_states: sums.total_states,
+        step1_segments: segment_count(&sums),
+        suspects,
+        composed_paths: composed,
+        step1_time,
+        step2_time: t1.elapsed(),
+    }
+}
+
+/// Proves or disproves **bounded-execution** (§4): no packet executes
+/// more than `imax` instructions. Loop-bound overruns and
+/// fuel-exhausted segments are the suspects — a feasible one is an
+/// (attacker-exploitable) unbounded path, as with §5.3 bugs #1/#2.
+pub fn verify_bounded_execution(pipeline: &Pipeline, imax: u64, cfg: &VerifyConfig) -> VerifyReport {
+    let mut pool = TermPool::new();
+    let t0 = Instant::now();
+    let (sums, init) = match prepare(&mut pool, pipeline, cfg, MapMode::Abstract) {
+        Ok(x) => x,
+        Err(e) => {
+            return VerifyReport {
+                property: "bounded-execution".into(),
+                pipeline: pipeline.name.clone(),
+                verdict: Verdict::Unknown(format!("step 1 aborted: {e}")),
+                step1_states: 0,
+                step1_segments: 0,
+                suspects: 0,
+                composed_paths: 0,
+                step1_time: t0.elapsed(),
+                step2_time: Default::default(),
+            }
+        }
+    };
+    let step1_time = t0.elapsed();
+
+    // Suspects: fuel exhaustion in step 1, loop continuation at the
+    // last composed iteration (detected via the iteration counter in
+    // the engine — we mark *all* PORT_CONTINUE segments and let the
+    // engine's iteration bound decide which instantiations are final),
+    // and any composed path whose instruction total exceeds imax.
+    let needs_visit = |_k: usize| true; // instruction totals grow everywhere
+    let reach = lookahead(&sums, needs_visit);
+    let suspects: usize = sums
+        .stages
+        .iter()
+        .map(|s| {
+            s.segments
+                .iter()
+                .filter(|g| g.outcome == SegOutcome::FuelExhausted)
+                .count()
+        })
+        .sum();
+
+    let t1 = Instant::now();
+    let mut composed = 0usize;
+    let outcome = search_bounded(
+        &mut pool, pipeline, &sums, cfg, init, imax, &reach, &mut composed,
+    );
+    let verdict = match outcome {
+        SearchOutcome::Clean => Verdict::Proved,
+        SearchOutcome::Violation(cex) => Verdict::Disproved(cex),
+        SearchOutcome::Budget => Verdict::Unknown("step-2 path budget exceeded".into()),
+        SearchOutcome::SolverUnknown => Verdict::Unknown("solver budget exceeded".into()),
+    };
+    VerifyReport {
+        property: format!("bounded-execution (imax={imax})"),
+        pipeline: pipeline.name.clone(),
+        verdict,
+        step1_states: sums.total_states,
+        step1_segments: segment_count(&sums),
+        suspects,
+        composed_paths: composed,
+        step1_time,
+        step2_time: t1.elapsed(),
+    }
+}
+
+/// Like [`search`], specialized to bounded-execution: loop overruns and
+/// instruction totals over `imax` are violations.
+#[allow(clippy::too_many_arguments)]
+fn search_bounded(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    sums: &PipelineSummaries,
+    cfg: &VerifyConfig,
+    init: ComposedState,
+    imax: u64,
+    reach: &[bool],
+    composed: &mut usize,
+) -> SearchOutcome {
+    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
+    let mut stack = vec![Node {
+        stage: 0,
+        iter: 0,
+        state: init,
+    }];
+    let mut saw_unknown = false;
+    while let Some(node) = stack.pop() {
+        let summary = &sums.stages[node.stage];
+        let is_loop = summary.loop_iters.is_some();
+        let max_iters = summary.loop_iters.unwrap_or(0);
+        for (i, seg) in summary.segments.iter().enumerate() {
+            if *composed >= cfg.max_composed_paths {
+                return SearchOutcome::Budget;
+            }
+            let next = compose(pool, &node.state, &summary.input, seg, node.stage, i);
+            // Instruction-budget violation or step-1 fuel exhaustion.
+            let over_budget = next.instrs > imax;
+            let fuel = seg.outcome == SegOutcome::FuelExhausted;
+            if over_budget || fuel {
+                *composed += 1;
+                match check(pool, &mut solver, &next, &[]) {
+                    Feas::Sat(m) => {
+                        let what = if fuel {
+                            describe_outcome(pipeline, node.stage, seg)
+                        } else {
+                            format!(
+                                "path executes {} instructions (> imax={})",
+                                next.instrs, imax
+                            )
+                        };
+                        return SearchOutcome::Violation(CounterExample::from_model(
+                            pool,
+                            &sums.input,
+                            &m,
+                            what,
+                            next.trace.clone(),
+                        ));
+                    }
+                    Feas::Unsat => continue,
+                    Feas::Unknown => {
+                        saw_unknown = true;
+                        continue;
+                    }
+                }
+            }
+            match seg.outcome {
+                SegOutcome::Drop | SegOutcome::Crash(_) | SegOutcome::FuelExhausted => {}
+                SegOutcome::Emit(p) if is_loop && p == PORT_CONTINUE => {
+                    *composed += 1;
+                    if node.iter + 1 >= max_iters {
+                        // Loop still wants to continue at the bound: a
+                        // bounded-execution suspect (bugs #1/#2 land
+                        // here). Feasible ⇒ violation.
+                        match check(pool, &mut solver, &next, &[]) {
+                            Feas::Sat(m) => {
+                                return SearchOutcome::Violation(CounterExample::from_model(
+                                    pool,
+                                    &sums.input,
+                                    &m,
+                                    describe_outcome(pipeline, node.stage, seg),
+                                    next.trace.clone(),
+                                ));
+                            }
+                            Feas::Unsat => {}
+                            Feas::Unknown => saw_unknown = true,
+                        }
+                    } else {
+                        match check(pool, &mut solver, &next, &[]) {
+                            Feas::Sat(_) | Feas::Unknown => stack.push(Node {
+                                stage: node.stage,
+                                iter: node.iter + 1,
+                                state: next,
+                            }),
+                            Feas::Unsat => {}
+                        }
+                    }
+                }
+                SegOutcome::Emit(p) => {
+                    let route = pipeline.stages[node.stage].resolve(p);
+                    if let Route::Next | Route::To(_) = route {
+                        let target = match route {
+                            Route::Next => node.stage + 1,
+                            Route::To(s) => s,
+                            _ => unreachable!(),
+                        };
+                        if target < sums.stages.len() && reach[target] {
+                            *composed += 1;
+                            match check(pool, &mut solver, &next, &[]) {
+                                Feas::Sat(_) | Feas::Unknown => stack.push(Node {
+                                    stage: target,
+                                    iter: 0,
+                                    state: next,
+                                }),
+                                Feas::Unsat => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if saw_unknown {
+        SearchOutcome::SolverUnknown
+    } else {
+        SearchOutcome::Clean
+    }
+}
+
+/// A filtering property (§4): packets matching the header pattern must
+/// never be delivered on a sink.
+#[derive(Debug, Clone, Default)]
+pub struct FilterProperty {
+    /// Required source address.
+    pub src_ip: Option<u32>,
+    /// Required destination address.
+    pub dst_ip: Option<u32>,
+    /// Minimum packet length making the fields meaningful (default 38).
+    pub min_len: u64,
+}
+
+impl FilterProperty {
+    /// "Any packet with source IP `a` is dropped."
+    pub fn src(a: u32) -> Self {
+        FilterProperty {
+            src_ip: Some(a),
+            dst_ip: None,
+            min_len: 38,
+        }
+    }
+}
+
+/// Proves or disproves a **filtering** property under the pipeline's
+/// *specific configuration* (static maps summarized from their
+/// configured contents).
+pub fn verify_filtering(
+    pipeline: &Pipeline,
+    prop: &FilterProperty,
+    cfg: &VerifyConfig,
+) -> VerifyReport {
+    let mut pool = TermPool::new();
+    let t0 = Instant::now();
+    let (sums, mut init) = match prepare(&mut pool, pipeline, cfg, MapMode::Tables) {
+        Ok(x) => x,
+        Err(e) => {
+            return VerifyReport {
+                property: "filtering".into(),
+                pipeline: pipeline.name.clone(),
+                verdict: Verdict::Unknown(format!("step 1 aborted: {e}")),
+                step1_states: 0,
+                step1_segments: 0,
+                suspects: 0,
+                composed_paths: 0,
+                step1_time: t0.elapsed(),
+                step2_time: Default::default(),
+            }
+        }
+    };
+    let step1_time = t0.elapsed();
+
+    // Conjoin the property's header pattern onto the initial state.
+    let min = pool.mk_const(16, prop.min_len.max(38));
+    let c_len = pool.mk_ule(min, sums.input.pkt_len);
+    init.constraint.push(c_len);
+    if let Some(src) = prop.src_ip {
+        for (i, b) in src.to_be_bytes().iter().enumerate() {
+            let byte = sums.input.pkt_bytes[26 + i];
+            let c = pool.mk_const(8, *b as u64);
+            let eq = pool.mk_eq(byte, c);
+            init.constraint.push(eq);
+        }
+    }
+    if let Some(dst) = prop.dst_ip {
+        for (i, b) in dst.to_be_bytes().iter().enumerate() {
+            let byte = sums.input.pkt_bytes[30 + i];
+            let c = pool.mk_const(8, *b as u64);
+            let eq = pool.mk_eq(byte, c);
+            init.constraint.push(eq);
+        }
+    }
+
+    let reach = lookahead(&sums, |_| true);
+    let t1 = Instant::now();
+    let mut composed = 0usize;
+    let never = |_: usize, _: &symexec::Segment| false;
+    let fuel = |seg: &symexec::Segment| seg.outcome == SegOutcome::FuelExhausted;
+    let outcome = search(
+        &mut pool, pipeline, &sums, cfg, init, &never, &fuel, true, &reach, &mut composed,
+    );
+    let verdict = match outcome {
+        SearchOutcome::Clean => Verdict::Proved,
+        SearchOutcome::Violation(cex) => Verdict::Disproved(cex),
+        SearchOutcome::Budget => Verdict::Unknown("step-2 path budget exceeded".into()),
+        SearchOutcome::SolverUnknown => Verdict::Unknown("solver budget exceeded".into()),
+    };
+    VerifyReport {
+        property: "filtering".into(),
+        pipeline: pipeline.name.clone(),
+        verdict,
+        step1_states: sums.total_states,
+        step1_segments: segment_count(&sums),
+        suspects: 0,
+        composed_paths: composed,
+        step1_time,
+        step2_time: t1.elapsed(),
+    }
+}
+
+/// One entry of the longest-path report (§5.3).
+#[derive(Debug)]
+pub struct LongestPath {
+    /// Exact instruction count.
+    pub instrs: u64,
+    /// A packet exercising the path.
+    pub packet: CounterExample,
+}
+
+/// Finds the `n` longest feasible pipeline paths and packets that
+/// trigger them — the adversarial-workload construction of §5.3.
+///
+/// Implements the paper's step-2 search: segments are considered in
+/// decreasing instruction count via a best-first search whose
+/// heuristic (maximum remaining instructions per stage) is admissible,
+/// so paths pop in true length order.
+pub fn longest_paths(pipeline: &Pipeline, n: usize, cfg: &VerifyConfig) -> Vec<LongestPath> {
+    let mut pool = TermPool::new();
+    let (sums, init) = match prepare(&mut pool, pipeline, cfg, MapMode::Abstract) {
+        Ok(x) => x,
+        Err(_) => return Vec::new(),
+    };
+    // Optimistic per-stage remaining cost.
+    let nst = sums.stages.len();
+    let mut stage_max = vec![0u64; nst];
+    for (k, s) in sums.stages.iter().enumerate() {
+        let mx = s.segments.iter().map(|g| g.instrs).max().unwrap_or(0);
+        stage_max[k] = match s.loop_iters {
+            Some(t) => mx * t as u64,
+            None => mx,
+        };
+    }
+    let mut suffix = vec![0u64; nst + 1];
+    for k in (0..nst).rev() {
+        suffix[k] = suffix[k + 1] + stage_max[k];
+    }
+
+    struct QNode {
+        f: u64,
+        stage: usize,
+        iter: u32,
+        state: ComposedState,
+        terminal: bool,
+    }
+    impl PartialEq for QNode {
+        fn eq(&self, o: &Self) -> bool {
+            self.f == o.f
+        }
+    }
+    impl Eq for QNode {}
+    impl PartialOrd for QNode {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl Ord for QNode {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.f.cmp(&o.f)
+        }
+    }
+
+    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
+    let mut heap: BinaryHeap<QNode> = BinaryHeap::new();
+    heap.push(QNode {
+        f: suffix[0],
+        stage: 0,
+        iter: 0,
+        state: init,
+    terminal: false,
+    });
+    let mut out = Vec::new();
+    let mut composed = 0usize;
+    while let Some(node) = heap.pop() {
+        if out.len() >= n || composed >= cfg.max_composed_paths {
+            break;
+        }
+        if node.terminal {
+            // Admissible heuristic ⇒ this is the next-longest path.
+            if let Feas::Sat(m) = check(&mut pool, &mut solver, &node.state, &[]) {
+                out.push(LongestPath {
+                    instrs: node.state.instrs,
+                    packet: CounterExample::from_model(
+                        &pool,
+                        &sums.input,
+                        &m,
+                        format!("{}-instruction path", node.state.instrs),
+                        node.state.trace.clone(),
+                    ),
+                });
+            }
+            continue;
+        }
+        let summary = &sums.stages[node.stage];
+        let is_loop = summary.loop_iters.is_some();
+        let max_iters = summary.loop_iters.unwrap_or(0);
+        for (i, seg) in summary.segments.iter().enumerate() {
+            if composed >= cfg.max_composed_paths {
+                break;
+            }
+            let next = compose(&mut pool, &node.state, &summary.input, seg, node.stage, i);
+            composed += 1;
+            let feasible = !matches!(
+                check(&mut pool, &mut solver, &next, &[]),
+                Feas::Unsat
+            );
+            if !feasible {
+                continue;
+            }
+            match seg.outcome {
+                SegOutcome::Drop | SegOutcome::Crash(_) | SegOutcome::FuelExhausted => {
+                    let f = next.instrs;
+                    heap.push(QNode {
+                        f,
+                        stage: node.stage,
+                        iter: 0,
+                        state: next,
+                        terminal: true,
+                    });
+                }
+                SegOutcome::Emit(p) if is_loop && p == PORT_CONTINUE => {
+                    if node.iter + 1 < max_iters {
+                        let rem = (max_iters - node.iter - 1) as u64 * stage_max[node.stage]
+                            / max_iters.max(1) as u64;
+                        let f = next.instrs + rem + suffix[node.stage + 1];
+                        heap.push(QNode {
+                            f,
+                            stage: node.stage,
+                            iter: node.iter + 1,
+                            state: next,
+                            terminal: false,
+                        });
+                    }
+                }
+                SegOutcome::Emit(p) => {
+                    let route = pipeline.stages[node.stage].resolve(p);
+                    match route {
+                        Route::Next | Route::To(_) => {
+                            let target = match route {
+                                Route::Next => node.stage + 1,
+                                Route::To(s) => s,
+                                _ => unreachable!(),
+                            };
+                            if target < nst {
+                                let f = next.instrs + suffix[target];
+                                heap.push(QNode {
+                                    f,
+                                    stage: target,
+                                    iter: 0,
+                                    state: next,
+                                    terminal: false,
+                                });
+                            } else {
+                                let f = next.instrs;
+                                heap.push(QNode {
+                                    f,
+                                    stage: node.stage,
+                                    iter: 0,
+                                    state: next,
+                                    terminal: true,
+                                });
+                            }
+                        }
+                        Route::Sink(_) | Route::Drop => {
+                            let f = next.instrs;
+                            heap.push(QNode {
+                                f,
+                                stage: node.stage,
+                                iter: 0,
+                                state: next,
+                                terminal: true,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}

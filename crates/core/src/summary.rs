@@ -1,0 +1,230 @@
+//! Verification step 1: per-element segment summaries.
+
+use bvsolve::TermPool;
+use dataplane::{ElementKind, Pipeline, TableConfig};
+use symexec::{
+    execute, AbstractMapModel, MapBranch, MapModel, SymConfig, SymError, SymInput, Segment,
+    TableMapModel,
+};
+
+/// How static maps are modeled during step 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapMode {
+    /// Abstract everything (crash-freedom / bounded-execution with
+    /// arbitrary configuration — paper §4).
+    Abstract,
+    /// Use configured contents for static maps, summarized as ITE
+    /// chains (filtering with a specific configuration); private maps
+    /// stay abstract.
+    Tables,
+}
+
+/// Step-1 result for one pipeline stage.
+#[derive(Debug)]
+pub struct StageSummary {
+    /// Element name.
+    pub name: String,
+    /// The element's own symbolic input (substitution points).
+    pub input: SymInput,
+    /// All feasible segments.
+    pub segments: Vec<Segment>,
+    /// `Some(max_iters)` for loop elements.
+    pub loop_iters: Option<u32>,
+    /// States explored during step 1 (Fig. 4(c) "#states").
+    pub states: usize,
+}
+
+/// Step-1 result for the whole pipeline.
+#[derive(Debug)]
+pub struct PipelineSummaries {
+    /// The pipeline-level symbolic input (the packet as received).
+    pub input: SymInput,
+    /// Per-stage summaries, in stage order.
+    pub stages: Vec<StageSummary>,
+    /// Total states across all stages.
+    pub total_states: usize,
+}
+
+/// A per-stage map model: configured static maps become ITE-chain
+/// tables (in [`MapMode::Tables`]), everything else havocs.
+struct StageMapModel {
+    tables: TableMapModel,
+    table_ids: Vec<u32>,
+    fallback: AbstractMapModel,
+}
+
+impl StageMapModel {
+    fn new(element: &dataplane::Element, mode: MapMode) -> Self {
+        let mut tables = TableMapModel::new();
+        let mut table_ids = Vec::new();
+        if mode == MapMode::Tables {
+            for (map, cfg) in &element.tables {
+                let pairs = match cfg {
+                    TableConfig::Exact(p) => p.clone(),
+                    TableConfig::Lpm(_) => cfg.as_pairs(),
+                };
+                tables.set_table(*map, pairs);
+                table_ids.push(map.0);
+            }
+        }
+        StageMapModel {
+            tables,
+            table_ids,
+            fallback: AbstractMapModel::new(),
+        }
+    }
+
+    fn is_table(&self, map: dpir::MapId) -> bool {
+        self.table_ids.contains(&map.0)
+    }
+}
+
+impl MapModel for StageMapModel {
+    fn read(
+        &mut self,
+        pool: &mut TermPool,
+        map: dpir::MapId,
+        decl: &dpir::MapDecl,
+        key: bvsolve::TermId,
+    ) -> Vec<MapBranch> {
+        if self.is_table(map) {
+            self.tables.read(pool, map, decl, key)
+        } else {
+            self.fallback.read(pool, map, decl, key)
+        }
+    }
+
+    fn write(
+        &mut self,
+        pool: &mut TermPool,
+        map: dpir::MapId,
+        decl: &dpir::MapDecl,
+        key: bvsolve::TermId,
+        value: bvsolve::TermId,
+    ) -> Vec<MapBranch> {
+        if self.is_table(map) {
+            self.tables.write(pool, map, decl, key, value)
+        } else {
+            self.fallback.write(pool, map, decl, key, value)
+        }
+    }
+
+    fn test(
+        &mut self,
+        pool: &mut TermPool,
+        map: dpir::MapId,
+        decl: &dpir::MapDecl,
+        key: bvsolve::TermId,
+    ) -> Vec<MapBranch> {
+        if self.is_table(map) {
+            self.tables.test(pool, map, decl, key)
+        } else {
+            self.fallback.test(pool, map, decl, key)
+        }
+    }
+}
+
+/// Runs step 1 over every stage of `pipeline`.
+///
+/// Each element (or loop body, per Condition 1) is executed exactly
+/// once with fully unconstrained symbolic input — the per-element work
+/// is `m · 2^n`, not `2^(m·n)` (§2.2).
+pub fn summarize_pipeline(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    cfg: &SymConfig,
+    mode: MapMode,
+) -> Result<PipelineSummaries, SymError> {
+    let input = SymInput::fresh(pool, cfg, "in");
+    let mut stages = Vec::with_capacity(pipeline.stages.len());
+    let mut total_states = 0usize;
+    for (k, stage) in pipeline.stages.iter().enumerate() {
+        let elem = &stage.element;
+        let elem_input = SymInput::fresh(pool, cfg, &format!("e{k}"));
+        let mut model = StageMapModel::new(elem, mode);
+        let prog = elem.program();
+        let report = execute(pool, prog, &elem_input, &mut model, cfg)?;
+        total_states += report.states;
+        stages.push(StageSummary {
+            name: elem.name.clone(),
+            input: elem_input,
+            segments: report.segments,
+            loop_iters: match &elem.kind {
+                ElementKind::Straight(_) => None,
+                ElementKind::Loop { max_iters, .. } => Some(*max_iters),
+            },
+            states: report.states,
+        });
+    }
+    Ok(PipelineSummaries {
+        input,
+        stages,
+        total_states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elements::pipelines::to_pipeline;
+    use symexec::SegOutcome;
+
+    fn cfg() -> SymConfig {
+        SymConfig {
+            max_pkt_bytes: 48,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn summarizes_classifier() {
+        let p = to_pipeline("t", vec![elements::classifier::classifier()]);
+        let mut pool = TermPool::new();
+        let s = summarize_pipeline(&mut pool, &p, &cfg(), MapMode::Abstract).expect("ok");
+        assert_eq!(s.stages.len(), 1);
+        // Segments: drop (short), emit 0 (IPv4), emit 1 (ARP), emit 2.
+        let segs = &s.stages[0].segments;
+        assert_eq!(segs.len(), 4);
+        assert!(!segs.iter().any(|g| g.outcome.is_crash()),
+            "classifier guards its load: no feasible crash segment");
+    }
+
+    #[test]
+    fn dec_ttl_has_crash_suspect_in_isolation() {
+        let p = to_pipeline("t", vec![elements::dec_ttl::dec_ttl()]);
+        let mut pool = TermPool::new();
+        let s = summarize_pipeline(&mut pool, &p, &cfg(), MapMode::Abstract).expect("ok");
+        let crashes = s.stages[0]
+            .segments
+            .iter()
+            .filter(|g| g.outcome.is_crash())
+            .count();
+        assert!(crashes >= 1, "unguarded TTL load is a suspect");
+    }
+
+    #[test]
+    fn loop_body_summarized_once() {
+        let p = to_pipeline("t", vec![elements::ip_options::ip_options(3, None)]);
+        let mut pool = TermPool::new();
+        let s = summarize_pipeline(&mut pool, &p, &cfg(), MapMode::Abstract).expect("ok");
+        // max_options = 3 ⇒ composition bound 3 + 2.
+        assert_eq!(s.stages[0].loop_iters, Some(5));
+        // The body emits PORT_CONTINUE on option-advance segments.
+        assert!(s.stages[0]
+            .segments
+            .iter()
+            .any(|g| g.outcome == SegOutcome::Emit(dpir::PORT_CONTINUE)));
+    }
+
+    #[test]
+    fn tables_mode_keeps_lookup_single_branch() {
+        let routes = vec![(0x0A000000u32, 8u32, 0u32), (0x0B000000, 8, 1)];
+        let p = to_pipeline("t", vec![elements::ip_lookup::ip_lookup(2, routes)]);
+        let mut pool = TermPool::new();
+        let abs = summarize_pipeline(&mut pool, &p, &cfg(), MapMode::Abstract).expect("ok");
+        let mut pool2 = TermPool::new();
+        let tab = summarize_pipeline(&mut pool2, &p, &cfg(), MapMode::Tables).expect("ok");
+        // Table mode must not multiply states per entry (ITE chain).
+        assert!(tab.total_states <= abs.total_states + 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Verifier budget and degradation behavior: when resources run out the
+//! verdict must degrade to Unknown — never to a false Proved/Disproved.
+
+use elements::pipelines::{to_pipeline, ROUTER_IP};
+use symexec::SymConfig;
+use verifier::{
+    verify_bounded_execution, verify_crash_freedom, verify_filtering, FilterProperty, Verdict,
+    VerifyConfig,
+};
+
+fn base_cfg() -> VerifyConfig {
+    VerifyConfig {
+        sym: SymConfig {
+            max_pkt_bytes: 48,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn router() -> dataplane::Pipeline {
+    to_pipeline(
+        "router",
+        vec![
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+            elements::dec_ttl::dec_ttl(),
+            elements::ip_options::ip_options(2, Some(ROUTER_IP)),
+        ],
+    )
+}
+
+#[test]
+fn step1_state_budget_degrades_to_unknown() {
+    let mut cfg = base_cfg();
+    cfg.sym.max_states = 5;
+    let r = verify_crash_freedom(&router(), &cfg);
+    assert!(
+        matches!(r.verdict, Verdict::Unknown(_)),
+        "tiny step-1 budget must yield Unknown: {r}"
+    );
+}
+
+#[test]
+fn step2_path_budget_degrades_to_unknown() {
+    let mut cfg = base_cfg();
+    cfg.max_composed_paths = 3;
+    let r = verify_crash_freedom(&router(), &cfg);
+    assert!(
+        matches!(r.verdict, Verdict::Unknown(_)),
+        "tiny step-2 budget must yield Unknown: {r}"
+    );
+    assert!(r.composed_paths <= 3);
+}
+
+#[test]
+fn ample_budget_proves_same_pipeline() {
+    let r = verify_crash_freedom(&router(), &base_cfg());
+    assert!(r.verdict.is_proved(), "{r}");
+}
+
+#[test]
+fn bounded_budget_degrades_to_unknown() {
+    let mut cfg = base_cfg();
+    cfg.max_composed_paths = 2;
+    let r = verify_bounded_execution(&router(), 10_000, &cfg);
+    assert!(matches!(r.verdict, Verdict::Unknown(_)), "{r}");
+}
+
+#[test]
+fn filtering_dst_property() {
+    // dst-based filtering: drop everything to 10.9.9.9 via a one-entry
+    // blacklist keyed on... the src filter only matches src, so a dst
+    // property over it must be *disproved* (packets to that dst with a
+    // clean source pass).
+    let p = to_pipeline(
+        "fw",
+        vec![elements::ip_filter::ip_filter(vec![0x0BAD0001])],
+    );
+    let prop = FilterProperty {
+        src_ip: None,
+        dst_ip: Some(0x0A090909),
+        min_len: 38,
+    };
+    let r = verify_filtering(&p, &prop, &base_cfg());
+    assert!(r.verdict.is_disproved(), "{r}");
+    if let Verdict::Disproved(cex) = &r.verdict {
+        let pkt = dpir::PacketData::new(cex.bytes.clone());
+        assert_eq!(dataplane::headers::ip_dst(&pkt), 0x0A090909);
+        assert_ne!(dataplane::headers::ip_src(&pkt), 0x0BAD0001);
+    }
+}
+
+#[test]
+fn filtering_src_and_dst_conjunction() {
+    // The paper's §4 example: "any packet with source IP A and
+    // destination IP B will be dropped". Satisfied when A is
+    // blacklisted regardless of B.
+    let p = to_pipeline(
+        "fw",
+        vec![elements::ip_filter::ip_filter(vec![0x0BAD0001])],
+    );
+    let prop = FilterProperty {
+        src_ip: Some(0x0BAD0001),
+        dst_ip: Some(0x0A090909),
+        min_len: 38,
+    };
+    let r = verify_filtering(&p, &prop, &base_cfg());
+    assert!(r.verdict.is_proved(), "{r}");
+}
+
+#[test]
+fn report_display_is_informative() {
+    let r = verify_crash_freedom(&router(), &base_cfg());
+    let s = r.to_string();
+    assert!(s.contains("crash-freedom"));
+    assert!(s.contains("PROVED"));
+    assert!(s.contains("step1"));
+    assert!(s.contains("step2"));
+}

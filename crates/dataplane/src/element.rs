@@ -1,0 +1,281 @@
+//! Packet-processing elements.
+//!
+//! An element is an IR program plus the driver convention for loops:
+//! a *loop element* is authored as its loop **body** (one iteration),
+//! which requests another iteration by emitting [`dpir::PORT_CONTINUE`].
+//! All loop-carried state lives in packet metadata — the paper's
+//! Condition 1 — which is what lets the verifier symbolically execute a
+//! single iteration and compose it `t` times (§3.2).
+
+use crate::store::{ChainedHashMap, KvStore, LpmTable, StoreRuntime};
+use dpir::{run_program, ExecOutcome, ExecResult, MapRuntime, PacketData, PortId, Program};
+
+/// Configuration contents for one of an element's static maps.
+#[derive(Debug, Clone)]
+pub enum TableConfig {
+    /// Exact-match entries `(key, value)` (filters, NAT statics).
+    Exact(Vec<(u64, u64)>),
+    /// LPM routes `(prefix, prefix_len, value)` (forwarding tables).
+    Lpm(Vec<(u32, u32, u32)>),
+}
+
+impl TableConfig {
+    /// The contents as exact pairs, flattening LPM routes to their
+    /// prefixes — used by the generic baseline's per-entry forking and
+    /// by filtering proofs (where the shape, not LPM precedence,
+    /// drives cost).
+    pub fn as_pairs(&self) -> Vec<(u64, u64)> {
+        match self {
+            TableConfig::Exact(v) => v.clone(),
+            TableConfig::Lpm(v) => v
+                .iter()
+                .map(|&(p, _l, val)| (p as u64, val as u64))
+                .collect(),
+        }
+    }
+}
+
+/// How an element's program is driven.
+#[derive(Debug, Clone)]
+pub enum ElementKind {
+    /// Runs once per packet.
+    Straight(Program),
+    /// The program is one loop iteration; `PORT_CONTINUE` re-enters it.
+    /// `max_iters` is *verification* metadata: how many iterations step
+    /// 2 composes before declaring the loop a bounded-execution suspect
+    /// (the dataplane itself is guarded only by fuel, like real Click
+    /// is guarded by nothing — that is bug #1's infinite loop).
+    Loop {
+        /// One iteration of the loop.
+        body: Program,
+        /// Iterations composed during verification.
+        max_iters: u32,
+    },
+}
+
+/// Table 2 provenance and technique flags for the inventory binary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Table2Info {
+    /// Lines changed/added vs. the conventional element ("New LoC").
+    pub new_loc: u32,
+    /// Uses the loop-decomposition technique (§3.2).
+    pub uses_loops: bool,
+    /// Uses abstracted data structures (§3.3).
+    pub uses_structs: bool,
+    /// Has mutable private state (§3.4).
+    pub uses_state: bool,
+}
+
+/// A packet-processing element.
+#[derive(Debug, Clone)]
+pub struct Element {
+    /// Display name (Table 2 row).
+    pub name: String,
+    /// Program + driver convention.
+    pub kind: ElementKind,
+    /// Inventory metadata.
+    pub info: Table2Info,
+    /// Configuration contents for static maps, by map index.
+    pub tables: Vec<(dpir::MapId, TableConfig)>,
+}
+
+impl Element {
+    /// A straight-line element.
+    pub fn straight(name: &str, prog: Program) -> Self {
+        Element {
+            name: name.to_string(),
+            kind: ElementKind::Straight(prog),
+            info: Table2Info::default(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// A loop element (see [`ElementKind::Loop`]).
+    pub fn looping(name: &str, body: Program, max_iters: u32) -> Self {
+        Element {
+            name: name.to_string(),
+            kind: ElementKind::Loop { body, max_iters },
+            info: Table2Info::default(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Attaches Table 2 metadata.
+    pub fn with_info(mut self, info: Table2Info) -> Self {
+        self.info = info;
+        self
+    }
+
+    /// Attaches configuration for a static map.
+    pub fn with_table(mut self, map: dpir::MapId, cfg: TableConfig) -> Self {
+        self.tables.push((map, cfg));
+        self
+    }
+
+    /// Builds the runtime stores backing this element's maps: LPM
+    /// tables and filled exact tables for configured static maps,
+    /// chained-array hash maps (the paper's `N = 3`) for private state.
+    pub fn build_stores(&self) -> StoreRuntime {
+        let mut rt = StoreRuntime::new();
+        for (i, decl) in self.program().maps.iter().enumerate() {
+            let cfg = self
+                .tables
+                .iter()
+                .find(|(m, _)| m.index() == i)
+                .map(|(_, c)| c);
+            let store: Box<dyn KvStore> = match cfg {
+                Some(TableConfig::Lpm(routes)) => {
+                    // /16 flattening keeps unit-test memory modest while
+                    // preserving the two-level structure; the core-router
+                    // bench uses `new_slash24` explicitly.
+                    let mut t = LpmTable::new(16);
+                    for &(p, l, v) in routes {
+                        t.insert(p, l, v);
+                    }
+                    Box::new(t)
+                }
+                Some(TableConfig::Exact(pairs)) => {
+                    let mut t =
+                        ChainedHashMap::new(3, (pairs.len() * 2).max(decl.capacity).max(8));
+                    for &(k, v) in pairs {
+                        let ok = t.write(k, v);
+                        debug_assert!(ok, "static table overflow");
+                    }
+                    Box::new(t)
+                }
+                None => Box::new(ChainedHashMap::new(3, decl.capacity.max(8))),
+            };
+            rt.push(store);
+        }
+        rt
+    }
+
+    /// The program symbolically executed by the verifier (the loop body
+    /// for loop elements).
+    pub fn program(&self) -> &Program {
+        match &self.kind {
+            ElementKind::Straight(p) => p,
+            ElementKind::Loop { body, .. } => body,
+        }
+    }
+
+    /// Concretely processes one packet. Loop elements re-run the body
+    /// while it emits [`dpir::PORT_CONTINUE`]; the shared `fuel` budget
+    /// is the only protection against non-termination (deliberately —
+    /// that is the failure mode of §5.3 bugs #1/#2).
+    pub fn process(
+        &self,
+        pkt: &mut PacketData,
+        maps: &mut dyn MapRuntime,
+        fuel: u64,
+    ) -> ExecOutcome {
+        match &self.kind {
+            ElementKind::Straight(p) => run_program(p, pkt, maps, fuel),
+            ElementKind::Loop { body, .. } => {
+                let mut total: u64 = 0;
+                loop {
+                    let remaining = fuel.saturating_sub(total);
+                    if remaining == 0 {
+                        return ExecOutcome {
+                            result: ExecResult::OutOfFuel,
+                            instrs: total,
+                        };
+                    }
+                    let out = run_program(body, pkt, maps, remaining);
+                    total += out.instrs;
+                    match out.result {
+                        ExecResult::Emitted(p) if p == dpir::PORT_CONTINUE => continue,
+                        result => {
+                            return ExecOutcome {
+                                result,
+                                instrs: total,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The element's output ports, as used by pipeline routing
+    /// ([`dpir::PORT_CONTINUE`] excluded).
+    pub fn output_ports(&self) -> Vec<PortId> {
+        let mut ports: Vec<PortId> = self
+            .program()
+            .blocks
+            .iter()
+            .filter_map(|b| match b.term {
+                dpir::Terminator::Emit(p) if p != dpir::PORT_CONTINUE => Some(p),
+                _ => None,
+            })
+            .collect();
+        ports.sort_unstable();
+        ports.dedup();
+        ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpir::{NullMapRuntime, ProgramBuilder};
+
+    /// Loop body: meta[0] counts down from byte 0; emits port 1 when 0.
+    fn countdown_body() -> Program {
+        let mut b = ProgramBuilder::new("countdown");
+        let init = b.meta_load(0);
+        let is_init = b.ne(32, init, 0u64);
+        let (cont, first) = b.fork(is_init);
+        let _ = cont;
+        // continuing: decrement; if 1 -> done else continue
+        let v = b.meta_load(0);
+        let v2 = b.sub(32, v, 1u64);
+        b.meta_store(0, v2);
+        let done = b.ule(32, v2, 1u64);
+        let (d, more) = b.fork(done);
+        let _ = d;
+        b.emit(1);
+        b.switch_to(more);
+        b.emit(dpir::PORT_CONTINUE);
+        // first iteration: load count from packet byte 0
+        b.switch_to(first);
+        let n = b.pkt_load(8, 0u64);
+        let n32 = b.zext(8, 32, n);
+        let none = b.ule(32, n32, 1u64);
+        let (z, some) = b.fork(none);
+        let _ = z;
+        b.emit(1);
+        b.switch_to(some);
+        b.meta_store(0, n32);
+        b.emit(dpir::PORT_CONTINUE);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn loop_element_drives_body() {
+        let e = Element::looping("countdown", countdown_body(), 300);
+        let mut pkt = PacketData::new(vec![5, 0, 0, 0]);
+        let mut maps = NullMapRuntime;
+        let out = e.process(&mut pkt, &mut maps, 10_000);
+        assert_eq!(out.result, ExecResult::Emitted(1));
+    }
+
+    #[test]
+    fn loop_element_respects_fuel() {
+        // A body that always continues — infinite loop, caught by fuel.
+        let mut b = ProgramBuilder::new("spin");
+        b.emit(dpir::PORT_CONTINUE);
+        let body = b.build().expect("valid");
+        let e = Element::looping("spin", body, 4);
+        let mut pkt = PacketData::new(vec![0; 4]);
+        let mut maps = NullMapRuntime;
+        let out = e.process(&mut pkt, &mut maps, 100);
+        assert_eq!(out.result, ExecResult::OutOfFuel);
+    }
+
+    #[test]
+    fn output_ports_exclude_continue() {
+        let e = Element::looping("countdown", countdown_body(), 300);
+        assert_eq!(e.output_ports(), vec![1]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Longest-prefix-match table via prefix flattening (paper §3.3,
+//! citing Gupta, Lin & McKeown [24]).
+//!
+//! All prefixes are flattened onto a single pre-allocated array indexed
+//! by the top `flatten_bits` of the address (the paper uses /24).
+//! Prefixes longer than `flatten_bits` spill into pre-allocated
+//! second-level chunks of `2^(32 - flatten_bits)` entries.
+//!
+//! Lookup cost is one or two array reads — line rate, crash-free and
+//! bounded by construction. Insert order is irrelevant: per-entry
+//! shadow prefix lengths give longer prefixes precedence.
+
+use super::KvStore;
+
+/// Sentinel meaning "no route" in the level-1/level-2 arrays.
+const NO_ROUTE: u32 = u32::MAX;
+/// Level-1 entries with this bit set index a level-2 chunk.
+const L2_FLAG: u32 = 1 << 31;
+
+/// A flattened LPM table mapping IPv4 addresses to `u32` values
+/// (typically output ports).
+#[derive(Debug, Clone)]
+pub struct LpmTable {
+    flatten_bits: u32,
+    level1: Vec<u32>,
+    /// Prefix length that wrote each level-1 entry (precedence).
+    shadow1: Vec<u8>,
+    level2: Vec<Vec<u32>>,
+    shadow2: Vec<Vec<u8>>,
+    routes: usize,
+}
+
+impl LpmTable {
+    /// Creates a table flattened at `flatten_bits` (the paper's choice
+    /// is 24). Smaller values are handy in tests.
+    pub fn new(flatten_bits: u32) -> Self {
+        assert!((1..=24).contains(&flatten_bits));
+        let n = 1usize << flatten_bits;
+        LpmTable {
+            flatten_bits,
+            level1: vec![NO_ROUTE; n],
+            shadow1: vec![0; n],
+            level2: Vec::new(),
+            shadow2: Vec::new(),
+            routes: 0,
+        }
+    }
+
+    /// A table flattened at /24 — the configuration evaluated in the
+    /// paper's core-router pipeline.
+    pub fn new_slash24() -> Self {
+        Self::new(24)
+    }
+
+    /// Number of `insert` calls accepted.
+    pub fn num_routes(&self) -> usize {
+        self.routes
+    }
+
+    fn is_chunk(v: u32) -> bool {
+        v != NO_ROUTE && v & L2_FLAG != 0
+    }
+
+    /// Inserts `prefix/plen → value`. Longer prefixes win on lookup
+    /// regardless of insertion order; equal lengths overwrite. Returns
+    /// `false` for invalid prefixes (`plen > 32`) or values that clash
+    /// with the internal chunk encoding (`value ≥ 2^31`).
+    pub fn insert(&mut self, prefix: u32, plen: u32, value: u32) -> bool {
+        if plen > 32 || value >= L2_FLAG {
+            return false;
+        }
+        let fb = self.flatten_bits;
+        if plen <= fb {
+            let idx = (prefix >> (32 - fb)) as usize;
+            let span = 1usize << (fb - plen);
+            let start = idx & !(span - 1);
+            for i in start..start + span {
+                let v = self.level1[i];
+                if Self::is_chunk(v) {
+                    let chunk = (v & !L2_FLAG) as usize;
+                    for off in 0..self.level2[chunk].len() {
+                        if self.shadow2[chunk][off] as u32 <= plen {
+                            self.level2[chunk][off] = value;
+                            self.shadow2[chunk][off] = plen as u8;
+                        }
+                    }
+                } else if v == NO_ROUTE || self.shadow1[i] as u32 <= plen {
+                    self.level1[i] = value;
+                    self.shadow1[i] = plen as u8;
+                }
+            }
+        } else {
+            let i = (prefix >> (32 - fb)) as usize;
+            let chunk = {
+                let v = self.level1[i];
+                if Self::is_chunk(v) {
+                    (v & !L2_FLAG) as usize
+                } else {
+                    // Allocate a chunk seeded with the current flat
+                    // route (so shorter prefixes still match inside).
+                    let n = 1usize << (32 - fb);
+                    self.level2.push(vec![v; n]);
+                    self.shadow2.push(vec![self.shadow1[i]; n]);
+                    let c = self.level2.len() - 1;
+                    self.level1[i] = L2_FLAG | c as u32;
+                    c
+                }
+            };
+            let low_bits = 32 - fb;
+            let low = (prefix & ((1u32 << low_bits) - 1)) as usize;
+            let span = 1usize << (32 - plen);
+            let start = low & !(span - 1);
+            for off in start..start + span {
+                if self.shadow2[chunk][off] as u32 <= plen {
+                    self.level2[chunk][off] = value;
+                    self.shadow2[chunk][off] = plen as u8;
+                }
+            }
+        }
+        self.routes += 1;
+        true
+    }
+
+    /// Longest-prefix lookup: one or two array reads.
+    pub fn lookup(&self, addr: u32) -> Option<u32> {
+        let i = (addr >> (32 - self.flatten_bits)) as usize;
+        let v = self.level1[i];
+        if v == NO_ROUTE {
+            return None;
+        }
+        if Self::is_chunk(v) {
+            let chunk = (v & !L2_FLAG) as usize;
+            let low = (addr & ((1u32 << (32 - self.flatten_bits)) - 1)) as usize;
+            match self.level2[chunk][low] {
+                NO_ROUTE => None,
+                x => Some(x),
+            }
+        } else {
+            Some(v)
+        }
+    }
+}
+
+impl KvStore for LpmTable {
+    fn read(&mut self, key: u64) -> Option<u64> {
+        self.lookup(key as u32).map(|v| v as u64)
+    }
+
+    fn write(&mut self, _key: u64, _value: u64) -> bool {
+        false // static state: the dataplane never writes (Table 1)
+    }
+
+    fn test(&self, key: u64) -> bool {
+        self.lookup(key as u32).is_some()
+    }
+
+    fn expire(&mut self, _key: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive reference: scan all routes, pick the longest match.
+    struct NaiveLpm {
+        routes: Vec<(u32, u32, u32)>,
+    }
+
+    impl NaiveLpm {
+        fn lookup(&self, addr: u32) -> Option<u32> {
+            self.routes
+                .iter()
+                .filter(|&&(p, l, _)| {
+                    if l == 0 {
+                        true
+                    } else {
+                        (addr ^ p) >> (32 - l) == 0
+                    }
+                })
+                .max_by_key(|&&(_, l, _)| l)
+                .map(|&(_, _, v)| v)
+        }
+    }
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    #[test]
+    fn basic_lpm_precedence() {
+        let mut t = LpmTable::new(16);
+        assert!(t.insert(ip(10, 0, 0, 0), 8, 1));
+        assert!(t.insert(ip(10, 1, 0, 0), 16, 2));
+        assert!(t.insert(ip(10, 1, 2, 0), 24, 3));
+        assert_eq!(t.lookup(ip(10, 9, 9, 9)), Some(1));
+        assert_eq!(t.lookup(ip(10, 1, 9, 9)), Some(2));
+        assert_eq!(t.lookup(ip(10, 1, 2, 9)), Some(3));
+        assert_eq!(t.lookup(ip(11, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn insertion_order_irrelevant() {
+        let mut a = LpmTable::new(16);
+        let mut b = LpmTable::new(16);
+        let routes = [
+            (ip(192, 168, 0, 0), 16, 7),
+            (ip(192, 168, 4, 0), 24, 8),
+            (ip(192, 168, 4, 128), 25, 9),
+            (ip(0, 0, 0, 0), 0, 1),
+        ];
+        for r in routes.iter() {
+            assert!(a.insert(r.0, r.1, r.2));
+        }
+        for r in routes.iter().rev() {
+            assert!(b.insert(r.0, r.1, r.2));
+        }
+        for addr in [
+            ip(192, 168, 4, 200),
+            ip(192, 168, 4, 5),
+            ip(192, 168, 9, 9),
+            ip(8, 8, 8, 8),
+        ] {
+            assert_eq!(a.lookup(addr), b.lookup(addr), "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = LpmTable::new(8);
+        assert!(t.insert(0, 0, 42));
+        assert_eq!(t.lookup(0), Some(42));
+        assert_eq!(t.lookup(u32::MAX), Some(42));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut t = LpmTable::new(8);
+        assert!(!t.insert(0, 33, 1));
+        assert!(!t.insert(0, 8, u32::MAX));
+    }
+
+    #[test]
+    fn kvstore_interface_is_readonly() {
+        let mut t = LpmTable::new(8);
+        t.insert(ip(10, 0, 0, 0), 8, 5);
+        assert!(!t.write(1, 2), "static state refuses writes");
+        assert_eq!(t.read(ip(10, 1, 1, 1) as u64), Some(5));
+        assert!(t.test(ip(10, 1, 1, 1) as u64));
+        t.expire(1); // no-op
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Differential test against the naive longest-match scan.
+        ///
+        /// Prefixes are drawn from 10.x.y.z/8..=32 so both the flat
+        /// level-1 range writes and the level-2 chunk writes stay small
+        /// while still exercising every precedence interaction.
+        #[test]
+        fn matches_naive(
+            routes in proptest::collection::vec(
+                ((0u32..=255, 0u32..=255, 0u32..=255), 8u32..=32, 0u32..1000), 0..16),
+            probes in proptest::collection::vec((0u32..=255, 0u32..=255, 0u32..=255), 0..32),
+        ) {
+            let mk = |(b, c, d): (u32, u32, u32)| {
+                u32::from_be_bytes([10, b as u8, c as u8, d as u8])
+            };
+            let mut t = LpmTable::new(16);
+            let mut accepted = Vec::new();
+            for (p, l, v) in routes {
+                let p = mk(p) & if l == 32 { u32::MAX } else { !(u32::MAX >> l) };
+                if t.insert(p, l, v) {
+                    accepted.push((p, l, v));
+                }
+            }
+            let naive = NaiveLpm { routes: accepted };
+            for addr in probes {
+                let addr = mk(addr);
+                // Equal-length duplicates resolve "last writer wins" in
+                // both implementations (max_by_key returns the last
+                // maximum, matching insertion-order overwrite).
+                prop_assert_eq!(t.lookup(addr), naive.lookup(addr), "addr {:#x}", addr);
+            }
+        }
+    }
+}

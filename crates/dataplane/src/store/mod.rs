@@ -1,0 +1,39 @@
+//! Verifiable data structures (paper §3.3, Conditions 2 & 3).
+//!
+//! Everything here is built from **pre-allocated arrays**: no
+//! allocation after construction, no unbounded traversal, no pointer
+//! chasing. That is what makes the structures verifiable — a write is
+//! a bounded number of array accesses that cannot crash — and it is
+//! also what the paper trades memory for (a `ChainedHashMap` with
+//! `N = 3` arrays uses up to 3× the memory of a conventional chained
+//! table for the same load).
+
+mod hashmap;
+mod lpm;
+mod runtime;
+
+pub use hashmap::ChainedHashMap;
+pub use lpm::LpmTable;
+pub use runtime::StoreRuntime;
+
+/// The key/value-store interface of paper Fig. 2.
+///
+/// `expire` marks a pair as finished; expired pairs are queued for the
+/// control plane (see [`ChainedHashMap::take_expired`]) rather than
+/// silently destroyed, matching the paper's NetFlow example.
+pub trait KvStore {
+    /// `read(key)` → the stored value, if present.
+    fn read(&mut self, key: u64) -> Option<u64>;
+    /// `write(key, value)` → `true` if stored/updated, `false` if the
+    /// structure refused (e.g. all `N` chain arrays occupied).
+    fn write(&mut self, key: u64, value: u64) -> bool;
+    /// Membership test.
+    fn test(&self, key: u64) -> bool;
+    /// Marks `key` ready for reclamation.
+    fn expire(&mut self, key: u64);
+    /// Control-plane drain of expired pairs (empty for stores without
+    /// expiration support).
+    fn take_expired(&mut self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
+}

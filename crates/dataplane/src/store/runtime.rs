@@ -1,0 +1,103 @@
+//! Binding stores to an element's map declarations.
+
+use super::KvStore;
+use dpir::{MapId, MapRuntime};
+
+/// The per-element collection of backing stores, indexed by [`MapId`];
+/// implements the interpreter-facing [`MapRuntime`].
+#[derive(Default)]
+pub struct StoreRuntime {
+    stores: Vec<Box<dyn KvStore>>,
+}
+
+impl std::fmt::Debug for StoreRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StoreRuntime({} stores)", self.stores.len())
+    }
+}
+
+impl StoreRuntime {
+    /// No stores (for elements without maps).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a store; its index becomes the next [`MapId`].
+    pub fn push(&mut self, store: Box<dyn KvStore>) -> MapId {
+        self.stores.push(store);
+        MapId((self.stores.len() - 1) as u32)
+    }
+
+    /// Number of bound stores.
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Whether no stores are bound.
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+
+    /// Borrows a store for inspection (tests, control plane).
+    pub fn store_mut(&mut self, map: MapId) -> &mut dyn KvStore {
+        self.stores[map.index()].as_mut()
+    }
+}
+
+impl MapRuntime for StoreRuntime {
+    fn read(&mut self, map: MapId, key: u64) -> Option<u64> {
+        self.stores
+            .get_mut(map.index())
+            .and_then(|s| s.read(key))
+    }
+
+    fn write(&mut self, map: MapId, key: u64, value: u64) -> bool {
+        self.stores
+            .get_mut(map.index())
+            .map(|s| s.write(key, value))
+            .unwrap_or(false)
+    }
+
+    fn test(&mut self, map: MapId, key: u64) -> bool {
+        self.stores
+            .get_mut(map.index())
+            .map(|s| s.test(key))
+            .unwrap_or(false)
+    }
+
+    fn expire(&mut self, map: MapId, key: u64) {
+        if let Some(s) = self.stores.get_mut(map.index()) {
+            s.expire(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ChainedHashMap;
+
+    #[test]
+    fn routes_by_map_id() {
+        let mut rt = StoreRuntime::new();
+        let m0 = rt.push(Box::new(ChainedHashMap::new(2, 8)));
+        let m1 = rt.push(Box::new(ChainedHashMap::new(2, 8)));
+        assert!(rt.write(m0, 1, 100));
+        assert!(rt.write(m1, 1, 200));
+        assert_eq!(rt.read(m0, 1), Some(100));
+        assert_eq!(rt.read(m1, 1), Some(200));
+        assert!(rt.test(m0, 1));
+        rt.expire(m0, 1);
+        assert_eq!(rt.read(m0, 1), None);
+        assert_eq!(rt.read(m1, 1), Some(200));
+    }
+
+    #[test]
+    fn unknown_map_is_miss() {
+        let mut rt = StoreRuntime::new();
+        assert_eq!(rt.read(MapId(5), 1), None);
+        assert!(!rt.write(MapId(5), 1, 2));
+        assert!(!rt.test(MapId(5), 1));
+        rt.expire(MapId(5), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Instructions and terminators.
+
+use crate::types::{BlockId, MapId, PortId, Reg, Width};
+use std::fmt;
+
+/// An instruction operand: a register or an immediate (width comes from
+/// the instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An immediate constant (masked to the instruction width).
+    Imm(u64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Binary operators. Comparisons write a width-1 result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division — **crashes on zero divisor** (crash-freedom
+    /// must prove the divisor non-zero).
+    UDiv,
+    /// Unsigned remainder — crashes on zero divisor.
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (shift ≥ width yields 0).
+    Shl,
+    /// Logical right shift (shift ≥ width yields 0).
+    Lshr,
+    /// Equality (width-1 result).
+    Eq,
+    /// Disequality (width-1 result).
+    Ne,
+    /// Unsigned less-than (width-1 result).
+    Ult,
+    /// Unsigned less-or-equal (width-1 result).
+    Ule,
+    /// Signed less-than (width-1 result).
+    Slt,
+    /// Signed less-or-equal (width-1 result).
+    Sle,
+}
+
+impl BinOp {
+    /// Whether the result is width-1.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Ult | BinOp::Ule | BinOp::Slt | BinOp::Sle
+        )
+    }
+
+    /// Whether the operation can crash (division family).
+    pub fn can_crash(self) -> bool {
+        matches!(self, BinOp::UDiv | BinOp::URem)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+}
+
+/// Width-conversion kinds for [`Instr::Cast`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Zero-extension (`to > from`).
+    Zext,
+    /// Sign-extension (`to > from`).
+    Sext,
+    /// Truncation (`to < from`).
+    Trunc,
+}
+
+/// Why an execution crashed. These are exactly the "abnormal
+/// termination" classes of the paper's crash-freedom property (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashReason {
+    /// An [`Instr::Assert`] with a false condition (index into
+    /// [`crate::Program::assert_msgs`]).
+    AssertFailed(u32),
+    /// Packet load beyond the packet length.
+    OobRead,
+    /// Packet store beyond the packet length.
+    OobWrite,
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Explicit crash terminator (e.g. modeling a `panic()` call).
+    Explicit(u32),
+}
+
+impl fmt::Display for CrashReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashReason::AssertFailed(i) => write!(f, "assertion failure #{i}"),
+            CrashReason::OobRead => write!(f, "out-of-bounds packet read"),
+            CrashReason::OobWrite => write!(f, "out-of-bounds packet write"),
+            CrashReason::DivByZero => write!(f, "division by zero"),
+            CrashReason::Explicit(i) => write!(f, "explicit crash #{i}"),
+        }
+    }
+}
+
+/// A straight-line instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = a op b` at width `w`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Operand width (result is width 1 for comparisons).
+        w: Width,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = op a` at width `w`.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand/result width.
+        w: Width,
+        /// Destination register.
+        dst: Reg,
+        /// Operand.
+        a: Operand,
+    },
+    /// Width conversion `dst = cast(a)`.
+    Cast {
+        /// Conversion kind.
+        kind: CastKind,
+        /// Source width.
+        from: Width,
+        /// Destination width.
+        to: Width,
+        /// Destination register (width `to`).
+        dst: Reg,
+        /// Source operand (width `from`).
+        a: Operand,
+    },
+    /// `dst = a` at width `w`.
+    Mov {
+        /// Width.
+        w: Width,
+        /// Destination register.
+        dst: Reg,
+        /// Source.
+        a: Operand,
+    },
+    /// Big-endian load of `w/8` bytes at byte offset `off`.
+    /// Crashes with [`CrashReason::OobRead`] if `off + w/8 > len`.
+    PktLoad {
+        /// Load width in bits (8, 16 or 32).
+        w: Width,
+        /// Destination register (width `w`).
+        dst: Reg,
+        /// Byte offset (16-bit operand).
+        off: Operand,
+    },
+    /// Big-endian store of `w/8` bytes at byte offset `off`.
+    /// Crashes with [`CrashReason::OobWrite`] if `off + w/8 > len`.
+    PktStore {
+        /// Store width in bits (8, 16 or 32).
+        w: Width,
+        /// Byte offset (16-bit operand).
+        off: Operand,
+        /// Value to store (width `w`).
+        val: Operand,
+    },
+    /// `dst = packet length` (16-bit).
+    PktLen {
+        /// Destination register (width 16).
+        dst: Reg,
+    },
+    /// `dst = metadata[slot]` (32-bit).
+    MetaLoad {
+        /// Metadata slot index (`< META_SLOTS`).
+        slot: u8,
+        /// Destination register (width 32).
+        dst: Reg,
+    },
+    /// `metadata[slot] = val` (32-bit).
+    MetaStore {
+        /// Metadata slot index.
+        slot: u8,
+        /// Value (width 32).
+        val: Operand,
+    },
+    /// Map read: `found = key ∈ map`, `val = map[key]` (0 if absent).
+    MapRead {
+        /// Which map.
+        map: MapId,
+        /// Key operand (map's key width).
+        key: Operand,
+        /// Width-1 register receiving the membership bit.
+        found: Reg,
+        /// Register receiving the value (map's value width).
+        val: Reg,
+    },
+    /// Map write: `ok = insert/update succeeded` (pre-allocated stores
+    /// can refuse when full — see `dataplane::store`).
+    MapWrite {
+        /// Which map.
+        map: MapId,
+        /// Key operand.
+        key: Operand,
+        /// Value operand.
+        val: Operand,
+        /// Width-1 register receiving the success bit.
+        ok: Reg,
+    },
+    /// Membership test without a value read.
+    MapTest {
+        /// Which map.
+        map: MapId,
+        /// Key operand.
+        key: Operand,
+        /// Width-1 register receiving the membership bit.
+        found: Reg,
+    },
+    /// Expiration: signals `{key}` will no longer be accessed (Fig. 2).
+    MapExpire {
+        /// Which map.
+        map: MapId,
+        /// Key operand.
+        key: Operand,
+    },
+    /// Prepends `n` zero bytes to the packet (Click's `push()` — used by
+    /// encapsulation elements). Crashes with [`CrashReason::OobWrite`]
+    /// if the packet would exceed its buffer capacity.
+    PktPush {
+        /// Number of bytes to prepend (16-bit operand).
+        n: Operand,
+    },
+    /// Removes `n` bytes from the front of the packet (Click's `pull()`).
+    /// Crashes with [`CrashReason::OobRead`] if `n` exceeds the length.
+    PktPull {
+        /// Number of bytes to remove (16-bit operand).
+        n: Operand,
+    },
+    /// Crash with [`CrashReason::AssertFailed`] if `cond` is 0.
+    Assert {
+        /// Width-1 condition.
+        cond: Operand,
+        /// Index into [`crate::Program::assert_msgs`].
+        msg: u32,
+    },
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a width-1 operand.
+    Branch {
+        /// Width-1 condition.
+        cond: Operand,
+        /// Target when `cond` is 1.
+        then_: BlockId,
+        /// Target when `cond` is 0.
+        else_: BlockId,
+    },
+    /// Transfer packet ownership out of this element via `port`.
+    Emit(PortId),
+    /// Drop the packet (ends processing normally).
+    Drop,
+    /// Abnormal termination.
+    Crash(CrashReason),
+}

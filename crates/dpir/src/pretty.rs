@@ -1,0 +1,148 @@
+//! Textual rendering of IR programs (for docs, debugging and the
+//! `table2` inventory binary).
+
+use crate::instr::{BinOp, Instr, Terminator, UnOp};
+use crate::program::Program;
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = format!("program {} {{\n", p.name);
+    for (i, m) in p.maps.iter().enumerate() {
+        out.push_str(&format!(
+            "  map m{}: {} (key u{}, value u{}, cap {}{})\n",
+            i,
+            m.name,
+            m.key_width,
+            m.value_width,
+            m.capacity,
+            if m.is_static { ", static" } else { "" }
+        ));
+    }
+    for (i, b) in p.blocks.iter().enumerate() {
+        out.push_str(&format!("  b{i}:\n"));
+        for ins in &b.instrs {
+            out.push_str("    ");
+            out.push_str(&print_instr(p, ins));
+            out.push('\n');
+        }
+        out.push_str("    ");
+        out.push_str(&print_term(p, &b.term));
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::UDiv => "/",
+        BinOp::URem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Lshr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Ult => "<u",
+        BinOp::Ule => "<=u",
+        BinOp::Slt => "<s",
+        BinOp::Sle => "<=s",
+    }
+}
+
+/// Renders one instruction.
+pub fn print_instr(p: &Program, i: &Instr) -> String {
+    match *i {
+        Instr::Bin { op, w, dst, a, b } => {
+            format!("{dst} = {a} {} {b} (u{w})", binop_str(op))
+        }
+        Instr::Un { op, w, dst, a } => {
+            let s = match op {
+                UnOp::Not => "~",
+                UnOp::Neg => "-",
+            };
+            format!("{dst} = {s}{a} (u{w})")
+        }
+        Instr::Mov { w, dst, a } => format!("{dst} = {a} (u{w})"),
+        Instr::Cast {
+            kind,
+            from,
+            to,
+            dst,
+            a,
+        } => {
+            let k = match kind {
+                crate::instr::CastKind::Zext => "zext",
+                crate::instr::CastKind::Sext => "sext",
+                crate::instr::CastKind::Trunc => "trunc",
+            };
+            format!("{dst} = {k}(u{from}→u{to}) {a}")
+        }
+        Instr::PktLoad { w, dst, off } => format!("{dst} = pkt[{off}..+{}]", w / 8),
+        Instr::PktStore { w, off, val } => format!("pkt[{off}..+{}] = {val}", w / 8),
+        Instr::PktLen { dst } => format!("{dst} = pkt.len"),
+        Instr::PktPush { n } => format!("pkt.push({n})"),
+        Instr::PktPull { n } => format!("pkt.pull({n})"),
+        Instr::MetaLoad { slot, dst } => format!("{dst} = meta[{slot}]"),
+        Instr::MetaStore { slot, val } => format!("meta[{slot}] = {val}"),
+        Instr::MapRead {
+            map,
+            key,
+            found,
+            val,
+        } => format!("({found}, {val}) = {map}.read({key})"),
+        Instr::MapWrite { map, key, val, ok } => format!("{ok} = {map}.write({key}, {val})"),
+        Instr::MapTest { map, key, found } => format!("{found} = {map}.test({key})"),
+        Instr::MapExpire { map, key } => format!("{map}.expire({key})"),
+        Instr::Assert { cond, msg } => {
+            format!("assert {cond} \"{}\"", p.assert_msgs[msg as usize])
+        }
+    }
+}
+
+/// Renders one terminator.
+pub fn print_term(p: &Program, t: &Terminator) -> String {
+    match *t {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Branch { cond, then_, else_ } => {
+            format!("branch {cond} ? {then_} : {else_}")
+        }
+        Terminator::Emit(port) => format!("emit port {port}"),
+        Terminator::Drop => "drop".to_string(),
+        Terminator::Crash(r) => match r {
+            crate::instr::CrashReason::AssertFailed(m)
+            | crate::instr::CrashReason::Explicit(m) => {
+                format!("crash \"{}\"", p.assert_msgs[m as usize])
+            }
+            other => format!("crash ({other})"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn renders_blocks() {
+        let mut b = ProgramBuilder::new("demo");
+        let v = b.pkt_load(8, 0u64);
+        let c = b.eq(8, v, 4u64);
+        let (t, e) = b.fork(c);
+        let _ = t;
+        b.emit(0);
+        b.switch_to(e);
+        b.drop_();
+        let p = b.build().expect("valid");
+        let s = print_program(&p);
+        assert!(s.contains("program demo"));
+        assert!(s.contains("pkt[0..+1]"));
+        assert!(s.contains("emit port 0"));
+        assert!(s.contains("drop"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Core identifier types and IR-wide constants.
+
+use std::fmt;
+
+/// Bit width of a register or operand (1..=64).
+pub type Width = u32;
+
+/// Number of 32-bit packet-metadata slots carried alongside each packet.
+///
+/// Metadata is the *only* mutable state shared across loop iterations
+/// (paper Condition 1) and travels with packet ownership between
+/// elements.
+pub const META_SLOTS: usize = 12;
+
+/// Width of each metadata slot in bits.
+pub const META_WIDTH: Width = 32;
+
+/// Output port number an element-loop body emits to request another
+/// iteration (see `dataplane::element` for the driver semantics).
+pub const PORT_CONTINUE: u8 = 255;
+
+/// Largest regular output port (ports above this are reserved).
+pub const PORT_MAX: u8 = 250;
+
+/// A virtual register. Registers are typed with a width at creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A basic-block id. Block 0 is the entry block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A map (key/value store) id, referring to [`crate::MapDecl`]s of the
+/// containing program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MapId(pub u32);
+
+impl MapId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An element output port.
+pub type PortId = u8;

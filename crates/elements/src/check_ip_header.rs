@@ -1,0 +1,169 @@
+//! CheckIPHeader — validates the IPv4 header (Click `CheckIPHeader`,
+//! unmodified in Table 2).
+//!
+//! Checks, in Click's order: minimum length, version 4, IHL ≥ 5, total
+//! length consistency, and the header checksum. Bad packets are
+//! dropped. The checksum loop is bounded by IHL ≤ 15, so symbolic
+//! execution enumerates its (few) iteration counts without special
+//! loop treatment — the element simply "has significantly more
+//! branching points than the rest" (§5.2), exactly as in the paper.
+
+use crate::common::{guard_min_len, load_ihl, off};
+use dataplane::{Element, Table2Info};
+use dpir::{BinOp, ProgramBuilder};
+
+/// Builds the CheckIPHeader element. `verify_checksum` enables the
+/// checksum loop (the paper's element always checks; disabling makes
+/// the Fig. 4 pipelines cheaper to compare against generic tools).
+pub fn check_ip_header(verify_checksum: bool) -> Element {
+    let mut b = ProgramBuilder::new("CheckIPHeader");
+    // Ethernet + minimal IP header.
+    guard_min_len(&mut b, 14 + 20);
+    // Version must be 4.
+    let vihl = b.pkt_load(8, off::IP_VIHL);
+    let ver = b.lshr(8, vihl, 4u64);
+    let v4 = b.eq(8, ver, 4u64);
+    let (ok_bb, bad) = b.fork(v4);
+    let _ = ok_bb;
+    // IHL ≥ 5.
+    let ihl = load_ihl(&mut b);
+    let ihl_ok = b.ule(8, 5u64, ihl);
+    let (ihl_bb, bad2) = b.fork(ihl_ok);
+    let _ = ihl_bb;
+    // Whole header present: 14 + ihl*4 ≤ len.
+    let hdr_end = crate::common::l4_offset(&mut b, ihl);
+    let len = b.pkt_len();
+    let hdr_fits = b.ule(16, hdr_end, len);
+    let (fits_bb, bad3) = b.fork(hdr_fits);
+    let _ = fits_bb;
+    // Total length sane: totlen ≥ ihl*4 and 14 + totlen ≤ len.
+    let totlen = b.pkt_load(16, off::IP_TOTLEN);
+    let ihl16 = b.zext(8, 16, ihl);
+    let hlen_bytes = b.shl(16, ihl16, 2u64);
+    let tot_ge = b.ule(16, hlen_bytes, totlen);
+    let (tot_bb, bad4) = b.fork(tot_ge);
+    let _ = tot_bb;
+    let tot_end = b.add(16, totlen, 14u64);
+    let tot_fits = b.ule(16, tot_end, len);
+    let (tfit_bb, bad5) = b.fork(tot_fits);
+    let _ = tfit_bb;
+
+    if verify_checksum {
+        // Sum the header 16-bit words (including the stored checksum);
+        // a valid header sums to 0xFFFF. Loop-carried state in
+        // registers is fine here: this is a *register* loop bounded by
+        // IHL, not a packet-content walk (contrast ip_options).
+        let sum = b.reg(32);
+        b.assign(32, sum, 0u64);
+        let i = b.reg(16);
+        b.assign(16, i, 0u64);
+        let words = b.mov(16, hlen_bytes); // header bytes
+        let hdr = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.jump(hdr);
+        b.switch_to(hdr);
+        let cond = b.ult(16, i, words);
+        b.branch(cond, body, done);
+        b.switch_to(body);
+        let woff = b.add(16, i, off::IP as u64);
+        let w = b.pkt_load(16, woff);
+        let w32 = b.zext(16, 32, w);
+        let s1 = b.add(32, sum, w32);
+        b.assign(32, sum, s1);
+        let i2 = b.add(16, i, 2u64);
+        b.assign(16, i, i2);
+        b.jump(hdr);
+        b.switch_to(done);
+        // Fold carries twice (enough for ≤ 30 words).
+        let lo = b.and(32, sum, 0xFFFFu64);
+        let hi = b.lshr(32, sum, 16u64);
+        let f1 = b.add(32, lo, hi);
+        let lo2 = b.and(32, f1, 0xFFFFu64);
+        let hi2 = b.lshr(32, f1, 16u64);
+        let f2 = b.add(32, lo2, hi2);
+        let csum_ok = b.eq(32, f2, 0xFFFFu64);
+        let (cs_bb, bad6) = b.fork(csum_ok);
+        let _ = cs_bb;
+        b.emit(0);
+        b.switch_to(bad6);
+        b.drop_();
+    } else {
+        b.emit(0);
+    }
+
+    for bb in [bad, bad2, bad3, bad4, bad5] {
+        b.switch_to(bb);
+        b.drop_();
+    }
+    let _ = BinOp::Add;
+    Element::straight("CheckIPHeader", b.build().expect("check_ip_header is valid")).with_info(
+        Table2Info {
+            new_loc: 0,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::workload::PacketBuilder;
+    use dpir::{ExecResult, NullMapRuntime, PacketData};
+
+    fn run(e: &Element, pkt: &mut PacketData) -> ExecResult {
+        let mut maps = NullMapRuntime;
+        e.process(pkt, &mut maps, 10_000).result
+    }
+
+    #[test]
+    fn valid_packet_passes() {
+        let e = check_ip_header(true);
+        let mut pkt = PacketBuilder::ipv4_udp().build();
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+    }
+
+    #[test]
+    fn bad_version_dropped() {
+        let e = check_ip_header(true);
+        let mut pkt = PacketBuilder::ipv4_udp().build();
+        pkt.bytes[14] = 0x65; // version 6
+        assert_eq!(run(&e, &mut pkt), ExecResult::Dropped);
+    }
+
+    #[test]
+    fn corrupted_checksum_dropped() {
+        let e = check_ip_header(true);
+        let mut pkt = PacketBuilder::ipv4_udp().build();
+        pkt.bytes[24] ^= 0xFF; // flip checksum byte
+        assert_eq!(run(&e, &mut pkt), ExecResult::Dropped);
+        let e2 = check_ip_header(false);
+        let mut pkt2 = PacketBuilder::ipv4_udp().build();
+        pkt2.bytes[24] ^= 0xFF;
+        assert_eq!(run(&e2, &mut pkt2), ExecResult::Emitted(0));
+    }
+
+    #[test]
+    fn short_ihl_dropped() {
+        let e = check_ip_header(true);
+        let mut pkt = PacketBuilder::ipv4_udp().build();
+        pkt.bytes[14] = 0x44; // IHL 4
+        assert_eq!(run(&e, &mut pkt), ExecResult::Dropped);
+    }
+
+    #[test]
+    fn truncated_options_dropped() {
+        // IHL claims options but the packet is too short for them.
+        let e = check_ip_header(false);
+        let mut pkt = PacketBuilder::ipv4_udp().payload_len(0).build();
+        pkt.bytes[14] = 0x4F; // IHL 15 → header 60 bytes
+        assert_eq!(run(&e, &mut pkt), ExecResult::Dropped);
+    }
+
+    #[test]
+    fn options_packet_with_valid_checksum_passes() {
+        let e = check_ip_header(true);
+        let mut pkt = dataplane::workload::adversarial::with_nop_options(3);
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+    }
+}

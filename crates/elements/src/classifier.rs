@@ -1,0 +1,79 @@
+//! Classifier — demultiplexes on EtherType (Click `Classifier`,
+//! unmodified in Table 2).
+//!
+//! Port 0: IPv4. Port 1: ARP. Port 2: everything else. Packets shorter
+//! than an Ethernet header are dropped (Click's classifier cannot match
+//! them either).
+
+use crate::common::{guard_min_len, off};
+use dataplane::{Element, Table2Info};
+use dpir::ProgramBuilder;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u64 = 0x0800;
+/// EtherType for ARP.
+pub const ETHERTYPE_ARP: u64 = 0x0806;
+
+/// Builds the classifier element.
+pub fn classifier() -> Element {
+    let mut b = ProgramBuilder::new("Classifier");
+    guard_min_len(&mut b, 14);
+    let ety = b.pkt_load(16, off::ETH_TYPE);
+    let is_ip = b.eq(16, ety, ETHERTYPE_IPV4);
+    let (ip_bb, not_ip) = b.fork(is_ip);
+    let _ = ip_bb;
+    b.emit(0);
+    b.switch_to(not_ip);
+    let is_arp = b.eq(16, ety, ETHERTYPE_ARP);
+    let (arp_bb, other) = b.fork(is_arp);
+    let _ = arp_bb;
+    b.emit(1);
+    b.switch_to(other);
+    b.emit(2);
+    Element::straight("Classifier", b.build().expect("classifier is valid")).with_info(
+        Table2Info {
+            new_loc: 0,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::workload::PacketBuilder;
+    use dpir::{ExecResult, NullMapRuntime};
+
+    fn run(e: &Element, pkt: &mut dpir::PacketData) -> ExecResult {
+        let mut maps = NullMapRuntime;
+        e.process(pkt, &mut maps, 10_000).result
+    }
+
+    #[test]
+    fn ipv4_goes_to_port_0() {
+        let e = classifier();
+        let mut pkt = PacketBuilder::ipv4_udp().build();
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+    }
+
+    #[test]
+    fn arp_goes_to_port_1() {
+        let e = classifier();
+        let mut pkt = PacketBuilder::ipv4_udp().ethertype(0x0806).build();
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(1));
+    }
+
+    #[test]
+    fn unknown_goes_to_port_2() {
+        let e = classifier();
+        let mut pkt = PacketBuilder::ipv4_udp().ethertype(0x86DD).build();
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(2));
+    }
+
+    #[test]
+    fn runt_frame_dropped_not_crashed() {
+        let e = classifier();
+        let mut pkt = dpir::PacketData::new(vec![0; 5]);
+        assert_eq!(run(&e, &mut pkt), ExecResult::Dropped);
+    }
+}

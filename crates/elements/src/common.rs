@@ -1,0 +1,73 @@
+//! Shared IR-building helpers and layout constants for elements.
+
+use dpir::{ProgramBuilder, Reg};
+
+/// Byte offsets duplicated from `dataplane::headers` as `u64`s for IR
+/// immediates (all elements assume Ethernet II + IPv4 at offset 14).
+pub mod off {
+    /// EtherType.
+    pub const ETH_TYPE: u64 = 12;
+    /// Start of IPv4 header.
+    pub const IP: u64 = 14;
+    /// Version/IHL.
+    pub const IP_VIHL: u64 = IP;
+    /// Total length.
+    pub const IP_TOTLEN: u64 = IP + 2;
+    /// TTL.
+    pub const IP_TTL: u64 = IP + 8;
+    /// Protocol.
+    pub const IP_PROTO: u64 = IP + 9;
+    /// Header checksum.
+    pub const IP_CSUM: u64 = IP + 10;
+    /// Source address.
+    pub const IP_SRC: u64 = IP + 12;
+    /// Destination address.
+    pub const IP_DST: u64 = IP + 16;
+    /// First option byte.
+    pub const IP_OPTS: u64 = IP + 20;
+}
+
+/// Metadata slot assignments (shared across all elements; slots are the
+/// paper's Condition 1 channel).
+pub mod meta {
+    /// Option-walk cursor: byte offset of the next option to process.
+    pub const OPT_NEXT: u8 = 2;
+    /// Option-walk end: first byte past the options region.
+    pub const OPT_END: u8 = 3;
+    /// Scratch accumulator used by the Fig. 4(d) loop microbenchmark.
+    pub const SCRATCH: u8 = 4;
+    /// Option-walk iteration counter (elements that bound the number of
+    /// processed options — the paper's "+IPoption1/2/3" configurations).
+    pub const OPT_ITERS: u8 = 5;
+    /// Fragmenter option-walk cursor (distinct from [`OPT_NEXT`]: each
+    /// element owns its metadata, they only *communicate* through it).
+    pub const FRAG_NEXT: u8 = 6;
+    /// Fragmenter option-walk end.
+    pub const FRAG_END: u8 = 7;
+    /// Fragmenter iteration counter (fixed variant only).
+    pub const FRAG_ITERS: u8 = 8;
+}
+
+/// Emits "drop if packet shorter than `n` bytes" and leaves the builder
+/// in the continue block.
+pub fn guard_min_len(b: &mut ProgramBuilder, n: u64) {
+    let len = b.pkt_len();
+    let short = b.ult(16, len, n);
+    let (drop_bb, cont) = b.fork(short);
+    let _ = drop_bb;
+    b.drop_();
+    b.switch_to(cont);
+}
+
+/// Loads the IHL (header length in 32-bit words) as an 8-bit register.
+pub fn load_ihl(b: &mut ProgramBuilder) -> Reg {
+    let vihl = b.pkt_load(8, off::IP_VIHL);
+    b.and(8, vihl, 0x0Fu64)
+}
+
+/// Computes `14 + ihl * 4` (the L4 offset) as a 16-bit register.
+pub fn l4_offset(b: &mut ProgramBuilder, ihl: Reg) -> Reg {
+    let ihl16 = b.zext(8, 16, ihl);
+    let words = b.shl(16, ihl16, 2u64);
+    b.add(16, words, off::IP as u64)
+}

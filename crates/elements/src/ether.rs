@@ -1,0 +1,133 @@
+//! Ethernet-layer elements: EthEncap, EthDecap, DropBroadcasts
+//! (all unmodified Click elements in Table 2).
+
+use crate::common::guard_min_len;
+use dataplane::{Element, Table2Info};
+use dpir::ProgramBuilder;
+
+/// EthDecap (Click `Strip(14)`): removes the Ethernet header.
+/// Faithfully unguarded — stripping a runt packet crashes, and it is
+/// the pipeline context (Classifier's length check) that makes the
+/// crash infeasible. This is the paper's composition argument in
+/// miniature.
+pub fn eth_decap() -> Element {
+    let mut b = ProgramBuilder::new("EthDecap");
+    b.pkt_pull(14u64);
+    b.emit(0);
+    Element::straight("EthDecap", b.build().expect("eth_decap is valid"))
+}
+
+/// EthEncap (Click `EtherEncap`): prepends a fresh Ethernet header with
+/// configured MACs and EtherType 0x0800.
+pub fn eth_encap(dst_mac: [u8; 6], src_mac: [u8; 6]) -> Element {
+    let mut b = ProgramBuilder::new("EthEncap");
+    b.pkt_push(14u64);
+    let dst_hi = u32::from_be_bytes([dst_mac[0], dst_mac[1], dst_mac[2], dst_mac[3]]);
+    let dst_lo = u16::from_be_bytes([dst_mac[4], dst_mac[5]]);
+    let src_hi = u32::from_be_bytes([src_mac[0], src_mac[1], src_mac[2], src_mac[3]]);
+    let src_lo = u16::from_be_bytes([src_mac[4], src_mac[5]]);
+    b.pkt_store(32, 0u64, dst_hi as u64);
+    b.pkt_store(16, 4u64, dst_lo as u64);
+    b.pkt_store(32, 6u64, src_hi as u64);
+    b.pkt_store(16, 10u64, src_lo as u64);
+    b.pkt_store(16, 12u64, 0x0800u64);
+    b.emit(0);
+    Element::straight("EthEncap", b.build().expect("eth_encap is valid"))
+}
+
+/// EthRewrite: the in-place MAC rewrite used at the tail of the router
+/// pipelines (substitutes for EtherEncap when the Ethernet header is
+/// kept in place — see DESIGN.md).
+pub fn eth_rewrite(dst_mac: [u8; 6], src_mac: [u8; 6]) -> Element {
+    let mut b = ProgramBuilder::new("EthRewrite");
+    guard_min_len(&mut b, 14);
+    let dst_hi = u32::from_be_bytes([dst_mac[0], dst_mac[1], dst_mac[2], dst_mac[3]]);
+    let dst_lo = u16::from_be_bytes([dst_mac[4], dst_mac[5]]);
+    let src_hi = u32::from_be_bytes([src_mac[0], src_mac[1], src_mac[2], src_mac[3]]);
+    let src_lo = u16::from_be_bytes([src_mac[4], src_mac[5]]);
+    b.pkt_store(32, 0u64, dst_hi as u64);
+    b.pkt_store(16, 4u64, dst_lo as u64);
+    b.pkt_store(32, 6u64, src_hi as u64);
+    b.pkt_store(16, 10u64, src_lo as u64);
+    b.emit(0);
+    Element::straight("EthEncap", b.build().expect("eth_rewrite is valid"))
+}
+
+/// DropBroadcasts (Click `DropBroadcasts`): drops frames whose
+/// destination MAC is ff:ff:ff:ff:ff:ff.
+pub fn drop_broadcasts() -> Element {
+    let mut b = ProgramBuilder::new("DropBcast");
+    guard_min_len(&mut b, 14);
+    let hi = b.pkt_load(32, 0u64);
+    let lo = b.pkt_load(16, 4u64);
+    let hi_bcast = b.eq(32, hi, 0xFFFF_FFFFu64);
+    let lo_bcast = b.eq(16, lo, 0xFFFFu64);
+    let bcast = b.bool_and(hi_bcast, lo_bcast);
+    let (drop_bb, pass) = b.fork(bcast);
+    let _ = drop_bb;
+    b.drop_();
+    b.switch_to(pass);
+    b.emit(0);
+    Element::straight("DropBcast", b.build().expect("drop_broadcasts is valid")).with_info(
+        Table2Info {
+            new_loc: 0,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::workload::PacketBuilder;
+    use dpir::{CrashReason, ExecResult, NullMapRuntime, PacketData};
+
+    fn run(e: &Element, pkt: &mut PacketData) -> ExecResult {
+        let mut maps = NullMapRuntime;
+        e.process(pkt, &mut maps, 10_000).result
+    }
+
+    #[test]
+    fn decap_encap_roundtrip() {
+        let d = eth_decap();
+        let e = eth_encap([1, 2, 3, 4, 5, 6], [7, 8, 9, 10, 11, 12]);
+        let mut pkt = PacketBuilder::ipv4_udp().build();
+        let orig = pkt.bytes.clone();
+        assert_eq!(run(&d, &mut pkt), ExecResult::Emitted(0));
+        assert_eq!(pkt.len(), orig.len() - 14);
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+        assert_eq!(pkt.len(), orig.len());
+        assert_eq!(&pkt.bytes[0..6], &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(&pkt.bytes[14..], &orig[14..]);
+    }
+
+    #[test]
+    fn decap_crashes_on_runt_in_isolation() {
+        let d = eth_decap();
+        let mut pkt = PacketData::new(vec![0; 5]);
+        assert_eq!(
+            run(&d, &mut pkt),
+            ExecResult::Crashed(CrashReason::OobRead)
+        );
+    }
+
+    #[test]
+    fn broadcast_dropped_unicast_passes() {
+        let e = drop_broadcasts();
+        let mut bc = PacketBuilder::ipv4_udp().broadcast().build();
+        assert_eq!(run(&e, &mut bc), ExecResult::Dropped);
+        let mut uc = PacketBuilder::ipv4_udp().build();
+        assert_eq!(run(&e, &mut uc), ExecResult::Emitted(0));
+    }
+
+    #[test]
+    fn rewrite_sets_macs_in_place() {
+        let e = eth_rewrite([1, 1, 1, 1, 1, 1], [2, 2, 2, 2, 2, 2]);
+        let mut pkt = PacketBuilder::ipv4_udp().build();
+        let len = pkt.len();
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+        assert_eq!(pkt.len(), len);
+        assert_eq!(&pkt.bytes[0..6], &[1; 6]);
+        assert_eq!(&pkt.bytes[6..12], &[2; 6]);
+    }
+}

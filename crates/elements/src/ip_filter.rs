@@ -1,0 +1,55 @@
+//! IPFilter — a source-address firewall (the filtering element of the
+//! §5.3 LSRR case study: "any packet whose source IP address is
+//! blacklisted by the firewall will be dropped").
+
+use crate::common::{guard_min_len, off};
+use dataplane::{Element, TableConfig};
+use dpir::{MapDecl, ProgramBuilder};
+
+/// Builds a firewall dropping every packet whose source address is in
+/// `blacklist`.
+pub fn ip_filter(blacklist: Vec<u32>) -> Element {
+    let mut b = ProgramBuilder::new("IPFilter");
+    let table = b.map(MapDecl {
+        name: "blacklist".into(),
+        key_width: 32,
+        value_width: 8,
+        capacity: blacklist.len().max(1),
+        is_static: true,
+    });
+    guard_min_len(&mut b, 34);
+    let src = b.pkt_load(32, off::IP_SRC);
+    let banned = b.map_test(table, src);
+    let (drop_bb, pass) = b.fork(banned);
+    let _ = drop_bb;
+    b.drop_();
+    b.switch_to(pass);
+    b.emit(0);
+    let pairs = blacklist.into_iter().map(|ip| (ip as u64, 1u64)).collect();
+    Element::straight("IPFilter", b.build().expect("ip_filter is valid"))
+        .with_table(table, TableConfig::Exact(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::workload::PacketBuilder;
+    use dpir::ExecResult;
+
+    #[test]
+    fn blacklisted_source_dropped() {
+        let bad = 0xC0A8_0001;
+        let e = ip_filter(vec![bad, 0x0808_0808]);
+        let mut stores = e.build_stores();
+        let mut pkt = PacketBuilder::ipv4_udp().src(bad).build();
+        assert_eq!(
+            e.process(&mut pkt, &mut stores, 10_000).result,
+            ExecResult::Dropped
+        );
+        let mut ok = PacketBuilder::ipv4_udp().src(0x0A00_0001).build();
+        assert_eq!(
+            e.process(&mut ok, &mut stores, 10_000).result,
+            ExecResult::Emitted(0)
+        );
+    }
+}

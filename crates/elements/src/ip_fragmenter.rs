@@ -1,0 +1,264 @@
+//! IPFragmenter — with the two **real Click bugs** of §5.3 reproduced
+//! at the same logical locations, plus a fixed variant.
+//!
+//! When a packet larger than the MTU carries IP options, the
+//! fragmenter must walk the options to decide which ones are copied
+//! into fragments (`elements/ip/ipfragmenter.cc`). The two bugs live
+//! in that walk:
+//!
+//! * **Bug #1** (line 64): the option walk "does not have an increment
+//!   (the programmer forgot to add one)" — processing any real option
+//!   leaves the cursor in place ⇒ infinite loop for *any* packet with
+//!   options that needs fragmenting.
+//! * **Bug #2** (line 69): "the current option length determines where
+//!   the next iteration of the loop will start reading, so, a
+//!   zero-length option causes the loop to get stuck." The walk
+//!   advances by the length byte without validating it.
+//!
+//! Both are bounded-execution violations an attacker can trigger with
+//! one crafted packet; the upstream `IPoptions` element (which drops
+//! zero-length options) masks bug #2 but not bug #1 — Table 3's
+//! feasible/infeasible split.
+//!
+//! Substitution note (DESIGN.md): we do not emit the actual fragments
+//! (multi-packet output is orthogonal to the verified properties); the
+//! option walk, where the bugs live, is reproduced faithfully.
+
+use crate::common::{load_ihl, meta, off, l4_offset};
+use dataplane::{Element, Table2Info};
+use dpir::{ProgramBuilder, PORT_CONTINUE};
+
+/// Which historical variant of the fragmenter to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmenterVariant {
+    /// Click with bug #1 (missing increment on the copied-option path).
+    ClickBug1,
+    /// Click with bug #1 fixed but bug #2 present (trusts the length
+    /// byte, including zero).
+    ClickBug2,
+    /// Fully fixed: validates lengths, drops malformed packets.
+    Fixed,
+}
+
+/// Maximum options the fixed fragmenter walks before dropping.
+const MAX_WALK: u32 = 8;
+
+/// Builds an IPFragmenter. Packets with `totlen ≤ mtu` (or without
+/// options) pass through unchanged on port 0.
+pub fn ip_fragmenter(variant: FragmenterVariant, mtu: u16) -> Element {
+    let mut b = ProgramBuilder::new("IPFragmenter");
+    let next = b.meta_load(meta::FRAG_NEXT);
+    let is_first = b.eq(32, next, 0u64);
+    let (first_bb, cont_bb) = b.fork(is_first);
+    let _ = first_bb;
+
+    // --- first iteration: decide whether the option walk is needed ----
+    {
+        let len = b.pkt_len();
+        let short = b.ult(16, len, 34u64);
+        let (s, ok) = b.fork(short);
+        let _ = s;
+        b.drop_();
+        b.switch_to(ok);
+        let totlen = b.pkt_load(16, off::IP_TOTLEN);
+        let needs_frag = b.ult(16, mtu as u64, totlen);
+        let (frag_bb, small) = b.fork(needs_frag);
+        let _ = frag_bb;
+        let ihl = load_ihl(&mut b);
+        let has_opts = b.ult(8, 5u64, ihl);
+        let (opts_bb, plain) = b.fork(has_opts);
+        let _ = opts_bb;
+        let end16 = l4_offset(&mut b, ihl);
+        let fits = b.ule(16, end16, len);
+        let (fits_bb, bad) = b.fork(fits);
+        let _ = fits_bb;
+        let end32 = b.zext(16, 32, end16);
+        b.meta_store(meta::FRAG_NEXT, off::IP_OPTS);
+        b.meta_store(meta::FRAG_END, end32);
+        b.emit(PORT_CONTINUE);
+        b.switch_to(bad);
+        b.drop_();
+        b.switch_to(plain);
+        b.emit(0); // fragmentation without options: no walk needed
+        b.switch_to(small);
+        b.emit(0); // fits in the MTU
+    }
+
+    // --- option walk (one option per iteration) ------------------------
+    b.switch_to(cont_bb);
+    let end = b.meta_load(meta::FRAG_END);
+    let done = b.ule(32, end, next);
+    let (done_bb, walk) = b.fork(done);
+    let _ = done_bb;
+    b.emit(0);
+    b.switch_to(walk);
+    if variant == FragmenterVariant::Fixed {
+        // The fixed fragmenter bounds its walk (and so provably
+        // terminates); the Click variants are faithfully unbounded.
+        let iters = b.meta_load(meta::FRAG_ITERS);
+        let over = b.ule(32, MAX_WALK as u64, iters);
+        let (over_bb, under) = b.fork(over);
+        let _ = over_bb;
+        b.drop_();
+        b.switch_to(under);
+        let iters2 = b.add(32, iters, 1u64);
+        b.meta_store(meta::FRAG_ITERS, iters2);
+    }
+    let next16 = b.trunc(32, 16, next);
+    let ty = b.pkt_load(8, next16);
+
+    let is_eol = b.eq(8, ty, crate::ip_options::opt::EOL);
+    let (eol_bb, not_eol) = b.fork(is_eol);
+    let _ = eol_bb;
+    b.emit(0);
+    b.switch_to(not_eol);
+
+    let is_nop = b.eq(8, ty, crate::ip_options::opt::NOP);
+    let (nop_bb, other) = b.fork(is_nop);
+    let _ = nop_bb;
+    let n1 = b.add(32, next, 1u64);
+    b.meta_store(meta::FRAG_NEXT, n1);
+    b.emit(PORT_CONTINUE);
+    b.switch_to(other);
+
+    match variant {
+        FragmenterVariant::ClickBug1 => {
+            // ipfragmenter.cc line 64: the "copied option" path never
+            // advances the cursor — the increment is simply missing.
+            b.meta_store(meta::FRAG_NEXT, next);
+            b.emit(PORT_CONTINUE);
+        }
+        FragmenterVariant::ClickBug2 => {
+            // Bug #1 fixed: advance by the option length... which is
+            // trusted blindly (line 69). A zero-length option yields
+            // next += 0: stuck forever.
+            let len_off = b.add(32, next, 1u64);
+            let len_in = b.ult(32, len_off, end);
+            let (li, mal) = b.fork(len_in);
+            let _ = li;
+            let len_off16 = b.trunc(32, 16, len_off);
+            let optlen = b.pkt_load(8, len_off16);
+            let optlen32 = b.zext(8, 32, optlen);
+            let n2 = b.add(32, next, optlen32);
+            b.meta_store(meta::FRAG_NEXT, n2);
+            b.emit(PORT_CONTINUE);
+            b.switch_to(mal);
+            b.drop_();
+        }
+        FragmenterVariant::Fixed => {
+            let len_off = b.add(32, next, 1u64);
+            let len_in = b.ult(32, len_off, end);
+            let (li, mal) = b.fork(len_in);
+            let _ = li;
+            let len_off16 = b.trunc(32, 16, len_off);
+            let optlen = b.pkt_load(8, len_off16);
+            let too_short = b.ult(8, optlen, 2u64);
+            let (ts, ok2) = b.fork(too_short);
+            let _ = ts;
+            b.drop_();
+            b.switch_to(ok2);
+            let optlen32 = b.zext(8, 32, optlen);
+            let opt_end = b.add(32, next, optlen32);
+            let overrun = b.ult(32, end, opt_end);
+            let (ov, fits2) = b.fork(overrun);
+            let _ = ov;
+            b.drop_();
+            b.switch_to(fits2);
+            b.meta_store(meta::FRAG_NEXT, opt_end);
+            b.emit(PORT_CONTINUE);
+            b.switch_to(mal);
+            b.drop_();
+        }
+    }
+
+    Element::looping("IPFragmenter", b.build().expect("fragmenter is valid"), 12).with_info(
+        Table2Info {
+            new_loc: 0,
+            uses_loops: true,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::workload::{adversarial, PacketBuilder};
+    use dpir::{ExecResult, NullMapRuntime, PacketData};
+
+    const MTU: u16 = 64;
+
+    fn run(e: &Element, pkt: &mut PacketData) -> ExecResult {
+        let mut maps = NullMapRuntime;
+        e.process(pkt, &mut maps, 50_000).result
+    }
+
+    fn big_packet_with_options(opts: &[u8]) -> PacketData {
+        PacketBuilder::ipv4_udp()
+            .options(opts)
+            .payload_len(100) // totlen > MTU
+            .build()
+    }
+
+    #[test]
+    fn small_packets_pass_all_variants() {
+        for v in [
+            FragmenterVariant::ClickBug1,
+            FragmenterVariant::ClickBug2,
+            FragmenterVariant::Fixed,
+        ] {
+            let e = ip_fragmenter(v, MTU);
+            let mut pkt = PacketBuilder::ipv4_udp().build();
+            assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn bug1_hangs_on_any_real_option() {
+        let e = ip_fragmenter(FragmenterVariant::ClickBug1, MTU);
+        // LSRR option: a "copied" option — the missing increment bites.
+        let mut pkt = big_packet_with_options(&[131, 7, 4, 1, 2, 3, 4, 0]);
+        assert_eq!(run(&e, &mut pkt), ExecResult::OutOfFuel, "infinite loop");
+    }
+
+    #[test]
+    fn bug1_survives_nop_only_options() {
+        // NOPs advance on a separate path; only real options hang.
+        let e = ip_fragmenter(FragmenterVariant::ClickBug1, MTU);
+        let mut pkt = PacketBuilder::ipv4_udp()
+            .options(&[1, 1, 1, 0])
+            .payload_len(100)
+            .build();
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+    }
+
+    #[test]
+    fn bug2_hangs_on_zero_length_option() {
+        let e = ip_fragmenter(FragmenterVariant::ClickBug2, MTU);
+        let mut pkt = big_packet_with_options(&[7, 0, 0, 0]);
+        assert_eq!(run(&e, &mut pkt), ExecResult::OutOfFuel, "stuck loop");
+    }
+
+    #[test]
+    fn bug2_fine_on_wellformed_options() {
+        let e = ip_fragmenter(FragmenterVariant::ClickBug2, MTU);
+        let mut pkt = big_packet_with_options(&[131, 7, 4, 1, 2, 3, 4, 0]);
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+    }
+
+    #[test]
+    fn fixed_drops_zero_length_and_passes_wellformed() {
+        let e = ip_fragmenter(FragmenterVariant::Fixed, MTU);
+        let mut zl = big_packet_with_options(&[7, 0, 0, 0]);
+        assert_eq!(run(&e, &mut zl), ExecResult::Dropped);
+        let mut ok = big_packet_with_options(&[131, 7, 4, 1, 2, 3, 4, 0]);
+        assert_eq!(run(&e, &mut ok), ExecResult::Emitted(0));
+    }
+
+    #[test]
+    fn zero_length_packet_from_workload_hangs_bug2() {
+        let e = ip_fragmenter(FragmenterVariant::ClickBug2, 20);
+        let mut pkt = adversarial::zero_length_option();
+        assert_eq!(run(&e, &mut pkt), ExecResult::OutOfFuel);
+    }
+}

@@ -1,0 +1,102 @@
+//! IPlookup — forwards on the destination address via a static LPM
+//! table (the "Click+" element of Table 2: ~130 lines changed to
+//! replace the radix trie with the flattened-array table of
+//! Condition 3, accessed through the Condition 2 interface).
+
+use crate::common::{guard_min_len, off};
+use dataplane::{Element, Table2Info, TableConfig};
+use dpir::{MapDecl, ProgramBuilder};
+
+/// Builds the IPlookup element.
+///
+/// * `num_ports` — output ports 0..num_ports-1; table values outside
+///   that range (misconfiguration) drop the packet.
+/// * `routes` — LPM routes `(prefix, prefix_len, port)` configured into
+///   the element's static map (10 entries for the paper's edge router,
+///   100 000 for the core router).
+pub fn ip_lookup(num_ports: u8, routes: Vec<(u32, u32, u32)>) -> Element {
+    assert!(num_ports >= 1);
+    let mut b = ProgramBuilder::new("IPlookup");
+    let fib = b.map(MapDecl {
+        name: "fib".into(),
+        key_width: 32,
+        value_width: 32,
+        capacity: routes.len().max(1),
+        is_static: true,
+    });
+    guard_min_len(&mut b, 34);
+    let dst = b.pkt_load(32, off::IP_DST);
+    let (found, port) = b.map_read(fib, dst);
+    let (hit, miss) = b.fork(found);
+    let _ = hit;
+    // Dispatch on the port value: an if-chain, like a compiled switch.
+    for p in 0..num_ports {
+        let is_p = b.eq(32, port, p as u64);
+        let (yes, no) = b.fork(is_p);
+        let _ = yes;
+        b.emit(p);
+        b.switch_to(no);
+    }
+    b.drop_(); // value out of range: misconfigured table
+    b.switch_to(miss);
+    b.drop_(); // no route
+    Element::straight("IPlookup", b.build().expect("ip_lookup is valid"))
+        .with_info(Table2Info {
+            new_loc: 130,
+            uses_structs: true,
+            ..Default::default()
+        })
+        .with_table(fib, TableConfig::Lpm(routes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::workload::PacketBuilder;
+    use dpir::ExecResult;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from_be_bytes([a, b, c, d])
+    }
+
+    fn run(e: &Element, pkt: &mut dpir::PacketData) -> ExecResult {
+        let mut stores = e.build_stores();
+        e.process(pkt, &mut stores, 10_000).result
+    }
+
+    #[test]
+    fn routes_by_longest_prefix() {
+        let e = ip_lookup(
+            3,
+            vec![
+                (ip(10, 0, 0, 0), 8, 0),
+                (ip(10, 1, 0, 0), 16, 1),
+                (ip(192, 168, 0, 0), 16, 2),
+            ],
+        );
+        let cases = [
+            (ip(10, 9, 9, 9), ExecResult::Emitted(0)),
+            (ip(10, 1, 2, 3), ExecResult::Emitted(1)),
+            (ip(192, 168, 1, 1), ExecResult::Emitted(2)),
+            (ip(8, 8, 8, 8), ExecResult::Dropped),
+        ];
+        for (dst, expect) in cases {
+            let mut pkt = PacketBuilder::ipv4_udp().dst(dst).build();
+            assert_eq!(run(&e, &mut pkt), expect, "dst {dst:#x}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_port_value_drops() {
+        let e = ip_lookup(2, vec![(ip(10, 0, 0, 0), 8, 7)]);
+        let mut pkt = PacketBuilder::ipv4_udp().dst(ip(10, 0, 0, 1)).build();
+        assert_eq!(run(&e, &mut pkt), ExecResult::Dropped);
+    }
+
+    #[test]
+    fn short_packet_dropped() {
+        let e = ip_lookup(2, vec![(ip(10, 0, 0, 0), 8, 0)]);
+        let mut pkt = dpir::PacketData::new(vec![0; 20]);
+        assert_eq!(run(&e, &mut pkt), ExecResult::Dropped);
+    }
+}

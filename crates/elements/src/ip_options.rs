@@ -1,0 +1,232 @@
+//! IPoptions — processes IPv4 options (the "Click+" element of Table 2:
+//! 26 lines changed to satisfy Condition 1).
+//!
+//! The element is authored as a **loop body**: one option per
+//! iteration, with the cursor (`next`) and the options-region end kept
+//! in packet metadata — the paper's worked example for Condition 1
+//! ("each iteration of the main loop starts by reading this variable
+//! and ends by incrementing it ... next is part of the packet
+//! metadata, hence part of packet").
+//!
+//! Handled option types:
+//!
+//! * `EOL` (0) — stop processing.
+//! * `NOP` (1) — advance by one byte.
+//! * `LSRR` (131) — **when configured with a router address**, replace
+//!   the packet's source IP with the router's own (the RFC-compliant
+//!   behavior that enables the firewall bypass of §5.3), then advance
+//!   by the option length.
+//! * anything else — validate the length byte and advance by it.
+//!   Zero/short lengths (< 2) drop the packet, which is precisely why
+//!   including this element upstream makes fragmenter bug #2
+//!   infeasible (Table 3).
+
+use crate::common::{load_ihl, meta, off};
+use dataplane::{Element, Table2Info};
+use dpir::{ProgramBuilder, PORT_CONTINUE};
+
+/// IP option type codes.
+pub mod opt {
+    /// End of options list.
+    pub const EOL: u64 = 0;
+    /// No-operation.
+    pub const NOP: u64 = 1;
+    /// Loose Source and Record Route.
+    pub const LSRR: u64 = 131;
+}
+
+/// Builds the IPoptions element.
+///
+/// * `max_options` — the element processes at most this many options
+///   and **drops** packets carrying more (the configuration knob behind
+///   the paper's "+IPoption1/2/3" pipelines). The cap lives in packet
+///   metadata, so the loop *provably* converges within
+///   `max_options + 2` composed iterations and full proofs go through.
+/// * `lsrr_router_ip` — if set, LSRR rewrites the source address to
+///   this router address (the §5.3 unintended-behavior case study).
+pub fn ip_options(max_options: u32, lsrr_router_ip: Option<u32>) -> Element {
+    let mut b = ProgramBuilder::new("IPoptions");
+    let next = b.meta_load(meta::OPT_NEXT);
+    let is_first = b.eq(32, next, 0u64);
+    let (first_bb, cont_bb) = b.fork(is_first);
+    let _ = first_bb;
+
+    // --- first iteration: locate the options region -------------------
+    {
+        let len = b.pkt_len();
+        let short = b.ult(16, len, 34u64);
+        let (s, ok) = b.fork(short);
+        let _ = s;
+        b.drop_();
+        b.switch_to(ok);
+        let ihl = load_ihl(&mut b);
+        let has_opts = b.ult(8, 5u64, ihl);
+        let (opts_bb, plain) = b.fork(has_opts);
+        let _ = opts_bb;
+        let end16 = crate::common::l4_offset(&mut b, ihl);
+        let fits = b.ule(16, end16, len);
+        let (fits_bb, trunc_bb) = b.fork(fits);
+        let _ = fits_bb;
+        let end32 = b.zext(16, 32, end16);
+        b.meta_store(meta::OPT_NEXT, off::IP_OPTS);
+        b.meta_store(meta::OPT_END, end32);
+        b.emit(PORT_CONTINUE);
+        b.switch_to(trunc_bb);
+        b.drop_();
+        b.switch_to(plain);
+        b.emit(0);
+    }
+
+    // --- subsequent iterations: one option ----------------------------
+    b.switch_to(cont_bb);
+    let end = b.meta_load(meta::OPT_END);
+    let done = b.ule(32, end, next);
+    let (done_bb, check_cap) = b.fork(done);
+    let _ = done_bb;
+    b.emit(0);
+    b.switch_to(check_cap);
+    // Option-count cap: more than `max_options` options ⇒ drop. The
+    // counter starts at 0 in fresh packet metadata and increments each
+    // iteration, so after composition it is a concrete value and the
+    // loop's convergence is decided by constant folding.
+    let iters = b.meta_load(meta::OPT_ITERS);
+    let over = b.ule(32, max_options as u64, iters);
+    let (over_bb, walk) = b.fork(over);
+    let _ = over_bb;
+    b.drop_();
+    b.switch_to(walk);
+    let iters2 = b.add(32, iters, 1u64);
+    b.meta_store(meta::OPT_ITERS, iters2);
+    let next16 = b.trunc(32, 16, next);
+    let ty = b.pkt_load(8, next16);
+
+    // EOL.
+    let is_eol = b.eq(8, ty, opt::EOL);
+    let (eol_bb, not_eol) = b.fork(is_eol);
+    let _ = eol_bb;
+    b.emit(0);
+    b.switch_to(not_eol);
+
+    // NOP.
+    let is_nop = b.eq(8, ty, opt::NOP);
+    let (nop_bb, with_len) = b.fork(is_nop);
+    let _ = nop_bb;
+    let n1 = b.add(32, next, 1u64);
+    b.meta_store(meta::OPT_NEXT, n1);
+    b.emit(PORT_CONTINUE);
+    b.switch_to(with_len);
+
+    // Options with a length byte. The length byte must be inside the
+    // options region (Click drops otherwise).
+    let len_off = b.add(32, next, 1u64);
+    let len_in = b.ult(32, len_off, end);
+    let (li_bb, malformed) = b.fork(len_in);
+    let _ = li_bb;
+    let len_off16 = b.trunc(32, 16, len_off);
+    let optlen = b.pkt_load(8, len_off16);
+    // Zero/short lengths are malformed: drop (prevents bug #2 downstream).
+    let too_short = b.ult(8, optlen, 2u64);
+    let (ts_bb, len_ok) = b.fork(too_short);
+    let _ = ts_bb;
+    b.drop_();
+    b.switch_to(len_ok);
+    // The option must not overrun the region.
+    let optlen32 = b.zext(8, 32, optlen);
+    let opt_end = b.add(32, next, optlen32);
+    let overrun = b.ult(32, end, opt_end);
+    let (ov_bb, fits2) = b.fork(overrun);
+    let _ = ov_bb;
+    b.drop_();
+    b.switch_to(fits2);
+
+    if let Some(router_ip) = lsrr_router_ip {
+        let is_lsrr = b.eq(8, ty, opt::LSRR);
+        let (lsrr_bb, plain_opt) = b.fork(is_lsrr);
+        let _ = lsrr_bb;
+        // The unintended behavior: source address becomes the router's.
+        b.pkt_store(32, off::IP_SRC, router_ip as u64);
+        b.meta_store(meta::OPT_NEXT, opt_end);
+        b.emit(PORT_CONTINUE);
+        b.switch_to(plain_opt);
+    }
+    b.meta_store(meta::OPT_NEXT, opt_end);
+    b.emit(PORT_CONTINUE);
+
+    b.switch_to(malformed);
+    b.drop_();
+
+    Element::looping(
+        "IPoptions",
+        b.build().expect("ip_options is valid"),
+        max_options + 2,
+    )
+    .with_info(Table2Info {
+        new_loc: 26,
+        uses_loops: true,
+        ..Default::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::headers;
+    use dataplane::workload::{adversarial, PacketBuilder};
+    use dpir::{ExecResult, NullMapRuntime, PacketData};
+
+    fn run(e: &Element, pkt: &mut PacketData) -> ExecResult {
+        let mut maps = NullMapRuntime;
+        e.process(pkt, &mut maps, 100_000).result
+    }
+
+    #[test]
+    fn no_options_passes_through() {
+        let e = ip_options(3, None);
+        let mut pkt = PacketBuilder::ipv4_udp().build();
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+    }
+
+    #[test]
+    fn nop_options_walk_to_completion() {
+        let e = ip_options(8, None);
+        let mut pkt = adversarial::with_nop_options(3);
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+    }
+
+    #[test]
+    fn zero_length_option_dropped() {
+        let e = ip_options(8, None);
+        let mut pkt = adversarial::zero_length_option();
+        assert_eq!(run(&e, &mut pkt), ExecResult::Dropped);
+    }
+
+    #[test]
+    fn lsrr_rewrites_source_when_enabled() {
+        let router = 0x0A00_00FE;
+        let e = ip_options(8, Some(router));
+        let mut pkt = adversarial::lsrr(0x0102_0304);
+        let orig_src = headers::ip_src(&pkt);
+        assert_ne!(orig_src, router);
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+        assert_eq!(headers::ip_src(&pkt), router, "source replaced by router");
+    }
+
+    #[test]
+    fn lsrr_left_alone_when_disabled() {
+        let e = ip_options(8, None);
+        let mut pkt = adversarial::lsrr(0x0102_0304);
+        let orig_src = headers::ip_src(&pkt);
+        assert_eq!(run(&e, &mut pkt), ExecResult::Emitted(0));
+        assert_eq!(headers::ip_src(&pkt), orig_src);
+    }
+
+    #[test]
+    fn option_overrunning_header_dropped() {
+        // A length byte pointing past the options region.
+        let mut pkt = PacketBuilder::ipv4_udp()
+            .options(&[7, 40, 4, 0]) // RR claiming 40 bytes in a 4-byte region
+            .build();
+        let e = ip_options(8, None);
+        assert_eq!(run(&e, &mut pkt), ExecResult::Dropped);
+    }
+}

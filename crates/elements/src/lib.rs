@@ -1,0 +1,44 @@
+//! # elements — the packet-processing element library (paper Table 2)
+//!
+//! Every element is authored once in the dataplane IR and is therefore
+//! both runnable (dataplane) and verifiable (symbolic execution) — the
+//! same artifact, as in the paper's in-vivo setup.
+//!
+//! | Element | Paper provenance | Here |
+//! |---|---|---|
+//! | Classifier | Click, unmodified | [`classifier`] |
+//! | CheckIPHeader | Click, unmodified | [`check_ip_header`] |
+//! | EthEncap / EthDecap | Click, unmodified | [`ether`] |
+//! | DecTTL | Click, unmodified | [`dec_ttl`] |
+//! | DropBcast | Click, unmodified | [`ether`] |
+//! | IPoptions | Click+, loops rewritten per Condition 1 | [`ip_options`] |
+//! | IPlookup | Click+, data structure replaced per Conditions 2/3 | [`ip_lookup`] |
+//! | NAT | written from scratch (plus the buggy Click IPRewriter) | [`nat`] |
+//! | TrafficMonitor | written from scratch | [`traffic_monitor`] |
+//!
+//! Additionally:
+//!
+//! * [`ip_fragmenter`] reproduces the two real Click fragmenter bugs of
+//!   §5.3 (missing loop increment; zero-length option trust) plus a
+//!   fixed variant,
+//! * [`ip_filter`] is the firewall used in the LSRR case study,
+//! * [`micro`] holds the Fig. 4(c)/(d) microbenchmark elements,
+//! * [`pipelines`] assembles the evaluation pipelines (edge router,
+//!   core router, network gateway).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check_ip_header;
+pub mod classifier;
+pub mod common;
+pub mod dec_ttl;
+pub mod ether;
+pub mod ip_filter;
+pub mod ip_fragmenter;
+pub mod ip_lookup;
+pub mod ip_options;
+pub mod micro;
+pub mod nat;
+pub mod pipelines;
+pub mod traffic_monitor;

@@ -1,0 +1,178 @@
+//! Microbenchmark elements for Fig. 4(c) and Fig. 4(d).
+
+use crate::common::{guard_min_len, meta, off};
+use dataplane::Element;
+use dpir::{ProgramBuilder, PORT_CONTINUE};
+
+/// The IP-header field a Fig. 4(c) filter element examines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterField {
+    /// Destination address (offset 30).
+    IpDst,
+    /// Source address (offset 26).
+    IpSrc,
+    /// L4 destination port (offset 36, options-free header assumed).
+    PortDst,
+    /// L4 source port (offset 34).
+    PortSrc,
+}
+
+impl FilterField {
+    /// All four, in the paper's Fig. 4(c) order.
+    pub const ALL: [FilterField; 4] = [
+        FilterField::IpDst,
+        FilterField::IpSrc,
+        FilterField::PortDst,
+        FilterField::PortSrc,
+    ];
+
+    /// Display label matching the figure's x-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            FilterField::IpDst => "IP_dst",
+            FilterField::IpSrc => "+IP_src",
+            FilterField::PortDst => "+port_dst",
+            FilterField::PortSrc => "+port_src",
+        }
+    }
+}
+
+/// One Fig. 4(c) filter element: reads its field and drops on a match
+/// against `needle`, else passes. Each element reads a *different* part
+/// of the header, so their branch conditions are independent.
+///
+/// The port filters parse the IHL and read at the computed (symbolic)
+/// offset, exactly like real filter code — which is what makes a
+/// generic engine's state count jump at `+port_dst` in Fig. 4(c): it
+/// concretizes the offset by forking, while the dataplane-specific
+/// executor summarizes the access as one selection term.
+pub fn field_filter(field: FilterField, needle: u64) -> Element {
+    let mut b = ProgramBuilder::new(field.label());
+    guard_min_len(&mut b, 38);
+    let cond = match field {
+        FilterField::IpDst => {
+            let v = b.pkt_load(32, off::IP_DST);
+            b.eq(32, v, needle)
+        }
+        FilterField::IpSrc => {
+            let v = b.pkt_load(32, off::IP_SRC);
+            b.eq(32, v, needle)
+        }
+        FilterField::PortDst | FilterField::PortSrc => {
+            let ihl = crate::common::load_ihl(&mut b);
+            let l4off = crate::common::l4_offset(&mut b, ihl);
+            let field_off = if field == FilterField::PortDst {
+                b.add(16, l4off, 2u64)
+            } else {
+                l4off
+            };
+            let end = b.add(16, field_off, 2u64);
+            let len = b.pkt_len();
+            let fits = b.ule(16, end, len);
+            let (ok, short) = b.fork(fits);
+            let _ = ok;
+            let v = b.pkt_load(16, field_off);
+            let c = b.eq(16, v, needle);
+            let after = b.new_block();
+            // Fall through to the shared drop/pass decision below by
+            // jumping with the comparison in a register.
+            let cond_reg = b.mov(1, c);
+            b.jump(after);
+            b.switch_to(short);
+            b.drop_();
+            b.switch_to(after);
+            cond_reg
+        }
+    };
+    let (hit, pass) = b.fork(cond);
+    let _ = hit;
+    b.drop_();
+    b.switch_to(pass);
+    b.emit(0);
+    Element::straight(field.label(), b.build().expect("field_filter is valid"))
+}
+
+/// The Fig. 4(d) loop element: a simplified IP-options walk. Each
+/// iteration reads the byte at the metadata cursor, updates it, and
+/// advances by an input-dependent stride — so every iteration branches,
+/// and a generic tool's path count grows exponentially in the iteration
+/// count while loop decomposition stays flat.
+pub fn loop_micro(iters: u32) -> Element {
+    let mut b = ProgramBuilder::new("LoopMicro");
+    let next = b.meta_load(meta::OPT_NEXT);
+    let is_first = b.eq(32, next, 0u64);
+    let (first, cont) = b.fork(is_first);
+    let _ = first;
+    guard_min_len(&mut b, (off::IP_OPTS + 2 * iters as u64) + 2);
+    b.meta_store(meta::OPT_NEXT, off::IP_OPTS);
+    let end = off::IP_OPTS + 2 * iters as u64;
+    b.meta_store(meta::OPT_END, end);
+    b.emit(PORT_CONTINUE);
+    b.switch_to(cont);
+    let end_m = b.meta_load(meta::OPT_END);
+    let done = b.ule(32, end_m, next);
+    let (done_bb, body) = b.fork(done);
+    let _ = done_bb;
+    b.emit(0);
+    b.switch_to(body);
+    let next16 = b.trunc(32, 16, next);
+    let v = b.pkt_load(8, next16);
+    let v2 = b.add(8, v, 1u64);
+    b.pkt_store(8, next16, v2);
+    // Input-dependent stride: 1 or 2 depending on the byte's low bit.
+    let odd = b.and(8, v, 1u64);
+    let is_odd = b.ne(8, odd, 0u64);
+    let (odd_bb, even_bb) = b.fork(is_odd);
+    let _ = odd_bb;
+    let n1 = b.add(32, next, 1u64);
+    b.meta_store(meta::OPT_NEXT, n1);
+    b.emit(PORT_CONTINUE);
+    b.switch_to(even_bb);
+    let n2 = b.add(32, next, 2u64);
+    b.meta_store(meta::OPT_NEXT, n2);
+    b.emit(PORT_CONTINUE);
+    Element::looping("LoopMicro", b.build().expect("loop_micro is valid"), 2 * iters + 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::workload::PacketBuilder;
+    use dpir::{ExecResult, NullMapRuntime};
+
+    #[test]
+    fn filters_match_their_field() {
+        let cases = [
+            (FilterField::IpDst, PacketBuilder::ipv4_udp().dst(0xDEAD_BEEF), 0xDEAD_BEEFu64),
+            (FilterField::IpSrc, PacketBuilder::ipv4_udp().src(0xDEAD_BEEF), 0xDEAD_BEEF),
+            (FilterField::PortDst, PacketBuilder::ipv4_udp().dport(777), 777),
+            (FilterField::PortSrc, PacketBuilder::ipv4_udp().sport(888), 888),
+        ];
+        for (field, builder, needle) in cases {
+            let e = field_filter(field, needle);
+            let mut maps = NullMapRuntime;
+            let mut hit = builder.clone().payload_len(8).build();
+            assert_eq!(
+                e.process(&mut hit, &mut maps, 1000).result,
+                ExecResult::Dropped,
+                "{field:?} match must drop"
+            );
+            let mut miss = PacketBuilder::ipv4_udp().payload_len(8).build();
+            assert_eq!(
+                e.process(&mut miss, &mut maps, 1000).result,
+                ExecResult::Emitted(0),
+                "{field:?} miss must pass"
+            );
+        }
+    }
+
+    #[test]
+    fn loop_micro_terminates_and_updates() {
+        let e = loop_micro(3);
+        let mut maps = NullMapRuntime;
+        let mut pkt = PacketBuilder::ipv4_udp().payload_len(32).build();
+        let before = pkt.bytes[34];
+        assert_eq!(e.process(&mut pkt, &mut maps, 10_000).result, ExecResult::Emitted(0));
+        assert_eq!(pkt.bytes[34], before.wrapping_add(1));
+    }
+}

@@ -1,0 +1,259 @@
+//! NAT — network address translation.
+//!
+//! Two variants, as in the paper:
+//!
+//! * [`nat_verified`] — the Table 2 "ours" element: written from
+//!   scratch (the paper: 870 new LoC, "because most of the NAT code is
+//!   about accessing data structures"), storing per-connection state in
+//!   the chained-array hash table behind the Condition 2 interface.
+//!   Table-full is handled by *dropping* the connection — the paper's
+//!   explicit design tradeoff ("N = 3 pre-allocated arrays; this value
+//!   makes the probability of dropping a connection negligible").
+//! * [`nat_click_buggy`] — Click's `IPRewriter` with **bug #3**: a
+//!   packet whose source tuple and destination tuple both equal the
+//!   NAT's public address/port drives the flow-heap insertion into a
+//!   failed assertion (`include/click/heap.hh:149`) — a remotely
+//!   triggerable crash.
+
+use crate::common::{guard_min_len, l4_offset, load_ihl, off};
+use dataplane::{Element, Table2Info};
+use dpir::{MapDecl, ProgramBuilder, Reg};
+
+/// Key = src_ip ++ src_port ++ dst_port (48 bits of the 5-tuple that
+/// matter for a single-protocol rewriter; documented substitution).
+fn flow_key(b: &mut ProgramBuilder, src: Reg, sport: Reg, dport: Reg) -> Reg {
+    let src64 = b.zext(32, 64, src);
+    let hi = b.shl(64, src64, 32u64);
+    let sp64 = b.zext(16, 64, sport);
+    let sp_sh = b.shl(64, sp64, 16u64);
+    let dp64 = b.zext(16, 64, dport);
+    let t = b.or(64, hi, sp_sh);
+    b.or(64, t, dp64)
+}
+
+/// Shared NAT front end: parse, look up, rewrite-on-hit. Returns the
+/// builder in the *miss* path with the parsed registers.
+struct NatFront {
+    flows: dpir::MapId,
+    src: Reg,
+    dst: Reg,
+    sport: Reg,
+    dport: Reg,
+    key: Reg,
+    l4off: Reg,
+}
+
+fn nat_front(b: &mut ProgramBuilder, public_ip: u32, capacity: usize) -> NatFront {
+    let flows = b.map(MapDecl {
+        name: "nat_flows".into(),
+        key_width: 64,
+        value_width: 16,
+        capacity,
+        is_static: false,
+    });
+    guard_min_len(b, 34);
+    // TCP or UDP only; everything else passes untranslated on port 1.
+    let proto = b.pkt_load(8, off::IP_PROTO);
+    let is_tcp = b.eq(8, proto, 6u64);
+    let is_udp = b.eq(8, proto, 17u64);
+    let l4 = b.bool_or(is_tcp, is_udp);
+    let (l4_bb, other) = b.fork(l4);
+    let _ = l4_bb;
+    let ihl = load_ihl(b);
+    let l4off = l4_offset(b, ihl);
+    // Ports must be in the packet.
+    let ports_end = b.add(16, l4off, 4u64);
+    let len = b.pkt_len();
+    let fits = b.ule(16, ports_end, len);
+    let (fits_bb, short) = b.fork(fits);
+    let _ = fits_bb;
+    let src = b.pkt_load(32, off::IP_SRC);
+    let dst = b.pkt_load(32, off::IP_DST);
+    let sport = b.pkt_load(16, l4off);
+    let dport_off = b.add(16, l4off, 2u64);
+    let dport = b.pkt_load(16, dport_off);
+    let key = flow_key(b, src, sport, dport);
+    let (found, ext_port) = b.map_read(flows, key);
+    let (hit, miss) = b.fork(found);
+    let _ = hit;
+    // Hit: rewrite source to the public tuple.
+    b.pkt_store(32, off::IP_SRC, public_ip as u64);
+    b.pkt_store(16, l4off, ext_port);
+    b.emit(0);
+    // Side exits.
+    b.switch_to(other);
+    b.emit(1);
+    b.switch_to(short);
+    b.drop_();
+    b.switch_to(miss);
+    NatFront {
+        flows,
+        src,
+        dst,
+        sport,
+        dport,
+        key,
+        l4off,
+    }
+}
+
+/// Allocates an external port for a new flow: deterministic, in the
+/// ephemeral range (0xC000..=0xFFFF).
+fn alloc_port(b: &mut ProgramBuilder, sport: Reg) -> Reg {
+    let masked = b.and(16, sport, 0x3FFFu64);
+    b.or(16, masked, 0xC000u64)
+}
+
+/// The from-scratch, verifiable NAT (Table 2 "ours").
+pub fn nat_verified(public_ip: u32, capacity: usize) -> Element {
+    let mut b = ProgramBuilder::new("NAT");
+    let f = nat_front(&mut b, public_ip, capacity);
+    // Miss path: allocate and insert; a refused write means the
+    // pre-allocated table is full → drop the connection (no crash).
+    let ext = alloc_port(&mut b, f.sport);
+    let ok = b.map_write(f.flows, f.key, ext);
+    let (ins, full) = b.fork(ok);
+    let _ = ins;
+    b.pkt_store(32, off::IP_SRC, public_ip as u64);
+    b.pkt_store(16, f.l4off, ext);
+    b.emit(0);
+    b.switch_to(full);
+    b.drop_();
+    Element::straight("NAT", b.build().expect("nat_verified is valid")).with_info(Table2Info {
+        new_loc: 870,
+        uses_structs: true,
+        uses_state: true,
+        ..Default::default()
+    })
+}
+
+/// Click's `IPRewriter` with bug #3 (§5.3): the hairpin tuple
+/// `Ts = Td = T_public` fails an internal heap assertion while the
+/// forward and reverse mappings are inserted.
+pub fn nat_click_buggy(public_ip: u32, public_port: u16, capacity: usize) -> Element {
+    let mut b = ProgramBuilder::new("ClickNAT");
+    let f = nat_front(&mut b, public_ip, capacity);
+    // Miss path: IPRewriter inserts forward and reverse mappings; when
+    // both tuples equal the public tuple the two heap entries collide —
+    // include/click/heap.hh:149 `assert(...)` fires.
+    let src_is_pub = b.eq(32, f.src, public_ip as u64);
+    let sport_is_pub = b.eq(16, f.sport, public_port as u64);
+    let dst_is_pub = b.eq(32, f.dst, public_ip as u64);
+    let dport_is_pub = b.eq(16, f.dport, public_port as u64);
+    let a1 = b.bool_and(src_is_pub, sport_is_pub);
+    let a2 = b.bool_and(dst_is_pub, dport_is_pub);
+    let hairpin = b.bool_and(a1, a2);
+    let not_hairpin = b.bool_not(hairpin);
+    b.assert_(not_hairpin, "heap.hh:149: mapping collision");
+    let ext = alloc_port(&mut b, f.sport);
+    let ok = b.map_write(f.flows, f.key, ext);
+    let (ins, full) = b.fork(ok);
+    let _ = ins;
+    b.pkt_store(32, off::IP_SRC, public_ip as u64);
+    b.pkt_store(16, f.l4off, ext);
+    b.emit(0);
+    b.switch_to(full);
+    b.drop_();
+    Element::straight("ClickNAT", b.build().expect("nat_click_buggy is valid")).with_info(
+        Table2Info {
+            uses_structs: true,
+            uses_state: true,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::headers;
+    use dataplane::workload::{adversarial, PacketBuilder};
+    use dpir::{CrashReason, ExecResult, PacketData};
+
+    const PUB_IP: u32 = 0xC633_6401; // 198.51.100.1
+    const PUB_PORT: u16 = 4242;
+
+    fn run(e: &Element, stores: &mut dataplane::store::StoreRuntime, pkt: &mut PacketData) -> ExecResult {
+        e.process(pkt, stores, 10_000).result
+    }
+
+    #[test]
+    fn translates_and_remembers_flows() {
+        let e = nat_verified(PUB_IP, 64);
+        let mut stores = e.build_stores();
+        let mut p1 = PacketBuilder::ipv4_tcp().src(0x0A000001).sport(1000).build();
+        assert_eq!(run(&e, &mut stores, &mut p1), ExecResult::Emitted(0));
+        assert_eq!(headers::ip_src(&p1), PUB_IP);
+        let ext1 = headers::l4_src_port(&p1);
+        assert!(ext1 >= 0xC000);
+        // Same flow again: same mapping.
+        let mut p2 = PacketBuilder::ipv4_tcp().src(0x0A000001).sport(1000).build();
+        assert_eq!(run(&e, &mut stores, &mut p2), ExecResult::Emitted(0));
+        assert_eq!(headers::l4_src_port(&p2), ext1);
+    }
+
+    #[test]
+    fn non_l4_passes_untranslated() {
+        let e = nat_verified(PUB_IP, 64);
+        let mut stores = e.build_stores();
+        let mut pkt = PacketBuilder::ipv4_udp().build();
+        pkt.bytes[23] = 1; // ICMP
+        headers::set_ipv4_checksum(&mut pkt);
+        let orig = headers::ip_src(&pkt);
+        assert_eq!(run(&e, &mut stores, &mut pkt), ExecResult::Emitted(1));
+        assert_eq!(headers::ip_src(&pkt), orig);
+    }
+
+    #[test]
+    fn table_full_drops_not_crashes() {
+        // Tiny table: 1 array × 1 slot; the second distinct flow that
+        // collides is dropped — the paper's explicit tradeoff.
+        let e = nat_verified(PUB_IP, 64);
+        let mut rt = dataplane::store::StoreRuntime::new();
+        rt.push(Box::new(dataplane::store::ChainedHashMap::new(1, 1)));
+        let mut accepted = 0;
+        let mut dropped = 0;
+        for i in 0..16u32 {
+            let mut pkt = PacketBuilder::ipv4_tcp()
+                .src(0x0A000000 + i)
+                .sport(2000 + i as u16)
+                .build();
+            match run(&e, &mut rt, &mut pkt) {
+                ExecResult::Emitted(0) => accepted += 1,
+                ExecResult::Dropped => dropped += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(accepted >= 1 && dropped >= 1);
+    }
+
+    #[test]
+    fn click_nat_crashes_on_hairpin() {
+        let e = nat_click_buggy(PUB_IP, PUB_PORT, 64);
+        let mut stores = e.build_stores();
+        let mut pkt = adversarial::nat_hairpin(PUB_IP, PUB_PORT);
+        match run(&e, &mut stores, &mut pkt) {
+            ExecResult::Crashed(CrashReason::AssertFailed(_)) => {}
+            other => panic!("expected assertion failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn click_nat_fine_on_normal_traffic() {
+        let e = nat_click_buggy(PUB_IP, PUB_PORT, 64);
+        let mut stores = e.build_stores();
+        let mut pkt = PacketBuilder::ipv4_tcp().src(0x0A000001).build();
+        assert_eq!(run(&e, &mut stores, &mut pkt), ExecResult::Emitted(0));
+    }
+
+    #[test]
+    fn verified_nat_survives_hairpin() {
+        let e = nat_verified(PUB_IP, 64);
+        let mut stores = e.build_stores();
+        let mut pkt = adversarial::nat_hairpin(PUB_IP, PUB_PORT);
+        assert!(matches!(
+            run(&e, &mut stores, &mut pkt),
+            ExecResult::Emitted(0)
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! The evaluation pipelines of §5 (edge router, core router, network
+//! gateway) and helpers to wire element lists into runnable pipelines.
+
+use crate::{
+    check_ip_header::check_ip_header,
+    classifier::classifier,
+    dec_ttl::dec_ttl,
+    ether::{drop_broadcasts, eth_rewrite},
+    ip_lookup::ip_lookup,
+    ip_options::ip_options,
+    nat::nat_verified,
+    traffic_monitor::traffic_monitor,
+};
+use dataplane::{Element, Pipeline, Route, Stage};
+
+/// The router's own address (used by LSRR processing).
+pub const ROUTER_IP: u32 = 0xC0A8_0164; // 192.168.1.100
+/// The NAT's public address.
+pub const NAT_PUBLIC_IP: u32 = 0xC633_6401; // 198.51.100.1
+/// The NAT's public port (bug #3 trigger tuple).
+pub const NAT_PUBLIC_PORT: u16 = 4242;
+
+/// A small edge FIB (the paper's edge router: 10 entries).
+pub fn edge_fib() -> Vec<(u32, u32, u32)> {
+    (0..10u32)
+        .map(|i| (u32::from_be_bytes([10, i as u8, 0, 0]), 16, i % 4))
+        .collect()
+}
+
+/// A large core FIB (`n` entries; the paper uses 100 000).
+pub fn core_fib(n: usize) -> Vec<(u32, u32, u32)> {
+    (0..n as u32)
+        .map(|i| {
+            let b = i.to_be_bytes();
+            (u32::from_be_bytes([b[1], b[2], b[3], 0]), 24, i % 4)
+        })
+        .collect()
+}
+
+/// The standard IP-router element sequence of Fig. 4(a), grown stage by
+/// stage: preproc (Classifier, CheckIPHeader, DropBcast), +DecTTL,
+/// +IPoptions(iters), +IPlookup(fib), +EthEncap.
+///
+/// `stages` selects the prefix length (3..=7); `option_iters` is the
+/// IP-options iteration bound; `fib` the lookup configuration.
+pub fn ip_router(stages: usize, option_iters: u32, fib: Vec<(u32, u32, u32)>) -> Vec<Element> {
+    let all: Vec<Element> = vec![
+        classifier(),
+        check_ip_header(true),
+        drop_broadcasts(),
+        dec_ttl(),
+        ip_options(option_iters, Some(ROUTER_IP)),
+        ip_lookup(4, fib),
+        eth_rewrite([0x02, 0, 0, 0, 0, 0xEE], [0x02, 0, 0, 0, 0, 0x01]),
+    ];
+    assert!((1..=all.len()).contains(&stages));
+    all.into_iter().take(stages).collect()
+}
+
+/// The full edge router (7 stages, 10-entry FIB).
+pub fn edge_router(option_iters: u32) -> Vec<Element> {
+    ip_router(7, option_iters, edge_fib())
+}
+
+/// The full core router (7 stages, large FIB).
+pub fn core_router(option_iters: u32, fib_entries: usize) -> Vec<Element> {
+    ip_router(7, option_iters, core_fib(fib_entries))
+}
+
+/// The network gateway of Fig. 4(b): preproc, +TrafficMonitor, +NAT,
+/// +EthEncap.
+pub fn network_gateway(stages: usize) -> Vec<Element> {
+    let all: Vec<Element> = vec![
+        classifier(),
+        check_ip_header(true),
+        traffic_monitor(1024),
+        nat_verified(NAT_PUBLIC_IP, 1024),
+        eth_rewrite([0x02, 0, 0, 0, 0, 0xEE], [0x02, 0, 0, 0, 0, 0x01]),
+    ];
+    assert!((1..=all.len()).contains(&stages));
+    all.into_iter().take(stages).collect()
+}
+
+/// Wires a linear element list into a runnable [`Pipeline`]:
+/// every element's port 0 flows onward; classifier ports 1/2 (ARP,
+/// other) and DecTTL port 1 (ICMP) drop; NAT port 1 (non-L4) flows
+/// onward untranslated; IPlookup ports fan onward (they model output
+/// interfaces); the last element's forwarding ports become sinks.
+pub fn to_pipeline(name: &str, elements: Vec<Element>) -> Pipeline {
+    let n = elements.len();
+    let mut p = Pipeline::new(name);
+    for (i, e) in elements.into_iter().enumerate() {
+        let last = i + 1 == n;
+        let mut stage = Stage::passthrough(e);
+        let name = stage.element.name.clone();
+        match name.as_str() {
+            "Classifier" => {
+                stage = stage.route(1, Route::Drop).route(2, Route::Drop);
+            }
+            "DecTTL" => {
+                stage = stage.route(1, Route::Drop);
+            }
+            _ => {}
+        }
+        if last {
+            for port in stage.element.output_ports() {
+                let keep_drop = matches!(
+                    (name.as_str(), port),
+                    ("Classifier", 1) | ("Classifier", 2) | ("DecTTL", 1)
+                );
+                if !keep_drop {
+                    stage = stage.route(port, Route::Sink(port));
+                }
+            }
+        }
+        p = p.push_stage(stage);
+    }
+    p
+}
+
+/// Builds the per-stage store runtimes for a pipeline's elements.
+pub fn build_all_stores(pipeline: &Pipeline) -> Vec<dataplane::store::StoreRuntime> {
+    pipeline
+        .stages
+        .iter()
+        .map(|s| s.element.build_stores())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::workload::{adversarial, FlowMix, PacketBuilder};
+    use dataplane::{PipelineOutcome, Runner};
+
+    fn runner(elements: Vec<Element>) -> Runner {
+        let p = to_pipeline("test", elements);
+        let stores = build_all_stores(&p);
+        Runner::new(p, stores)
+    }
+
+    #[test]
+    fn edge_router_forwards_wellformed_traffic() {
+        let mut r = runner(edge_router(3));
+        let mut pkt = PacketBuilder::ipv4_udp()
+            .dst(u32::from_be_bytes([10, 3, 1, 1]))
+            .build();
+        match r.run_packet(&mut pkt) {
+            PipelineOutcome::Delivered(_) => {}
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(dataplane::headers::ip_ttl(&pkt), 63);
+        assert_eq!(&pkt.bytes[0..6], &[0x02, 0, 0, 0, 0, 0xEE]);
+    }
+
+    #[test]
+    fn edge_router_drops_unroutable() {
+        let mut r = runner(edge_router(3));
+        let mut pkt = PacketBuilder::ipv4_udp().dst(0x08080808).build();
+        assert_eq!(r.run_packet(&mut pkt), PipelineOutcome::Dropped);
+    }
+
+    #[test]
+    fn edge_router_never_crashes_on_flow_mix() {
+        let mut r = runner(edge_router(3));
+        let mut mix = FlowMix::new(42, 50);
+        for _ in 0..500 {
+            let mut pkt = mix.next_packet();
+            let out = r.run_packet(&mut pkt);
+            assert!(
+                !matches!(out, PipelineOutcome::Crashed { .. } | PipelineOutcome::Stuck { .. }),
+                "crash-free on well-formed traffic: {out:?}"
+            );
+        }
+        assert!(r.stats().instrs > 0);
+    }
+
+    #[test]
+    fn lsrr_packet_traverses_edge_router_with_rewritten_source() {
+        let mut r = runner(edge_router(3));
+        let mut pkt = adversarial::lsrr(u32::from_be_bytes([10, 1, 0, 9]));
+        // Route the packet somewhere the FIB knows.
+        pkt.write_be(dataplane::headers::IP_DST, 4, u32::from_be_bytes([10, 1, 0, 9]) as u64);
+        dataplane::headers::set_ipv4_checksum(&mut pkt);
+        let out = r.run_packet(&mut pkt);
+        assert!(matches!(out, PipelineOutcome::Delivered(_)), "{out:?}");
+        assert_eq!(dataplane::headers::ip_src(&pkt), ROUTER_IP);
+    }
+
+    #[test]
+    fn gateway_translates_and_counts() {
+        let mut r = runner(network_gateway(5));
+        let mut pkt = PacketBuilder::ipv4_tcp().src(0x0A00_0001).build();
+        match r.run_packet(&mut pkt) {
+            PipelineOutcome::Delivered(_) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(dataplane::headers::ip_src(&pkt), NAT_PUBLIC_IP);
+    }
+
+    #[test]
+    fn core_router_with_large_fib() {
+        let mut r = runner(core_router(1, 10_000));
+        let mut pkt = PacketBuilder::ipv4_udp()
+            .dst(u32::from_be_bytes([0, 0, 99, 7]))
+            .build();
+        match r.run_packet(&mut pkt) {
+            PipelineOutcome::Delivered(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! TrafficMonitor — per-flow packet counters (Table 2 "ours", 650 new
+//! LoC in the paper; the running example of §3.4 / Fig. 3).
+//!
+//! ```text
+//! if map.exists(flowId) = false then map.write(flowId, 0)
+//! pktCnt ← map.read(flowId)
+//! newPktCnt ← pktCnt + 1
+//! map.write(flowId, newPktCnt)
+//! ```
+//!
+//! The counter is deliberately a plain 32-bit add — the monotonic
+//! counter whose eventual overflow the §3.4 havoc-plus-induction
+//! analysis flags. A TCP FIN triggers `expire`, handing the finished
+//! flow's statistics to the control plane (the Fig. 2 expiration
+//! example).
+
+use crate::common::{guard_min_len, l4_offset, load_ihl, off};
+use dataplane::{Element, Table2Info};
+use dpir::{MapDecl, ProgramBuilder};
+
+/// TCP flag bit for FIN.
+const TCP_FIN: u64 = 0x01;
+
+/// Builds the traffic monitor.
+pub fn traffic_monitor(capacity: usize) -> Element {
+    let mut b = ProgramBuilder::new("TrafficMonitor");
+    let flows = b.map(MapDecl {
+        name: "flow_counters".into(),
+        key_width: 64,
+        value_width: 32,
+        capacity,
+        is_static: false,
+    });
+    guard_min_len(&mut b, 34);
+    let src = b.pkt_load(32, off::IP_SRC);
+    let dst = b.pkt_load(32, off::IP_DST);
+    let src64 = b.zext(32, 64, src);
+    let hi = b.shl(64, src64, 32u64);
+    let dst64 = b.zext(32, 64, dst);
+    let key = b.or(64, hi, dst64);
+    // Fig. 3 lines 1–6.
+    let (found, cnt) = b.map_read(flows, key);
+    let (hit, miss) = b.fork(found);
+    let _ = hit;
+    let cnt2 = b.add(32, cnt, 1u64); // ← the overflow suspect of §3.4
+    let _ok = b.map_write(flows, key, cnt2);
+    let after = b.new_block();
+    b.jump(after);
+    b.switch_to(miss);
+    let _ok2 = b.map_write(flows, key, 1u64);
+    b.jump(after);
+    b.switch_to(after);
+    // Flow completion: TCP FIN ⇒ expire (Fig. 2's expiration use case).
+    let proto = b.pkt_load(8, off::IP_PROTO);
+    let is_tcp = b.eq(8, proto, 6u64);
+    let (tcp_bb, done) = b.fork(is_tcp);
+    let _ = tcp_bb;
+    let ihl = load_ihl(&mut b);
+    let l4off = l4_offset(&mut b, ihl);
+    let flags_off = b.add(16, l4off, 13u64);
+    let flags_end = b.add(16, flags_off, 1u64);
+    let len = b.pkt_len();
+    let fits = b.ule(16, flags_end, len);
+    let (fits_bb, short) = b.fork(fits);
+    let _ = fits_bb;
+    let flags = b.pkt_load(8, flags_off);
+    let fin = b.and(8, flags, TCP_FIN);
+    let is_fin = b.ne(8, fin, 0u64);
+    let (fin_bb, nofin) = b.fork(is_fin);
+    let _ = fin_bb;
+    b.map_expire(flows, key);
+    b.emit(0);
+    b.switch_to(nofin);
+    b.emit(0);
+    b.switch_to(short);
+    b.emit(0); // truncated TCP: count it, skip the FIN check
+    b.switch_to(done);
+    b.emit(0);
+    Element::straight(
+        "TrafficMonitor",
+        b.build().expect("traffic_monitor is valid"),
+    )
+    .with_info(Table2Info {
+        new_loc: 650,
+        uses_structs: true,
+        uses_state: true,
+        ..Default::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataplane::store::ChainedHashMap;
+    use dpir::MapRuntime;
+    use dataplane::workload::PacketBuilder;
+    use dpir::{ExecResult, MapId, PacketData};
+
+    fn key_of(src: u32, dst: u32) -> u64 {
+        ((src as u64) << 32) | dst as u64
+    }
+
+    fn run(e: &Element, stores: &mut dataplane::store::StoreRuntime, pkt: &mut PacketData) -> ExecResult {
+        e.process(pkt, stores, 10_000).result
+    }
+
+    #[test]
+    fn counts_per_flow() {
+        let e = traffic_monitor(128);
+        let mut stores = e.build_stores();
+        for _ in 0..3 {
+            let mut pkt = PacketBuilder::ipv4_udp().src(1).dst(2).build();
+            assert_eq!(run(&e, &mut stores, &mut pkt), ExecResult::Emitted(0));
+        }
+        let mut pkt = PacketBuilder::ipv4_udp().src(9).dst(2).build();
+        run(&e, &mut stores, &mut pkt);
+        assert_eq!(stores.read(MapId(0), key_of(1, 2)), Some(3));
+        assert_eq!(stores.read(MapId(0), key_of(9, 2)), Some(1));
+    }
+
+    #[test]
+    fn fin_expires_flow_to_control_plane() {
+        let e = traffic_monitor(128);
+        let mut rt = dataplane::store::StoreRuntime::new();
+        rt.push(Box::new(ChainedHashMap::new(3, 128)));
+        // Two data packets, then a FIN.
+        for fin in [false, false, true] {
+            let mut pkt = PacketBuilder::ipv4_tcp().src(1).dst(2).build();
+            if fin {
+                let l4 = dataplane::headers::l4_offset(&pkt);
+                // Ensure the flags byte exists, then set FIN.
+                while pkt.bytes.len() < l4 + 14 {
+                    pkt.bytes.push(0);
+                }
+                pkt.bytes[l4 + 13] |= 0x01;
+                dataplane::headers::set_ipv4_checksum(&mut pkt);
+            }
+            assert_eq!(run(&e, &mut rt, &mut pkt), ExecResult::Emitted(0));
+        }
+        assert_eq!(rt.read(MapId(0), key_of(1, 2)), None, "flow expired");
+        // The control plane receives the final count.
+        let store = rt.store_mut(MapId(0));
+        assert_eq!(store.take_expired(), vec![(key_of(1, 2), 3)]);
+    }
+}

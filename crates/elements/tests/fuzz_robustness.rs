@@ -1,0 +1,170 @@
+//! Fuzz-style robustness tests: every element and pipeline is hammered
+//! with arbitrary byte blobs and adversarial packets.
+//!
+//! Two distinct guarantees are checked:
+//!
+//! 1. **Host safety** — no input may panic the interpreter itself
+//!    (crashing the *dataplane* is a modeled outcome, never a Rust
+//!    panic).
+//! 2. **Verified behavior** — pipelines whose crash-freedom /
+//!    bounded-execution the verifier proves (see
+//!    `crates/core/tests/properties.rs`) must never crash or wedge on
+//!    *any* concrete input; this is the proof's empirical shadow.
+
+use dataplane::workload::{adversarial, PacketBuilder};
+use dataplane::{Element, PipelineOutcome, Runner};
+use dpir::{ExecResult, PacketData};
+use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
+use elements::pipelines::{build_all_stores, to_pipeline, NAT_PUBLIC_IP, ROUTER_IP};
+use proptest::prelude::*;
+
+fn all_elements() -> Vec<Element> {
+    vec![
+        elements::classifier::classifier(),
+        elements::check_ip_header::check_ip_header(true),
+        elements::ether::eth_decap(),
+        elements::ether::eth_encap([1; 6], [2; 6]),
+        elements::ether::eth_rewrite([1; 6], [2; 6]),
+        elements::ether::drop_broadcasts(),
+        elements::dec_ttl::dec_ttl(),
+        elements::ip_options::ip_options(3, Some(ROUTER_IP)),
+        elements::ip_lookup::ip_lookup(4, elements::pipelines::edge_fib()),
+        elements::ip_filter::ip_filter(vec![0x0BAD0001]),
+        ip_fragmenter(FragmenterVariant::ClickBug1, 60),
+        ip_fragmenter(FragmenterVariant::ClickBug2, 60),
+        ip_fragmenter(FragmenterVariant::Fixed, 60),
+        elements::nat::nat_verified(NAT_PUBLIC_IP, 64),
+        elements::nat::nat_click_buggy(NAT_PUBLIC_IP, 4242, 64),
+        elements::traffic_monitor::traffic_monitor(64),
+        elements::micro::field_filter(elements::micro::FilterField::PortDst, 80),
+        elements::micro::loop_micro(3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Host safety: arbitrary bytes through every element. Any modeled
+    /// outcome is fine; a Rust panic is not (proptest catches it).
+    #[test]
+    fn no_element_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..120),
+        meta0 in any::<u32>(),
+    ) {
+        for e in all_elements() {
+            let mut stores = e.build_stores();
+            let mut pkt = PacketData::new(bytes.clone());
+            pkt.meta[2] = meta0 % 128; // poke the loop cursors too
+            let out = e.process(&mut pkt, &mut stores, 5_000);
+            // Outcome sanity: fuel accounting never exceeds the budget
+            // by more than one instruction.
+            prop_assert!(out.instrs <= 5_001, "{}: {:?}", e.name, out);
+        }
+    }
+
+    /// Verified behavior: the proved-crash-free preproc+TTL pipeline
+    /// never crashes concretely.
+    #[test]
+    fn proved_pipeline_never_crashes(bytes in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let p = to_pipeline(
+            "preproc+ttl",
+            vec![
+                elements::classifier::classifier(),
+                elements::check_ip_header::check_ip_header(false),
+                elements::dec_ttl::dec_ttl(),
+            ],
+        );
+        let stores = build_all_stores(&p);
+        let mut r = Runner::new(p, stores);
+        let mut pkt = PacketData::new(bytes);
+        let out = r.run_packet(&mut pkt);
+        prop_assert!(
+            !matches!(out, PipelineOutcome::Crashed { .. } | PipelineOutcome::Stuck { .. }),
+            "verified pipeline violated its proof: {out:?}"
+        );
+    }
+
+    /// Verified behavior: the proved-bounded fixed-fragmenter pipeline
+    /// never wedges.
+    #[test]
+    fn proved_bounded_pipeline_never_wedges(
+        opts in proptest::collection::vec(any::<u8>(), 0..12),
+        payload in 0usize..90,
+    ) {
+        let p = to_pipeline(
+            "fixedfrag",
+            vec![
+                elements::classifier::classifier(),
+                elements::check_ip_header::check_ip_header(false),
+                ip_fragmenter(FragmenterVariant::Fixed, 40),
+            ],
+        );
+        let stores = build_all_stores(&p);
+        let mut r = Runner::new(p, stores);
+        r.fuel_per_stage = 10_000;
+        let mut pkt = PacketBuilder::ipv4_udp()
+            .options(&opts)
+            .payload_len(payload)
+            .build();
+        let out = r.run_packet(&mut pkt);
+        prop_assert!(
+            !matches!(out, PipelineOutcome::Stuck { .. }),
+            "proved-bounded pipeline wedged: {out:?}"
+        );
+    }
+
+    /// The verified NAT keeps translating (or dropping) — never crashes —
+    /// under arbitrary L4 garbage.
+    #[test]
+    fn verified_nat_is_total(
+        src in any::<u32>(), dst in any::<u32>(),
+        sport in any::<u16>(), dport in any::<u16>(),
+        proto in any::<u8>(),
+    ) {
+        let e = elements::nat::nat_verified(NAT_PUBLIC_IP, 64);
+        let mut stores = e.build_stores();
+        let mut pkt = PacketBuilder::ipv4_tcp()
+            .src(src).dst(dst).sport(sport).dport(dport)
+            .build();
+        pkt.bytes[23] = proto;
+        dataplane::headers::set_ipv4_checksum(&mut pkt);
+        let out = e.process(&mut pkt, &mut stores, 5_000);
+        prop_assert!(
+            !matches!(out.result, ExecResult::Crashed(_) | ExecResult::OutOfFuel),
+            "{:?}", out.result
+        );
+    }
+}
+
+/// The named adversarial packets against every element: none may panic
+/// the host, and the *verified* elements must handle all of them.
+#[test]
+fn adversarial_corpus_against_all_elements() {
+    let corpus = [
+        adversarial::with_nop_options(3),
+        adversarial::zero_length_option(),
+        adversarial::lsrr(0x01020304),
+        adversarial::nat_hairpin(NAT_PUBLIC_IP, 4242),
+        PacketData::new(vec![]),
+        PacketData::new(vec![0xFF; 1]),
+        PacketBuilder::ipv4_udp().payload_len(0).build(),
+    ];
+    for e in all_elements() {
+        for pkt0 in &corpus {
+            let mut stores = e.build_stores();
+            let mut pkt = pkt0.clone();
+            let _ = e.process(&mut pkt, &mut stores, 5_000);
+        }
+    }
+}
+
+/// Every element's program passes structural validation (the invariant
+/// builders are supposed to guarantee, checked explicitly).
+#[test]
+fn all_element_programs_validate() {
+    for e in all_elements() {
+        e.program()
+            .validate()
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+    }
+}

@@ -1,0 +1,127 @@
+//! DIMACS CNF reading and writing (debugging and test corpus support).
+
+use crate::{Cnf, Lit, Var};
+use std::fmt;
+
+/// Error produced while parsing a DIMACS file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader,
+    /// A literal token was not an integer.
+    BadLiteral(String),
+    /// A literal referenced a variable beyond the declared count.
+    VarOutOfRange(i64),
+    /// A clause was not terminated by `0`.
+    MissingTerminator,
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::BadHeader => write!(f, "missing or malformed 'p cnf' header"),
+            DimacsError::BadLiteral(t) => write!(f, "bad literal token {t:?}"),
+            DimacsError::VarOutOfRange(v) => write!(f, "variable {v} out of declared range"),
+            DimacsError::MissingTerminator => write!(f, "clause not terminated by 0"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text into a [`Cnf`].
+pub fn parse_dimacs(text: &str) -> Result<Cnf, DimacsError> {
+    let mut cnf = Cnf::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(DimacsError::BadHeader);
+            }
+            let nv: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(DimacsError::BadHeader)?;
+            declared_vars = Some(nv);
+            cnf.num_vars = nv;
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError::BadLiteral(tok.to_string()))?;
+            if v == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                let idx = v.unsigned_abs() as usize - 1;
+                let declared = declared_vars.ok_or(DimacsError::BadHeader)?;
+                if idx >= declared {
+                    return Err(DimacsError::VarOutOfRange(v));
+                }
+                current.push(Lit::new(Var::from_index(idx), v > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError::MissingTerminator);
+    }
+    Ok(cnf)
+}
+
+/// Writes a [`Cnf`] as DIMACS CNF text.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    let mut out = format!("p cnf {} {}\n", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for l in c {
+            let v = l.var().index() as i64 + 1;
+            let signed = if l.is_positive() { v } else { -v };
+            out.push_str(&signed.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = parse_dimacs(text).expect("parses");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let back = write_dimacs(&cnf);
+        let again = parse_dimacs(&back).expect("parses");
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(parse_dimacs("1 2 0\n"), Err(DimacsError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            parse_dimacs("p cnf 1 1\n2 0\n"),
+            Err(DimacsError::VarOutOfRange(2))
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated() {
+        assert_eq!(
+            parse_dimacs("p cnf 2 1\n1 2\n"),
+            Err(DimacsError::MissingTerminator)
+        );
+    }
+}

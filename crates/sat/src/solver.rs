@@ -1,0 +1,847 @@
+//! The CDCL solver.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::lit::{Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (readable via [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+impl SolveResult {
+    /// `true` iff the result is [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SolveResult::Sat
+    }
+
+    /// `true` iff the result is [`SolveResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        self == SolveResult::Unsat
+    }
+}
+
+/// Counters exposed for benchmarking and the solver-layering ablation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses deleted by DB reduction.
+    pub deleted_clauses: u64,
+}
+
+/// Watcher entry: a clause plus a "blocker" literal checked before
+/// touching the clause (MiniSat-style optimization).
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    blocker: Lit,
+}
+
+/// An indexed max-heap over variable activities (the VSIDS order).
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    pos: Vec<usize>,
+}
+
+impl VarOrder {
+    fn grow_to(&mut self, n: usize) {
+        while self.pos.len() < n {
+            self.pos.push(usize::MAX);
+        }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != usize::MAX
+    }
+
+    fn push(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top.index()] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn update(&mut self, v: Var, act: &[f64]) {
+        let p = self.pos[v.index()];
+        if p != usize::MAX {
+            self.sift_up(p, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i;
+        self.pos[self.heap[j].index()] = j;
+    }
+}
+
+/// A CDCL SAT solver. See the crate docs for the algorithm inventory.
+#[derive(Debug, Default)]
+pub struct Solver {
+    db: ClauseDb,
+    watches: Vec<Vec<Watcher>>,
+    /// Assignment per variable: `None` = unassigned.
+    assigns: Vec<Option<bool>>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Reason clause for each implied variable.
+    reason: Vec<ClauseRef>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    saved_phase: Vec<bool>,
+    /// Scratch: per-variable "seen" flags for conflict analysis.
+    seen: Vec<bool>,
+    /// Top-level conflict discovered during clause addition.
+    unsat: bool,
+    stats: SolverStats,
+    cla_inc: f64,
+    max_learnt: f64,
+    /// Conflict budget for `solve` (`u64::MAX` = unlimited).
+    conflict_budget: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            max_learnt: 0.0,
+            conflict_budget: u64::MAX,
+            ..Default::default()
+        }
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(None);
+        self.level.push(0);
+        self.reason.push(ClauseRef::NONE);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assigns.len());
+        self.order.push(v, &self.activity);
+        v
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Sets a conflict budget; `solve` returns [`SolveResult::Unknown`]
+    /// once that many conflicts were analyzed. `u64::MAX` disables it.
+    pub fn set_conflict_budget(&mut self, budget: u64) {
+        self.conflict_budget = budget;
+    }
+
+    /// Solver statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause. Returns `false` if the solver is already in an
+    /// UNSAT state at the top level (the clause may then be ignored).
+    ///
+    /// Must be called at decision level 0 (i.e. before/between `solve`
+    /// calls; the solver backtracks to level 0 after each solve).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.backtrack_to(0);
+        if self.unsat {
+            return false;
+        }
+        // Simplify: drop duplicate/false literals, detect tautologies.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        let mut sorted = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        for &l in &sorted {
+            debug_assert!(l.var().index() < self.num_vars(), "unknown variable");
+            if sorted.binary_search(&!l).is_ok() && l.is_positive() {
+                return true; // tautology: contains l and ¬l
+            }
+            match self.lit_value(l) {
+                Some(true) => return true, // already satisfied at level 0
+                Some(false) => {}          // falsified at level 0: drop
+                None => c.push(l),
+            }
+        }
+        match c.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], ClauseRef::NONE);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let cref = self.db.add(c, false);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    /// Current value of a variable (meaningful after a SAT result).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.assigns[v.index()]
+    }
+
+    /// The model as a dense vector (unassigned vars default to `false`).
+    pub fn model(&self) -> Vec<bool> {
+        self.assigns.iter().map(|a| a.unwrap_or(false)).collect()
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under `assumptions` (literals forced true for this call
+    /// only). The solver state (learnt clauses, activities) persists
+    /// across calls, enabling cheap incremental queries.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        self.backtrack_to(0);
+        self.max_learnt = (self.db.len() as f64 * 0.3).max(1000.0);
+        let mut restarts: u64 = 0;
+        let mut conflicts_until_restart = 64 * luby(restarts + 1);
+        let budget_start = self.stats.conflicts;
+        let result = loop {
+            if let Some(confl) = self.propagate() {
+                // Conflict.
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    break SolveResult::Unsat;
+                }
+                // Analysis may backjump below the assumption levels; the
+                // establishment code below re-asserts assumptions in order
+                // and reports UNSAT if one has become falsified.
+                let (learnt, backjump) = self.analyze(confl);
+                self.backtrack_to(backjump);
+                self.learn(learnt);
+                self.decay_activities();
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                if self.stats.conflicts - budget_start >= self.conflict_budget {
+                    break SolveResult::Unknown;
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = 64 * luby(restarts + 1);
+                    self.backtrack_to(0);
+                }
+                if self.db.num_learnt() as f64 > self.max_learnt {
+                    self.reduce_db();
+                    self.max_learnt *= 1.5;
+                }
+                // Establish assumptions as pseudo-decisions, in order.
+                let dl = self.decision_level();
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.lit_value(a) {
+                        Some(true) => {
+                            // Already implied: introduce an empty decision
+                            // level so indices keep lining up.
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        Some(false) => break SolveResult::Unsat,
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, ClauseRef::NONE);
+                            continue;
+                        }
+                    }
+                }
+                // Regular decision.
+                match self.pick_branch_var() {
+                    None => break SolveResult::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.saved_phase[v.index()];
+                        self.enqueue(Lit::new(v, phase), ClauseRef::NONE);
+                    }
+                }
+            }
+        };
+        if result != SolveResult::Sat {
+            self.backtrack_to(0);
+        }
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.assigns[l.var().index()].map(|b| b == l.is_positive())
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert!(self.lit_value(l).is_none());
+        let vi = l.var().index();
+        self.assigns[vi] = Some(l.is_positive());
+        self.level[vi] = self.decision_level() as u32;
+        self.reason[vi] = reason;
+        self.saved_phase[vi] = l.is_positive();
+        self.trail.push(l);
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let c = self.db.get(cref);
+        debug_assert!(c.len() >= 2);
+        let (l0, l1) = (c.lits[0], c.lits[1]);
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    /// Unit propagation. Returns a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses watching ¬p: their watched literal just went false.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                if self.db.get(w.cref).deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Normalize: put the false literal (¬p) at position 1.
+                let false_lit = !p;
+                {
+                    let c = self.db.get_mut(w.cref);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.db.get(w.cref).lits[0];
+                if first != w.blocker && self.lit_value(first) == Some(true) {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                let len = self.db.get(w.cref).len();
+                for k in 2..len {
+                    let lk = self.db.get(w.cref).lits[k];
+                    if self.lit_value(lk) != Some(false) {
+                        let c = self.db.get_mut(w.cref);
+                        c.lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    conflict = Some(w.cref);
+                    self.qhead = self.trail.len();
+                    // Keep remaining watchers; stop propagating.
+                    break;
+                } else {
+                    self.enqueue(first, w.cref);
+                    i += 1;
+                }
+            }
+            let lists = &mut self.watches[p.code()];
+            // Re-insert the untouched tail plus kept entries.
+            if lists.is_empty() {
+                *lists = ws;
+            } else {
+                lists.extend(ws);
+            }
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = confl;
+        let mut trail_idx = self.trail.len();
+        let dl = self.decision_level() as u32;
+
+        loop {
+            debug_assert!(!cref.is_none());
+            self.bump_clause(cref);
+            let lits = self.db.get(cref).lits.clone();
+            let skip = usize::from(p.is_some());
+            for &q in lits.iter().skip(skip) {
+                let vi = q.var().index();
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.seen[vi] = true;
+                    self.bump_var(q.var());
+                    if self.level[vi] >= dl {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                trail_idx -= 1;
+                if self.seen[self.trail[trail_idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[trail_idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(pl);
+                break;
+            }
+            cref = self.reason[pl.var().index()];
+            p = Some(pl);
+        }
+        learnt[0] = !p.expect("UIP found");
+
+        // Clause minimization: drop literals implied by the rest.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.redundant(l))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(keep);
+
+        // Clear seen flags.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // (seen flags for dropped literals were cleared in `redundant`.)
+
+        // Backjump level: second-highest level in the clause.
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+        (learnt, backjump)
+    }
+
+    /// Local redundancy check: `l` is redundant if every literal in its
+    /// reason clause is already seen (i.e. already implied by the learnt
+    /// clause). Clears `seen` for `l` if redundant.
+    fn redundant(&mut self, l: Lit) -> bool {
+        let r = self.reason[l.var().index()];
+        if r.is_none() {
+            return false;
+        }
+        let lits = &self.db.get(r).lits;
+        let red = lits.iter().skip(1).all(|&q| {
+            let vi = q.var().index();
+            self.seen[vi] || self.level[vi] == 0
+        });
+        if red {
+            self.seen[l.var().index()] = false;
+        }
+        red
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        debug_assert!(!learnt.is_empty());
+        let asserting = learnt[0];
+        if learnt.len() == 1 {
+            self.enqueue(asserting, ClauseRef::NONE);
+        } else {
+            let cref = self.db.add(learnt, true);
+            self.bump_clause(cref);
+            self.attach(cref);
+            self.enqueue(asserting, cref);
+        }
+    }
+
+    fn backtrack_to(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let floor = self.trail_lim[level];
+        for i in (floor..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let vi = l.var().index();
+            self.assigns[vi] = None;
+            self.reason[vi] = ClauseRef::NONE;
+            self.order.push(l.var(), &self.activity);
+        }
+        self.trail.truncate(floor);
+        self.trail_lim.truncate(level);
+        self.qhead = floor;
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v.index()].is_none() {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, c: ClauseRef) {
+        let cl = self.db.get_mut(c);
+        if !cl.learnt {
+            return;
+        }
+        cl.activity += self.cla_inc;
+        if cl.activity > 1e20 {
+            let inc = &mut self.cla_inc;
+            *inc *= 1e-20;
+            for cl in &mut self.db.clauses {
+                cl.activity *= 1e-20;
+            }
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+    }
+
+    /// Deletes the less-active half of the learnt clauses (keeping
+    /// binary clauses and clauses that are a reason for the current
+    /// assignment — at level 0 nothing is locked except units, which are
+    /// not stored as clauses).
+    fn reduce_db(&mut self) {
+        let mut learnt: Vec<ClauseRef> = (0..self.db.len() as u32)
+            .map(ClauseRef)
+            .filter(|&r| {
+                let c = self.db.get(r);
+                c.learnt && !c.deleted && c.len() > 2 && !self.is_reason(r)
+            })
+            .collect();
+        learnt.sort_by(|&a, &b| {
+            self.db
+                .get(a)
+                .activity
+                .partial_cmp(&self.db.get(b).activity)
+                .expect("activities are finite")
+        });
+        let half = learnt.len() / 2;
+        for &r in &learnt[..half] {
+            self.db.delete(r);
+            self.stats.deleted_clauses += 1;
+        }
+    }
+
+    fn is_reason(&self, r: ClauseRef) -> bool {
+        let c = self.db.get(r);
+        if c.is_empty() {
+            return false;
+        }
+        let first = c.lits[0];
+        self.reason[first.var().index()] == r && self.lit_value(first) == Some(true)
+    }
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,...).
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index i.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    while (1u64 << k) - 1 != i {
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+    }
+    1u64 << (k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, i: usize, pos: bool) -> Lit {
+        while s.num_vars() <= i {
+            s.new_var();
+        }
+        Lit::new(Var::from_index(i), pos)
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        s.add_clause(&[a]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(a.var()), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        s.add_clause(&[a]);
+        s.add_clause(&[!a]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause(&[]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_formula_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn three_var_forcing_chain() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        let c = lit(&mut s, 2, true);
+        s.add_clause(&[a]);
+        s.add_clause(&[!a, b]);
+        s.add_clause(&[!b, c]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(c.var()), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let p = |i: usize, j: usize| i * 2 + j;
+        for i in 0..3 {
+            let l0 = lit(&mut s, p(i, 0), true);
+            let l1 = lit(&mut s, p(i, 1), true);
+            s.add_clause(&[l0, l1]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    let a = lit(&mut s, p(i1, j), false);
+                    let b = lit(&mut s, p(i2, j), false);
+                    s.add_clause(&[a, b]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn assumptions_incremental() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        s.add_clause(&[!a, b]); // a -> b
+        assert!(s.solve_with_assumptions(&[a]).is_sat());
+        assert_eq!(s.value(b.var()), Some(true));
+        assert!(s.solve_with_assumptions(&[a, !b]).is_unsat());
+        // Solver usable again after UNSAT-under-assumptions.
+        assert!(s.solve_with_assumptions(&[!a]).is_sat());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        s.add_clause(&[a, !a]);
+        s.add_clause(&[!a]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(a.var()), Some(false));
+    }
+
+    #[test]
+    fn duplicate_literals_collapsed() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        s.add_clause(&[a, a, a]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(a.var()), Some(true));
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, ... forces alternation; satisfiable.
+        let mut s = Solver::new();
+        let n = 20;
+        for i in 0..n {
+            let a = lit(&mut s, i, true);
+            let b = lit(&mut s, i + 1, true);
+            s.add_clause(&[a, b]);
+            s.add_clause(&[!a, !b]);
+        }
+        assert!(s.solve().is_sat());
+        let m = s.model();
+        for i in 0..n {
+            assert_ne!(m[i], m[i + 1]);
+        }
+    }
+
+    #[test]
+    fn conflict_budget_unknown() {
+        // A hard instance with a tiny budget must return Unknown.
+        let mut s = Solver::new();
+        // Pigeonhole 6 into 5 — hard enough to exceed 1 conflict.
+        let holes = 5;
+        let p = |i: usize, j: usize| i * holes + j;
+        for i in 0..holes + 1 {
+            let cl: Vec<Lit> = (0..holes).map(|j| lit(&mut s, p(i, j), true)).collect();
+            s.add_clause(&cl);
+        }
+        for j in 0..holes {
+            for i1 in 0..holes + 1 {
+                for i2 in (i1 + 1)..holes + 1 {
+                    let a = lit(&mut s, p(i1, j), false);
+                    let b = lit(&mut s, p(i2, j), false);
+                    s.add_clause(&[a, b]);
+                }
+            }
+        }
+        s.set_conflict_budget(1);
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(u64::MAX);
+        assert!(s.solve().is_unsat());
+    }
+}

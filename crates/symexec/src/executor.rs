@@ -1,0 +1,1008 @@
+//! The symbolic interpreter: one IR program → all feasible segments.
+
+use crate::input::{SymConfig, SymInput};
+use crate::mapmodel::MapModel;
+use crate::segment::{MapOpKind, MapOpRecord, SegOutcome, Segment};
+use bvsolve::{BvSolver, SatVerdict, TermId, TermPool};
+use dpir::{BinOp, CrashReason, Instr, Operand, Program, Terminator, UnOp, META_WIDTH};
+
+/// Errors aborting a symbolic execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymError {
+    /// The state budget was exceeded — reported exactly like the
+    /// paper's "12h+" bars for the generic baseline.
+    StateBudget {
+        /// States explored before giving up.
+        explored: usize,
+    },
+    /// `PktPush`/`PktPull` with a non-constant byte count (elements in
+    /// this repository only use constants; supporting symbolic shifts
+    /// would require quadratic select terms).
+    SymbolicPushPull,
+}
+
+impl std::fmt::Display for SymError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymError::StateBudget { explored } => {
+                write!(f, "state budget exceeded after {explored} states")
+            }
+            SymError::SymbolicPushPull => write!(f, "symbolic push/pull amount unsupported"),
+        }
+    }
+}
+
+impl std::error::Error for SymError {}
+
+/// Result of symbolically executing one program.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// All feasible segments (over-approximate if `exact_forks` is off).
+    pub segments: Vec<Segment>,
+    /// Total states materialized (the paper's "#states" annotations in
+    /// Fig. 4(c)).
+    pub states: usize,
+    /// Branch targets discarded as infeasible.
+    pub pruned: usize,
+    /// Solver layer statistics for the ablation bench.
+    pub solver_stats: bvsolve::SolverLayerStats,
+}
+
+#[derive(Clone)]
+struct PathState {
+    bb: usize,
+    iidx: usize,
+    regs: Vec<TermId>,
+    pkt: Vec<TermId>,
+    len: TermId,
+    meta: Vec<TermId>,
+    constraint: Vec<TermId>,
+    instrs: u64,
+    map_ops: Vec<MapOpRecord>,
+}
+
+/// Symbolically executes `prog` from `input`, enumerating all feasible
+/// segments.
+pub fn execute(
+    pool: &mut TermPool,
+    prog: &Program,
+    input: &SymInput,
+    model: &mut dyn MapModel,
+    cfg: &SymConfig,
+) -> Result<ExecReport, SymError> {
+    let mut solver = if cfg.exact_forks {
+        BvSolver::with_conflict_budget(cfg.fork_conflict_budget)
+    } else {
+        BvSolver::new()
+    };
+    let zero_reg = pool.mk_const(1, 0);
+    let init = PathState {
+        bb: 0,
+        iidx: 0,
+        regs: prog
+            .reg_widths
+            .iter()
+            .map(|&w| {
+                if w == 1 {
+                    zero_reg
+                } else {
+                    // Placeholder; overwritten before read in valid
+                    // programs (registers are written before use by the
+                    // builder API). Zero keeps semantics defined anyway.
+                    zero_reg
+                }
+            })
+            .collect(),
+        pkt: input.pkt_bytes.clone(),
+        len: input.pkt_len,
+        meta: input.meta.clone(),
+        constraint: input.base_constraints.clone(),
+        instrs: 0,
+        map_ops: Vec::new(),
+    };
+    // Correct register initialization: a zero constant of each width.
+    let mut init = init;
+    for (i, &w) in prog.reg_widths.iter().enumerate() {
+        init.regs[i] = pool.mk_const(w, 0);
+    }
+
+    let mut worklist = vec![init];
+    let mut segments = Vec::new();
+    let mut states = 1usize;
+    let mut pruned = 0usize;
+
+    while let Some(mut st) = worklist.pop() {
+        if states > cfg.max_states {
+            return Err(SymError::StateBudget { explored: states });
+        }
+        // Run this state until it terminates or forks.
+        'state: loop {
+            let block = &prog.blocks[st.bb];
+            while st.iidx < block.instrs.len() {
+                let ins = &block.instrs[st.iidx];
+                st.iidx += 1;
+                st.instrs += 1;
+                if st.instrs > cfg.max_instrs_per_path {
+                    segments.push(finish(pool, &st, SegOutcome::FuelExhausted, cfg));
+                    break 'state;
+                }
+                match step(
+                    pool, prog, ins, &mut st, model, cfg, &mut solver, &mut states, &mut pruned,
+                    &mut worklist, &mut segments,
+                ) {
+                    Ok(StepFlow::Continue) => {}
+                    Ok(StepFlow::EndState) => break 'state,
+                    Err(e) => return Err(e),
+                }
+            }
+            // Terminator.
+            st.instrs += 1;
+            if st.instrs > cfg.max_instrs_per_path {
+                segments.push(finish(pool, &st, SegOutcome::FuelExhausted, cfg));
+                break 'state;
+            }
+            match block.term {
+                Terminator::Jump(b) => {
+                    st.bb = b.index();
+                    st.iidx = 0;
+                }
+                Terminator::Branch { cond, then_, else_ } => {
+                    let c = operand(pool, &st, cond, 1);
+                    if pool.is_true(c) {
+                        st.bb = then_.index();
+                        st.iidx = 0;
+                        continue 'state;
+                    }
+                    if pool.is_false(c) {
+                        st.bb = else_.index();
+                        st.iidx = 0;
+                        continue 'state;
+                    }
+                    // Fork.
+                    let notc = pool.mk_not(c);
+                    let mut then_st = st.clone();
+                    then_st.constraint.push(c);
+                    then_st.bb = then_.index();
+                    then_st.iidx = 0;
+                    let mut else_st = st;
+                    else_st.constraint.push(notc);
+                    else_st.bb = else_.index();
+                    else_st.iidx = 0;
+                    for branch in [then_st, else_st] {
+                        if feasible(pool, &mut solver, &branch.constraint, cfg) {
+                            states += 1;
+                            worklist.push(branch);
+                        } else {
+                            pruned += 1;
+                        }
+                    }
+                    break 'state;
+                }
+                Terminator::Emit(p) => {
+                    segments.push(finish(pool, &st, SegOutcome::Emit(p), cfg));
+                    break 'state;
+                }
+                Terminator::Drop => {
+                    segments.push(finish(pool, &st, SegOutcome::Drop, cfg));
+                    break 'state;
+                }
+                Terminator::Crash(r) => {
+                    segments.push(finish(pool, &st, SegOutcome::Crash(r), cfg));
+                    break 'state;
+                }
+            }
+        }
+    }
+
+    if states > cfg.max_states {
+        // Branch materialization was cut short: the exploration is
+        // incomplete and must be reported as a budget failure.
+        return Err(SymError::StateBudget { explored: states });
+    }
+    Ok(ExecReport {
+        segments,
+        states,
+        pruned,
+        solver_stats: solver.stats(),
+    })
+}
+
+enum StepFlow {
+    Continue,
+    EndState,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step(
+    pool: &mut TermPool,
+    prog: &Program,
+    ins: &Instr,
+    st: &mut PathState,
+    model: &mut dyn MapModel,
+    cfg: &SymConfig,
+    solver: &mut BvSolver,
+    states: &mut usize,
+    pruned: &mut usize,
+    worklist: &mut Vec<PathState>,
+    segments: &mut Vec<Segment>,
+) -> Result<StepFlow, SymError> {
+    match *ins {
+        Instr::Bin { op, w, dst, a, b } => {
+            let x = operand(pool, st, a, w);
+            let y = operand(pool, st, b, w);
+            if op.can_crash() {
+                let zero = pool.mk_const(w, 0);
+                let is_zero = pool.mk_eq(y, zero);
+                if pool.is_true(is_zero) {
+                    segments.push(finish(
+                        pool,
+                        st,
+                        SegOutcome::Crash(CrashReason::DivByZero),
+                        cfg,
+                    ));
+                    return Ok(StepFlow::EndState);
+                }
+                if !pool.is_false(is_zero) {
+                    // Fork a crash branch for divisor == 0.
+                    let mut crash_st = st.clone();
+                    crash_st.constraint.push(is_zero);
+                    if feasible(pool, solver, &crash_st.constraint, cfg) {
+                        *states += 1;
+                        segments.push(finish(
+                            pool,
+                            &crash_st,
+                            SegOutcome::Crash(CrashReason::DivByZero),
+                            cfg,
+                        ));
+                    } else {
+                        *pruned += 1;
+                    }
+                    let nz = pool.mk_not(is_zero);
+                    st.constraint.push(nz);
+                }
+            }
+            st.regs[dst.index()] = bin_term(pool, op, x, y);
+            Ok(StepFlow::Continue)
+        }
+        Instr::Un { op, w, dst, a } => {
+            let x = operand(pool, st, a, w);
+            st.regs[dst.index()] = match op {
+                UnOp::Not => pool.mk_not(x),
+                UnOp::Neg => pool.mk_neg(x),
+            };
+            Ok(StepFlow::Continue)
+        }
+        Instr::Mov { w, dst, a } => {
+            st.regs[dst.index()] = operand(pool, st, a, w);
+            Ok(StepFlow::Continue)
+        }
+        Instr::Cast {
+            kind,
+            from,
+            to,
+            dst,
+            a,
+        } => {
+            let x = operand(pool, st, a, from);
+            st.regs[dst.index()] = match kind {
+                dpir::CastKind::Zext => pool.mk_zext(x, to),
+                dpir::CastKind::Sext => pool.mk_sext(x, to),
+                dpir::CastKind::Trunc => {
+                    if to == from {
+                        x
+                    } else {
+                        pool.mk_extract(x, to - 1, 0)
+                    }
+                }
+            };
+            Ok(StepFlow::Continue)
+        }
+        Instr::PktLoad { w, dst, off } => {
+            let off_t = operand(pool, st, off, 16);
+            let k = (w / 8) as usize;
+            match bounds_fork(pool, st, off_t, k, CrashReason::OobRead, cfg, solver, states, pruned, segments) {
+                BoundsFlow::AlwaysCrash => Ok(StepFlow::EndState),
+                BoundsFlow::Proceed => {
+                    if cfg.fork_on_symbolic_offset && pool.const_value(off_t).is_none() {
+                        // Generic-engine behavior: concretize the offset
+                        // by forking one state per feasible value.
+                        fork_offsets(pool, st, off_t, k, cfg, solver, states, pruned, worklist,
+                            |pool_, s, c| {
+                                let v = concat_be(pool_, &s.pkt[c..c + k].to_vec());
+                                s.regs[dst.index()] = v;
+                            });
+                        return Ok(StepFlow::EndState);
+                    }
+                    let v = load_bytes(pool, st, off_t, k, cfg);
+                    st.regs[dst.index()] = v;
+                    Ok(StepFlow::Continue)
+                }
+            }
+        }
+        Instr::PktStore { w, off, val } => {
+            let off_t = operand(pool, st, off, 16);
+            let v = operand(pool, st, val, w);
+            let k = (w / 8) as usize;
+            match bounds_fork(pool, st, off_t, k, CrashReason::OobWrite, cfg, solver, states, pruned, segments) {
+                BoundsFlow::AlwaysCrash => Ok(StepFlow::EndState),
+                BoundsFlow::Proceed => {
+                    if cfg.fork_on_symbolic_offset && pool.const_value(off_t).is_none() {
+                        fork_offsets(pool, st, off_t, k, cfg, solver, states, pruned, worklist,
+                            |pool_, s, c| {
+                                let cc = pool_.mk_const(16, c as u64);
+                                store_bytes(pool_, s, cc, k, v, cfg);
+                            });
+                        return Ok(StepFlow::EndState);
+                    }
+                    store_bytes(pool, st, off_t, k, v, cfg);
+                    Ok(StepFlow::Continue)
+                }
+            }
+        }
+        Instr::PktLen { dst } => {
+            st.regs[dst.index()] = st.len;
+            Ok(StepFlow::Continue)
+        }
+        Instr::PktPush { n } => {
+            let n_t = operand(pool, st, n, 16);
+            let Some(k) = pool.const_value(n_t) else {
+                return Err(SymError::SymbolicPushPull);
+            };
+            let k = k as usize;
+            // Capacity check: len + k ≤ window.
+            let len32 = pool.mk_zext(st.len, 32);
+            let kc = pool.mk_const(32, k as u64);
+            let newlen32 = pool.mk_add(len32, kc);
+            let cap = pool.mk_const(32, cfg.max_pkt_bytes as u64);
+            let fits = pool.mk_ule(newlen32, cap);
+            if !fork_crash_unless(
+                pool, st, fits, CrashReason::OobWrite, cfg, solver, states, pruned, segments,
+            ) {
+                return Ok(StepFlow::EndState);
+            }
+            let zero8 = pool.mk_const(8, 0);
+            let mut newpkt = Vec::with_capacity(st.pkt.len());
+            for i in 0..st.pkt.len() {
+                if i < k {
+                    newpkt.push(zero8);
+                } else {
+                    newpkt.push(st.pkt[i - k]);
+                }
+            }
+            st.pkt = newpkt;
+            let kc16 = pool.mk_const(16, k as u64);
+            st.len = pool.mk_add(st.len, kc16);
+            Ok(StepFlow::Continue)
+        }
+        Instr::PktPull { n } => {
+            let n_t = operand(pool, st, n, 16);
+            let Some(k) = pool.const_value(n_t) else {
+                return Err(SymError::SymbolicPushPull);
+            };
+            let k = k as usize;
+            let kc16 = pool.mk_const(16, k as u64);
+            let fits = pool.mk_ule(kc16, st.len);
+            if !fork_crash_unless(
+                pool, st, fits, CrashReason::OobRead, cfg, solver, states, pruned, segments,
+            ) {
+                return Ok(StepFlow::EndState);
+            }
+            let zero8 = pool.mk_const(8, 0);
+            let mut newpkt = Vec::with_capacity(st.pkt.len());
+            for i in 0..st.pkt.len() {
+                if i + k < st.pkt.len() {
+                    newpkt.push(st.pkt[i + k]);
+                } else {
+                    newpkt.push(zero8);
+                }
+            }
+            st.pkt = newpkt;
+            st.len = pool.mk_sub(st.len, kc16);
+            Ok(StepFlow::Continue)
+        }
+        Instr::MetaLoad { slot, dst } => {
+            st.regs[dst.index()] = st.meta[slot as usize];
+            Ok(StepFlow::Continue)
+        }
+        Instr::MetaStore { slot, val } => {
+            st.meta[slot as usize] = operand(pool, st, val, META_WIDTH);
+            Ok(StepFlow::Continue)
+        }
+        Instr::MapRead {
+            map,
+            key,
+            found,
+            val,
+        } => {
+            let decl = &prog.maps[map.index()];
+            let key_t = operand(pool, st, key, decl.key_width);
+            let branches = model.read(pool, map, decl, key_t);
+            fork_map_branches(
+                pool, st, branches, cfg, solver, states, pruned, worklist,
+                |pool_, s, br| {
+                    s.regs[found.index()] = br.flag;
+                    s.regs[val.index()] = br.value;
+                    s.map_ops.push(MapOpRecord {
+                        map,
+                        kind: MapOpKind::Read,
+                        key: key_t,
+                        value: None,
+                        havoc_value_var: br.havoc_value_var,
+                        havoc_flag_var: br.havoc_flag_var,
+                    });
+                    let _ = pool_;
+                },
+            );
+            Ok(StepFlow::EndState)
+        }
+        Instr::MapWrite { map, key, val, ok } => {
+            let decl = &prog.maps[map.index()];
+            let key_t = operand(pool, st, key, decl.key_width);
+            let val_t = operand(pool, st, val, decl.value_width);
+            let branches = model.write(pool, map, decl, key_t, val_t);
+            fork_map_branches(
+                pool, st, branches, cfg, solver, states, pruned, worklist,
+                |pool_, s, br| {
+                    s.regs[ok.index()] = br.flag;
+                    s.map_ops.push(MapOpRecord {
+                        map,
+                        kind: MapOpKind::Write,
+                        key: key_t,
+                        value: Some(val_t),
+                        havoc_value_var: None,
+                        havoc_flag_var: br.havoc_flag_var,
+                    });
+                    let _ = pool_;
+                },
+            );
+            Ok(StepFlow::EndState)
+        }
+        Instr::MapTest { map, key, found } => {
+            let decl = &prog.maps[map.index()];
+            let key_t = operand(pool, st, key, decl.key_width);
+            let branches = model.test(pool, map, decl, key_t);
+            fork_map_branches(
+                pool, st, branches, cfg, solver, states, pruned, worklist,
+                |pool_, s, br| {
+                    s.regs[found.index()] = br.flag;
+                    s.map_ops.push(MapOpRecord {
+                        map,
+                        kind: MapOpKind::Test,
+                        key: key_t,
+                        value: None,
+                        havoc_value_var: None,
+                        havoc_flag_var: br.havoc_flag_var,
+                    });
+                    let _ = pool_;
+                },
+            );
+            Ok(StepFlow::EndState)
+        }
+        Instr::MapExpire { map, key } => {
+            let decl = &prog.maps[map.index()];
+            let key_t = operand(pool, st, key, decl.key_width);
+            st.map_ops.push(MapOpRecord {
+                map,
+                kind: MapOpKind::Expire,
+                key: key_t,
+                value: None,
+                havoc_value_var: None,
+                havoc_flag_var: None,
+            });
+            Ok(StepFlow::Continue)
+        }
+        Instr::Assert { cond, msg } => {
+            let c = operand(pool, st, cond, 1);
+            if pool.is_true(c) {
+                return Ok(StepFlow::Continue);
+            }
+            if pool.is_false(c) {
+                segments.push(finish(
+                    pool,
+                    st,
+                    SegOutcome::Crash(CrashReason::AssertFailed(msg)),
+                    cfg,
+                ));
+                return Ok(StepFlow::EndState);
+            }
+            let notc = pool.mk_not(c);
+            let mut crash_st = st.clone();
+            crash_st.constraint.push(notc);
+            if feasible(pool, solver, &crash_st.constraint, cfg) {
+                *states += 1;
+                segments.push(finish(
+                    pool,
+                    &crash_st,
+                    SegOutcome::Crash(CrashReason::AssertFailed(msg)),
+                    cfg,
+                ));
+            } else {
+                *pruned += 1;
+            }
+            st.constraint.push(c);
+            Ok(StepFlow::Continue)
+        }
+    }
+}
+
+enum BoundsFlow {
+    AlwaysCrash,
+    Proceed,
+}
+
+/// Emits a crash segment for the out-of-bounds case (if feasible) and
+/// constrains the surviving path to be in bounds.
+#[allow(clippy::too_many_arguments)]
+fn bounds_fork(
+    pool: &mut TermPool,
+    st: &mut PathState,
+    off_t: TermId,
+    k: usize,
+    reason: CrashReason,
+    cfg: &SymConfig,
+    solver: &mut BvSolver,
+    states: &mut usize,
+    pruned: &mut usize,
+    segments: &mut Vec<Segment>,
+) -> BoundsFlow {
+    // In-bounds: zext(off) + k ≤ zext(len), computed at width 32 so the
+    // addition cannot wrap.
+    let off32 = pool.mk_zext(off_t, 32);
+    let kc = pool.mk_const(32, k as u64);
+    let end = pool.mk_add(off32, kc);
+    let len32 = pool.mk_zext(st.len, 32);
+    let inb = pool.mk_ule(end, len32);
+    if fork_crash_unless(pool, st, inb, reason, cfg, solver, states, pruned, segments) {
+        BoundsFlow::Proceed
+    } else {
+        BoundsFlow::AlwaysCrash
+    }
+}
+
+/// Forks a crash segment on `¬cond` (if feasible); constrains the
+/// current path with `cond`. Returns false if the path itself is dead
+/// (cond constant-false).
+#[allow(clippy::too_many_arguments)]
+fn fork_crash_unless(
+    pool: &mut TermPool,
+    st: &mut PathState,
+    cond: TermId,
+    reason: CrashReason,
+    cfg: &SymConfig,
+    solver: &mut BvSolver,
+    states: &mut usize,
+    pruned: &mut usize,
+    segments: &mut Vec<Segment>,
+) -> bool {
+    if pool.is_true(cond) {
+        return true;
+    }
+    if pool.is_false(cond) {
+        segments.push(finish(pool, st, SegOutcome::Crash(reason), cfg));
+        return false;
+    }
+    let notc = pool.mk_not(cond);
+    let mut crash_st = st.clone();
+    crash_st.constraint.push(notc);
+    if feasible(pool, solver, &crash_st.constraint, cfg) {
+        *states += 1;
+        segments.push(finish(pool, &crash_st, SegOutcome::Crash(reason), cfg));
+    } else {
+        *pruned += 1;
+    }
+    st.constraint.push(cond);
+    true
+}
+
+/// Applies map-op branches: each feasible branch becomes a new state on
+/// the worklist (continuing at the current instruction index).
+#[allow(clippy::too_many_arguments)]
+fn fork_map_branches(
+    pool: &mut TermPool,
+    st: &PathState,
+    branches: Vec<crate::mapmodel::MapBranch>,
+    cfg: &SymConfig,
+    solver: &mut BvSolver,
+    states: &mut usize,
+    pruned: &mut usize,
+    worklist: &mut Vec<PathState>,
+    mut apply: impl FnMut(&mut TermPool, &mut PathState, &crate::mapmodel::MapBranch),
+) {
+    for br in branches {
+        if *states > cfg.max_states {
+            // Stop materializing branches past the budget; the caller
+            // reports StateBudget (the "12h+" bars of Fig. 4).
+            return;
+        }
+        let mut s = st.clone();
+        s.constraint.extend(br.constraints.iter().copied());
+        if !br.constraints.is_empty() && !feasible(pool, solver, &s.constraint, cfg) {
+            *pruned += 1;
+            continue;
+        }
+        apply(pool, &mut s, &br);
+        *states += 1;
+        worklist.push(s);
+    }
+}
+
+/// Generic-engine offset concretization: one state per feasible offset
+/// value, each constrained with `off == s` and continuing at the
+/// current instruction position.
+#[allow(clippy::too_many_arguments)]
+fn fork_offsets(
+    pool: &mut TermPool,
+    st: &PathState,
+    off_t: TermId,
+    k: usize,
+    cfg: &SymConfig,
+    solver: &mut BvSolver,
+    states: &mut usize,
+    pruned: &mut usize,
+    worklist: &mut Vec<PathState>,
+    mut apply: impl FnMut(&mut TermPool, &mut PathState, usize),
+) {
+    let last = cfg.max_pkt_bytes.saturating_sub(k);
+    for s in 0..=last {
+        if *states > cfg.max_states {
+            return;
+        }
+        let sc = pool.mk_const(16, s as u64);
+        let hit = pool.mk_eq(off_t, sc);
+        if pool.is_false(hit) {
+            continue;
+        }
+        let mut branch = st.clone();
+        branch.constraint.push(hit);
+        if !feasible(pool, solver, &branch.constraint, cfg) {
+            *pruned += 1;
+            continue;
+        }
+        apply(pool, &mut branch, s);
+        *states += 1;
+        worklist.push(branch);
+    }
+}
+
+fn operand(pool: &mut TermPool, st: &PathState, o: Operand, w: u32) -> TermId {
+    match o {
+        Operand::Reg(r) => st.regs[r.index()],
+        Operand::Imm(v) => pool.mk_const(w, v),
+    }
+}
+
+fn bin_term(pool: &mut TermPool, op: BinOp, x: TermId, y: TermId) -> TermId {
+    match op {
+        BinOp::Add => pool.mk_add(x, y),
+        BinOp::Sub => pool.mk_sub(x, y),
+        BinOp::Mul => pool.mk_mul(x, y),
+        BinOp::UDiv => pool.mk_udiv(x, y),
+        BinOp::URem => pool.mk_urem(x, y),
+        BinOp::And => pool.mk_and(x, y),
+        BinOp::Or => pool.mk_or(x, y),
+        BinOp::Xor => pool.mk_xor(x, y),
+        BinOp::Shl => pool.mk_shl(x, y),
+        BinOp::Lshr => pool.mk_lshr(x, y),
+        BinOp::Eq => pool.mk_eq(x, y),
+        BinOp::Ne => pool.mk_ne(x, y),
+        BinOp::Ult => pool.mk_ult(x, y),
+        BinOp::Ule => pool.mk_ule(x, y),
+        BinOp::Slt => pool.mk_slt(x, y),
+        BinOp::Sle => pool.mk_sle(x, y),
+    }
+}
+
+/// Big-endian load of `k` bytes at (possibly symbolic) offset.
+fn load_bytes(
+    pool: &mut TermPool,
+    st: &PathState,
+    off_t: TermId,
+    k: usize,
+    cfg: &SymConfig,
+) -> TermId {
+    if let Some(c) = pool.const_value(off_t) {
+        let c = c as usize;
+        if c + k <= st.pkt.len() {
+            return concat_be(pool, &st.pkt[c..c + k]);
+        }
+        // In-bounds branch is infeasible (off beyond window); value is
+        // irrelevant but must be well-formed.
+        return pool.mk_const((k * 8) as u32, 0);
+    }
+    // Symbolic offset: select over all window positions.
+    let w = (k * 8) as u32;
+    let mut acc = pool.mk_const(w, 0);
+    let last = cfg.max_pkt_bytes.saturating_sub(k);
+    for s in 0..=last {
+        let sc = pool.mk_const(16, s as u64);
+        let hit = pool.mk_eq(off_t, sc);
+        let v = concat_be(pool, &st.pkt[s..s + k]);
+        acc = pool.mk_ite(hit, v, acc);
+    }
+    acc
+}
+
+/// Big-endian store of `k` bytes at (possibly symbolic) offset.
+fn store_bytes(
+    pool: &mut TermPool,
+    st: &mut PathState,
+    off_t: TermId,
+    k: usize,
+    val: TermId,
+    cfg: &SymConfig,
+) {
+    // Byte j (big-endian position) of the value.
+    let byte = |pool: &mut TermPool, j: usize| {
+        let hi = (8 * (k - 1 - j) + 7) as u32;
+        let lo = (8 * (k - 1 - j)) as u32;
+        pool.mk_extract(val, hi, lo)
+    };
+    if let Some(c) = pool.const_value(off_t) {
+        let c = c as usize;
+        for j in 0..k {
+            if c + j < st.pkt.len() {
+                st.pkt[c + j] = byte(pool, j);
+            }
+        }
+        return;
+    }
+    let window = cfg.max_pkt_bytes;
+    for j in 0..k {
+        let bj = byte(pool, j);
+        for i in j..window {
+            let target = pool.mk_const(16, (i - j) as u64);
+            let hit = pool.mk_eq(off_t, target);
+            st.pkt[i] = pool.mk_ite(hit, bj, st.pkt[i]);
+        }
+    }
+}
+
+fn concat_be(pool: &mut TermPool, bytes: &[TermId]) -> TermId {
+    let mut acc = bytes[0];
+    for &b in &bytes[1..] {
+        acc = pool.mk_concat(acc, b);
+    }
+    acc
+}
+
+fn feasible(pool: &mut TermPool, solver: &mut BvSolver, cs: &[TermId], cfg: &SymConfig) -> bool {
+    if cfg.exact_forks {
+        // Treat Unknown (budget) as feasible: over-approximation keeps
+        // verification sound (extra suspects, never missed ones).
+        !matches!(solver.check(pool, cs), SatVerdict::Unsat)
+    } else {
+        // Cheap layers only.
+        let conj = pool.mk_conj(cs);
+        if pool.is_false(conj) {
+            return false;
+        }
+        let iv = bvsolve::interval_of(pool, conj);
+        !(iv.lo == 0 && iv.hi == 0)
+    }
+}
+
+fn finish(pool: &mut TermPool, st: &PathState, outcome: SegOutcome, _cfg: &SymConfig) -> Segment {
+    let _ = pool;
+    Segment {
+        constraint: st.constraint.clone(),
+        outcome,
+        pkt_out: st.pkt.clone(),
+        len_out: st.len,
+        meta_out: st.meta.clone(),
+        instrs: st.instrs,
+        map_ops: st.map_ops.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::SymInput;
+    use crate::mapmodel::AbstractMapModel;
+    use dpir::ProgramBuilder;
+
+    fn cfg() -> SymConfig {
+        SymConfig {
+            max_pkt_bytes: 16,
+            ..Default::default()
+        }
+    }
+
+    fn run(prog: &Program) -> ExecReport {
+        let mut pool = TermPool::new();
+        let cfg = cfg();
+        let input = SymInput::fresh(&mut pool, &cfg, "e");
+        let mut model = AbstractMapModel::new();
+        execute(&mut pool, prog, &input, &mut model, &cfg).expect("no budget issues")
+    }
+
+    #[test]
+    fn straight_line_single_segment() {
+        let mut b = ProgramBuilder::new("t");
+        let _r = b.mov(8, 7u64);
+        b.emit(0);
+        let p = b.build().expect("valid");
+        let rep = run(&p);
+        assert_eq!(rep.segments.len(), 1);
+        assert_eq!(rep.segments[0].outcome, SegOutcome::Emit(0));
+        assert_eq!(rep.segments[0].instrs, 2);
+    }
+
+    #[test]
+    fn branch_on_packet_byte_forks() {
+        // Load byte 0 (forks oob-crash), branch on it.
+        let mut b = ProgramBuilder::new("t");
+        let v = b.pkt_load(8, 0u64);
+        let c = b.ult(8, v, 10u64);
+        let (t, e) = b.fork(c);
+        let _ = t;
+        b.emit(0);
+        b.switch_to(e);
+        b.drop_();
+        let p = b.build().expect("valid");
+        let rep = run(&p);
+        // Segments: crash (len < 1), emit (byte < 10), drop (byte >= 10).
+        assert_eq!(rep.segments.len(), 3);
+        let crashes = rep.segments.iter().filter(|s| s.is_crash_suspect()).count();
+        assert_eq!(crashes, 1);
+    }
+
+    #[test]
+    fn infeasible_branch_pruned() {
+        // byte < 10 then byte > 200 is infeasible.
+        let mut b = ProgramBuilder::new("t");
+        let v = b.pkt_load(8, 0u64);
+        let c1 = b.ult(8, v, 10u64);
+        let (t1, e1) = b.fork(c1);
+        let _ = t1;
+        let c2 = b.ult(8, 200u64, v);
+        let (t2, e2) = b.fork(c2);
+        let _ = t2;
+        b.emit(1); // unreachable
+        b.switch_to(e2);
+        b.emit(0);
+        b.switch_to(e1);
+        b.drop_();
+        let p = b.build().expect("valid");
+        let rep = run(&p);
+        assert!(rep.pruned >= 1, "the contradictory branch must be pruned");
+        assert!(!rep
+            .segments
+            .iter()
+            .any(|s| s.outcome == SegOutcome::Emit(1)));
+    }
+
+    #[test]
+    fn assert_forks_crash_segment() {
+        let mut b = ProgramBuilder::new("t");
+        let v = b.pkt_load(8, 0u64);
+        let ok = b.ne(8, v, 0u64);
+        b.assert_(ok, "zero byte");
+        b.emit(0);
+        let p = b.build().expect("valid");
+        let rep = run(&p);
+        let crash: Vec<_> = rep
+            .segments
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.outcome,
+                    SegOutcome::Crash(CrashReason::AssertFailed(_))
+                )
+            })
+            .collect();
+        assert_eq!(crash.len(), 1);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let mut b = ProgramBuilder::new("t");
+        let hdr = b.new_block();
+        b.jump(hdr);
+        b.switch_to(hdr);
+        b.jump(hdr);
+        let p = b.build().expect("valid");
+        let mut pool = TermPool::new();
+        let c = SymConfig {
+            max_pkt_bytes: 8,
+            max_instrs_per_path: 100,
+            ..Default::default()
+        };
+        let input = SymInput::fresh(&mut pool, &c, "e");
+        let mut model = AbstractMapModel::new();
+        let rep = execute(&mut pool, &p, &input, &mut model, &c).expect("runs");
+        assert_eq!(rep.segments.len(), 1);
+        assert_eq!(rep.segments[0].outcome, SegOutcome::FuelExhausted);
+    }
+
+    #[test]
+    fn map_read_havocs_value() {
+        let mut b = ProgramBuilder::new("t");
+        let m = b.map(dpir::MapDecl {
+            name: "flows".into(),
+            key_width: 32,
+            value_width: 32,
+            capacity: 64,
+            is_static: false,
+        });
+        let key = b.mov(32, 5u64);
+        let (_found, val) = b.map_read(m, key);
+        let big = b.ult(32, 1000u64, val);
+        let (t, e) = b.fork(big);
+        let _ = t;
+        b.emit(1);
+        b.switch_to(e);
+        b.emit(0);
+        let p = b.build().expect("valid");
+        let rep = run(&p);
+        // Havoced value can be anything: both emits reachable.
+        let ports: Vec<_> = rep
+            .segments
+            .iter()
+            .filter_map(|s| match s.outcome {
+                SegOutcome::Emit(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert!(ports.contains(&0) && ports.contains(&1));
+        // And the read was logged.
+        assert!(rep.segments.iter().all(|s| !s.map_ops.is_empty()));
+    }
+
+    #[test]
+    fn symbolic_offset_load_selects() {
+        // offset = (byte0 & 0x7), load the byte at that offset; the
+        // loaded value is a select over the window, so a branch on it
+        // must be able to go both ways.
+        let mut b = ProgramBuilder::new("t");
+        let off8 = b.pkt_load(8, 0u64);
+        let masked = b.and(8, off8, 0x07u64);
+        let off16 = b.zext(8, 16, masked);
+        let v = b.pkt_load(8, off16);
+        let c = b.eq(8, v, 42u64);
+        let (t, e) = b.fork(c);
+        let _ = t;
+        b.emit(1);
+        b.switch_to(e);
+        b.emit(0);
+        let p = b.build().expect("valid");
+        let rep = run(&p);
+        let ports: Vec<_> = rep
+            .segments
+            .iter()
+            .filter_map(|s| match s.outcome {
+                SegOutcome::Emit(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert!(ports.contains(&0) && ports.contains(&1));
+    }
+
+    #[test]
+    fn state_budget_enforced() {
+        // Chain of branches on distinct bytes → 2^8 leaves; budget 20.
+        let mut b = ProgramBuilder::new("t");
+        for i in 0..8 {
+            let v = b.pkt_load(8, i as u64);
+            let c = b.ult(8, v, 128u64);
+            let (t, e) = b.fork(c);
+            let _ = t;
+            // then-branch continues the chain; else terminates.
+            b.switch_to(e);
+            b.drop_();
+            b.switch_to(t);
+        }
+        b.emit(0);
+        let p = b.build().expect("valid");
+        let mut pool = TermPool::new();
+        let c = SymConfig {
+            max_pkt_bytes: 16,
+            max_states: 20,
+            ..Default::default()
+        };
+        let input = SymInput::fresh(&mut pool, &c, "e");
+        let mut model = AbstractMapModel::new();
+        let err = execute(&mut pool, &p, &input, &mut model, &c).unwrap_err();
+        assert!(matches!(err, SymError::StateBudget { .. }));
+    }
+}

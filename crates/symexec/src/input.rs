@@ -1,0 +1,156 @@
+//! Symbolic input interface and executor configuration.
+
+use bvsolve::{TermId, TermPool};
+use dpir::{META_SLOTS, META_WIDTH};
+
+/// Configuration of a symbolic execution run.
+#[derive(Debug, Clone)]
+pub struct SymConfig {
+    /// Size of the modeled packet window in bytes. The symbolic length
+    /// is constrained to `min_pkt_len..=max_pkt_bytes`.
+    pub max_pkt_bytes: usize,
+    /// Minimum packet length assumed.
+    pub min_pkt_len: u64,
+    /// Maximum number of in-flight + finished states before aborting
+    /// (the "12h+" guard for the generic baseline).
+    pub max_states: usize,
+    /// Per-path instruction budget; exceeding it ends the path with
+    /// [`crate::SegOutcome::FuelExhausted`] (a bounded-execution suspect).
+    pub max_instrs_per_path: u64,
+    /// Whether to decide branch feasibility exactly (solver) or only
+    /// with the cheap layers (may explore some infeasible segments,
+    /// which step 2 then discards — still sound, slightly less sharp).
+    pub exact_forks: bool,
+    /// CDCL conflict budget for exact fork checks.
+    pub fork_conflict_budget: u64,
+    /// Packet access at a *symbolic* offset: `false` (dataplane-specific
+    /// behavior) summarizes it as an if-then-else selection over the
+    /// window; `true` (generic/S2E behavior) *concretizes by forking*
+    /// one state per feasible offset — the §3.3 data-structure/array
+    /// indexing blow-up ("branch into a thousand different segments").
+    pub fork_on_symbolic_offset: bool,
+}
+
+impl Default for SymConfig {
+    fn default() -> Self {
+        SymConfig {
+            max_pkt_bytes: 96,
+            min_pkt_len: 0,
+            max_states: 1 << 20,
+            max_instrs_per_path: 10_000,
+            exact_forks: true,
+            fork_conflict_budget: 50_000,
+            fork_on_symbolic_offset: false,
+        }
+    }
+}
+
+/// The symbolic input of one element execution: fresh variables for
+/// every packet byte in the window, the packet length, and each
+/// metadata slot.
+///
+/// The stored variable ids are the substitution points for step-2
+/// composition: element B's `pkt_byte_vars[i]` is replaced by element
+/// A's output byte term `i`, etc.
+#[derive(Debug, Clone)]
+pub struct SymInput {
+    /// Byte terms (initially `Var`s), window-sized.
+    pub pkt_bytes: Vec<TermId>,
+    /// Length term (initially a `Var`), width 16.
+    pub pkt_len: TermId,
+    /// Metadata slot terms (initially `Var`s), width [`META_WIDTH`].
+    pub meta: Vec<TermId>,
+    /// Var ids of `pkt_bytes` (same order).
+    pub pkt_byte_vars: Vec<u32>,
+    /// Var id of `pkt_len`.
+    pub len_var: u32,
+    /// Var ids of `meta` (same order).
+    pub meta_vars: Vec<u32>,
+    /// Base constraints (length bounds) to conjoin into every segment.
+    pub base_constraints: Vec<TermId>,
+}
+
+impl SymInput {
+    /// Creates fresh unconstrained input variables with `prefix` in
+    /// their debug names (e.g. `"e2"` for pipeline element 2).
+    pub fn fresh(pool: &mut TermPool, cfg: &SymConfig, prefix: &str) -> Self {
+        let mut pkt_bytes = Vec::with_capacity(cfg.max_pkt_bytes);
+        let mut pkt_byte_vars = Vec::with_capacity(cfg.max_pkt_bytes);
+        for i in 0..cfg.max_pkt_bytes {
+            let v = pool.fresh_var(&format!("{prefix}.pkt[{i}]"), 8);
+            pkt_byte_vars.push(var_id(pool, v));
+            pkt_bytes.push(v);
+        }
+        let pkt_len = pool.fresh_var(&format!("{prefix}.len"), 16);
+        let len_var = var_id(pool, pkt_len);
+        let mut meta = Vec::with_capacity(META_SLOTS);
+        let mut meta_vars = Vec::with_capacity(META_SLOTS);
+        for s in 0..META_SLOTS {
+            let v = pool.fresh_var(&format!("{prefix}.meta[{s}]"), META_WIDTH);
+            meta_vars.push(var_id(pool, v));
+            meta.push(v);
+        }
+        let min = pool.mk_const(16, cfg.min_pkt_len);
+        let max = pool.mk_const(16, cfg.max_pkt_bytes as u64);
+        let lo = pool.mk_ule(min, pkt_len);
+        let hi = pool.mk_ule(pkt_len, max);
+        SymInput {
+            pkt_bytes,
+            pkt_len,
+            meta,
+            pkt_byte_vars,
+            len_var,
+            meta_vars,
+            base_constraints: vec![lo, hi],
+        }
+    }
+
+    /// Builds an input whose packet/length/meta are *terms* (not fresh
+    /// variables) — used by the generic whole-pipeline executor where
+    /// element k's input is element k-1's output state.
+    pub fn from_terms(
+        pkt_bytes: Vec<TermId>,
+        pkt_len: TermId,
+        meta: Vec<TermId>,
+        base_constraints: Vec<TermId>,
+    ) -> Self {
+        SymInput {
+            pkt_bytes,
+            pkt_len,
+            meta,
+            pkt_byte_vars: Vec::new(),
+            len_var: u32::MAX,
+            meta_vars: Vec::new(),
+            base_constraints,
+        }
+    }
+}
+
+/// Recovers the var id of a `Var` term (panics otherwise).
+fn var_id(pool: &TermPool, t: TermId) -> u32 {
+    match *pool.get(t) {
+        bvsolve::Term::Var { id, .. } => id,
+        _ => panic!("expected a variable term"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_input_shapes() {
+        let mut pool = TermPool::new();
+        let cfg = SymConfig {
+            max_pkt_bytes: 32,
+            ..Default::default()
+        };
+        let inp = SymInput::fresh(&mut pool, &cfg, "e0");
+        assert_eq!(inp.pkt_bytes.len(), 32);
+        assert_eq!(inp.meta.len(), META_SLOTS);
+        assert_eq!(pool.width(inp.pkt_len), 16);
+        assert_eq!(pool.width(inp.pkt_bytes[5]), 8);
+        assert_eq!(inp.base_constraints.len(), 2);
+        assert_eq!(pool.var_name(inp.pkt_byte_vars[3]), "e0.pkt[3]");
+    }
+}

@@ -1,0 +1,239 @@
+//! Concolic differential tests: for random concrete packets, exactly
+//! one symbolic segment's constraint must hold, and that segment's
+//! transform (output bytes, length, metadata, outcome, instruction
+//! count) must match the concrete interpreter bit-for-bit.
+//!
+//! This is the soundness anchor of the whole verifier: step 1 summaries
+//! are trusted to *be* the element's semantics.
+
+use bvsolve::{eval, Assignment, TermPool};
+use dpir::{
+    run_program, BinOp, CrashReason, ExecResult, NullMapRuntime, PacketData, Program,
+    ProgramBuilder,
+};
+use proptest::prelude::*;
+use symexec::{execute, AbstractMapModel, SegOutcome, Segment, SymConfig, SymInput};
+
+const WINDOW: usize = 24;
+
+fn cfg() -> SymConfig {
+    SymConfig {
+        max_pkt_bytes: WINDOW,
+        max_instrs_per_path: 500,
+        ..Default::default()
+    }
+}
+
+/// Builds the assignment binding the symbolic input to a concrete packet.
+fn bind(input: &SymInput, pkt: &PacketData) -> Assignment {
+    let mut a = Assignment::new();
+    for (i, &vid) in input.pkt_byte_vars.iter().enumerate() {
+        let b = pkt.bytes.get(i).copied().unwrap_or(0);
+        a.set(vid, b as u64);
+    }
+    a.set(input.len_var, pkt.bytes.len() as u64);
+    for (s, &vid) in input.meta_vars.iter().enumerate() {
+        a.set(vid, pkt.meta[s] as u64);
+    }
+    a
+}
+
+fn matching_segments<'a>(
+    pool: &TermPool,
+    segs: &'a [Segment],
+    a: &Assignment,
+) -> Vec<&'a Segment> {
+    segs.iter()
+        .filter(|s| s.constraint.iter().all(|&c| eval(pool, c, a) == 1))
+        .collect()
+}
+
+/// Runs both executors and checks agreement for the given packet.
+fn check_agreement(prog: &Program, bytes: Vec<u8>) {
+    let mut pool = TermPool::new();
+    let c = cfg();
+    let input = SymInput::fresh(&mut pool, &c, "e");
+    let mut model = AbstractMapModel::new();
+    let report = execute(&mut pool, prog, &input, &mut model, &c).expect("symexec ok");
+
+    let mut pkt = PacketData::new(bytes.clone());
+    pkt.capacity = WINDOW;
+    let mut maps = NullMapRuntime;
+    let concrete = run_program(prog, &mut pkt, &mut maps, 500);
+
+    let a = bind(&input, &PacketData::new(bytes));
+    let matches = matching_segments(&pool, &report.segments, &a);
+    assert_eq!(
+        matches.len(),
+        1,
+        "exactly one segment must cover each concrete input (got {})",
+        matches.len()
+    );
+    let seg = matches[0];
+
+    // Outcome agreement.
+    match (concrete.result, seg.outcome) {
+        (ExecResult::Emitted(p1), SegOutcome::Emit(p2)) => assert_eq!(p1, p2),
+        (ExecResult::Dropped, SegOutcome::Drop) => {}
+        (ExecResult::Crashed(r1), SegOutcome::Crash(r2)) => assert_eq!(r1, r2),
+        (c, s) => panic!("outcome mismatch: concrete {c:?} vs symbolic {s:?}"),
+    }
+
+    // Instruction count agreement.
+    assert_eq!(concrete.instrs, seg.instrs, "instruction count");
+
+    // Packet transform agreement (only meaningful for normal endings).
+    if matches!(concrete.result, ExecResult::Emitted(_) | ExecResult::Dropped) {
+        let out_len = eval(&pool, seg.len_out, &a);
+        assert_eq!(out_len, pkt.bytes.len() as u64, "output length");
+        for i in 0..pkt.bytes.len().min(WINDOW) {
+            let sym_b = eval(&pool, seg.pkt_out[i], &a);
+            assert_eq!(sym_b, pkt.bytes[i] as u64, "output byte {i}");
+        }
+        for s in 0..dpir::META_SLOTS {
+            let sym_m = eval(&pool, seg.meta_out[s], &a);
+            assert_eq!(sym_m, pkt.meta[s] as u64, "meta slot {s}");
+        }
+    }
+}
+
+/// A small TTL-decrement-like element: checks length, loads a byte,
+/// drops if ≤ 1, otherwise decrements, stores back and emits.
+fn ttl_like() -> Program {
+    let mut b = ProgramBuilder::new("ttl");
+    let len = b.pkt_len();
+    let shortc = b.ult(16, len, 4u64);
+    let (short_bb, cont) = b.fork(shortc);
+    let _ = short_bb;
+    b.drop_();
+    b.switch_to(cont);
+    let ttl = b.pkt_load(8, 2u64);
+    let low = b.ule(8, ttl, 1u64);
+    let (low_bb, ok) = b.fork(low);
+    let _ = low_bb;
+    b.drop_();
+    b.switch_to(ok);
+    let dec = b.sub(8, ttl, 1u64);
+    b.pkt_store(8, 2u64, dec);
+    b.emit(0);
+    b.build().expect("valid")
+}
+
+/// An element with arithmetic on a 16-bit field and a division whose
+/// divisor comes from the packet (crash class: DivByZero).
+fn div_elem() -> Program {
+    let mut b = ProgramBuilder::new("div");
+    let len = b.pkt_len();
+    let shortc = b.ult(16, len, 4u64);
+    let (short_bb, cont) = b.fork(shortc);
+    let _ = short_bb;
+    b.drop_();
+    b.switch_to(cont);
+    let v = b.pkt_load(16, 0u64);
+    let d = b.pkt_load(8, 3u64);
+    let d16 = b.zext(8, 16, d);
+    let q = b.bin(BinOp::UDiv, 16, v, d16);
+    b.pkt_store(16, 0u64, q);
+    b.emit(1);
+    b.build().expect("valid")
+}
+
+/// A looping element: sums bytes 4..4+n where n = byte 0 & 7, via a
+/// metadata cursor (Condition 1 style).
+fn loop_elem() -> Program {
+    let mut b = ProgramBuilder::new("loop");
+    let len = b.pkt_len();
+    let shortc = b.ult(16, len, 16u64);
+    let (short_bb, cont) = b.fork(shortc);
+    let _ = short_bb;
+    b.drop_();
+    b.switch_to(cont);
+    let n8 = b.pkt_load(8, 0u64);
+    let n = b.and(8, n8, 0x07u64);
+    let n32 = b.zext(8, 32, n);
+    b.meta_store(0, 0u64); // i = 0
+    b.meta_store(1, 0u64); // acc = 0
+    let hdr = b.new_block();
+    let body = b.new_block();
+    let done = b.new_block();
+    b.jump(hdr);
+    b.switch_to(hdr);
+    let i = b.meta_load(0);
+    let c = b.ult(32, i, n32);
+    b.branch(c, body, done);
+    b.switch_to(body);
+    let i2 = b.meta_load(0);
+    let i16 = b.trunc(32, 16, i2);
+    let off = b.add(16, i16, 4u64);
+    let v = b.pkt_load(8, off);
+    let v32 = b.zext(8, 32, v);
+    let acc = b.meta_load(1);
+    let acc2 = b.add(32, acc, v32);
+    b.meta_store(1, acc2);
+    let i3 = b.add(32, i2, 1u64);
+    b.meta_store(0, i3);
+    b.jump(hdr);
+    b.switch_to(done);
+    b.emit(0);
+    b.build().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ttl_agrees(bytes in proptest::collection::vec(any::<u8>(), 0..WINDOW)) {
+        check_agreement(&ttl_like(), bytes);
+    }
+
+    #[test]
+    fn div_agrees(bytes in proptest::collection::vec(any::<u8>(), 0..WINDOW)) {
+        check_agreement(&div_elem(), bytes);
+    }
+
+    #[test]
+    fn loop_agrees(bytes in proptest::collection::vec(any::<u8>(), 0..WINDOW)) {
+        check_agreement(&loop_elem(), bytes);
+    }
+}
+
+#[test]
+fn crash_segments_enumerate_all_reasons() {
+    let mut pool = TermPool::new();
+    let c = cfg();
+    let input = SymInput::fresh(&mut pool, &c, "e");
+    let mut model = AbstractMapModel::new();
+    let report = execute(&mut pool, &div_elem(), &input, &mut model, &c).expect("ok");
+    let mut reasons: Vec<CrashReason> = report
+        .segments
+        .iter()
+        .filter_map(|s| match s.outcome {
+            SegOutcome::Crash(r) => Some(r),
+            _ => None,
+        })
+        .collect();
+    reasons.sort_by_key(|r| format!("{r:?}"));
+    reasons.dedup();
+    // div element: no OobRead possible (length-checked), but DivByZero is.
+    assert!(reasons.contains(&CrashReason::DivByZero));
+    assert!(!reasons.contains(&CrashReason::OobRead));
+}
+
+#[test]
+fn segment_constraints_are_disjoint_on_samples() {
+    // Segments partition the input space: sample packets and check no
+    // packet satisfies two segment constraints.
+    let prog = ttl_like();
+    let mut pool = TermPool::new();
+    let c = cfg();
+    let input = SymInput::fresh(&mut pool, &c, "e");
+    let mut model = AbstractMapModel::new();
+    let report = execute(&mut pool, &prog, &input, &mut model, &c).expect("ok");
+    for seed in 0..50u64 {
+        let n = (seed % WINDOW as u64) as usize;
+        let bytes: Vec<u8> = (0..n).map(|i| (seed.wrapping_mul(31) as u8).wrapping_add(i as u8)).collect();
+        let a = bind(&input, &PacketData::new(bytes));
+        let m = matching_segments(&pool, &report.segments, &a);
+        assert_eq!(m.len(), 1, "seed {seed}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Map-model semantics tests: the abstract model over-approximates the
+//! concrete stores (every concrete behavior is covered by some
+//! segment), and the table model agrees with concrete table lookups.
+
+use bvsolve::{eval, Assignment, TermPool};
+use dpir::{run_program, ExecResult, MapDecl, MapRuntime, PacketData, Program, ProgramBuilder};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use symexec::{execute, AbstractMapModel, SegOutcome, SymConfig, SymInput, TableMapModel};
+
+/// A minimal concrete store for the differential test (symexec cannot
+/// depend on the dataplane crate, which sits above it).
+#[derive(Default)]
+struct MiniStore {
+    entries: HashMap<u64, u64>,
+}
+
+impl MapRuntime for MiniStore {
+    fn read(&mut self, _m: dpir::MapId, key: u64) -> Option<u64> {
+        self.entries.get(&key).copied()
+    }
+    fn write(&mut self, _m: dpir::MapId, key: u64, value: u64) -> bool {
+        self.entries.insert(key, value);
+        true
+    }
+    fn test(&mut self, _m: dpir::MapId, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+    fn expire(&mut self, _m: dpir::MapId, key: u64) {
+        self.entries.remove(&key);
+    }
+}
+
+/// An element that reads a map with the packet's first byte as key and
+/// routes on (found, value>100).
+fn map_router() -> Program {
+    let mut b = ProgramBuilder::new("map_router");
+    let m = b.map(MapDecl {
+        name: "t".into(),
+        key_width: 8,
+        value_width: 8,
+        capacity: 16,
+        is_static: false,
+    });
+    let len = b.pkt_len();
+    let empty = b.ult(16, len, 1u64);
+    let (e, ok) = b.fork(empty);
+    let _ = e;
+    b.drop_();
+    b.switch_to(ok);
+    let key = b.pkt_load(8, 0u64);
+    let (found, val) = b.map_read(m, key);
+    let (hit, miss) = b.fork(found);
+    let _ = hit;
+    let big = b.ult(8, 100u64, val);
+    let (big_bb, small_bb) = b.fork(big);
+    let _ = big_bb;
+    b.emit(2);
+    b.switch_to(small_bb);
+    b.emit(1);
+    b.switch_to(miss);
+    b.emit(0);
+    b.build().expect("valid")
+}
+
+fn cfg() -> SymConfig {
+    SymConfig {
+        max_pkt_bytes: 8,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Over-approximation: whatever port a concrete run takes (for any
+    /// map contents), some abstract segment takes the same port with a
+    /// constraint the packet satisfies (modulo havoc variables, which
+    /// are existential).
+    #[test]
+    fn abstract_model_covers_concrete_runs(
+        key in any::<u8>(),
+        entries in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..8),
+    ) {
+        let prog = map_router();
+        // Concrete run against a real store.
+        let mut rt = MiniStore::default();
+        for (k, v) in &entries {
+            rt.entries.insert(*k as u64, *v as u64);
+        }
+        let mut pkt = PacketData::new(vec![key]);
+        let out = run_program(&prog, &mut pkt, &mut rt, 1000);
+        let ExecResult::Emitted(port) = out.result else {
+            panic!("router always emits: {:?}", out.result)
+        };
+
+        // Symbolic segments with the abstract model.
+        let mut pool = TermPool::new();
+        let c = cfg();
+        let input = SymInput::fresh(&mut pool, &c, "e");
+        let mut model = AbstractMapModel::new();
+        let rep = execute(&mut pool, &prog, &input, &mut model, &c).expect("ok");
+
+        // A segment with the same port must exist whose *packet-only*
+        // constraints hold for this packet (havoc vars are free).
+        let mut a = Assignment::new();
+        a.set(input.pkt_byte_vars[0], key as u64);
+        a.set(input.len_var, 1);
+        let covered = rep.segments.iter().any(|s| {
+            s.outcome == SegOutcome::Emit(port)
+                && s.constraint.iter().all(|&t| {
+                    // Constraints mentioning havoc vars are satisfiable
+                    // by construction (havocs are unconstrained); only
+                    // check pure-packet conjuncts here.
+                    let fv = pool.free_vars(t);
+                    let packet_only = fv.iter().all(|v| {
+                        input.pkt_byte_vars.contains(v) || *v == input.len_var
+                    });
+                    !packet_only || eval(&pool, t, &a) == 1
+                })
+        });
+        prop_assert!(covered, "port {port} uncovered for key {key}");
+    }
+
+    /// The table model's ITE summary computes exactly the concrete
+    /// lookup result.
+    #[test]
+    fn table_model_matches_concrete_lookup(
+        key in any::<u8>(),
+        entries in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..8),
+    ) {
+        let mut pool = TermPool::new();
+        let mut tm = TableMapModel::new();
+        // First binding of a duplicate key wins in the ITE chain; make
+        // keys unique to sidestep duplicate semantics.
+        let mut uniq: Vec<(u64, u64)> = Vec::new();
+        for (k, v) in &entries {
+            if !uniq.iter().any(|(k2, _)| *k2 == *k as u64) {
+                uniq.push((*k as u64, *v as u64));
+            }
+        }
+        tm.set_table(dpir::MapId(0), uniq.clone());
+        let decl = MapDecl {
+            name: "t".into(),
+            key_width: 8,
+            value_width: 8,
+            capacity: 16,
+            is_static: true,
+        };
+        let kvar = pool.fresh_var("k", 8);
+        let branches =
+            symexec::MapModel::read(&mut tm, &mut pool, dpir::MapId(0), &decl, kvar);
+        prop_assert_eq!(branches.len(), 1);
+        let mut a = Assignment::new();
+        a.set(0, key as u64);
+        let found = eval(&pool, branches[0].flag, &a);
+        let value = eval(&pool, branches[0].value, &a);
+        let expect = uniq.iter().find(|(k, _)| *k == key as u64);
+        match expect {
+            Some((_, v)) => {
+                prop_assert_eq!(found, 1);
+                prop_assert_eq!(value, *v);
+            }
+            None => prop_assert_eq!(found, 0),
+        }
+    }
+}
+
+#[test]
+fn abstract_model_segments_enumerate_all_ports() {
+    let prog = map_router();
+    let mut pool = TermPool::new();
+    let c = cfg();
+    let input = SymInput::fresh(&mut pool, &c, "e");
+    let mut model = AbstractMapModel::new();
+    let rep = execute(&mut pool, &prog, &input, &mut model, &c).expect("ok");
+    let mut ports: Vec<u8> = rep
+        .segments
+        .iter()
+        .filter_map(|s| match s.outcome {
+            SegOutcome::Emit(p) => Some(p),
+            _ => None,
+        })
+        .collect();
+    ports.sort_unstable();
+    ports.dedup();
+    assert_eq!(ports, vec![0, 1, 2], "havoc exposes every routing branch");
+}

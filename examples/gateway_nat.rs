@@ -1,0 +1,63 @@
+//! Network-gateway verification (§5.1/§5.2): the stateful pipeline —
+//! traffic monitor plus NAT — including the §3.4 private-state analysis
+//! and the Click NAT hairpin crash (bug #3).
+//!
+//! ```sh
+//! cargo run --release --example gateway_nat
+//! ```
+
+use dpv::bvsolve::TermPool;
+use dpv::elements::pipelines::{network_gateway, to_pipeline, NAT_PUBLIC_IP, NAT_PUBLIC_PORT};
+use dpv::symexec::SymConfig;
+use dpv::verifier::{
+    analyze_private_state, summarize_pipeline, verify_crash_freedom, MapMode, Verdict,
+    VerifyConfig,
+};
+
+fn cfg() -> VerifyConfig {
+    VerifyConfig {
+        sym: SymConfig {
+            max_pkt_bytes: 48,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn main() {
+    // --- the shipped gateway: verified NAT ------------------------------
+    let p = to_pipeline("gateway", network_gateway(5));
+    let report = verify_crash_freedom(&p, &cfg());
+    println!("{report}");
+    assert!(matches!(report.verdict, Verdict::Proved));
+
+    // --- §3.4: what does the private state do over packet sequences? ----
+    let mut pool = TermPool::new();
+    let sums = summarize_pipeline(&mut pool, &p, &cfg().sym, MapMode::Abstract).expect("step 1");
+    for finding in analyze_private_state(&mut pool, &sums, &p) {
+        println!("state finding: {finding}");
+    }
+
+    // --- the same gateway with Click's IPRewriter: bug #3 ---------------
+    let buggy = to_pipeline(
+        "gateway+clicknat",
+        vec![
+            dpv::elements::classifier::classifier(),
+            dpv::elements::check_ip_header::check_ip_header(false),
+            dpv::elements::nat::nat_click_buggy(NAT_PUBLIC_IP, NAT_PUBLIC_PORT, 64),
+        ],
+    );
+    let report = verify_crash_freedom(&buggy, &cfg());
+    println!("{report}");
+    let Verdict::Disproved(cex) = &report.verdict else {
+        panic!("bug #3 must be found");
+    };
+    let pkt = dpv::dpir::PacketData::new(cex.bytes.clone());
+    println!(
+        "bug #3 trigger: src {}:{} → dst {}:{} (the NAT's own public tuple)",
+        dpv::dataplane::headers::fmt_ip(dpv::dataplane::headers::ip_src(&pkt)),
+        dpv::dataplane::headers::l4_src_port(&pkt),
+        dpv::dataplane::headers::fmt_ip(dpv::dataplane::headers::ip_dst(&pkt)),
+        dpv::dataplane::headers::l4_dst_port(&pkt),
+    );
+}

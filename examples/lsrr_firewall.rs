@@ -1,0 +1,79 @@
+//! The LSRR firewall bypass (§5.3 "Unintended behavior"), as a network
+//! operator would run it: state a filtering policy, get a counter-
+//! example packet, watch it bypass the firewall, then fix the config.
+//!
+//! ```sh
+//! cargo run --release --example lsrr_firewall
+//! ```
+
+use dpv::dataplane::headers;
+use dpv::elements::pipelines::{to_pipeline, ROUTER_IP};
+use dpv::symexec::SymConfig;
+use dpv::verifier::{verify_filtering, FilterProperty, Verdict, VerifyConfig};
+
+const BLACKLISTED: u32 = 0x0BAD_0001; // 11.173.0.1
+
+fn cfg() -> VerifyConfig {
+    VerifyConfig {
+        sym: SymConfig {
+            max_pkt_bytes: 48,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn main() {
+    println!(
+        "policy: every packet with source {} must be dropped\n",
+        headers::fmt_ip(BLACKLISTED)
+    );
+
+    // Router with LSRR support, firewall behind it — the vulnerable
+    // ordering that was exploited in practice.
+    let vulnerable = to_pipeline(
+        "ipoptions(lsrr) → firewall",
+        vec![
+            dpv::elements::ip_options::ip_options(2, Some(ROUTER_IP)),
+            dpv::elements::ip_filter::ip_filter(vec![BLACKLISTED]),
+        ],
+    );
+    let report = verify_filtering(&vulnerable, &FilterProperty::src(BLACKLISTED), &cfg());
+    println!("{report}");
+    let Verdict::Disproved(cex) = &report.verdict else {
+        panic!("the bypass must be found");
+    };
+    println!("bypass packet: {}", cex.hex());
+
+    // Replay through the concrete dataplane.
+    let p = to_pipeline(
+        "replay",
+        vec![
+            dpv::elements::ip_options::ip_options(2, Some(ROUTER_IP)),
+            dpv::elements::ip_filter::ip_filter(vec![BLACKLISTED]),
+        ],
+    );
+    let stores = p.stages.iter().map(|s| s.element.build_stores()).collect();
+    let mut r = dpv::dataplane::Runner::new(p, stores);
+    let mut pkt = dpv::dpir::PacketData::new(cex.bytes.clone());
+    let out = r.run_packet(&mut pkt);
+    println!(
+        "replay: {:?} — source was rewritten to {} by LSRR processing, so the\n\
+         firewall's source check never saw the blacklisted address.\n",
+        out,
+        headers::fmt_ip(headers::ip_src(&pkt)),
+    );
+
+    // The fix network operators deployed: disable LSRR.
+    let fixed = to_pipeline(
+        "ipoptions(no lsrr) → firewall",
+        vec![
+            dpv::elements::ip_options::ip_options(2, None),
+            dpv::elements::ip_filter::ip_filter(vec![BLACKLISTED]),
+        ],
+    );
+    let report = verify_filtering(&fixed, &FilterProperty::src(BLACKLISTED), &cfg());
+    println!("{report}");
+    assert!(matches!(report.verdict, Verdict::Proved));
+    println!("with LSRR disabled the policy is PROVED.");
+}

@@ -1,0 +1,30 @@
+//! # dpv — Software Dataplane Verification
+//!
+//! A Rust reproduction of *Software Dataplane Verification* (Dobrescu &
+//! Argyraki, NSDI 2014): a verification tool that takes a software
+//! dataplane — a pipeline of packet-processing elements — and proves (or
+//! disproves, with concrete counterexample packets) crash-freedom,
+//! bounded-execution and filtering properties.
+//!
+//! This facade crate re-exports the workspace crates; see the individual
+//! crates for the full APIs:
+//!
+//! * [`bitsat`] — from-scratch CDCL SAT solver.
+//! * [`bvsolve`] — bitvector terms, simplification and bit-blasting.
+//! * [`dpir`] — the dataplane IR that elements are written in, plus its
+//!   concrete interpreter.
+//! * [`symexec`] — the symbolic executor producing per-segment summaries.
+//! * [`dataplane`] — packets, pipelines, runner, workload generators and
+//!   the verifiable pre-allocated data structures.
+//! * [`elements`] — the Table-2 element library (Classifier … NAT),
+//!   including faithful reproductions of the three Click bugs of §5.3.
+//! * [`verifier`] — the paper's contribution: compositional verification
+//!   via pipeline and loop decomposition.
+
+pub use bitsat;
+pub use bvsolve;
+pub use dataplane;
+pub use dpir;
+pub use elements;
+pub use symexec;
+pub use verifier;
