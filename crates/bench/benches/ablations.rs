@@ -60,10 +60,7 @@ fn bench(c: &mut Criterion) {
     {
         g.bench_function("map_models/abstract", |b| {
             b.iter(|| {
-                let p = to_pipeline(
-                    "mon",
-                    vec![elements::traffic_monitor::traffic_monitor(64)],
-                );
+                let p = to_pipeline("mon", vec![elements::traffic_monitor::traffic_monitor(64)]);
                 let mut pool = bvsolve::TermPool::new();
                 summarize_pipeline(&mut pool, &p, &fig_sym_config(), MapMode::Abstract)
                     .expect("completes")
@@ -72,10 +69,7 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_function("map_models/forking", |b| {
             b.iter(|| {
-                let p = to_pipeline(
-                    "mon",
-                    vec![elements::traffic_monitor::traffic_monitor(64)],
-                );
+                let p = to_pipeline("mon", vec![elements::traffic_monitor::traffic_monitor(64)]);
                 // Budgeted: the forking model explodes by design.
                 let mut cfg = generic_sym_config();
                 cfg.max_states = 5_000;

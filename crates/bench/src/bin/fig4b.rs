@@ -7,7 +7,9 @@
 
 use dpv_bench::*;
 use elements::pipelines::{network_gateway, to_pipeline};
-use verifier::{analyze_private_state, generic_verify, summarize_pipeline, verify_crash_freedom, MapMode};
+use verifier::{
+    analyze_private_state, generic_verify, summarize_pipeline, verify_crash_freedom, MapMode,
+};
 
 fn main() {
     println!("Fig. 4(b): network gateway — verification time vs pipeline length");

@@ -7,7 +7,7 @@
 //! Expected shape (paper): the longest paths execute ≈2.5× the
 //! instructions of the common path.
 
-use dataplane::{Runner, workload::FlowMix};
+use dataplane::{workload::FlowMix, Runner};
 use dpv_bench::*;
 use elements::pipelines::{build_all_stores, edge_fib, to_pipeline, ROUTER_IP};
 use verifier::longest_paths;
@@ -42,7 +42,13 @@ fn main() {
     let common = runner.stats().instrs / 200;
     println!("common path (well-formed workload): ~{common} instructions/packet");
     println!();
-    row(&["rank".into(), "instrs (symbolic)".into(), "instrs (replayed)".into(), "×common".into(), "packet".into()]);
+    row(&[
+        "rank".into(),
+        "instrs (symbolic)".into(),
+        "instrs (replayed)".into(),
+        "×common".into(),
+        "packet".into(),
+    ]);
     for (i, lp) in paths.iter().enumerate() {
         // Replay the adversarial packet concretely.
         let p2 = to_pipeline("edge router", elems.clone());

@@ -13,7 +13,10 @@ const BLACKLISTED: u32 = 0x0BAD_0001;
 
 fn main() {
     println!("§5.3 LSRR case study");
-    println!("property: packets with source {} are dropped", dataplane::headers::fmt_ip(BLACKLISTED));
+    println!(
+        "property: packets with source {} are dropped",
+        dataplane::headers::fmt_ip(BLACKLISTED)
+    );
     println!();
 
     for (label, lsrr) in [("LSRR enabled", Some(ROUTER_IP)), ("LSRR disabled", None)] {
@@ -22,8 +25,14 @@ fn main() {
             elements::ip_filter::ip_filter(vec![BLACKLISTED]),
         ];
         let p = to_pipeline(label, elems.clone());
-        let (rep, t) = timed(|| verify_filtering(&p, &FilterProperty::src(BLACKLISTED), &fig_verify_config()));
-        println!("{label}: {} ({}; {} paths composed)", verdict_cell(&rep.verdict), fmt_dur(t), rep.composed_paths);
+        let (rep, t) =
+            timed(|| verify_filtering(&p, &FilterProperty::src(BLACKLISTED), &fig_verify_config()));
+        println!(
+            "{label}: {} ({}; {} paths composed)",
+            verdict_cell(&rep.verdict),
+            fmt_dur(t),
+            rep.composed_paths
+        );
         if let Verdict::Disproved(cex) = &rep.verdict {
             println!("  counterexample ({}B): {}", cex.bytes.len(), cex.hex());
             // Replay: the packet must sail through the firewall.

@@ -43,7 +43,10 @@ fn main() {
     print_row("Click", &elements::ether::eth_decap());
     print_row("Click", &elements::dec_ttl::dec_ttl());
     print_row("Click", &elements::ether::drop_broadcasts());
-    print_row("Click+", &elements::ip_options::ip_options(3, Some(ROUTER_IP)));
+    print_row(
+        "Click+",
+        &elements::ip_options::ip_options(3, Some(ROUTER_IP)),
+    );
     print_row(
         "Click+",
         &elements::ip_lookup::ip_lookup(4, elements::pipelines::edge_fib()),

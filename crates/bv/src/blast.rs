@@ -219,10 +219,10 @@ impl Blaster {
         let w = a.len();
         let stages = usize::BITS as usize - (w - 1).leading_zeros() as usize; // ceil(log2 w)
         let mut cur: Vec<Lit> = a.to_vec();
-        for k in 0..stages.min(sh.len()) {
+        for (k, &sh_bit) in sh.iter().enumerate().take(stages) {
             let amt = 1usize << k;
             let mut shifted = vec![self.false_lit(); w];
-            for i in 0..w {
+            for (i, slot) in shifted.iter_mut().enumerate() {
                 let src = if left {
                     i.checked_sub(amt)
                 } else if i + amt < w {
@@ -231,12 +231,12 @@ impl Blaster {
                     None
                 };
                 if let Some(s) = src {
-                    shifted[i] = cur[s];
+                    *slot = cur[s];
                 }
             }
             let mut next = Vec::with_capacity(w);
             for i in 0..w {
-                next.push(self.g_ite(sh[k], shifted[i], cur[i]));
+                next.push(self.g_ite(sh_bit, shifted[i], cur[i]));
             }
             cur = next;
         }
@@ -257,7 +257,9 @@ impl Blaster {
             let lt = self.ult_vec(&lowbits, &wconst);
             toobig = self.g_or(toobig, !lt);
         }
-        cur.iter().map(|&b| self.g_and(b, !toobig)).collect::<Vec<_>>()
+        cur.iter()
+            .map(|&b| self.g_and(b, !toobig))
+            .collect::<Vec<_>>()
     }
 
     /// Restoring division: returns (quotient, remainder) with the
@@ -359,7 +361,9 @@ impl Blaster {
                 let cv = self.blast(pool, c)[0];
                 let av = self.blast(pool, a);
                 let bv = self.blast(pool, b);
-                (0..av.len()).map(|i| self.g_ite(cv, av[i], bv[i])).collect()
+                (0..av.len())
+                    .map(|i| self.g_ite(cv, av[i], bv[i]))
+                    .collect()
             }
             Term::ZExt(a, wid) => {
                 let mut av = self.blast(pool, a);

@@ -95,13 +95,7 @@ pub(crate) fn eval_binop(op: BinOp, w: u32, x: u64, y: u64) -> u64 {
         BinOp::Add => mask(w, xv.wrapping_add(yv)),
         BinOp::Sub => mask(w, xv.wrapping_sub(yv)),
         BinOp::Mul => mask(w, xv.wrapping_mul(yv)),
-        BinOp::UDiv => {
-            if yv == 0 {
-                mask(w, u64::MAX)
-            } else {
-                xv / yv
-            }
-        }
+        BinOp::UDiv => xv.checked_div(yv).unwrap_or(mask(w, u64::MAX)),
         BinOp::URem => {
             if yv == 0 {
                 xv

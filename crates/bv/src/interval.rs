@@ -162,13 +162,11 @@ fn binop_interval(op: BinOp, w: u32, a: Interval, b: Interval) -> Interval {
             }
         }
         BinOp::UDiv => {
-            if b.lo > 0 {
-                Interval {
-                    lo: a.lo / b.hi,
-                    hi: a.hi / b.lo,
-                }
-            } else {
-                full // division by zero yields all-ones
+            // `b.hi == 0` implies `b.lo == 0`: division by zero yields
+            // all-ones, so the interval collapses to `full`.
+            match (a.lo.checked_div(b.hi), a.hi.checked_div(b.lo)) {
+                (Some(lo), Some(hi)) => Interval { lo, hi },
+                _ => full,
             }
         }
         BinOp::URem => {

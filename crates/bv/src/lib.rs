@@ -41,6 +41,7 @@
 mod blast;
 mod eval;
 mod interval;
+mod migrate;
 mod pretty;
 mod solver;
 mod term;
@@ -48,6 +49,7 @@ mod term;
 pub use blast::Blaster;
 pub use eval::{eval, substitute, Assignment};
 pub use interval::{interval_of, Interval};
+pub use migrate::Migrator;
 pub use pretty::print_term;
 pub use solver::{BvSolver, Model, SatVerdict, SolverLayerStats};
 pub use term::{BinOp, Term, TermId, TermPool, UnOp, Width};

@@ -1,0 +1,214 @@
+//! Cross-pool term migration.
+//!
+//! The parallel verification driver runs step-1 symbolic execution of
+//! each pipeline element in a private [`TermPool`] on a worker thread,
+//! then imports the resulting summaries into the single master pool
+//! that step-2 composition works over. [`Migrator`] performs that
+//! import: variables are re-created in the destination pool (preserving
+//! name and width) and terms are rebuilt bottom-up through the normal
+//! simplifying constructors, so an imported term is semantically equal
+//! to its source.
+
+use crate::term::{Term, TermId, TermPool};
+use std::collections::HashMap;
+
+/// Imports terms and variables from one [`TermPool`] into another.
+///
+/// A migrator is stateful: every source variable and term is translated
+/// at most once, so structural sharing in the source pool is preserved
+/// in the destination pool.
+#[derive(Debug, Default)]
+pub struct Migrator {
+    term_map: HashMap<TermId, TermId>,
+    var_map: HashMap<u32, u32>,
+}
+
+impl Migrator {
+    /// Creates an empty migrator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-registers an identity between source variable `src_var` and
+    /// destination variable `dst_var` (used when the two pools already
+    /// share a logical variable, e.g. the pipeline input).
+    pub fn alias_var(&mut self, src_var: u32, dst_var: u32, src: &TermPool, dst: &TermPool) {
+        debug_assert_eq!(src.var_width(src_var), dst.var_width(dst_var));
+        self.var_map.insert(src_var, dst_var);
+    }
+
+    /// Imports every variable of `src` (in creation order) into `dst`,
+    /// skipping variables already aliased. Importing in creation order
+    /// keeps the destination numbering deterministic regardless of
+    /// which terms are migrated afterwards.
+    pub fn import_all_vars(&mut self, src: &TermPool, dst: &mut TermPool) {
+        for vid in 0..src.num_vars() as u32 {
+            self.import_var(vid, src, dst);
+        }
+    }
+
+    /// Imports one variable, returning its destination id.
+    pub fn import_var(&mut self, vid: u32, src: &TermPool, dst: &mut TermPool) -> u32 {
+        if let Some(&d) = self.var_map.get(&vid) {
+            return d;
+        }
+        let t = dst.fresh_var(src.var_name(vid), src.var_width(vid));
+        let d = match *dst.get(t) {
+            Term::Var { id, .. } => id,
+            _ => unreachable!("fresh_var returns a Var term"),
+        };
+        self.var_map.insert(vid, d);
+        d
+    }
+
+    /// Destination id of an already-imported source variable.
+    pub fn mapped_var(&self, vid: u32) -> Option<u32> {
+        self.var_map.get(&vid).copied()
+    }
+
+    /// Imports the term `root` (and transitively its subterms) from
+    /// `src` into `dst`, returning the destination id.
+    pub fn import(&mut self, root: TermId, src: &TermPool, dst: &mut TermPool) -> TermId {
+        if let Some(&d) = self.term_map.get(&root) {
+            return d;
+        }
+        // Iterative post-order: packet-transform terms can be deep.
+        enum Step {
+            Visit(TermId),
+            Build(TermId),
+        }
+        let mut stack = vec![Step::Visit(root)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Visit(t) => {
+                    if self.term_map.contains_key(&t) {
+                        continue;
+                    }
+                    stack.push(Step::Build(t));
+                    match *src.get(t) {
+                        Term::Const { .. } | Term::Var { .. } => {}
+                        Term::Unary(_, a) | Term::ZExt(a, _) | Term::SExt(a, _) => {
+                            stack.push(Step::Visit(a));
+                        }
+                        Term::Extract { arg, .. } => stack.push(Step::Visit(arg)),
+                        Term::Binary(_, a, b) | Term::Concat(a, b) => {
+                            stack.push(Step::Visit(a));
+                            stack.push(Step::Visit(b));
+                        }
+                        Term::Ite(c, a, b) => {
+                            stack.push(Step::Visit(c));
+                            stack.push(Step::Visit(a));
+                            stack.push(Step::Visit(b));
+                        }
+                    }
+                }
+                Step::Build(t) => {
+                    if self.term_map.contains_key(&t) {
+                        continue;
+                    }
+                    let built = match *src.get(t) {
+                        Term::Const { width, value } => dst.mk_const(width, value),
+                        Term::Var { id, .. } => {
+                            let d = self.import_var(id, src, dst);
+                            dst.var_term(d)
+                        }
+                        Term::Unary(op, a) => {
+                            let a = self.term_map[&a];
+                            dst.mk_unary(op, a)
+                        }
+                        Term::Binary(op, a, b) => {
+                            let (a, b) = (self.term_map[&a], self.term_map[&b]);
+                            dst.mk_binary(op, a, b)
+                        }
+                        Term::Ite(c, a, b) => {
+                            let (c, a, b) =
+                                (self.term_map[&c], self.term_map[&a], self.term_map[&b]);
+                            dst.mk_ite(c, a, b)
+                        }
+                        Term::ZExt(a, w) => {
+                            let a = self.term_map[&a];
+                            dst.mk_zext(a, w)
+                        }
+                        Term::SExt(a, w) => {
+                            let a = self.term_map[&a];
+                            dst.mk_sext(a, w)
+                        }
+                        Term::Extract { hi, lo, arg } => {
+                            let a = self.term_map[&arg];
+                            dst.mk_extract(a, hi, lo)
+                        }
+                        Term::Concat(a, b) => {
+                            let (a, b) = (self.term_map[&a], self.term_map[&b]);
+                            dst.mk_concat(a, b)
+                        }
+                    };
+                    self.term_map.insert(t, built);
+                }
+            }
+        }
+        self.term_map[&root]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, Assignment};
+
+    #[test]
+    fn migrated_term_evaluates_identically() {
+        let mut src = TermPool::new();
+        let x = src.fresh_var("x", 8);
+        let y = src.fresh_var("y", 8);
+        let s = src.mk_add(x, y);
+        let c = src.mk_const(8, 7);
+        let m = src.mk_mul(s, c);
+        let cmp = src.mk_ult(m, y);
+
+        let mut dst = TermPool::new();
+        // Unrelated allocations first: destination ids must not matter.
+        dst.fresh_var("unrelated", 16);
+        dst.mk_const(32, 99);
+        let mut mig = Migrator::new();
+        mig.import_all_vars(&src, &mut dst);
+        let cmp2 = mig.import(cmp, &src, &mut dst);
+
+        for (xv, yv) in [(0u64, 0u64), (3, 250), (255, 255), (17, 4)] {
+            let mut asg_src = Assignment::new();
+            asg_src.set(0, xv);
+            asg_src.set(1, yv);
+            let mut asg_dst = Assignment::new();
+            asg_dst.set(mig.mapped_var(0).unwrap(), xv);
+            asg_dst.set(mig.mapped_var(1).unwrap(), yv);
+            assert_eq!(eval(&src, cmp, &asg_src), eval(&dst, cmp2, &asg_dst));
+        }
+    }
+
+    #[test]
+    fn sharing_is_preserved() {
+        let mut src = TermPool::new();
+        let x = src.fresh_var("x", 16);
+        let t1 = src.mk_add(x, x);
+        let t2 = src.mk_mul(t1, t1);
+        let mut dst = TermPool::new();
+        let mut mig = Migrator::new();
+        let a = mig.import(t2, &src, &mut dst);
+        let b = mig.import(t1, &src, &mut dst);
+        // t1 was already imported as a subterm of t2: same destination id.
+        assert_eq!(mig.import(t1, &src, &mut dst), b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn aliased_vars_are_not_duplicated() {
+        let mut src = TermPool::new();
+        let xs = src.fresh_var("shared", 8);
+        let mut dst = TermPool::new();
+        let xd = dst.fresh_var("shared", 8);
+        let mut mig = Migrator::new();
+        mig.alias_var(0, 0, &src, &dst);
+        let t = mig.import(xs, &src, &mut dst);
+        assert_eq!(t, xd);
+        assert_eq!(dst.num_vars(), 1);
+    }
+}

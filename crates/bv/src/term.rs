@@ -138,7 +138,7 @@ pub(crate) fn mask(w: Width, v: u64) -> u64 {
 
 /// Sign-extends the `w`-bit value `v` to 64 bits (as i64 bit pattern).
 pub(crate) fn sext64(w: Width, v: u64) -> i64 {
-    debug_assert!(w >= 1 && w <= 64);
+    debug_assert!((1..=64).contains(&w));
     let shift = 64 - w;
     ((v << shift) as i64) >> shift
 }
@@ -225,7 +225,7 @@ impl TermPool {
 
     /// A constant of width `w` (value is masked).
     pub fn mk_const(&mut self, w: Width, value: u64) -> TermId {
-        debug_assert!(w >= 1 && w <= MAX_WIDTH);
+        debug_assert!((1..=MAX_WIDTH).contains(&w));
         self.intern(Term::Const {
             width: w,
             value: mask(w, value),
@@ -244,7 +244,7 @@ impl TermPool {
 
     /// A fresh symbolic variable with a debug name.
     pub fn fresh_var(&mut self, name: &str, w: Width) -> TermId {
-        debug_assert!(w >= 1 && w <= MAX_WIDTH);
+        debug_assert!((1..=MAX_WIDTH).contains(&w));
         let id = self.var_meta.len() as u32;
         self.var_meta.push((name.to_string(), w));
         let t = self.intern(Term::Var { id, width: w });
@@ -321,12 +321,12 @@ impl TermPool {
             return self.fold_const(op, w, x, y);
         }
         // Canonical order for commutative ops: constant (or lower id) left.
-        let (a, b, ca, cb) = if op.is_commutative() && (cb.is_some() && ca.is_none() || a.0 > b.0 && cb.is_none())
-        {
-            (b, a, cb, ca)
-        } else {
-            (a, b, ca, cb)
-        };
+        let (a, b, ca, cb) =
+            if op.is_commutative() && (cb.is_some() && ca.is_none() || a.0 > b.0 && cb.is_none()) {
+                (b, a, cb, ca)
+            } else {
+                (a, b, ca, cb)
+            };
         if let Some(t) = self.simplify_binary(op, w, a, b, ca, cb) {
             return t;
         }
@@ -340,13 +340,7 @@ impl TermPool {
             BinOp::Add => xv.wrapping_add(yv),
             BinOp::Sub => xv.wrapping_sub(yv),
             BinOp::Mul => xv.wrapping_mul(yv),
-            BinOp::UDiv => {
-                if yv == 0 {
-                    u64::MAX
-                } else {
-                    xv / yv
-                }
-            }
+            BinOp::UDiv => xv.checked_div(yv).unwrap_or(u64::MAX),
             BinOp::URem => {
                 if yv == 0 {
                     xv

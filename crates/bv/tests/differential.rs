@@ -43,8 +43,11 @@ fn arb_ast(depth: u32) -> BoxedStrategy<Ast> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Ast::URem(a.into(), b.into())),
             inner.clone().prop_map(|a| Ast::Not(a.into())),
             inner.clone().prop_map(|a| Ast::Neg(a.into())),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| Ast::Ite(c.into(), a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Ast::Ite(
+                c.into(),
+                a.into(),
+                b.into()
+            )),
         ]
     })
     .boxed()
@@ -221,11 +224,7 @@ fn interp(ast: &Ast, vals: &[u64; 4], w: u32) -> u64 {
         }
         Ast::UDiv(a, b) => {
             let (x, d) = (interp(a, vals, w), interp(b, vals, w));
-            if d == 0 {
-                m(u64::MAX)
-            } else {
-                x / d
-            }
+            x.checked_div(d).unwrap_or(m(u64::MAX))
         }
         Ast::URem(a, b) => {
             let (x, d) = (interp(a, vals, w), interp(b, vals, w));

@@ -8,8 +8,8 @@
 //! same element) never alias each other's unknown state.
 
 use bvsolve::{substitute, TermId, TermPool};
-use symexec::{MapOpRecord, SegOutcome, Segment, SymInput};
 use std::collections::{HashMap, HashSet};
+use symexec::{MapOpRecord, SegOutcome, Segment, SymInput};
 
 /// The composed symbolic state after a prefix of pipeline segments —
 /// all terms range over the *pipeline* input variables plus renamed
@@ -101,13 +101,16 @@ pub fn compose(
     // (e.g. an unused `found` flag); rename them too so the §3.4
     // analysis sees per-instantiation variables.
     for op in &segment.map_ops {
-        for vid in [op.havoc_value_var, op.havoc_flag_var].into_iter().flatten() {
-            if !map.contains_key(&vid) {
+        for vid in [op.havoc_value_var, op.havoc_flag_var]
+            .into_iter()
+            .flatten()
+        {
+            map.entry(vid).or_insert_with(|| {
                 let w = pool.var_width(vid);
                 let name = format!("{}@{}_{}", pool.var_name(vid), stage_idx, seg_idx);
-                let fresh = pool.fresh_var(&name, w);
-                map.insert(vid, fresh);
-            }
+
+                pool.fresh_var(&name, w)
+            });
         }
     }
 

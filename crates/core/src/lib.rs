@@ -45,16 +45,22 @@
 
 pub mod compose;
 pub mod generic;
+pub mod parallel;
 pub mod report;
 pub mod stateful;
 pub mod step2;
 pub mod summary;
 
 pub use generic::{generic_verify, GenericOutcome, GenericReport};
+pub use parallel::{
+    verify_bounded_execution_par, verify_crash_freedom_par, verify_filtering_par, ParallelConfig,
+};
 pub use report::{CounterExample, Verdict, VerifyReport};
 pub use stateful::{analyze_private_state, StateFinding};
 pub use step2::{
     longest_paths, verify_bounded_execution, verify_crash_freedom, verify_filtering,
     FilterProperty, LongestPath, VerifyConfig,
 };
-pub use summary::{summarize_pipeline, MapMode, PipelineSummaries, StageSummary};
+pub use summary::{
+    summarize_pipeline, summarize_pipeline_par, MapMode, PipelineSummaries, StageSummary,
+};

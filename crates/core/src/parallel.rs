@@ -1,0 +1,437 @@
+//! Parallel verification driver.
+//!
+//! Runs both verification steps across a pool of worker threads:
+//!
+//! * **step 1** executes each pipeline element in a worker-private
+//!   term pool and migrates the summaries into the master pool
+//!   ([`crate::summary::summarize_pipeline_par`]);
+//! * **step 2** splits the composed-path search into a frontier of
+//!   independent subtree and feasibility-check tasks, drained by
+//!   workers from a shared queue (each worker owns a clone of the
+//!   master pool and its own solver, so no locks are held during
+//!   solving).
+//!
+//! **Determinism.** Tasks are enumerated in exactly the order the
+//! sequential search visits them, results are merged in that order,
+//! both drivers classify segments through the single
+//! [`crate::step2::classify`] engine, and a winning violation is
+//! re-extracted against the unmutated master pool — so for any
+//! pipeline whose *parallel* run stays within the path budget, the
+//! parallel result (verdict *and* counterexample packet) is
+//! independent of thread count, split depth and scheduling, and its
+//! proof status (proved / disproved / unknown) equals the sequential
+//! driver's.
+//!
+//! Caveats, both confined to pathological inputs:
+//!
+//! * The concrete counterexample *packet* may differ from the
+//!   sequential one when the property leaves input bytes
+//!   unconstrained: solver models are sensitive to term-pool interning
+//!   order, which step-1 migration changes. Both packets trigger the
+//!   same violation.
+//! * The `composed_paths` consumption differs in both directions: the
+//!   sequential driver counts shallow routing checks the frontier
+//!   split skips, while an infeasible shallow prefix the sequential
+//!   search prunes with one check becomes an Explore task that spends
+//!   several checks discovering every successor unsatisfiable. A run
+//!   whose sequential count sits near `max_composed_paths` can
+//!   therefore exhaust the shared budget only in parallel (or only
+//!   sequentially), and *which* tasks hit the budget first is
+//!   scheduling dependent — near the budget edge the verdict may
+//!   degrade to `Unknown("step-2 path budget exceeded")`
+//!   nondeterministically. Far from the edge (the normal case, with
+//!   the default budget of 2^20 paths) none of this is observable.
+
+use crate::compose::ComposedState;
+use crate::report::{CounterExample, VerifyReport};
+use crate::step2::{
+    aborted_report, bounded_suspects, check, classify, constrain_filter, crash_reach,
+    crash_suspects, lookahead, make_initial, search, segment_count, verdict_of, Feas,
+    FilterProperty, Node, PropKind, SearchOutcome, StepEvent, VerifyConfig,
+};
+use crate::summary::{summarize_pipeline_par, MapMode, PipelineSummaries};
+use bvsolve::{BvSolver, TermPool};
+use dataplane::Pipeline;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Thread-pool settings for the parallel driver.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Worker threads; `0` uses all available cores.
+    pub threads: usize,
+    /// Composition depth at which the step-2 search is split into
+    /// independent subtree tasks. Larger values produce more (smaller)
+    /// tasks: better load balancing, slightly more duplicated prefix
+    /// work. The verdict does not depend on this value.
+    pub split_depth: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 0,
+            split_depth: 2,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// A config pinned to `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// The worker count this config resolves to (`0` → all cores).
+    pub fn effective_threads(&self) -> usize {
+        crate::summary::effective_threads(self.threads)
+    }
+}
+
+/// One unit of step-2 work, produced by the frontier split.
+enum Task {
+    /// A single feasibility check. `violation: Some(desc)` means a
+    /// feasible state disproves the property with that description;
+    /// `None` means a feasible state only blocks a full proof.
+    Check {
+        state: ComposedState,
+        violation: Option<String>,
+    },
+    /// A whole search subtree rooted at `Node`.
+    Explore(Node),
+}
+
+/// Per-task outcome, merged in task order.
+enum TaskResult {
+    Clean,
+    Violation(CounterExample),
+    Unknown,
+    Budget,
+    /// Skipped because an earlier-indexed task already found a
+    /// violation (cannot affect the merged verdict).
+    Skipped,
+}
+
+/// Enumerates step-2 tasks in exactly the order the sequential search
+/// visits them: the same LIFO stack discipline, with suspect/blocker
+/// checks emitted inline and subtrees emitted when a node at
+/// `split_depth` compositions is popped.
+///
+/// No solver runs here — infeasible prefixes simply produce tasks
+/// whose every check is unsatisfiable, which is what the sequential
+/// search's pruning would have concluded too.
+fn expand_frontier(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    sums: &PipelineSummaries,
+    kind: &PropKind,
+    init: ComposedState,
+    reach: &[bool],
+    split_depth: usize,
+) -> Vec<Task> {
+    let mut tasks = Vec::new();
+    let mut stack = vec![Node {
+        stage: 0,
+        iter: 0,
+        state: init,
+    }];
+    while let Some(node) = stack.pop() {
+        if node.state.trace.len() >= split_depth {
+            tasks.push(Task::Explore(node));
+            continue;
+        }
+        for (i, seg) in sums.stages[node.stage].segments.iter().enumerate() {
+            match classify(pool, pipeline, sums, kind, &node, i, seg, reach) {
+                StepEvent::ViolationCheck(what, next) => tasks.push(Task::Check {
+                    state: next,
+                    violation: Some(what),
+                }),
+                StepEvent::BlockerCheck(next) => tasks.push(Task::Check {
+                    state: next,
+                    violation: None,
+                }),
+                StepEvent::Continue(n) => stack.push(n),
+                StepEvent::Inert => {}
+            }
+        }
+    }
+    tasks
+}
+
+#[derive(Clone, Copy)]
+struct WorkerCtx<'a> {
+    pipeline: &'a Pipeline,
+    sums: &'a PipelineSummaries,
+    cfg: &'a VerifyConfig,
+    kind: &'a PropKind,
+    reach: &'a [bool],
+    composed: &'a AtomicUsize,
+}
+
+fn run_task(
+    task: &Task,
+    pool: &mut TermPool,
+    solver: &mut BvSolver,
+    ctx: &WorkerCtx,
+) -> TaskResult {
+    if ctx.composed.load(Ordering::Relaxed) >= ctx.cfg.max_composed_paths {
+        return TaskResult::Budget;
+    }
+    match task {
+        Task::Check { state, violation } => {
+            ctx.composed.fetch_add(1, Ordering::Relaxed);
+            let feas = check(pool, solver, state, &[]);
+            match (feas, violation) {
+                (Feas::Sat(m), Some(desc)) => TaskResult::Violation(CounterExample::from_model(
+                    pool,
+                    &ctx.sums.input,
+                    &m,
+                    desc.clone(),
+                    state.trace.clone(),
+                )),
+                (Feas::Unsat, _) => TaskResult::Clean,
+                (_, None) => TaskResult::Unknown,
+                (Feas::Unknown, Some(_)) => TaskResult::Unknown,
+            }
+        }
+        Task::Explore(node) => match search(
+            pool,
+            solver,
+            ctx.pipeline,
+            ctx.sums,
+            ctx.cfg,
+            ctx.kind,
+            vec![node.clone()],
+            ctx.reach,
+            ctx.composed,
+        ) {
+            SearchOutcome::Clean => TaskResult::Clean,
+            SearchOutcome::Violation(cex) => TaskResult::Violation(cex),
+            SearchOutcome::Budget => TaskResult::Budget,
+            SearchOutcome::SolverUnknown => TaskResult::Unknown,
+        },
+    }
+}
+
+/// Drains `tasks` across `threads` workers and merges the results in
+/// task order (ties between outcome classes resolved exactly as the
+/// sequential search would: first violation wins, then budget, then
+/// solver-unknown).
+fn drain_tasks(
+    master: &TermPool,
+    tasks: &[Task],
+    threads: usize,
+    ctx: &WorkerCtx,
+) -> SearchOutcome {
+    let next = AtomicUsize::new(0);
+    // Index of the earliest violation found so far: tasks after it
+    // cannot influence the merged verdict and are skipped.
+    let cutoff = AtomicUsize::new(usize::MAX);
+    let threads = threads.min(tasks.len().max(1));
+    let mut results: Vec<(usize, TaskResult)> = Vec::with_capacity(tasks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let cutoff = &cutoff;
+                s.spawn(move || {
+                    let mut pool = master.clone();
+                    let mut solver = BvSolver::with_conflict_budget(ctx.cfg.solver_conflict_budget);
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        if i > cutoff.load(Ordering::Relaxed) {
+                            out.push((i, TaskResult::Skipped));
+                            continue;
+                        }
+                        let r = run_task(&tasks[i], &mut pool, &mut solver, ctx);
+                        if matches!(r, TaskResult::Violation(_)) {
+                            cutoff.fetch_min(i, Ordering::Relaxed);
+                        }
+                        out.push((i, r));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("step-2 worker panicked"));
+        }
+    });
+    results.sort_by_key(|(i, _)| *i);
+
+    let mut saw_budget = false;
+    let mut saw_unknown = false;
+    for (i, r) in results {
+        match r {
+            TaskResult::Violation(cex) => {
+                return SearchOutcome::Violation(reextract(i, cex, master, tasks, ctx))
+            }
+            TaskResult::Budget => saw_budget = true,
+            TaskResult::Unknown => saw_unknown = true,
+            TaskResult::Clean | TaskResult::Skipped => {}
+        }
+    }
+    if saw_budget {
+        SearchOutcome::Budget
+    } else if saw_unknown {
+        SearchOutcome::SolverUnknown
+    } else {
+        SearchOutcome::Clean
+    }
+}
+
+/// Re-runs the winning violation task on a *fresh* clone of the master
+/// pool. A worker's pool diverges from the master as it interns terms
+/// for whatever tasks it happened to process first, and solver models
+/// over under-constrained inputs are sensitive to that ordering — so
+/// the counterexample found in-flight is valid but scheduling
+/// dependent. The re-run depends only on the master pool and the task
+/// index, making the reported packet identical across runs and thread
+/// counts.
+fn reextract(
+    i: usize,
+    fallback: CounterExample,
+    master: &TermPool,
+    tasks: &[Task],
+    ctx: &WorkerCtx,
+) -> CounterExample {
+    let mut pool = master.clone();
+    let mut solver = BvSolver::with_conflict_budget(ctx.cfg.solver_conflict_budget);
+    let composed = AtomicUsize::new(0);
+    let ctx2 = WorkerCtx {
+        composed: &composed,
+        ..*ctx
+    };
+    match run_task(&tasks[i], &mut pool, &mut solver, &ctx2) {
+        TaskResult::Violation(cex) => cex,
+        // Only reachable if the shared budget truncated the original
+        // run differently; the in-flight counterexample is still valid.
+        _ => fallback,
+    }
+}
+
+/// Shared scaffolding of the three parallel property drivers.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    pipeline: &Pipeline,
+    cfg: &VerifyConfig,
+    par: &ParallelConfig,
+    property: &str,
+    mode: MapMode,
+    kind: PropKind,
+    reach_of: impl Fn(&PipelineSummaries) -> Vec<bool>,
+    suspects_of: impl Fn(&PipelineSummaries) -> usize,
+    init_extra: impl Fn(&mut TermPool, &PipelineSummaries, &mut ComposedState),
+) -> VerifyReport {
+    let threads = par.effective_threads();
+    let mut pool = TermPool::new();
+    let t0 = Instant::now();
+    let sums = match summarize_pipeline_par(&mut pool, pipeline, &cfg.sym, mode, threads) {
+        Ok(s) => s,
+        Err(e) => return aborted_report(property, pipeline, e, t0),
+    };
+    let mut init = make_initial(&mut pool, &sums);
+    init_extra(&mut pool, &sums, &mut init);
+    let step1_time = t0.elapsed();
+    let reach = reach_of(&sums);
+
+    let t1 = Instant::now();
+    let composed = AtomicUsize::new(0);
+    let tasks = expand_frontier(
+        &mut pool,
+        pipeline,
+        &sums,
+        &kind,
+        init,
+        &reach,
+        par.split_depth,
+    );
+    let ctx = WorkerCtx {
+        pipeline,
+        sums: &sums,
+        cfg,
+        kind: &kind,
+        reach: &reach,
+        composed: &composed,
+    };
+    let outcome = drain_tasks(&pool, &tasks, threads, &ctx);
+    VerifyReport {
+        property: property.into(),
+        pipeline: pipeline.name.clone(),
+        verdict: verdict_of(outcome),
+        step1_states: sums.total_states,
+        step1_segments: segment_count(&sums),
+        suspects: suspects_of(&sums),
+        composed_paths: composed.into_inner(),
+        step1_time,
+        step2_time: t1.elapsed(),
+    }
+}
+
+/// Parallel [`crate::verify_crash_freedom`]: same verdict, all cores.
+pub fn verify_crash_freedom_par(
+    pipeline: &Pipeline,
+    cfg: &VerifyConfig,
+    par: &ParallelConfig,
+) -> VerifyReport {
+    drive(
+        pipeline,
+        cfg,
+        par,
+        "crash-freedom",
+        MapMode::Abstract,
+        PropKind::Crash,
+        crash_reach,
+        crash_suspects,
+        |_, _, _| {},
+    )
+}
+
+/// Parallel [`crate::verify_bounded_execution`]: same verdict, all cores.
+pub fn verify_bounded_execution_par(
+    pipeline: &Pipeline,
+    imax: u64,
+    cfg: &VerifyConfig,
+    par: &ParallelConfig,
+) -> VerifyReport {
+    let mut report = drive(
+        pipeline,
+        cfg,
+        par,
+        "bounded-execution",
+        MapMode::Abstract,
+        PropKind::Bounded { imax },
+        |sums| lookahead(sums, |_| true),
+        bounded_suspects,
+        |_, _, _| {},
+    );
+    report.property = format!("bounded-execution (imax={imax})");
+    report
+}
+
+/// Parallel [`crate::verify_filtering`]: same verdict, all cores.
+pub fn verify_filtering_par(
+    pipeline: &Pipeline,
+    prop: &FilterProperty,
+    cfg: &VerifyConfig,
+    par: &ParallelConfig,
+) -> VerifyReport {
+    drive(
+        pipeline,
+        cfg,
+        par,
+        "filtering",
+        MapMode::Tables,
+        PropKind::Filter,
+        |sums| lookahead(sums, |_| true),
+        |_| 0,
+        |pool, sums, init| constrain_filter(pool, sums, prop, init),
+    )
+}

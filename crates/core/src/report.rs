@@ -1,8 +1,8 @@
 //! Verdicts, counterexamples and report formatting.
 
 use bvsolve::{Model, TermPool};
-use symexec::SymInput;
 use std::time::Duration;
+use symexec::SymInput;
 
 /// A concrete packet disproving a property — "a specific packet and
 /// specific state that causes such an instruction to be executed" (§4).

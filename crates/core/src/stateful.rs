@@ -198,10 +198,7 @@ mod tests {
 
     #[test]
     fn nat_has_no_counter_pattern() {
-        let p = to_pipeline(
-            "nat",
-            vec![elements::nat::nat_verified(0xC6336401, 64)],
-        );
+        let p = to_pipeline("nat", vec![elements::nat::nat_verified(0xC6336401, 64)]);
         let mut pool = TermPool::new();
         let sums = summarize_pipeline(&mut pool, &p, &cfg(), MapMode::Abstract).expect("ok");
         let findings = analyze_private_state(&mut pool, &sums, &p);

@@ -1,5 +1,10 @@
 //! Verification step 2: composing suspect paths and deciding
 //! feasibility — plus the three §4 property drivers.
+//!
+//! The path search is written once ([`search`]) and parameterized by
+//! [`PropKind`]; the sequential drivers here and the parallel drivers
+//! in [`crate::parallel`] share it, so the two can never diverge on
+//! property semantics.
 
 use crate::compose::{compose, ComposedState};
 use crate::report::{CounterExample, Verdict, VerifyReport};
@@ -7,9 +12,10 @@ use crate::summary::{summarize_pipeline, MapMode, PipelineSummaries};
 use bvsolve::{BvSolver, SatVerdict, TermPool};
 use dataplane::{Pipeline, Route};
 use dpir::PORT_CONTINUE;
-use symexec::{SegOutcome, SymConfig};
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+use symexec::{SegOutcome, Segment, SymConfig};
 
 /// Configuration of a verification run.
 #[derive(Debug, Clone)]
@@ -34,19 +40,20 @@ impl Default for VerifyConfig {
 }
 
 /// A search node: position in the pipeline plus the composed state.
-struct Node {
-    stage: usize,
-    iter: u32,
-    state: ComposedState,
+#[derive(Clone)]
+pub(crate) struct Node {
+    pub(crate) stage: usize,
+    pub(crate) iter: u32,
+    pub(crate) state: ComposedState,
 }
 
-enum Feas {
+pub(crate) enum Feas {
     Sat(bvsolve::Model),
     Unsat,
     Unknown,
 }
 
-fn check(
+pub(crate) fn check(
     pool: &mut TermPool,
     solver: &mut BvSolver,
     state: &ComposedState,
@@ -62,7 +69,7 @@ fn check(
 }
 
 /// Whether any stage ≥ `k` can still host a property violation.
-fn lookahead(sums: &PipelineSummaries, is_suspect: impl Fn(usize) -> bool) -> Vec<bool> {
+pub(crate) fn lookahead(sums: &PipelineSummaries, is_suspect: impl Fn(usize) -> bool) -> Vec<bool> {
     let n = sums.stages.len();
     let mut v = vec![false; n + 1];
     for k in (0..n).rev() {
@@ -72,153 +79,241 @@ fn lookahead(sums: &PipelineSummaries, is_suspect: impl Fn(usize) -> bool) -> Ve
 }
 
 /// Internal search result.
-enum SearchOutcome {
+pub(crate) enum SearchOutcome {
     Clean,
     Violation(CounterExample),
     Budget,
     SolverUnknown,
 }
 
-/// Generic step-2 DFS over composed paths.
-///
-/// `suspect(stage, seg)` marks the segment outcomes that violate the
-/// property; `unknown_marker` marks outcomes that, if feasible, make a
-/// *proof* impossible without being violations themselves (step-1 fuel
-/// exhaustion: the summary is incomplete past that point);
-/// `terminal_violates` additionally treats packets *leaving* the
-/// pipeline via a sink as violations (filtering properties).
-///
-/// Loops: a segment still requesting another iteration at the
-/// composed-iteration bound is likewise a proof blocker (crashes could
-/// hide in uncovered iterations), so a feasible one degrades the
-/// verdict to Unknown. With the bound set to the packet-size-derived
+/// Which §4 property the search decides. Encodes, for each segment
+/// event along a composed path, whether it is a *violation suspect* (a
+/// feasible instance disproves the property), a *proof blocker* (a
+/// feasible instance degrades a proof to Unknown without being a
+/// violation), or inert.
+pub(crate) enum PropKind {
+    /// No packet may terminate the pipeline abnormally.
+    Crash,
+    /// No packet may execute more than `imax` instructions.
+    Bounded {
+        /// The instruction bound.
+        imax: u64,
+    },
+    /// No packet matching the property pattern (conjoined onto the
+    /// initial state) may be delivered on a sink.
+    Filter,
+}
+
+impl PropKind {
+    /// `Some(description)` when `seg`, composed into `next`, violates
+    /// the property if feasible.
+    pub(crate) fn violation(
+        &self,
+        pipeline: &Pipeline,
+        stage: usize,
+        seg: &Segment,
+        next: &ComposedState,
+    ) -> Option<String> {
+        match self {
+            PropKind::Crash => seg
+                .outcome
+                .is_crash()
+                .then(|| describe_outcome(pipeline, stage, seg)),
+            PropKind::Bounded { imax } => {
+                if seg.outcome == SegOutcome::FuelExhausted {
+                    // Step 1 could not finish this path: if reachable,
+                    // an (attacker-exploitable) unbounded path.
+                    Some(describe_outcome(pipeline, stage, seg))
+                } else if next.instrs > *imax {
+                    Some(format!(
+                        "path executes {} instructions (> imax={})",
+                        next.instrs, imax
+                    ))
+                } else {
+                    None
+                }
+            }
+            PropKind::Filter => None,
+        }
+    }
+
+    /// Whether a feasible instance of `seg` blocks a full proof
+    /// (step-1 fuel exhaustion: the summary is incomplete past it).
+    pub(crate) fn blocker(&self, seg: &Segment) -> bool {
+        match self {
+            // Under Bounded, fuel exhaustion is already a violation.
+            PropKind::Bounded { .. } => false,
+            PropKind::Crash | PropKind::Filter => seg.outcome == SegOutcome::FuelExhausted,
+        }
+    }
+
+    /// Whether a loop still continuing at its composition bound is a
+    /// violation (bounded-execution: §5.3 bugs #1/#2 land here) rather
+    /// than a proof blocker.
+    pub(crate) fn loop_overrun_violates(&self) -> bool {
+        matches!(self, PropKind::Bounded { .. })
+    }
+
+    /// Whether a packet *leaving* the pipeline via a sink violates the
+    /// property (filtering).
+    pub(crate) fn sink_violates(&self) -> bool {
+        matches!(self, PropKind::Filter)
+    }
+}
+
+/// How one composed segment affects the search — the single
+/// classification point shared by the sequential [`search`] and the
+/// parallel frontier expansion, so the two cannot diverge on property
+/// semantics.
+pub(crate) enum StepEvent {
+    /// Feasible ⇒ the property is violated, with this description.
+    ViolationCheck(String, ComposedState),
+    /// Feasible ⇒ no full proof (Unknown), without being a violation.
+    BlockerCheck(ComposedState),
+    /// Continue exploring from this node (next loop iteration, next
+    /// stage, or jump target), if feasible.
+    Continue(Node),
+    /// Dead end for this property.
+    Inert,
+}
+
+/// Composes segment `i` of `node`'s stage onto `node` and classifies
+/// the result under `kind`. Loops: a segment still requesting another
+/// iteration at the composed-iteration bound is either a violation
+/// (bounded-execution) or a proof blocker (crashes could hide in
+/// uncovered iterations). With the bound set to the packet-size-derived
 /// maximum (§3.2: "the number of loop iterations is bounded by the
 /// maximum packet size"), convergent loops make that branch infeasible
 /// and full proofs go through.
 #[allow(clippy::too_many_arguments)]
-fn search(
+pub(crate) fn classify(
     pool: &mut TermPool,
     pipeline: &Pipeline,
     sums: &PipelineSummaries,
-    cfg: &VerifyConfig,
-    init: ComposedState,
-    suspect: &dyn Fn(usize, &symexec::Segment) -> bool,
-    unknown_marker: &dyn Fn(&symexec::Segment) -> bool,
-    terminal_violates: bool,
+    kind: &PropKind,
+    node: &Node,
+    i: usize,
+    seg: &Segment,
     reach: &[bool],
-    composed: &mut usize,
+) -> StepEvent {
+    let summary = &sums.stages[node.stage];
+    let is_loop = summary.loop_iters.is_some();
+    let max_iters = summary.loop_iters.unwrap_or(0);
+    let next = compose(pool, &node.state, &summary.input, seg, node.stage, i);
+    if let Some(what) = kind.violation(pipeline, node.stage, seg, &next) {
+        return StepEvent::ViolationCheck(what, next);
+    }
+    if kind.blocker(seg) {
+        return StepEvent::BlockerCheck(next);
+    }
+    match seg.outcome {
+        SegOutcome::Drop | SegOutcome::Crash(_) | SegOutcome::FuelExhausted => {
+            // Non-suspect terminal for this property: ignore.
+            // (Crash segments are suspects under crash-freedom; under
+            // other properties the packet simply stops.)
+            StepEvent::Inert
+        }
+        SegOutcome::Emit(p) if is_loop && p == PORT_CONTINUE => {
+            if node.iter + 1 < max_iters {
+                StepEvent::Continue(Node {
+                    stage: node.stage,
+                    iter: node.iter + 1,
+                    state: next,
+                })
+            } else if kind.loop_overrun_violates() {
+                StepEvent::ViolationCheck(describe_outcome(pipeline, node.stage, seg), next)
+            } else {
+                // Still continuing at the bound: proof blocker.
+                StepEvent::BlockerCheck(next)
+            }
+        }
+        SegOutcome::Emit(p) => {
+            let route = pipeline.stages[node.stage].resolve(p);
+            match route {
+                Route::Next | Route::To(_) => {
+                    let target = match route {
+                        Route::Next => node.stage + 1,
+                        Route::To(s) => s,
+                        _ => unreachable!(),
+                    };
+                    if target < sums.stages.len() && reach[target] {
+                        StepEvent::Continue(Node {
+                            stage: target,
+                            iter: 0,
+                            state: next,
+                        })
+                    } else {
+                        StepEvent::Inert
+                    }
+                }
+                Route::Sink(_) if kind.sink_violates() => {
+                    StepEvent::ViolationCheck(sink_violation_desc(&summary.name), next)
+                }
+                Route::Sink(_) | Route::Drop => StepEvent::Inert,
+            }
+        }
+    }
+}
+
+/// Step-2 DFS over composed paths, from an arbitrary initial worklist.
+///
+/// Segment events come from [`classify`]; this function adds the
+/// solver: violation checks return counterexamples, blocker checks
+/// degrade proofs to Unknown, continuations are feasibility-pruned
+/// before they are pushed.
+///
+/// `composed` is shared with concurrent searches in the parallel
+/// driver, so the path budget is global; counts near the budget edge
+/// are approximate under concurrency.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search(
+    pool: &mut TermPool,
+    solver: &mut BvSolver,
+    pipeline: &Pipeline,
+    sums: &PipelineSummaries,
+    cfg: &VerifyConfig,
+    kind: &PropKind,
+    mut stack: Vec<Node>,
+    reach: &[bool],
+    composed: &AtomicUsize,
 ) -> SearchOutcome {
-    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
-    let mut stack = vec![Node {
-        stage: 0,
-        iter: 0,
-        state: init,
-    }];
     let mut saw_unknown = false;
     while let Some(node) = stack.pop() {
-        let summary = &sums.stages[node.stage];
-        let is_loop = summary.loop_iters.is_some();
-        let max_iters = summary.loop_iters.unwrap_or(0);
-        for (i, seg) in summary.segments.iter().enumerate() {
-            if *composed >= cfg.max_composed_paths {
+        for (i, seg) in sums.stages[node.stage].segments.iter().enumerate() {
+            if composed.load(Ordering::Relaxed) >= cfg.max_composed_paths {
                 return SearchOutcome::Budget;
             }
-            let next = compose(pool, &node.state, &summary.input, seg, node.stage, i);
-            if suspect(node.stage, seg) {
-                *composed += 1;
-                match check(pool, &mut solver, &next, &[]) {
-                    Feas::Sat(m) => {
-                        let cex = CounterExample::from_model(
-                            pool,
-                            &sums.input,
-                            &m,
-                            describe_outcome(pipeline, node.stage, seg),
-                            next.trace.clone(),
-                        );
-                        return SearchOutcome::Violation(cex);
+            match classify(pool, pipeline, sums, kind, &node, i, seg, reach) {
+                StepEvent::ViolationCheck(what, next) => {
+                    composed.fetch_add(1, Ordering::Relaxed);
+                    match check(pool, solver, &next, &[]) {
+                        Feas::Sat(m) => {
+                            return SearchOutcome::Violation(CounterExample::from_model(
+                                pool,
+                                &sums.input,
+                                &m,
+                                what,
+                                next.trace.clone(),
+                            ));
+                        }
+                        Feas::Unsat => {}
+                        Feas::Unknown => saw_unknown = true,
                     }
-                    Feas::Unsat => continue,
-                    Feas::Unknown => {
+                }
+                StepEvent::BlockerCheck(next) => {
+                    composed.fetch_add(1, Ordering::Relaxed);
+                    if !matches!(check(pool, solver, &next, &[]), Feas::Unsat) {
                         saw_unknown = true;
-                        continue;
                     }
                 }
-            }
-            if unknown_marker(seg) {
-                *composed += 1;
-                if !matches!(check(pool, &mut solver, &next, &[]), Feas::Unsat) {
-                    saw_unknown = true;
-                }
-                continue;
-            }
-            match seg.outcome {
-                SegOutcome::Drop | SegOutcome::Crash(_) | SegOutcome::FuelExhausted => {
-                    // Non-suspect terminal for this property: ignore.
-                    // (Crash segments are suspects under crash-freedom;
-                    // under other properties the packet simply stops.)
-                }
-                SegOutcome::Emit(p) if is_loop && p == PORT_CONTINUE => {
-                    *composed += 1;
-                    if node.iter + 1 < max_iters {
-                        match check(pool, &mut solver, &next, &[]) {
-                            Feas::Sat(_) | Feas::Unknown => stack.push(Node {
-                                stage: node.stage,
-                                iter: node.iter + 1,
-                                state: next,
-                            }),
-                            Feas::Unsat => {}
-                        }
-                    } else {
-                        // Still continuing at the bound: proof blocker.
-                        if !matches!(check(pool, &mut solver, &next, &[]), Feas::Unsat) {
-                            saw_unknown = true;
-                        }
+                StepEvent::Continue(n) => {
+                    composed.fetch_add(1, Ordering::Relaxed);
+                    match check(pool, solver, &n.state, &[]) {
+                        Feas::Sat(_) | Feas::Unknown => stack.push(n),
+                        Feas::Unsat => {}
                     }
                 }
-                SegOutcome::Emit(p) => {
-                    let route = pipeline.stages[node.stage].resolve(p);
-                    match route {
-                        Route::Next | Route::To(_) => {
-                            let target = match route {
-                                Route::Next => node.stage + 1,
-                                Route::To(s) => s,
-                                _ => unreachable!(),
-                            };
-                            if target < sums.stages.len() && reach[target] {
-                                *composed += 1;
-                                match check(pool, &mut solver, &next, &[]) {
-                                    Feas::Sat(_) | Feas::Unknown => stack.push(Node {
-                                        stage: target,
-                                        iter: 0,
-                                        state: next,
-                                    }),
-                                    Feas::Unsat => {}
-                                }
-                            }
-                        }
-                        Route::Sink(_) if terminal_violates => {
-                            *composed += 1;
-                            match check(pool, &mut solver, &next, &[]) {
-                                Feas::Sat(m) => {
-                                    let cex = CounterExample::from_model(
-                                        pool,
-                                        &sums.input,
-                                        &m,
-                                        format!(
-                                            "packet delivered via {} despite the filter property",
-                                            summary.name
-                                        ),
-                                        next.trace.clone(),
-                                    );
-                                    return SearchOutcome::Violation(cex);
-                                }
-                                Feas::Unsat => {}
-                                Feas::Unknown => saw_unknown = true,
-                            }
-                        }
-                        Route::Sink(_) | Route::Drop => {}
-                    }
-                }
+                StepEvent::Inert => {}
             }
         }
     }
@@ -229,7 +324,11 @@ fn search(
     }
 }
 
-fn describe_outcome(pipeline: &Pipeline, stage: usize, seg: &symexec::Segment) -> String {
+pub(crate) fn sink_violation_desc(stage_name: &str) -> String {
+    format!("packet delivered via {stage_name} despite the filter property")
+}
+
+pub(crate) fn describe_outcome(pipeline: &Pipeline, stage: usize, seg: &Segment) -> String {
     let name = &pipeline.stages[stage].element.name;
     match seg.outcome {
         SegOutcome::Crash(r) => {
@@ -253,23 +352,93 @@ fn describe_outcome(pipeline: &Pipeline, stage: usize, seg: &symexec::Segment) -
 
 /// Builds the step-1 summaries and an initial composed state whose
 /// metadata is zero (packets enter the pipeline with fresh metadata).
-fn prepare(
+pub(crate) fn prepare(
     pool: &mut TermPool,
     pipeline: &Pipeline,
     cfg: &VerifyConfig,
     mode: MapMode,
 ) -> Result<(PipelineSummaries, ComposedState), symexec::SymError> {
     let sums = summarize_pipeline(pool, pipeline, &cfg.sym, mode)?;
+    let init = make_initial(pool, &sums);
+    Ok((sums, init))
+}
+
+/// The initial composed state for `sums`: metadata zeroed.
+pub(crate) fn make_initial(pool: &mut TermPool, sums: &PipelineSummaries) -> ComposedState {
     let mut init = ComposedState::initial(&sums.input);
     let zero = pool.mk_const(dpir::META_WIDTH, 0);
     for m in &mut init.meta {
         *m = zero;
     }
-    Ok((sums, init))
+    init
 }
 
-fn segment_count(sums: &PipelineSummaries) -> usize {
+pub(crate) fn segment_count(sums: &PipelineSummaries) -> usize {
     sums.stages.iter().map(|s| s.segments.len()).sum()
+}
+
+/// A step-1 failure report shared by every driver.
+pub(crate) fn aborted_report(
+    property: &str,
+    pipeline: &Pipeline,
+    e: symexec::SymError,
+    t0: Instant,
+) -> VerifyReport {
+    VerifyReport {
+        property: property.into(),
+        pipeline: pipeline.name.clone(),
+        verdict: Verdict::Unknown(format!("step 1 aborted: {e}")),
+        step1_states: 0,
+        step1_segments: 0,
+        suspects: 0,
+        composed_paths: 0,
+        step1_time: t0.elapsed(),
+        step2_time: Default::default(),
+    }
+}
+
+/// Crash-freedom suspect count after step 1.
+pub(crate) fn crash_suspects(sums: &PipelineSummaries) -> usize {
+    sums.stages
+        .iter()
+        .map(|s| s.segments.iter().filter(|g| g.outcome.is_crash()).count())
+        .sum()
+}
+
+/// Crash-freedom reachability: crash suspects, plus loop stations (we
+/// must establish that loops converge within their bound to cover all
+/// iterations), plus any fuel-exhausted step-1 segment (cannot be
+/// summarized past).
+pub(crate) fn crash_reach(sums: &PipelineSummaries) -> Vec<bool> {
+    lookahead(sums, |k| {
+        let s = &sums.stages[k];
+        s.loop_iters.is_some()
+            || s.segments
+                .iter()
+                .any(|g| g.outcome.is_crash() || g.outcome == SegOutcome::FuelExhausted)
+    })
+}
+
+/// Bounded-execution suspect count after step 1.
+pub(crate) fn bounded_suspects(sums: &PipelineSummaries) -> usize {
+    sums.stages
+        .iter()
+        .map(|s| {
+            s.segments
+                .iter()
+                .filter(|g| g.outcome == SegOutcome::FuelExhausted)
+                .count()
+        })
+        .sum()
+}
+
+pub(crate) fn verdict_of(outcome: SearchOutcome) -> Verdict {
+    match outcome {
+        SearchOutcome::Clean => Verdict::Proved,
+        SearchOutcome::Violation(cex) => Verdict::Disproved(cex),
+        SearchOutcome::Budget => Verdict::Unknown("step-2 path budget exceeded".into()),
+        SearchOutcome::SolverUnknown => Verdict::Unknown("solver budget exceeded".into()),
+    }
 }
 
 /// Proves or disproves **crash-freedom** (§4) for `pipeline`, assuming
@@ -279,63 +448,37 @@ pub fn verify_crash_freedom(pipeline: &Pipeline, cfg: &VerifyConfig) -> VerifyRe
     let t0 = Instant::now();
     let (sums, init) = match prepare(&mut pool, pipeline, cfg, MapMode::Abstract) {
         Ok(x) => x,
-        Err(e) => {
-            return VerifyReport {
-                property: "crash-freedom".into(),
-                pipeline: pipeline.name.clone(),
-                verdict: Verdict::Unknown(format!("step 1 aborted: {e}")),
-                step1_states: 0,
-                step1_segments: 0,
-                suspects: 0,
-                composed_paths: 0,
-                step1_time: t0.elapsed(),
-                step2_time: Default::default(),
-            }
-        }
+        Err(e) => return aborted_report("crash-freedom", pipeline, e, t0),
     };
     let step1_time = t0.elapsed();
-    let suspects: usize = sums
-        .stages
-        .iter()
-        .map(|s| s.segments.iter().filter(|g| g.outcome.is_crash()).count())
-        .sum();
-
-    // Crash suspects, plus loop stations (we must establish that loops
-    // converge within their bound to cover all iterations), plus any
-    // fuel-exhausted step-1 segment (cannot be summarized past).
-    let needs_visit = |k: usize| {
-        let s = &sums.stages[k];
-        s.loop_iters.is_some()
-            || s.segments
-                .iter()
-                .any(|g| g.outcome.is_crash() || g.outcome == SegOutcome::FuelExhausted)
-    };
-    let reach = lookahead(&sums, needs_visit);
+    let reach = crash_reach(&sums);
 
     let t1 = Instant::now();
-    let mut composed = 0usize;
-    let is_suspect = |_stage: usize, seg: &symexec::Segment| seg.outcome.is_crash();
-    // A feasible fuel-exhausted segment means step 1 could not finish
-    // summarizing that path: no crash was *observed*, but none can be
-    // ruled out either — proof degrades to Unknown.
-    let fuel = |seg: &symexec::Segment| seg.outcome == SegOutcome::FuelExhausted;
+    let composed = AtomicUsize::new(0);
+    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
     let outcome = search(
-        &mut pool, pipeline, &sums, cfg, init, &is_suspect, &fuel, false, &reach, &mut composed,
+        &mut pool,
+        &mut solver,
+        pipeline,
+        &sums,
+        cfg,
+        &PropKind::Crash,
+        vec![Node {
+            stage: 0,
+            iter: 0,
+            state: init,
+        }],
+        &reach,
+        &composed,
     );
-    let verdict = match outcome {
-        SearchOutcome::Clean => Verdict::Proved,
-        SearchOutcome::Violation(cex) => Verdict::Disproved(cex),
-        SearchOutcome::Budget => Verdict::Unknown("step-2 path budget exceeded".into()),
-        SearchOutcome::SolverUnknown => Verdict::Unknown("solver budget exceeded".into()),
-    };
     VerifyReport {
         property: "crash-freedom".into(),
         pipeline: pipeline.name.clone(),
-        verdict,
+        verdict: verdict_of(outcome),
         step1_states: sums.total_states,
         step1_segments: segment_count(&sums),
-        suspects,
-        composed_paths: composed,
+        suspects: crash_suspects(&sums),
+        composed_paths: composed.into_inner(),
         step1_time,
         step2_time: t1.elapsed(),
     }
@@ -345,188 +488,49 @@ pub fn verify_crash_freedom(pipeline: &Pipeline, cfg: &VerifyConfig) -> VerifyRe
 /// more than `imax` instructions. Loop-bound overruns and
 /// fuel-exhausted segments are the suspects — a feasible one is an
 /// (attacker-exploitable) unbounded path, as with §5.3 bugs #1/#2.
-pub fn verify_bounded_execution(pipeline: &Pipeline, imax: u64, cfg: &VerifyConfig) -> VerifyReport {
+pub fn verify_bounded_execution(
+    pipeline: &Pipeline,
+    imax: u64,
+    cfg: &VerifyConfig,
+) -> VerifyReport {
     let mut pool = TermPool::new();
     let t0 = Instant::now();
     let (sums, init) = match prepare(&mut pool, pipeline, cfg, MapMode::Abstract) {
         Ok(x) => x,
-        Err(e) => {
-            return VerifyReport {
-                property: "bounded-execution".into(),
-                pipeline: pipeline.name.clone(),
-                verdict: Verdict::Unknown(format!("step 1 aborted: {e}")),
-                step1_states: 0,
-                step1_segments: 0,
-                suspects: 0,
-                composed_paths: 0,
-                step1_time: t0.elapsed(),
-                step2_time: Default::default(),
-            }
-        }
+        Err(e) => return aborted_report("bounded-execution", pipeline, e, t0),
     };
     let step1_time = t0.elapsed();
-
-    // Suspects: fuel exhaustion in step 1, loop continuation at the
-    // last composed iteration (detected via the iteration counter in
-    // the engine — we mark *all* PORT_CONTINUE segments and let the
-    // engine's iteration bound decide which instantiations are final),
-    // and any composed path whose instruction total exceeds imax.
-    let needs_visit = |_k: usize| true; // instruction totals grow everywhere
-    let reach = lookahead(&sums, needs_visit);
-    let suspects: usize = sums
-        .stages
-        .iter()
-        .map(|s| {
-            s.segments
-                .iter()
-                .filter(|g| g.outcome == SegOutcome::FuelExhausted)
-                .count()
-        })
-        .sum();
+    // Instruction totals grow everywhere: every stage stays reachable.
+    let reach = lookahead(&sums, |_| true);
 
     let t1 = Instant::now();
-    let mut composed = 0usize;
-    let outcome = search_bounded(
-        &mut pool, pipeline, &sums, cfg, init, imax, &reach, &mut composed,
+    let composed = AtomicUsize::new(0);
+    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
+    let outcome = search(
+        &mut pool,
+        &mut solver,
+        pipeline,
+        &sums,
+        cfg,
+        &PropKind::Bounded { imax },
+        vec![Node {
+            stage: 0,
+            iter: 0,
+            state: init,
+        }],
+        &reach,
+        &composed,
     );
-    let verdict = match outcome {
-        SearchOutcome::Clean => Verdict::Proved,
-        SearchOutcome::Violation(cex) => Verdict::Disproved(cex),
-        SearchOutcome::Budget => Verdict::Unknown("step-2 path budget exceeded".into()),
-        SearchOutcome::SolverUnknown => Verdict::Unknown("solver budget exceeded".into()),
-    };
     VerifyReport {
         property: format!("bounded-execution (imax={imax})"),
         pipeline: pipeline.name.clone(),
-        verdict,
+        verdict: verdict_of(outcome),
         step1_states: sums.total_states,
         step1_segments: segment_count(&sums),
-        suspects,
-        composed_paths: composed,
+        suspects: bounded_suspects(&sums),
+        composed_paths: composed.into_inner(),
         step1_time,
         step2_time: t1.elapsed(),
-    }
-}
-
-/// Like [`search`], specialized to bounded-execution: loop overruns and
-/// instruction totals over `imax` are violations.
-#[allow(clippy::too_many_arguments)]
-fn search_bounded(
-    pool: &mut TermPool,
-    pipeline: &Pipeline,
-    sums: &PipelineSummaries,
-    cfg: &VerifyConfig,
-    init: ComposedState,
-    imax: u64,
-    reach: &[bool],
-    composed: &mut usize,
-) -> SearchOutcome {
-    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
-    let mut stack = vec![Node {
-        stage: 0,
-        iter: 0,
-        state: init,
-    }];
-    let mut saw_unknown = false;
-    while let Some(node) = stack.pop() {
-        let summary = &sums.stages[node.stage];
-        let is_loop = summary.loop_iters.is_some();
-        let max_iters = summary.loop_iters.unwrap_or(0);
-        for (i, seg) in summary.segments.iter().enumerate() {
-            if *composed >= cfg.max_composed_paths {
-                return SearchOutcome::Budget;
-            }
-            let next = compose(pool, &node.state, &summary.input, seg, node.stage, i);
-            // Instruction-budget violation or step-1 fuel exhaustion.
-            let over_budget = next.instrs > imax;
-            let fuel = seg.outcome == SegOutcome::FuelExhausted;
-            if over_budget || fuel {
-                *composed += 1;
-                match check(pool, &mut solver, &next, &[]) {
-                    Feas::Sat(m) => {
-                        let what = if fuel {
-                            describe_outcome(pipeline, node.stage, seg)
-                        } else {
-                            format!(
-                                "path executes {} instructions (> imax={})",
-                                next.instrs, imax
-                            )
-                        };
-                        return SearchOutcome::Violation(CounterExample::from_model(
-                            pool,
-                            &sums.input,
-                            &m,
-                            what,
-                            next.trace.clone(),
-                        ));
-                    }
-                    Feas::Unsat => continue,
-                    Feas::Unknown => {
-                        saw_unknown = true;
-                        continue;
-                    }
-                }
-            }
-            match seg.outcome {
-                SegOutcome::Drop | SegOutcome::Crash(_) | SegOutcome::FuelExhausted => {}
-                SegOutcome::Emit(p) if is_loop && p == PORT_CONTINUE => {
-                    *composed += 1;
-                    if node.iter + 1 >= max_iters {
-                        // Loop still wants to continue at the bound: a
-                        // bounded-execution suspect (bugs #1/#2 land
-                        // here). Feasible ⇒ violation.
-                        match check(pool, &mut solver, &next, &[]) {
-                            Feas::Sat(m) => {
-                                return SearchOutcome::Violation(CounterExample::from_model(
-                                    pool,
-                                    &sums.input,
-                                    &m,
-                                    describe_outcome(pipeline, node.stage, seg),
-                                    next.trace.clone(),
-                                ));
-                            }
-                            Feas::Unsat => {}
-                            Feas::Unknown => saw_unknown = true,
-                        }
-                    } else {
-                        match check(pool, &mut solver, &next, &[]) {
-                            Feas::Sat(_) | Feas::Unknown => stack.push(Node {
-                                stage: node.stage,
-                                iter: node.iter + 1,
-                                state: next,
-                            }),
-                            Feas::Unsat => {}
-                        }
-                    }
-                }
-                SegOutcome::Emit(p) => {
-                    let route = pipeline.stages[node.stage].resolve(p);
-                    if let Route::Next | Route::To(_) = route {
-                        let target = match route {
-                            Route::Next => node.stage + 1,
-                            Route::To(s) => s,
-                            _ => unreachable!(),
-                        };
-                        if target < sums.stages.len() && reach[target] {
-                            *composed += 1;
-                            match check(pool, &mut solver, &next, &[]) {
-                                Feas::Sat(_) | Feas::Unknown => stack.push(Node {
-                                    stage: target,
-                                    iter: 0,
-                                    state: next,
-                                }),
-                                Feas::Unsat => {}
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-    if saw_unknown {
-        SearchOutcome::SolverUnknown
-    } else {
-        SearchOutcome::Clean
     }
 }
 
@@ -553,35 +557,13 @@ impl FilterProperty {
     }
 }
 
-/// Proves or disproves a **filtering** property under the pipeline's
-/// *specific configuration* (static maps summarized from their
-/// configured contents).
-pub fn verify_filtering(
-    pipeline: &Pipeline,
+/// Conjoins the property's header pattern onto the initial state.
+pub(crate) fn constrain_filter(
+    pool: &mut TermPool,
+    sums: &PipelineSummaries,
     prop: &FilterProperty,
-    cfg: &VerifyConfig,
-) -> VerifyReport {
-    let mut pool = TermPool::new();
-    let t0 = Instant::now();
-    let (sums, mut init) = match prepare(&mut pool, pipeline, cfg, MapMode::Tables) {
-        Ok(x) => x,
-        Err(e) => {
-            return VerifyReport {
-                property: "filtering".into(),
-                pipeline: pipeline.name.clone(),
-                verdict: Verdict::Unknown(format!("step 1 aborted: {e}")),
-                step1_states: 0,
-                step1_segments: 0,
-                suspects: 0,
-                composed_paths: 0,
-                step1_time: t0.elapsed(),
-                step2_time: Default::default(),
-            }
-        }
-    };
-    let step1_time = t0.elapsed();
-
-    // Conjoin the property's header pattern onto the initial state.
+    init: &mut ComposedState,
+) {
     let min = pool.mk_const(16, prop.min_len.max(38));
     let c_len = pool.mk_ule(min, sums.input.pkt_len);
     init.constraint.push(c_len);
@@ -601,29 +583,52 @@ pub fn verify_filtering(
             init.constraint.push(eq);
         }
     }
+}
+
+/// Proves or disproves a **filtering** property under the pipeline's
+/// *specific configuration* (static maps summarized from their
+/// configured contents).
+pub fn verify_filtering(
+    pipeline: &Pipeline,
+    prop: &FilterProperty,
+    cfg: &VerifyConfig,
+) -> VerifyReport {
+    let mut pool = TermPool::new();
+    let t0 = Instant::now();
+    let (sums, mut init) = match prepare(&mut pool, pipeline, cfg, MapMode::Tables) {
+        Ok(x) => x,
+        Err(e) => return aborted_report("filtering", pipeline, e, t0),
+    };
+    let step1_time = t0.elapsed();
+    constrain_filter(&mut pool, &sums, prop, &mut init);
 
     let reach = lookahead(&sums, |_| true);
     let t1 = Instant::now();
-    let mut composed = 0usize;
-    let never = |_: usize, _: &symexec::Segment| false;
-    let fuel = |seg: &symexec::Segment| seg.outcome == SegOutcome::FuelExhausted;
+    let composed = AtomicUsize::new(0);
+    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
     let outcome = search(
-        &mut pool, pipeline, &sums, cfg, init, &never, &fuel, true, &reach, &mut composed,
+        &mut pool,
+        &mut solver,
+        pipeline,
+        &sums,
+        cfg,
+        &PropKind::Filter,
+        vec![Node {
+            stage: 0,
+            iter: 0,
+            state: init,
+        }],
+        &reach,
+        &composed,
     );
-    let verdict = match outcome {
-        SearchOutcome::Clean => Verdict::Proved,
-        SearchOutcome::Violation(cex) => Verdict::Disproved(cex),
-        SearchOutcome::Budget => Verdict::Unknown("step-2 path budget exceeded".into()),
-        SearchOutcome::SolverUnknown => Verdict::Unknown("solver budget exceeded".into()),
-    };
     VerifyReport {
         property: "filtering".into(),
         pipeline: pipeline.name.clone(),
-        verdict,
+        verdict: verdict_of(outcome),
         step1_states: sums.total_states,
         step1_segments: segment_count(&sums),
         suspects: 0,
-        composed_paths: composed,
+        composed_paths: composed.into_inner(),
         step1_time,
         step2_time: t1.elapsed(),
     }
@@ -697,7 +702,7 @@ pub fn longest_paths(pipeline: &Pipeline, n: usize, cfg: &VerifyConfig) -> Vec<L
         stage: 0,
         iter: 0,
         state: init,
-    terminal: false,
+        terminal: false,
     });
     let mut out = Vec::new();
     let mut composed = 0usize;
@@ -730,10 +735,7 @@ pub fn longest_paths(pipeline: &Pipeline, n: usize, cfg: &VerifyConfig) -> Vec<L
             }
             let next = compose(&mut pool, &node.state, &summary.input, seg, node.stage, i);
             composed += 1;
-            let feasible = !matches!(
-                check(&mut pool, &mut solver, &next, &[]),
-                Feas::Unsat
-            );
+            let feasible = !matches!(check(&mut pool, &mut solver, &next, &[]), Feas::Unsat);
             if !feasible {
                 continue;
             }

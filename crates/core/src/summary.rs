@@ -1,10 +1,12 @@
 //! Verification step 1: per-element segment summaries.
 
-use bvsolve::TermPool;
+use bvsolve::{Migrator, TermPool};
 use dataplane::{ElementKind, Pipeline, TableConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use symexec::{
-    execute, AbstractMapModel, MapBranch, MapModel, SymConfig, SymError, SymInput, Segment,
-    TableMapModel,
+    execute, AbstractMapModel, MapBranch, MapModel, MapOpRecord, Segment, SymConfig, SymError,
+    SymInput, TableMapModel,
 };
 
 /// How static maps are modeled during step 1.
@@ -163,6 +165,192 @@ pub fn summarize_pipeline(
     })
 }
 
+/// Output of one stage's step-1 run in a worker-private pool, before
+/// migration into the master pool.
+struct LocalStage {
+    pool: TermPool,
+    input: SymInput,
+    segments: Vec<Segment>,
+    states: usize,
+}
+
+/// Runs step 1 over every stage of `pipeline`, one stage per worker
+/// across `threads` threads (0 = all available cores).
+///
+/// Each element executes in a worker-private [`TermPool`] (identical
+/// execution to [`summarize_pipeline`], since stages are independent by
+/// construction — §2.2's `m · 2^n`); results are then migrated into
+/// `pool` in stage order, including every worker variable in creation
+/// order, so the master pool's variable numbering — and therefore
+/// every downstream model and counterexample — is identical to a
+/// sequential run's.
+pub fn summarize_pipeline_par(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    cfg: &SymConfig,
+    mode: MapMode,
+    threads: usize,
+) -> Result<PipelineSummaries, SymError> {
+    let input = SymInput::fresh(pool, cfg, "in");
+    let n = pipeline.stages.len();
+    let threads = effective_threads(threads).min(n.max(1));
+
+    let slots: Vec<Mutex<Option<Result<LocalStage, SymError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                let elem = &pipeline.stages[k].element;
+                let mut wpool = TermPool::new();
+                let elem_input = SymInput::fresh(&mut wpool, cfg, &format!("e{k}"));
+                let mut model = StageMapModel::new(elem, mode);
+                let res = execute(&mut wpool, elem.program(), &elem_input, &mut model, cfg).map(
+                    |report| LocalStage {
+                        pool: wpool,
+                        input: elem_input,
+                        segments: report.segments,
+                        states: report.states,
+                    },
+                );
+                *slots[k].lock().expect("stage slot poisoned") = Some(res);
+            });
+        }
+    });
+
+    let mut stages = Vec::with_capacity(n);
+    let mut total_states = 0usize;
+    for (k, slot) in slots.into_iter().enumerate() {
+        let local = slot
+            .into_inner()
+            .expect("stage slot poisoned")
+            .expect("worker pool processed every stage")?;
+        total_states += local.states;
+        stages.push(migrate_stage(pool, pipeline, k, local));
+    }
+    Ok(PipelineSummaries {
+        input,
+        stages,
+        total_states,
+    })
+}
+
+/// Resolves a thread-count knob: `0` means all available cores (the
+/// single policy behind every `threads` parameter in this crate).
+pub(crate) fn effective_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Imports a worker-pool stage result into the master pool.
+fn migrate_stage(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    k: usize,
+    local: LocalStage,
+) -> StageSummary {
+    let mut mig = Migrator::new();
+    // All worker variables first, in creation order: gives the master
+    // pool the same numbering a sequential run would have produced.
+    mig.import_all_vars(&local.pool, pool);
+    let input = SymInput {
+        pkt_bytes: local
+            .input
+            .pkt_bytes
+            .iter()
+            .map(|&t| mig.import(t, &local.pool, pool))
+            .collect(),
+        pkt_len: mig.import(local.input.pkt_len, &local.pool, pool),
+        meta: local
+            .input
+            .meta
+            .iter()
+            .map(|&t| mig.import(t, &local.pool, pool))
+            .collect(),
+        pkt_byte_vars: local
+            .input
+            .pkt_byte_vars
+            .iter()
+            .map(|&v| mig.mapped_var(v).expect("input var imported"))
+            .collect(),
+        len_var: mig
+            .mapped_var(local.input.len_var)
+            .expect("len var imported"),
+        meta_vars: local
+            .input
+            .meta_vars
+            .iter()
+            .map(|&v| mig.mapped_var(v).expect("meta var imported"))
+            .collect(),
+        base_constraints: local
+            .input
+            .base_constraints
+            .iter()
+            .map(|&t| mig.import(t, &local.pool, pool))
+            .collect(),
+    };
+    let segments = local
+        .segments
+        .iter()
+        .map(|seg| Segment {
+            constraint: seg
+                .constraint
+                .iter()
+                .map(|&t| mig.import(t, &local.pool, pool))
+                .collect(),
+            outcome: seg.outcome,
+            pkt_out: seg
+                .pkt_out
+                .iter()
+                .map(|&t| mig.import(t, &local.pool, pool))
+                .collect(),
+            len_out: mig.import(seg.len_out, &local.pool, pool),
+            meta_out: seg
+                .meta_out
+                .iter()
+                .map(|&t| mig.import(t, &local.pool, pool))
+                .collect(),
+            instrs: seg.instrs,
+            map_ops: seg
+                .map_ops
+                .iter()
+                .map(|op| MapOpRecord {
+                    map: op.map,
+                    kind: op.kind,
+                    key: mig.import(op.key, &local.pool, pool),
+                    value: op.value.map(|v| mig.import(v, &local.pool, pool)),
+                    havoc_value_var: op
+                        .havoc_value_var
+                        .map(|v| mig.mapped_var(v).expect("havoc var imported")),
+                    havoc_flag_var: op
+                        .havoc_flag_var
+                        .map(|v| mig.mapped_var(v).expect("havoc var imported")),
+                })
+                .collect(),
+        })
+        .collect();
+    let stage = &pipeline.stages[k];
+    StageSummary {
+        name: stage.element.name.clone(),
+        input,
+        segments,
+        loop_iters: match &stage.element.kind {
+            ElementKind::Straight(_) => None,
+            ElementKind::Loop { max_iters, .. } => Some(*max_iters),
+        },
+        states: local.states,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,8 +373,10 @@ mod tests {
         // Segments: drop (short), emit 0 (IPv4), emit 1 (ARP), emit 2.
         let segs = &s.stages[0].segments;
         assert_eq!(segs.len(), 4);
-        assert!(!segs.iter().any(|g| g.outcome.is_crash()),
-            "classifier guards its load: no feasible crash segment");
+        assert!(
+            !segs.iter().any(|g| g.outcome.is_crash()),
+            "classifier guards its load: no feasible crash segment"
+        );
     }
 
     #[test]

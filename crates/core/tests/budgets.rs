@@ -73,10 +73,7 @@ fn filtering_dst_property() {
     // blacklist keyed on... the src filter only matches src, so a dst
     // property over it must be *disproved* (packets to that dst with a
     // clean source pass).
-    let p = to_pipeline(
-        "fw",
-        vec![elements::ip_filter::ip_filter(vec![0x0BAD0001])],
-    );
+    let p = to_pipeline("fw", vec![elements::ip_filter::ip_filter(vec![0x0BAD0001])]);
     let prop = FilterProperty {
         src_ip: None,
         dst_ip: Some(0x0A090909),
@@ -96,10 +93,7 @@ fn filtering_src_and_dst_conjunction() {
     // The paper's §4 example: "any packet with source IP A and
     // destination IP B will be dropped". Satisfied when A is
     // blacklisted regardless of B.
-    let p = to_pipeline(
-        "fw",
-        vec![elements::ip_filter::ip_filter(vec![0x0BAD0001])],
-    );
+    let p = to_pipeline("fw", vec![elements::ip_filter::ip_filter(vec![0x0BAD0001])]);
     let prop = FilterProperty {
         src_ip: Some(0x0BAD0001),
         dst_ip: Some(0x0A090909),

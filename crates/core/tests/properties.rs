@@ -7,7 +7,9 @@
 
 use dataplane::{PipelineOutcome, Runner};
 use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
-use elements::pipelines::{build_all_stores, to_pipeline, NAT_PUBLIC_IP, NAT_PUBLIC_PORT, ROUTER_IP};
+use elements::pipelines::{
+    build_all_stores, to_pipeline, NAT_PUBLIC_IP, NAT_PUBLIC_PORT, ROUTER_IP,
+};
 use symexec::SymConfig;
 use verifier::{
     verify_bounded_execution, verify_crash_freedom, verify_filtering, FilterProperty, Verdict,
@@ -180,10 +182,7 @@ fn bug2_masked_by_options_element() {
     ];
     let p = to_pipeline("edge+opts+frag2", elems);
     let r = verify_bounded_execution(&p, IMAX, &cfg());
-    assert!(
-        r.verdict.is_proved(),
-        "options element masks bug #2: {r}"
-    );
+    assert!(r.verdict.is_proved(), "options element masks bug #2: {r}");
     assert!(r.composed_paths > 10, "the refutation is the pricey case");
 }
 
@@ -225,8 +224,7 @@ fn lsrr_bypasses_firewall_and_cex_replays() {
     // ...and carries the LSRR option somewhere in the options region.
     let opts_end = dataplane::headers::l4_offset(&pkt).min(pkt.bytes.len());
     assert!(
-        pkt.bytes[dataplane::headers::IP_OPTS..opts_end]
-            .contains(&dataplane::headers::IPOPT_LSRR),
+        pkt.bytes[dataplane::headers::IP_OPTS..opts_end].contains(&dataplane::headers::IPOPT_LSRR),
         "counterexample carries LSRR: {}",
         cex.hex()
     );
@@ -255,7 +253,10 @@ fn firewall_alone_filters() {
     let r = verify_filtering(&p, &FilterProperty::src(BLACKLISTED), &cfg());
     assert!(r.verdict.is_proved(), "{r}");
     // A different source must NOT be provably dropped.
-    let p2 = to_pipeline("fw2", vec![elements::ip_filter::ip_filter(vec![BLACKLISTED])]);
+    let p2 = to_pipeline(
+        "fw2",
+        vec![elements::ip_filter::ip_filter(vec![BLACKLISTED])],
+    );
     let r2 = verify_filtering(&p2, &FilterProperty::src(0x0A00_0001), &cfg());
     assert!(r2.verdict.is_disproved(), "{r2}");
 }

@@ -135,8 +135,7 @@ impl Element {
                     Box::new(t)
                 }
                 Some(TableConfig::Exact(pairs)) => {
-                    let mut t =
-                        ChainedHashMap::new(3, (pairs.len() * 2).max(decl.capacity).max(8));
+                    let mut t = ChainedHashMap::new(3, (pairs.len() * 2).max(decl.capacity).max(8));
                     for &(k, v) in pairs {
                         let ok = t.write(k, v);
                         debug_assert!(ok, "static table overflow");

@@ -97,9 +97,7 @@ impl Runner {
             pkt_instrs += out.instrs;
             match out.result {
                 ExecResult::Dropped => break PipelineOutcome::Dropped,
-                ExecResult::Crashed(reason) => {
-                    break PipelineOutcome::Crashed { stage, reason }
-                }
+                ExecResult::Crashed(reason) => break PipelineOutcome::Crashed { stage, reason },
                 ExecResult::OutOfFuel => break PipelineOutcome::Stuck { stage },
                 ExecResult::Emitted(port) => match st.resolve(port) {
                     Route::Next => stage += 1,

@@ -68,7 +68,6 @@ impl ChainedHashMap {
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         (h >> 32) as usize % self.slots_per_array
     }
-
 }
 
 impl KvStore for ChainedHashMap {

@@ -46,9 +46,7 @@ impl StoreRuntime {
 
 impl MapRuntime for StoreRuntime {
     fn read(&mut self, map: MapId, key: u64) -> Option<u64> {
-        self.stores
-            .get_mut(map.index())
-            .and_then(|s| s.read(key))
+        self.stores.get_mut(map.index()).and_then(|s| s.read(key))
     }
 
     fn write(&mut self, map: MapId, key: u64, value: u64) -> bool {

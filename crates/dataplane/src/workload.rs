@@ -74,7 +74,7 @@ impl PacketBuilder {
     /// Appends raw IP option bytes (padded to a 4-byte multiple).
     pub fn options(mut self, opts: &[u8]) -> Self {
         self.options = opts.to_vec();
-        while self.options.len() % 4 != 0 {
+        while !self.options.len().is_multiple_of(4) {
             self.options.push(IPOPT_EOL);
         }
         self
@@ -152,7 +152,11 @@ impl FlowMix {
                     rng.gen::<u32>(),
                     rng.gen_range(1024..u16::MAX),
                     rng.gen_range(1..1024),
-                    if rng.gen_bool(0.5) { PROTO_TCP } else { PROTO_UDP },
+                    if rng.gen_bool(0.5) {
+                        PROTO_TCP
+                    } else {
+                        PROTO_UDP
+                    },
                 )
             })
             .collect();

@@ -124,7 +124,13 @@ impl ProgramBuilder {
     // --- instruction emitters (return the destination register) --------
 
     /// `dst = a op b` at width `w`.
-    pub fn bin(&mut self, op: BinOp, w: Width, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+    pub fn bin(
+        &mut self,
+        op: BinOp,
+        w: Width,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> Reg {
         let dst = self.reg(if op.is_comparison() { 1 } else { w });
         self.push(Instr::Bin {
             op,
@@ -317,7 +323,12 @@ impl ProgramBuilder {
     }
 
     /// Map write; returns the success register.
-    pub fn map_write(&mut self, map: MapId, key: impl Into<Operand>, val: impl Into<Operand>) -> Reg {
+    pub fn map_write(
+        &mut self,
+        map: MapId,
+        key: impl Into<Operand>,
+        val: impl Into<Operand>,
+    ) -> Reg {
         let ok = self.reg(1);
         self.push(Instr::MapWrite {
             map,

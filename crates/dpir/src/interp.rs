@@ -234,7 +234,7 @@ pub fn run_program(
                             instrs: count,
                         };
                     }
-                    pkt.bytes.splice(0..0, std::iter::repeat(0u8).take(k));
+                    pkt.bytes.splice(0..0, std::iter::repeat_n(0u8, k));
                 }
                 Instr::PktPull { n } => {
                     let k = val(&regs, n, 16) as usize;
@@ -263,8 +263,7 @@ pub fn run_program(
                     match maps.read(map, k) {
                         Some(v) => {
                             regs[found.index()] = 1;
-                            regs[vdst.index()] =
-                                mask(prog.maps[map.index()].value_width, v);
+                            regs[vdst.index()] = mask(prog.maps[map.index()].value_width, v);
                         }
                         None => {
                             regs[found.index()] = 0;
@@ -272,7 +271,12 @@ pub fn run_program(
                         }
                     }
                 }
-                Instr::MapWrite { map, key, val: v, ok } => {
+                Instr::MapWrite {
+                    map,
+                    key,
+                    val: v,
+                    ok,
+                } => {
                     let d = &prog.maps[map.index()];
                     let k = val(&regs, key, d.key_width);
                     let x = val(&regs, v, d.value_width);

@@ -114,8 +114,7 @@ pub fn print_term(p: &Program, t: &Terminator) -> String {
         Terminator::Emit(port) => format!("emit port {port}"),
         Terminator::Drop => "drop".to_string(),
         Terminator::Crash(r) => match r {
-            crate::instr::CrashReason::AssertFailed(m)
-            | crate::instr::CrashReason::Explicit(m) => {
+            crate::instr::CrashReason::AssertFailed(m) | crate::instr::CrashReason::Explicit(m) => {
                 format!("crash \"{}\"", p.assert_msgs[m as usize])
             }
             other => format!("crash ({other})"),

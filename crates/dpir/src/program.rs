@@ -88,7 +88,10 @@ impl fmt::Display for ValidateError {
                 reg,
                 expected,
                 actual,
-            } => write!(f, "register {reg} used at width {expected}, declared {actual}"),
+            } => write!(
+                f,
+                "register {reg} used at width {expected}, declared {actual}"
+            ),
             ValidateError::BadWidth(w) => write!(f, "illegal width {w}"),
             ValidateError::BadBlock(b) => write!(f, "block {b} out of range"),
             ValidateError::BadMap(m) => write!(f, "map {m} out of range"),

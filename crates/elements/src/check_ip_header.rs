@@ -66,7 +66,7 @@ pub fn check_ip_header(verify_checksum: bool) -> Element {
         let cond = b.ult(16, i, words);
         b.branch(cond, body, done);
         b.switch_to(body);
-        let woff = b.add(16, i, off::IP as u64);
+        let woff = b.add(16, i, off::IP);
         let w = b.pkt_load(16, woff);
         let w32 = b.zext(16, 32, w);
         let s1 = b.add(32, sum, w32);
@@ -97,12 +97,14 @@ pub fn check_ip_header(verify_checksum: bool) -> Element {
         b.drop_();
     }
     let _ = BinOp::Add;
-    Element::straight("CheckIPHeader", b.build().expect("check_ip_header is valid")).with_info(
-        Table2Info {
-            new_loc: 0,
-            ..Default::default()
-        },
+    Element::straight(
+        "CheckIPHeader",
+        b.build().expect("check_ip_header is valid"),
     )
+    .with_info(Table2Info {
+        new_loc: 0,
+        ..Default::default()
+    })
 }
 
 #[cfg(test)]

@@ -30,12 +30,10 @@ pub fn classifier() -> Element {
     b.emit(1);
     b.switch_to(other);
     b.emit(2);
-    Element::straight("Classifier", b.build().expect("classifier is valid")).with_info(
-        Table2Info {
-            new_loc: 0,
-            ..Default::default()
-        },
-    )
+    Element::straight("Classifier", b.build().expect("classifier is valid")).with_info(Table2Info {
+        new_loc: 0,
+        ..Default::default()
+    })
 }
 
 #[cfg(test)]

@@ -69,5 +69,5 @@ pub fn load_ihl(b: &mut ProgramBuilder) -> Reg {
 pub fn l4_offset(b: &mut ProgramBuilder, ihl: Reg) -> Reg {
     let ihl16 = b.zext(8, 16, ihl);
     let words = b.shl(16, ihl16, 2u64);
-    b.add(16, words, off::IP as u64)
+    b.add(16, words, off::IP)
 }

@@ -105,10 +105,7 @@ mod tests {
     fn decap_crashes_on_runt_in_isolation() {
         let d = eth_decap();
         let mut pkt = PacketData::new(vec![0; 5]);
-        assert_eq!(
-            run(&d, &mut pkt),
-            ExecResult::Crashed(CrashReason::OobRead)
-        );
+        assert_eq!(run(&d, &mut pkt), ExecResult::Crashed(CrashReason::OobRead));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! (multi-packet output is orthogonal to the verified properties); the
 //! option walk, where the bugs live, is reproduced faithfully.
 
-use crate::common::{load_ihl, meta, off, l4_offset};
+use crate::common::{l4_offset, load_ihl, meta, off};
 use dataplane::{Element, Table2Info};
 use dpir::{ProgramBuilder, PORT_CONTINUE};
 

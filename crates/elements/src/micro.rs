@@ -131,7 +131,11 @@ pub fn loop_micro(iters: u32) -> Element {
     let n2 = b.add(32, next, 2u64);
     b.meta_store(meta::OPT_NEXT, n2);
     b.emit(PORT_CONTINUE);
-    Element::looping("LoopMicro", b.build().expect("loop_micro is valid"), 2 * iters + 2)
+    Element::looping(
+        "LoopMicro",
+        b.build().expect("loop_micro is valid"),
+        2 * iters + 2,
+    )
 }
 
 #[cfg(test)]
@@ -143,10 +147,26 @@ mod tests {
     #[test]
     fn filters_match_their_field() {
         let cases = [
-            (FilterField::IpDst, PacketBuilder::ipv4_udp().dst(0xDEAD_BEEF), 0xDEAD_BEEFu64),
-            (FilterField::IpSrc, PacketBuilder::ipv4_udp().src(0xDEAD_BEEF), 0xDEAD_BEEF),
-            (FilterField::PortDst, PacketBuilder::ipv4_udp().dport(777), 777),
-            (FilterField::PortSrc, PacketBuilder::ipv4_udp().sport(888), 888),
+            (
+                FilterField::IpDst,
+                PacketBuilder::ipv4_udp().dst(0xDEAD_BEEF),
+                0xDEAD_BEEFu64,
+            ),
+            (
+                FilterField::IpSrc,
+                PacketBuilder::ipv4_udp().src(0xDEAD_BEEF),
+                0xDEAD_BEEF,
+            ),
+            (
+                FilterField::PortDst,
+                PacketBuilder::ipv4_udp().dport(777),
+                777,
+            ),
+            (
+                FilterField::PortSrc,
+                PacketBuilder::ipv4_udp().sport(888),
+                888,
+            ),
         ];
         for (field, builder, needle) in cases {
             let e = field_filter(field, needle);
@@ -172,7 +192,10 @@ mod tests {
         let mut maps = NullMapRuntime;
         let mut pkt = PacketBuilder::ipv4_udp().payload_len(32).build();
         let before = pkt.bytes[34];
-        assert_eq!(e.process(&mut pkt, &mut maps, 10_000).result, ExecResult::Emitted(0));
+        assert_eq!(
+            e.process(&mut pkt, &mut maps, 10_000).result,
+            ExecResult::Emitted(0)
+        );
         assert_eq!(pkt.bytes[34], before.wrapping_add(1));
     }
 }

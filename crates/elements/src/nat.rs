@@ -173,7 +173,11 @@ mod tests {
     const PUB_IP: u32 = 0xC633_6401; // 198.51.100.1
     const PUB_PORT: u16 = 4242;
 
-    fn run(e: &Element, stores: &mut dataplane::store::StoreRuntime, pkt: &mut PacketData) -> ExecResult {
+    fn run(
+        e: &Element,
+        stores: &mut dataplane::store::StoreRuntime,
+        pkt: &mut PacketData,
+    ) -> ExecResult {
         e.process(pkt, stores, 10_000).result
     }
 
@@ -181,13 +185,19 @@ mod tests {
     fn translates_and_remembers_flows() {
         let e = nat_verified(PUB_IP, 64);
         let mut stores = e.build_stores();
-        let mut p1 = PacketBuilder::ipv4_tcp().src(0x0A000001).sport(1000).build();
+        let mut p1 = PacketBuilder::ipv4_tcp()
+            .src(0x0A000001)
+            .sport(1000)
+            .build();
         assert_eq!(run(&e, &mut stores, &mut p1), ExecResult::Emitted(0));
         assert_eq!(headers::ip_src(&p1), PUB_IP);
         let ext1 = headers::l4_src_port(&p1);
         assert!(ext1 >= 0xC000);
         // Same flow again: same mapping.
-        let mut p2 = PacketBuilder::ipv4_tcp().src(0x0A000001).sport(1000).build();
+        let mut p2 = PacketBuilder::ipv4_tcp()
+            .src(0x0A000001)
+            .sport(1000)
+            .build();
         assert_eq!(run(&e, &mut stores, &mut p2), ExecResult::Emitted(0));
         assert_eq!(headers::l4_src_port(&p2), ext1);
     }

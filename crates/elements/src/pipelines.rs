@@ -168,7 +168,10 @@ mod tests {
             let mut pkt = mix.next_packet();
             let out = r.run_packet(&mut pkt);
             assert!(
-                !matches!(out, PipelineOutcome::Crashed { .. } | PipelineOutcome::Stuck { .. }),
+                !matches!(
+                    out,
+                    PipelineOutcome::Crashed { .. } | PipelineOutcome::Stuck { .. }
+                ),
                 "crash-free on well-formed traffic: {out:?}"
             );
         }
@@ -180,7 +183,11 @@ mod tests {
         let mut r = runner(edge_router(3));
         let mut pkt = adversarial::lsrr(u32::from_be_bytes([10, 1, 0, 9]));
         // Route the packet somewhere the FIB knows.
-        pkt.write_be(dataplane::headers::IP_DST, 4, u32::from_be_bytes([10, 1, 0, 9]) as u64);
+        pkt.write_be(
+            dataplane::headers::IP_DST,
+            4,
+            u32::from_be_bytes([10, 1, 0, 9]) as u64,
+        );
         dataplane::headers::set_ipv4_checksum(&mut pkt);
         let out = r.run_packet(&mut pkt);
         assert!(matches!(out, PipelineOutcome::Delivered(_)), "{out:?}");

@@ -92,15 +92,19 @@ pub fn traffic_monitor(capacity: usize) -> Element {
 mod tests {
     use super::*;
     use dataplane::store::ChainedHashMap;
-    use dpir::MapRuntime;
     use dataplane::workload::PacketBuilder;
+    use dpir::MapRuntime;
     use dpir::{ExecResult, MapId, PacketData};
 
     fn key_of(src: u32, dst: u32) -> u64 {
         ((src as u64) << 32) | dst as u64
     }
 
-    fn run(e: &Element, stores: &mut dataplane::store::StoreRuntime, pkt: &mut PacketData) -> ExecResult {
+    fn run(
+        e: &Element,
+        stores: &mut dataplane::store::StoreRuntime,
+        pkt: &mut PacketData,
+    ) -> ExecResult {
         e.process(pkt, stores, 10_000).result
     }
 

@@ -1,0 +1,31 @@
+//! Fixed-size array strategies (`proptest::array::uniform4`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by the `uniformN` constructors.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+/// An `[T; 2]` of independent samples.
+pub fn uniform2<S: Strategy>(element: S) -> UniformArray<S, 2> {
+    UniformArray { element }
+}
+
+/// An `[T; 3]` of independent samples.
+pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+    UniformArray { element }
+}
+
+/// An `[T; 4]` of independent samples.
+pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+    UniformArray { element }
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace uses: the [`Strategy`]
+//! trait with `prop_map` / `prop_recursive` / `boxed`, `any`, ranges
+//! and tuples as strategies, [`collection::vec`], [`array::uniform4`],
+//! [`Just`], the `proptest!` / `prop_oneof!` / `prop_assert!` /
+//! `prop_assert_eq!` macros and [`test_runner::ProptestConfig`].
+//!
+//! Semantics differences from real proptest: inputs are *sampled* from
+//! a deterministic generator (fixed seed per test function), there is
+//! **no shrinking**, and failures panic via plain `assert!`. Case
+//! counts honor `ProptestConfig::with_cases` and can be overridden
+//! globally with the `PROPTEST_CASES` environment variable.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property-test functions; see the crate docs for semantics.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::ProptestConfig::resolve_cases(&$cfg);
+            let combined = ($($strat,)*);
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..cases {
+                let ($($pat,)*) = $crate::strategy::Strategy::sample(&combined, &mut rng);
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Uniform choice between strategies with a common `Value`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

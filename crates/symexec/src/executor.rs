@@ -127,8 +127,17 @@ pub fn execute(
                     break 'state;
                 }
                 match step(
-                    pool, prog, ins, &mut st, model, cfg, &mut solver, &mut states, &mut pruned,
-                    &mut worklist, &mut segments,
+                    pool,
+                    prog,
+                    ins,
+                    &mut st,
+                    model,
+                    cfg,
+                    &mut solver,
+                    &mut states,
+                    &mut pruned,
+                    &mut worklist,
+                    &mut segments,
                 ) {
                     Ok(StepFlow::Continue) => {}
                     Ok(StepFlow::EndState) => break 'state,
@@ -300,17 +309,38 @@ fn step(
         Instr::PktLoad { w, dst, off } => {
             let off_t = operand(pool, st, off, 16);
             let k = (w / 8) as usize;
-            match bounds_fork(pool, st, off_t, k, CrashReason::OobRead, cfg, solver, states, pruned, segments) {
+            match bounds_fork(
+                pool,
+                st,
+                off_t,
+                k,
+                CrashReason::OobRead,
+                cfg,
+                solver,
+                states,
+                pruned,
+                segments,
+            ) {
                 BoundsFlow::AlwaysCrash => Ok(StepFlow::EndState),
                 BoundsFlow::Proceed => {
                     if cfg.fork_on_symbolic_offset && pool.const_value(off_t).is_none() {
                         // Generic-engine behavior: concretize the offset
                         // by forking one state per feasible value.
-                        fork_offsets(pool, st, off_t, k, cfg, solver, states, pruned, worklist,
+                        fork_offsets(
+                            pool,
+                            st,
+                            off_t,
+                            k,
+                            cfg,
+                            solver,
+                            states,
+                            pruned,
+                            worklist,
                             |pool_, s, c| {
-                                let v = concat_be(pool_, &s.pkt[c..c + k].to_vec());
+                                let v = concat_be(pool_, &s.pkt[c..c + k]);
                                 s.regs[dst.index()] = v;
-                            });
+                            },
+                        );
                         return Ok(StepFlow::EndState);
                     }
                     let v = load_bytes(pool, st, off_t, k, cfg);
@@ -323,15 +353,36 @@ fn step(
             let off_t = operand(pool, st, off, 16);
             let v = operand(pool, st, val, w);
             let k = (w / 8) as usize;
-            match bounds_fork(pool, st, off_t, k, CrashReason::OobWrite, cfg, solver, states, pruned, segments) {
+            match bounds_fork(
+                pool,
+                st,
+                off_t,
+                k,
+                CrashReason::OobWrite,
+                cfg,
+                solver,
+                states,
+                pruned,
+                segments,
+            ) {
                 BoundsFlow::AlwaysCrash => Ok(StepFlow::EndState),
                 BoundsFlow::Proceed => {
                     if cfg.fork_on_symbolic_offset && pool.const_value(off_t).is_none() {
-                        fork_offsets(pool, st, off_t, k, cfg, solver, states, pruned, worklist,
+                        fork_offsets(
+                            pool,
+                            st,
+                            off_t,
+                            k,
+                            cfg,
+                            solver,
+                            states,
+                            pruned,
+                            worklist,
                             |pool_, s, c| {
                                 let cc = pool_.mk_const(16, c as u64);
                                 store_bytes(pool_, s, cc, k, v, cfg);
-                            });
+                            },
+                        );
                         return Ok(StepFlow::EndState);
                     }
                     store_bytes(pool, st, off_t, k, v, cfg);
@@ -356,7 +407,15 @@ fn step(
             let cap = pool.mk_const(32, cfg.max_pkt_bytes as u64);
             let fits = pool.mk_ule(newlen32, cap);
             if !fork_crash_unless(
-                pool, st, fits, CrashReason::OobWrite, cfg, solver, states, pruned, segments,
+                pool,
+                st,
+                fits,
+                CrashReason::OobWrite,
+                cfg,
+                solver,
+                states,
+                pruned,
+                segments,
             ) {
                 return Ok(StepFlow::EndState);
             }
@@ -383,7 +442,15 @@ fn step(
             let kc16 = pool.mk_const(16, k as u64);
             let fits = pool.mk_ule(kc16, st.len);
             if !fork_crash_unless(
-                pool, st, fits, CrashReason::OobRead, cfg, solver, states, pruned, segments,
+                pool,
+                st,
+                fits,
+                CrashReason::OobRead,
+                cfg,
+                solver,
+                states,
+                pruned,
+                segments,
             ) {
                 return Ok(StepFlow::EndState);
             }
@@ -418,7 +485,14 @@ fn step(
             let key_t = operand(pool, st, key, decl.key_width);
             let branches = model.read(pool, map, decl, key_t);
             fork_map_branches(
-                pool, st, branches, cfg, solver, states, pruned, worklist,
+                pool,
+                st,
+                branches,
+                cfg,
+                solver,
+                states,
+                pruned,
+                worklist,
                 |pool_, s, br| {
                     s.regs[found.index()] = br.flag;
                     s.regs[val.index()] = br.value;
@@ -441,7 +515,14 @@ fn step(
             let val_t = operand(pool, st, val, decl.value_width);
             let branches = model.write(pool, map, decl, key_t, val_t);
             fork_map_branches(
-                pool, st, branches, cfg, solver, states, pruned, worklist,
+                pool,
+                st,
+                branches,
+                cfg,
+                solver,
+                states,
+                pruned,
+                worklist,
                 |pool_, s, br| {
                     s.regs[ok.index()] = br.flag;
                     s.map_ops.push(MapOpRecord {
@@ -462,7 +543,14 @@ fn step(
             let key_t = operand(pool, st, key, decl.key_width);
             let branches = model.test(pool, map, decl, key_t);
             fork_map_branches(
-                pool, st, branches, cfg, solver, states, pruned, worklist,
+                pool,
+                st,
+                branches,
+                cfg,
+                solver,
+                states,
+                pruned,
+                worklist,
                 |pool_, s, br| {
                     s.regs[found.index()] = br.flag;
                     s.map_ops.push(MapOpRecord {
@@ -884,12 +972,7 @@ mod tests {
         let crash: Vec<_> = rep
             .segments
             .iter()
-            .filter(|s| {
-                matches!(
-                    s.outcome,
-                    SegOutcome::Crash(CrashReason::AssertFailed(_))
-                )
-            })
+            .filter(|s| matches!(s.outcome, SegOutcome::Crash(CrashReason::AssertFailed(_))))
             .collect();
         assert_eq!(crash.len(), 1);
     }

@@ -390,10 +390,7 @@ impl MapModel for ForkingMapModel {
     ) -> Vec<MapBranch> {
         self.read(pool, map, decl, key)
             .into_iter()
-            .map(|b| MapBranch {
-                value: b.flag,
-                ..b
-            })
+            .map(|b| MapBranch { value: b.flag, ..b })
             .collect()
     }
 }

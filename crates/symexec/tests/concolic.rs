@@ -38,11 +38,7 @@ fn bind(input: &SymInput, pkt: &PacketData) -> Assignment {
     a
 }
 
-fn matching_segments<'a>(
-    pool: &TermPool,
-    segs: &'a [Segment],
-    a: &Assignment,
-) -> Vec<&'a Segment> {
+fn matching_segments<'a>(pool: &TermPool, segs: &'a [Segment], a: &Assignment) -> Vec<&'a Segment> {
     segs.iter()
         .filter(|s| s.constraint.iter().all(|&c| eval(pool, c, a) == 1))
         .collect()
@@ -83,7 +79,10 @@ fn check_agreement(prog: &Program, bytes: Vec<u8>) {
     assert_eq!(concrete.instrs, seg.instrs, "instruction count");
 
     // Packet transform agreement (only meaningful for normal endings).
-    if matches!(concrete.result, ExecResult::Emitted(_) | ExecResult::Dropped) {
+    if matches!(
+        concrete.result,
+        ExecResult::Emitted(_) | ExecResult::Dropped
+    ) {
         let out_len = eval(&pool, seg.len_out, &a);
         assert_eq!(out_len, pkt.bytes.len() as u64, "output length");
         for i in 0..pkt.bytes.len().min(WINDOW) {
@@ -231,7 +230,9 @@ fn segment_constraints_are_disjoint_on_samples() {
     let report = execute(&mut pool, &prog, &input, &mut model, &c).expect("ok");
     for seed in 0..50u64 {
         let n = (seed % WINDOW as u64) as usize;
-        let bytes: Vec<u8> = (0..n).map(|i| (seed.wrapping_mul(31) as u8).wrapping_add(i as u8)).collect();
+        let bytes: Vec<u8> = (0..n)
+            .map(|i| (seed.wrapping_mul(31) as u8).wrapping_add(i as u8))
+            .collect();
         let a = bind(&input, &PacketData::new(bytes));
         let m = matching_segments(&pool, &report.segments, &a);
         assert_eq!(m.len(), 1, "seed {seed}");

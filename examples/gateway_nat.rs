@@ -10,8 +10,7 @@ use dpv::bvsolve::TermPool;
 use dpv::elements::pipelines::{network_gateway, to_pipeline, NAT_PUBLIC_IP, NAT_PUBLIC_PORT};
 use dpv::symexec::SymConfig;
 use dpv::verifier::{
-    analyze_private_state, summarize_pipeline, verify_crash_freedom, MapMode, Verdict,
-    VerifyConfig,
+    analyze_private_state, summarize_pipeline, verify_crash_freedom, MapMode, Verdict, VerifyConfig,
 };
 
 fn cfg() -> VerifyConfig {

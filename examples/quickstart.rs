@@ -54,7 +54,10 @@ fn main() {
     let mut runner = Runner::new(pipeline.clone(), stores);
     let mut pkt = PacketData::new(vec![3, 0, 0, 0]);
     let out = runner.run_packet(&mut pkt);
-    println!("concrete run of [3, ...]: {out:?}; byte 0 is now {}", pkt.bytes[0]);
+    println!(
+        "concrete run of [3, ...]: {out:?}; byte 0 is now {}",
+        pkt.bytes[0]
+    );
 
     // --- verify crash-freedom ------------------------------------------
     // E2 alone would crash on any byte < 16; composed after E1, the

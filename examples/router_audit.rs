@@ -9,7 +9,7 @@
 use dpv::elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
 use dpv::elements::pipelines::{to_pipeline, ROUTER_IP};
 use dpv::symexec::SymConfig;
-use dpv::verifier::{verify_bounded_execution, Verdict, VerifyConfig};
+use dpv::verifier::{verify_bounded_execution_par, ParallelConfig, Verdict, VerifyConfig};
 
 fn cfg() -> VerifyConfig {
     VerifyConfig {
@@ -19,6 +19,15 @@ fn cfg() -> VerifyConfig {
         },
         ..Default::default()
     }
+}
+
+/// Worker threads for the audit: `DPV_THREADS` if set, else all cores.
+fn par() -> ParallelConfig {
+    let threads = std::env::var("DPV_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    ParallelConfig::with_threads(threads)
 }
 
 fn audit(name: &str, variant: FragmenterVariant, with_options_element: bool) {
@@ -31,7 +40,7 @@ fn audit(name: &str, variant: FragmenterVariant, with_options_element: bool) {
     }
     elems.push(ip_fragmenter(variant, 40));
     let p = to_pipeline(name, elems.clone());
-    let report = verify_bounded_execution(&p, 5_000, &cfg());
+    let report = verify_bounded_execution_par(&p, 5_000, &cfg(), &par());
     println!("== {name}");
     println!("   {report}");
     if let Verdict::Disproved(cex) = &report.verdict {
@@ -48,7 +57,10 @@ fn audit(name: &str, variant: FragmenterVariant, with_options_element: bool) {
 }
 
 fn main() {
-    println!("Auditing fragmenter variants for bounded-execution (imax = 5000)\n");
+    let threads = par().effective_threads();
+    println!(
+        "Auditing fragmenter variants for bounded-execution (imax = 5000, {threads} threads)\n"
+    );
     // Bug #1: the missing loop increment — any real option hangs it.
     audit(
         "router + Click fragmenter (bug #1)",

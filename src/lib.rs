@@ -19,7 +19,9 @@
 //! * [`elements`] — the Table-2 element library (Classifier … NAT),
 //!   including faithful reproductions of the three Click bugs of §5.3.
 //! * [`verifier`] — the paper's contribution: compositional verification
-//!   via pipeline and loop decomposition.
+//!   via pipeline and loop decomposition, with sequential and
+//!   multi-core parallel drivers (`verifier::parallel`) that produce
+//!   the same verdicts.
 
 pub use bitsat;
 pub use bvsolve;

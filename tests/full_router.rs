@@ -76,7 +76,10 @@ fn edge_router_bounded_execution_and_latency_envelope() {
         let mut pkt = gen.clone();
         let out = r.run_packet(&mut pkt);
         assert!(
-            !matches!(out, PipelineOutcome::Crashed { .. } | PipelineOutcome::Stuck { .. }),
+            !matches!(
+                out,
+                PipelineOutcome::Crashed { .. } | PipelineOutcome::Stuck { .. }
+            ),
             "{out:?}"
         );
     }

@@ -83,7 +83,10 @@ fn monitor_counts_and_expires_through_pipeline() {
     }
     // The monitor (stage 2) expired the flow to the control plane.
     let key = ((0x0A00_0001u64) << 32) | 0x5DB8_D822;
-    let expired = r.stage_stores(2).store_mut(dpv::dpir::MapId(0)).take_expired();
+    let expired = r
+        .stage_stores(2)
+        .store_mut(dpv::dpir::MapId(0))
+        .take_expired();
     assert_eq!(expired, vec![(key, 3)], "final count delivered on FIN");
 }
 

@@ -101,5 +101,8 @@ fn induction_prediction_matches_concrete_wraparound() {
     let mut pkt = pkt_of(255);
     elem.process(&mut pkt, &mut stores, 10_000);
     let after = stores.read(dpv::dpir::MapId(0), key).expect("present");
-    assert_eq!(after, 0, "the 256th packet wraps the counter — exactly as proved");
+    assert_eq!(
+        after, 0,
+        "the 256th packet wraps the counter — exactly as proved"
+    );
 }
