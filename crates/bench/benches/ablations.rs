@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dpv_bench::{fig_sym_config, fig_verify_config, generic_sym_config};
 use elements::micro::loop_micro;
 use elements::pipelines::to_pipeline;
-use verifier::{generic_verify, summarize_pipeline, verify_crash_freedom, MapMode};
+use verifier::{summarize_pipeline, MapMode, Property, Verifier, VerifyConfig};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
@@ -71,9 +71,18 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let p = to_pipeline("mon", vec![elements::traffic_monitor::traffic_monitor(64)]);
                 // Budgeted: the forking model explodes by design.
-                let mut cfg = generic_sym_config();
-                cfg.max_states = 5_000;
-                generic_verify(&p, &cfg, 4).states
+                let mut sym = generic_sym_config();
+                sym.max_states = 5_000;
+                let report = Verifier::new(&p)
+                    .config(VerifyConfig {
+                        sym,
+                        ..Default::default()
+                    })
+                    .check(Property::Generic { loop_cap: 4 });
+                match report {
+                    verifier::Report::Generic(g) => g.report.states,
+                    _ => unreachable!(),
+                }
             })
         });
     }
@@ -83,13 +92,16 @@ fn bench(c: &mut Criterion) {
         g.bench_function("loop_decomposition/specific", |b| {
             b.iter(|| {
                 let p = to_pipeline("loop", vec![loop_micro(3)]);
-                verify_crash_freedom(&p, &fig_verify_config())
+                Verifier::new(&p)
+                    .config(fig_verify_config())
+                    .check(Property::CrashFreedom)
+                    .expect_verify()
             })
         });
         g.bench_function("loop_decomposition/generic_unroll", |b| {
             b.iter(|| {
                 let p = to_pipeline("loop", vec![loop_micro(3)]);
-                generic_verify(&p, &generic_sym_config(), 8)
+                dpv_bench::run_generic_baseline(&p, 8)
             })
         });
     }

@@ -2,9 +2,9 @@
 //! the full sweep lives in the `fig4a` binary).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dpv_bench::{fig_verify_config, generic_sym_config};
+use dpv_bench::fig_verify_config;
 use elements::pipelines::{edge_fib, to_pipeline, ROUTER_IP};
-use verifier::{generic_verify, verify_crash_freedom};
+use verifier::{Property, Verifier};
 
 fn router(opts: u32, with_lookup: bool) -> dataplane::Pipeline {
     let mut v = vec![
@@ -29,7 +29,10 @@ fn bench(c: &mut Criterion) {
             |b, &opts| {
                 b.iter(|| {
                     let p = router(opts, true);
-                    let r = verify_crash_freedom(&p, &fig_verify_config());
+                    let r = Verifier::new(&p)
+                        .config(fig_verify_config())
+                        .check(Property::CrashFreedom)
+                        .expect_verify();
                     assert!(r.verdict.is_proved());
                 })
             },
@@ -39,7 +42,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("generic_1opt", |b| {
         b.iter(|| {
             let p = router(1, true);
-            generic_verify(&p, &generic_sym_config(), 8)
+            dpv_bench::run_generic_baseline(&p, 8)
         })
     });
     g.finish();

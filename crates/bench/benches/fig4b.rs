@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpv_bench::fig_verify_config;
 use elements::pipelines::{network_gateway, to_pipeline};
-use verifier::verify_crash_freedom;
+use verifier::{Property, Verifier};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4b");
@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("specific", n), &n, |b, &n| {
             b.iter(|| {
                 let p = to_pipeline("gateway", network_gateway(n));
-                let r = verify_crash_freedom(&p, &fig_verify_config());
+                let r = Verifier::new(&p)
+                    .config(fig_verify_config())
+                    .check(Property::CrashFreedom)
+                    .expect_verify();
                 assert!(r.verdict.is_proved());
             })
         });

@@ -1,10 +1,10 @@
 //! Criterion timing for the Fig. 4(c) filter microbenchmark.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dpv_bench::{fig_verify_config, generic_sym_config};
+use dpv_bench::fig_verify_config;
 use elements::micro::{field_filter, FilterField};
 use elements::pipelines::to_pipeline;
-use verifier::{generic_verify, verify_crash_freedom};
+use verifier::{Property, Verifier};
 
 fn filters(n: usize) -> dataplane::Pipeline {
     to_pipeline(
@@ -22,10 +22,16 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for n in 1..=4usize {
         g.bench_with_input(BenchmarkId::new("specific", n), &n, |b, &n| {
-            b.iter(|| verify_crash_freedom(&filters(n), &fig_verify_config()))
+            b.iter(|| {
+                let p = filters(n);
+                Verifier::new(&p)
+                    .config(fig_verify_config())
+                    .check(Property::CrashFreedom)
+                    .expect_verify()
+            })
         });
         g.bench_with_input(BenchmarkId::new("generic", n), &n, |b, &n| {
-            b.iter(|| generic_verify(&filters(n), &generic_sym_config(), 4))
+            b.iter(|| dpv_bench::run_generic_baseline(&filters(n), 4))
         });
     }
     g.finish();

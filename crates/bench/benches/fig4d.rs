@@ -1,10 +1,10 @@
 //! Criterion timing for the Fig. 4(d) loop microbenchmark.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dpv_bench::{fig_verify_config, generic_sym_config};
+use dpv_bench::fig_verify_config;
 use elements::micro::loop_micro;
 use elements::pipelines::to_pipeline;
-use verifier::{generic_verify, verify_crash_freedom};
+use verifier::{Property, Verifier};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4d");
@@ -13,13 +13,16 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("specific", iters), &iters, |b, &it| {
             b.iter(|| {
                 let p = to_pipeline("loop", vec![loop_micro(it)]);
-                verify_crash_freedom(&p, &fig_verify_config())
+                Verifier::new(&p)
+                    .config(fig_verify_config())
+                    .check(Property::CrashFreedom)
+                    .expect_verify()
             })
         });
         g.bench_with_input(BenchmarkId::new("generic", iters), &iters, |b, &it| {
             b.iter(|| {
                 let p = to_pipeline("loop", vec![loop_micro(it)]);
-                generic_verify(&p, &generic_sym_config(), 2 * it + 2)
+                dpv_bench::run_generic_baseline(&p, 2 * it + 2)
             })
         });
     }

@@ -11,7 +11,7 @@
 use dataplane::Element;
 use dpv_bench::*;
 use elements::pipelines::{core_fib, edge_fib, to_pipeline, ROUTER_IP};
-use verifier::{generic_verify, verify_crash_freedom};
+use verifier::{Property, Verifier};
 
 /// The Fig. 4(a) growth sequence.
 fn stages(label: &str, opts: u32, fib: Vec<(u32, u32, u32)>) -> (String, Vec<Element>) {
@@ -83,24 +83,30 @@ fn main() {
         // identical for edge and core (the FIB is abstracted).
         let (_, elems) = stages(label, opts, edge_fib());
         let p = to_pipeline(label, elems);
-        let (rep, t_spec) = timed(|| verify_crash_freedom(&p, &fig_verify_config()));
+        let (report, t_spec) = timed(|| {
+            Verifier::new(&p)
+                .config(fig_verify_config())
+                .check(Property::CrashFreedom)
+        });
+        maybe_json(&report);
+        let rep = report.as_verify().expect("crash-freedom report");
 
         // Generic baseline, edge FIB.
         let (_, elems_e) = stages(label, opts, edge_fib());
         let pe = to_pipeline(label, elems_e);
-        let (ge, tge) = timed(|| generic_verify(&pe, &generic_sym_config(), 16));
+        let ge = run_generic_baseline(&pe, 16);
 
         // Generic baseline, core FIB.
         let (_, elems_c) = stages(label, opts, core_fib(core_entries));
         let pc = to_pipeline(label, elems_c);
-        let (gc, tgc) = timed(|| generic_verify(&pc, &generic_sym_config(), 16));
+        let gc = run_generic_baseline(&pc, 16);
 
         row(&[
             label.into(),
             format!("{} ({} states)", fmt_dur(t_spec), rep.step1_states),
             verdict_cell(&rep.verdict).into(),
-            generic_cell(&ge, tge),
-            generic_cell(&gc, tgc),
+            generic_cell_run(&ge),
+            generic_cell_run(&gc),
         ]);
     }
 }

@@ -7,9 +7,7 @@
 
 use dpv_bench::*;
 use elements::pipelines::{network_gateway, to_pipeline};
-use verifier::{
-    analyze_private_state, generic_verify, summarize_pipeline, verify_crash_freedom, MapMode,
-};
+use verifier::{Property, Report, Verifier};
 
 fn main() {
     println!("Fig. 4(b): network gateway — verification time vs pipeline length");
@@ -27,32 +25,34 @@ fn main() {
         let n = i + 2; // preproc = classifier + checkiphdr
         let elems = network_gateway(n.min(5));
         let p = to_pipeline(label, elems);
-        let (rep, t_spec) = timed(|| verify_crash_freedom(&p, &fig_verify_config()));
-
-        // §3.4 private-state pattern analysis.
-        let mut pool = bvsolve::TermPool::new();
-        let findings = summarize_pipeline(&mut pool, &p, &fig_sym_config(), MapMode::Abstract)
-            .map(|sums| analyze_private_state(&mut pool, &sums, &p))
-            .unwrap_or_default();
-        let findings_cell = if findings.is_empty() {
-            "-".to_string()
-        } else {
-            findings
+        // One session: crash-freedom and the §3.4 analysis share the
+        // step-1 summaries.
+        let mut session = Verifier::new(&p).config(fig_verify_config());
+        let (reports, t_spec) =
+            timed(|| session.check_all(&[Property::CrashFreedom, Property::StateConsistency]));
+        for r in &reports {
+            maybe_json(r);
+        }
+        let rep = reports[0].as_verify().expect("crash-freedom report");
+        let findings_cell = match &reports[1] {
+            Report::State(s) if !s.findings.is_empty() => s
+                .findings
                 .iter()
                 .map(|f| f.to_string())
                 .collect::<Vec<_>>()
-                .join("; ")
+                .join("; "),
+            _ => "-".to_string(),
         };
 
         let elems_g = network_gateway(n.min(5));
         let pg = to_pipeline(label, elems_g);
-        let (g, tg) = timed(|| generic_verify(&pg, &generic_sym_config(), 16));
+        let g = run_generic_baseline(&pg, 16);
 
         row(&[
             (*label).into(),
             format!("{} ({} states)", fmt_dur(t_spec), rep.step1_states),
             verdict_cell(&rep.verdict).into(),
-            generic_cell(&g, tg),
+            generic_cell_run(&g),
             findings_cell,
         ]);
     }

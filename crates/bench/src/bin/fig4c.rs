@@ -12,7 +12,7 @@ use dataplane::Element;
 use dpv_bench::*;
 use elements::micro::{field_filter, FilterField};
 use elements::pipelines::to_pipeline;
-use verifier::{generic_verify, verify_crash_freedom};
+use verifier::{Property, Verifier};
 
 fn pipeline_of(n: usize) -> Vec<Element> {
     FilterField::ALL[..n]
@@ -35,15 +35,21 @@ fn main() {
     for n in 1..=4 {
         let label = FilterField::ALL[n - 1].label();
         let p = to_pipeline(label, pipeline_of(n));
-        let (rep, ts) = timed(|| verify_crash_freedom(&p, &fig_verify_config()));
+        let (report, ts) = timed(|| {
+            Verifier::new(&p)
+                .config(fig_verify_config())
+                .check(Property::CrashFreedom)
+        });
+        maybe_json(&report);
+        let rep = report.as_verify().expect("crash-freedom report");
         let pg = to_pipeline(label, pipeline_of(n));
-        let (g, tg) = timed(|| generic_verify(&pg, &generic_sym_config(), 8));
+        let g = run_generic_baseline(&pg, 8);
         row(&[
             label.into(),
             fmt_dur(ts),
             format!("{}", rep.step1_states),
-            fmt_dur(tg),
-            format!("{}", g.states),
+            fmt_dur(g.time),
+            format!("{}", g.report.states),
         ]);
         assert!(rep.verdict.is_proved(), "filters are crash-free: {rep}");
     }

@@ -12,7 +12,7 @@
 use dpv_bench::*;
 use elements::micro::loop_micro;
 use elements::pipelines::to_pipeline;
-use verifier::{generic_verify, verify_crash_freedom};
+use verifier::{Property, Verifier};
 
 fn main() {
     println!("Fig. 4(d): loop microbenchmark — verification time vs iterations");
@@ -26,15 +26,21 @@ fn main() {
     ]);
     for iters in 1..=6u32 {
         let p = to_pipeline("loop", vec![loop_micro(iters)]);
-        let (rep, ts) = timed(|| verify_crash_freedom(&p, &fig_verify_config()));
+        let (report, ts) = timed(|| {
+            Verifier::new(&p)
+                .config(fig_verify_config())
+                .check(Property::CrashFreedom)
+        });
+        maybe_json(&report);
+        let rep = report.as_verify().expect("crash-freedom report");
         let pg = to_pipeline("loop", vec![loop_micro(iters)]);
-        let (g, tg) = timed(|| generic_verify(&pg, &generic_sym_config(), 2 * iters + 2));
+        let g = run_generic_baseline(&pg, 2 * iters + 2);
         row(&[
             format!("{iters}"),
             fmt_dur(ts),
             format!("{}", rep.step1_states),
-            fmt_dur(tg),
-            format!("{}", g.states),
+            fmt_dur(g.time),
+            format!("{}", g.report.states),
         ]);
         let _ = rep;
     }

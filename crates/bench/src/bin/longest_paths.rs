@@ -10,7 +10,7 @@
 use dataplane::{workload::FlowMix, Runner};
 use dpv_bench::*;
 use elements::pipelines::{build_all_stores, edge_fib, to_pipeline, ROUTER_IP};
-use verifier::longest_paths;
+use verifier::Verifier;
 
 fn main() {
     let elems = vec![
@@ -24,7 +24,11 @@ fn main() {
     let p = to_pipeline("edge router", elems.clone());
 
     println!("§5.3 longest paths in the IP router");
-    let (paths, t) = timed(|| longest_paths(&p, 10, &fig_verify_config()));
+    let (paths, t) = timed(|| {
+        Verifier::new(&p)
+            .config(fig_verify_config())
+            .longest_paths(10)
+    });
     println!("search time: {}", fmt_dur(t));
     println!();
 

@@ -7,7 +7,7 @@
 
 use dpv_bench::*;
 use elements::pipelines::{build_all_stores, to_pipeline, ROUTER_IP};
-use verifier::{verify_filtering, FilterProperty, Verdict};
+use verifier::{FilterProperty, Property, Verdict, Verifier};
 
 const BLACKLISTED: u32 = 0x0BAD_0001;
 
@@ -25,8 +25,13 @@ fn main() {
             elements::ip_filter::ip_filter(vec![BLACKLISTED]),
         ];
         let p = to_pipeline(label, elems.clone());
-        let (rep, t) =
-            timed(|| verify_filtering(&p, &FilterProperty::src(BLACKLISTED), &fig_verify_config()));
+        let (report, t) = timed(|| {
+            Verifier::new(&p)
+                .config(fig_verify_config())
+                .check(Property::Filter(FilterProperty::src(BLACKLISTED)))
+        });
+        maybe_json(&report);
+        let rep = report.as_verify().expect("filtering report");
         println!(
             "{label}: {} ({}; {} paths composed)",
             verdict_cell(&rep.verdict),

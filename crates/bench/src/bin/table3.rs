@@ -18,7 +18,7 @@ use dataplane::Element;
 use dpv_bench::*;
 use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
 use elements::pipelines::{to_pipeline, NAT_PUBLIC_IP, NAT_PUBLIC_PORT, ROUTER_IP};
-use verifier::{verify_bounded_execution, verify_crash_freedom, Verdict};
+use verifier::{Property, Verdict, Verifier};
 
 fn preproc() -> Vec<Element> {
     vec![
@@ -45,7 +45,9 @@ fn main() {
         elems.push(elements::ip_options::ip_options(1, Some(ROUTER_IP)));
         elems.push(ip_fragmenter(FragmenterVariant::ClickBug1, 40));
         let p = to_pipeline("edge+opt1+frag", elems);
-        let rep = verify_bounded_execution(&p, 5_000, &fig_verify_config());
+        let rep = Verifier::new(&p)
+            .config(fig_verify_config())
+            .check(Property::Bounded { imax: 5_000 });
         print_bug_row("#1", "edge router, 1 IP option + fragmenter", &rep);
     }
 
@@ -56,7 +58,9 @@ fn main() {
         elems.push(elements::ip_options::ip_options(1, Some(ROUTER_IP)));
         elems.push(ip_fragmenter(FragmenterVariant::ClickBug2, 40));
         let p = to_pipeline("edge+opt1+frag2", elems);
-        let rep = verify_bounded_execution(&p, 5_000, &fig_verify_config());
+        let rep = Verifier::new(&p)
+            .config(fig_verify_config())
+            .check(Property::Bounded { imax: 5_000 });
         print_bug_row("#2", "edge router, 1 IP option + fragmenter", &rep);
     }
 
@@ -65,7 +69,9 @@ fn main() {
         let mut elems = preproc();
         elems.push(ip_fragmenter(FragmenterVariant::ClickBug2, 40));
         let p = to_pipeline("edge+frag2", elems);
-        let rep = verify_bounded_execution(&p, 5_000, &fig_verify_config());
+        let rep = Verifier::new(&p)
+            .config(fig_verify_config())
+            .check(Property::Bounded { imax: 5_000 });
         print_bug_row("#2", "edge router, no options + fragmenter", &rep);
     }
 
@@ -78,12 +84,16 @@ fn main() {
             64,
         ));
         let p = to_pipeline("gateway+clicknat", elems);
-        let rep = verify_crash_freedom(&p, &fig_verify_config());
+        let rep = Verifier::new(&p)
+            .config(fig_verify_config())
+            .check(Property::CrashFreedom);
         print_bug_row("#3", "network gateway, Click NAT", &rep);
     }
 }
 
-fn print_bug_row(bug: &str, pipeline: &str, rep: &verifier::VerifyReport) {
+fn print_bug_row(bug: &str, pipeline: &str, report: &verifier::Report) {
+    maybe_json(report);
+    let rep = report.as_verify().expect("search-based property");
     let cex = match &rep.verdict {
         Verdict::Disproved(c) => format!("{} [{}B]", c.description, c.bytes.len()),
         Verdict::Proved => "— (bug masked; suspect refuted on all paths)".into(),

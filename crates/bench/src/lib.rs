@@ -83,6 +83,28 @@ pub fn verdict_cell(v: &verifier::Verdict) -> &'static str {
     }
 }
 
+/// Runs the generic (§5.2 monolithic) baseline on `p` through a
+/// session with the budgeted [`generic_sym_config`], emitting JSON
+/// when `DPV_JSON` is set.
+pub fn run_generic_baseline(p: &dataplane::Pipeline, loop_cap: u32) -> verifier::GenericRun {
+    let report = verifier::Verifier::new(p)
+        .config(verifier::VerifyConfig {
+            sym: generic_sym_config(),
+            ..Default::default()
+        })
+        .check(verifier::Property::Generic { loop_cap });
+    maybe_json(&report);
+    match report {
+        verifier::Report::Generic(g) => g,
+        other => unreachable!("generic property yields a generic report, got {other:?}"),
+    }
+}
+
+/// Renders a [`verifier::GenericRun`] cell.
+pub fn generic_cell_run(g: &verifier::GenericRun) -> String {
+    generic_cell(&g.report, g.time)
+}
+
 /// Renders a generic-baseline outcome cell (the "12h+" analogue).
 pub fn generic_cell(r: &verifier::GenericReport, t: Duration) -> String {
     match r.outcome {
@@ -98,4 +120,13 @@ pub fn generic_cell(r: &verifier::GenericReport, t: Duration) -> String {
 /// Prints a markdown-ish table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
+}
+
+/// Prints `report.to_json()` when `DPV_JSON` is set in the
+/// environment — one JSON object per line, so CI can capture and diff
+/// verdict / path-count / timing trajectories across runs.
+pub fn maybe_json(report: &verifier::Report) {
+    if std::env::var_os("DPV_JSON").is_some() {
+        println!("{}", report.to_json());
+    }
 }

@@ -49,7 +49,18 @@ struct GenState {
 
 /// Runs the baseline on `pipeline`. `loop_cap` bounds loop unrolling
 /// per element; `cfg.max_states` is the global budget.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Verifier::new(p).check(Property::Generic { loop_cap })` \
+            (see the README migration table)"
+)]
 pub fn generic_verify(pipeline: &Pipeline, cfg: &SymConfig, loop_cap: u32) -> GenericReport {
+    run_generic(pipeline, cfg, loop_cap)
+}
+
+/// The baseline engine behind [`generic_verify`] and
+/// [`crate::session::Property::Generic`].
+pub(crate) fn run_generic(pipeline: &Pipeline, cfg: &SymConfig, loop_cap: u32) -> GenericReport {
     let mut pool = TermPool::new();
     let input = SymInput::fresh(&mut pool, cfg, "in");
     let zero = pool.mk_const(dpir::META_WIDTH, 0);
@@ -212,8 +223,8 @@ mod tests {
                 field_filter(FilterField::PortSrc, 4),
             ],
         );
-        let r2 = generic_verify(&two, &cfg(1 << 20), 4);
-        let r4 = generic_verify(&four, &cfg(1 << 20), 4);
+        let r2 = run_generic(&two, &cfg(1 << 20), 4);
+        let r4 = run_generic(&four, &cfg(1 << 20), 4);
         assert_eq!(r2.outcome, GenericOutcome::Completed);
         assert_eq!(r4.outcome, GenericOutcome::Completed);
         assert!(
@@ -237,7 +248,7 @@ mod tests {
                 field_filter(FilterField::PortSrc, 4),
             ],
         );
-        let r = generic_verify(&four, &cfg(10), 4);
+        let r = run_generic(&four, &cfg(10), 4);
         assert_eq!(r.outcome, GenericOutcome::Exceeded);
     }
 }

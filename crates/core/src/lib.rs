@@ -3,14 +3,21 @@
 //! Proves, or disproves with concrete counterexample packets, the three
 //! target properties of §4 over pipelines of `dataplane` elements:
 //!
-//! * **crash-freedom** ([`verify_crash_freedom`]) — no packet can make
-//!   the pipeline terminate abnormally,
-//! * **bounded-execution** ([`verify_bounded_execution`]) — no packet
+//! * **crash-freedom** ([`Property::CrashFreedom`]) — no packet can
+//!   make the pipeline terminate abnormally,
+//! * **bounded-execution** ([`Property::Bounded`]) — no packet
 //!   executes more than `I_max` instructions; also returns the longest
 //!   feasible path and the packet that exercises it (§5.3 "longest
-//!   paths"),
-//! * **filtering** ([`verify_filtering`]) — e.g. "any packet with
+//!   paths", [`Verifier::longest_paths`]),
+//! * **filtering** ([`Property::Filter`]) — e.g. "any packet with
 //!   source IP A is dropped", under a specific configuration.
+//!
+//! The entry point is the [`session`] API: a [`Verifier`] caches the
+//! step-1 summaries per [`MapMode`] and checks any number of
+//! [`Property`] values against them, sequentially or across all cores
+//! ([`Verifier::threads`]). The per-property free functions
+//! (`verify_crash_freedom`, …) are deprecated thin wrappers kept for
+//! migration.
 //!
 //! ## How it works (paper §3)
 //!
@@ -47,20 +54,28 @@ pub mod compose;
 pub mod generic;
 pub mod parallel;
 pub mod report;
+pub mod session;
 pub mod stateful;
 pub mod step2;
 pub mod summary;
 
-pub use generic::{generic_verify, GenericOutcome, GenericReport};
-pub use parallel::{
-    verify_bounded_execution_par, verify_crash_freedom_par, verify_filtering_par, ParallelConfig,
-};
+pub use compose::ComposedState;
+pub use generic::{GenericOutcome, GenericReport};
+pub use parallel::ParallelConfig;
 pub use report::{CounterExample, Verdict, VerifyReport};
-pub use stateful::{analyze_private_state, StateFinding};
-pub use step2::{
-    longest_paths, verify_bounded_execution, verify_crash_freedom, verify_filtering,
-    FilterProperty, LongestPath, VerifyConfig,
-};
+pub use session::{CustomProperty, GenericRun, Property, Report, StateReport, Verifier};
+pub use stateful::StateFinding;
+pub use step2::{FilterProperty, LongestPath, VerifyConfig};
 pub use summary::{
     summarize_pipeline, summarize_pipeline_par, MapMode, PipelineSummaries, StageSummary,
 };
+
+// Deprecated pre-session entry points, re-exported for migration.
+#[allow(deprecated)]
+pub use generic::generic_verify;
+#[allow(deprecated)]
+pub use parallel::{verify_bounded_execution_par, verify_crash_freedom_par, verify_filtering_par};
+#[allow(deprecated)]
+pub use stateful::analyze_private_state;
+#[allow(deprecated)]
+pub use step2::{longest_paths, verify_bounded_execution, verify_crash_freedom, verify_filtering};

@@ -1,5 +1,10 @@
 //! Parallel verification driver.
 //!
+//! Entry point: [`crate::session::Verifier::threads`] — a session with
+//! more than one worker dispatches into this module's frontier
+//! machinery; the `verify_*_par` free functions below are deprecated
+//! wrappers over such sessions.
+//!
 //! Runs both verification steps across a pool of worker threads:
 //!
 //! * **step 1** executes each pipeline element in a worker-private
@@ -14,7 +19,7 @@
 //! **Determinism.** Tasks are enumerated in exactly the order the
 //! sequential search visits them, results are merged in that order,
 //! both drivers classify segments through the single
-//! [`crate::step2::classify`] engine, and a winning violation is
+//! `step2::classify` engine, and a winning violation is
 //! re-extracted against the unmutated master pool — so for any
 //! pipeline whose *parallel* run stays within the path budget, the
 //! parallel result (verdict *and* counterexample packet) is
@@ -44,16 +49,15 @@
 
 use crate::compose::ComposedState;
 use crate::report::{CounterExample, VerifyReport};
+use crate::session::{Property, Verifier};
 use crate::step2::{
-    aborted_report, bounded_suspects, check, classify, constrain_filter, crash_reach,
-    crash_suspects, lookahead, make_initial, search, segment_count, verdict_of, Feas,
-    FilterProperty, Node, PropKind, SearchOutcome, StepEvent, VerifyConfig,
+    check, classify, search, Feas, FilterProperty, Node, PropKind, SearchOutcome, StepEvent,
+    VerifyConfig,
 };
-use crate::summary::{summarize_pipeline_par, MapMode, PipelineSummaries};
+use crate::summary::PipelineSummaries;
 use bvsolve::{BvSolver, TermPool};
 use dataplane::Pipeline;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// Thread-pool settings for the parallel driver.
 #[derive(Debug, Clone)]
@@ -92,7 +96,7 @@ impl ParallelConfig {
 }
 
 /// One unit of step-2 work, produced by the frontier split.
-enum Task {
+pub(crate) enum Task {
     /// A single feasibility check. `violation: Some(desc)` means a
     /// feasible state disproves the property with that description;
     /// `None` means a feasible state only blocks a full proof.
@@ -123,7 +127,7 @@ enum TaskResult {
 /// No solver runs here — infeasible prefixes simply produce tasks
 /// whose every check is unsatisfiable, which is what the sequential
 /// search's pruning would have concluded too.
-fn expand_frontier(
+pub(crate) fn expand_frontier(
     pool: &mut TermPool,
     pipeline: &Pipeline,
     sums: &PipelineSummaries,
@@ -162,13 +166,13 @@ fn expand_frontier(
 }
 
 #[derive(Clone, Copy)]
-struct WorkerCtx<'a> {
-    pipeline: &'a Pipeline,
-    sums: &'a PipelineSummaries,
-    cfg: &'a VerifyConfig,
-    kind: &'a PropKind,
-    reach: &'a [bool],
-    composed: &'a AtomicUsize,
+pub(crate) struct WorkerCtx<'a> {
+    pub(crate) pipeline: &'a Pipeline,
+    pub(crate) sums: &'a PipelineSummaries,
+    pub(crate) cfg: &'a VerifyConfig,
+    pub(crate) kind: &'a PropKind,
+    pub(crate) reach: &'a [bool],
+    pub(crate) composed: &'a AtomicUsize,
 }
 
 fn run_task(
@@ -220,7 +224,7 @@ fn run_task(
 /// task order (ties between outcome classes resolved exactly as the
 /// sequential search would: first violation wins, then budget, then
 /// solver-unknown).
-fn drain_tasks(
+pub(crate) fn drain_tasks(
     master: &TermPool,
     tasks: &[Task],
     threads: usize,
@@ -317,121 +321,63 @@ fn reextract(
     }
 }
 
-/// Shared scaffolding of the three parallel property drivers.
-#[allow(clippy::too_many_arguments)]
-fn drive(
-    pipeline: &Pipeline,
-    cfg: &VerifyConfig,
-    par: &ParallelConfig,
-    property: &str,
-    mode: MapMode,
-    kind: PropKind,
-    reach_of: impl Fn(&PipelineSummaries) -> Vec<bool>,
-    suspects_of: impl Fn(&PipelineSummaries) -> usize,
-    init_extra: impl Fn(&mut TermPool, &PipelineSummaries, &mut ComposedState),
-) -> VerifyReport {
-    let threads = par.effective_threads();
-    let mut pool = TermPool::new();
-    let t0 = Instant::now();
-    let sums = match summarize_pipeline_par(&mut pool, pipeline, &cfg.sym, mode, threads) {
-        Ok(s) => s,
-        Err(e) => return aborted_report(property, pipeline, e, t0),
-    };
-    let mut init = make_initial(&mut pool, &sums);
-    init_extra(&mut pool, &sums, &mut init);
-    let step1_time = t0.elapsed();
-    let reach = reach_of(&sums);
-
-    let t1 = Instant::now();
-    let composed = AtomicUsize::new(0);
-    let tasks = expand_frontier(
-        &mut pool,
-        pipeline,
-        &sums,
-        &kind,
-        init,
-        &reach,
-        par.split_depth,
-    );
-    let ctx = WorkerCtx {
-        pipeline,
-        sums: &sums,
-        cfg,
-        kind: &kind,
-        reach: &reach,
-        composed: &composed,
-    };
-    let outcome = drain_tasks(&pool, &tasks, threads, &ctx);
-    VerifyReport {
-        property: property.into(),
-        pipeline: pipeline.name.clone(),
-        verdict: verdict_of(outcome),
-        step1_states: sums.total_states,
-        step1_segments: segment_count(&sums),
-        suspects: suspects_of(&sums),
-        composed_paths: composed.into_inner(),
-        step1_time,
-        step2_time: t1.elapsed(),
-    }
+/// A session pinned to `par`'s thread and split-depth knobs.
+fn session<'p>(pipeline: &'p Pipeline, cfg: &VerifyConfig, par: &ParallelConfig) -> Verifier<'p> {
+    Verifier::new(pipeline)
+        .config(cfg.clone())
+        .threads(par.threads)
+        .split_depth(par.split_depth)
 }
 
 /// Parallel [`crate::verify_crash_freedom`]: same verdict, all cores.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Verifier::new(p).threads(n).check(Property::CrashFreedom)` — \
+            one session drives both engines and reuses step-1 summaries \
+            (see the README migration table)"
+)]
 pub fn verify_crash_freedom_par(
     pipeline: &Pipeline,
     cfg: &VerifyConfig,
     par: &ParallelConfig,
 ) -> VerifyReport {
-    drive(
-        pipeline,
-        cfg,
-        par,
-        "crash-freedom",
-        MapMode::Abstract,
-        PropKind::Crash,
-        crash_reach,
-        crash_suspects,
-        |_, _, _| {},
-    )
+    session(pipeline, cfg, par)
+        .check(Property::CrashFreedom)
+        .expect_verify()
 }
 
 /// Parallel [`crate::verify_bounded_execution`]: same verdict, all cores.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Verifier::new(p).threads(n).check(Property::Bounded { imax })` — \
+            one session drives both engines and reuses step-1 summaries \
+            (see the README migration table)"
+)]
 pub fn verify_bounded_execution_par(
     pipeline: &Pipeline,
     imax: u64,
     cfg: &VerifyConfig,
     par: &ParallelConfig,
 ) -> VerifyReport {
-    let mut report = drive(
-        pipeline,
-        cfg,
-        par,
-        "bounded-execution",
-        MapMode::Abstract,
-        PropKind::Bounded { imax },
-        |sums| lookahead(sums, |_| true),
-        bounded_suspects,
-        |_, _, _| {},
-    );
-    report.property = format!("bounded-execution (imax={imax})");
-    report
+    session(pipeline, cfg, par)
+        .check(Property::Bounded { imax })
+        .expect_verify()
 }
 
 /// Parallel [`crate::verify_filtering`]: same verdict, all cores.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Verifier::new(p).threads(n).check(Property::Filter(prop))` — \
+            one session drives both engines and reuses step-1 summaries \
+            (see the README migration table)"
+)]
 pub fn verify_filtering_par(
     pipeline: &Pipeline,
     prop: &FilterProperty,
     cfg: &VerifyConfig,
     par: &ParallelConfig,
 ) -> VerifyReport {
-    drive(
-        pipeline,
-        cfg,
-        par,
-        "filtering",
-        MapMode::Tables,
-        PropKind::Filter,
-        |sums| lookahead(sums, |_| true),
-        |_| 0,
-        |pool, sums, init| constrain_filter(pool, sums, prop, init),
-    )
+    session(pipeline, cfg, par)
+        .check(Property::Filter(prop.clone()))
+        .expect_verify()
 }

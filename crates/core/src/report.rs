@@ -94,6 +94,69 @@ pub struct VerifyReport {
     pub step2_time: Duration,
 }
 
+/// Escapes `s` for embedding in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl VerifyReport {
+    /// A single-line JSON rendering for machine consumption: verdict,
+    /// counterexample (hex bytes + trace), state/path counts, and
+    /// step timings in milliseconds. Stable field set so bench bins
+    /// and CI can diff verdict/paths/time trajectories across runs.
+    pub fn to_json(&self) -> String {
+        let (verdict, description, cex) = match &self.verdict {
+            Verdict::Proved => ("proved", None, None),
+            Verdict::Disproved(c) => ("disproved", Some(c.description.clone()), Some(c)),
+            Verdict::Unknown(r) => ("unknown", Some(r.clone()), None),
+        };
+        let cex_json = match cex {
+            Some(c) => format!(
+                "{{\"hex\":\"{}\",\"trace\":[{}]}}",
+                c.hex(),
+                c.trace
+                    .iter()
+                    .map(|(s, g)| format!("[{s},{g}]"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            None => "null".into(),
+        };
+        format!(
+            "{{\"kind\":\"verify\",\"property\":\"{}\",\"pipeline\":\"{}\",\
+             \"verdict\":\"{}\",\"description\":{},\"counterexample\":{},\
+             \"step1_states\":{},\"step1_segments\":{},\"suspects\":{},\
+             \"composed_paths\":{},\"step1_ms\":{:.3},\"step2_ms\":{:.3}}}",
+            json_escape(&self.property),
+            json_escape(&self.pipeline),
+            verdict,
+            match description {
+                Some(d) => format!("\"{}\"", json_escape(&d)),
+                None => "null".into(),
+            },
+            cex_json,
+            self.step1_states,
+            self.step1_segments,
+            self.suspects,
+            self.composed_paths,
+            self.step1_time.as_secs_f64() * 1e3,
+            self.step2_time.as_secs_f64() * 1e3,
+        )
+    }
+}
+
 impl std::fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let v = match &self.verdict {

@@ -1,0 +1,644 @@
+//! The session-oriented verification API: build step-1 summaries
+//! once, check many properties.
+//!
+//! The paper's workflow is "summarize each element once (step 1), then
+//! prove many properties by composition (step 2)". A [`Verifier`]
+//! session makes that workflow first-class: it lazily builds and
+//! caches [`PipelineSummaries`] once per [`MapMode`] (Abstract for
+//! crash-freedom / bounded-execution, Tables for filtering) in a
+//! shared [`TermPool`], and every [`Verifier::check`] /
+//! [`Verifier::check_all`] call runs only the step-2 search for its
+//! property. Auditing five properties on a ten-element pipeline pays
+//! the step-1 cost at most twice — once per map mode — instead of
+//! five times.
+//!
+//! ```no_run
+//! use verifier::{FilterProperty, Property, Verifier, VerifyConfig};
+//! # let pipeline = dataplane::Pipeline::new("p");
+//! let mut v = Verifier::new(&pipeline)
+//!     .config(VerifyConfig::default())
+//!     .threads(4);
+//! for report in v.check_all(&[
+//!     Property::CrashFreedom,
+//!     Property::Bounded { imax: 5_000 },
+//!     Property::Filter(FilterProperty::src(0x0BAD_0001)),
+//! ]) {
+//!     println!("{report}");
+//! }
+//! ```
+//!
+//! Properties are values ([`Property`]), so audits can be assembled,
+//! stored and replayed; user-defined invariants plug in through
+//! [`CustomProperty`] and run on the same cached summaries and the
+//! same search engine. The sequential and multi-threaded drivers are
+//! one code path here — [`Verifier::threads`] picks the engine, and
+//! both classify segments through the single `step2::classify`
+//! kernel, so they cannot diverge on property semantics.
+//!
+//! ## Determinism notes
+//!
+//! Proof status (proved / disproved / unknown) and the violating
+//! `(stage, segment)` trace are independent of thread count and of
+//! which properties were checked earlier in the session. The concrete
+//! counterexample *packet bytes* for under-constrained properties are
+//! solver-model dependent and may differ between a session that
+//! summarized another map mode first and a fresh single-property run
+//! (both packets trigger the same violation) — the same caveat as the
+//! [`crate::parallel`] driver.
+
+use crate::compose::ComposedState;
+use crate::generic::{run_generic, GenericReport};
+use crate::parallel::{drain_tasks, expand_frontier, WorkerCtx};
+use crate::report::{json_escape, Verdict, VerifyReport};
+use crate::stateful::{analyze, StateFinding};
+use crate::step2::{
+    aborted_report, bounded_suspects, crash_reach, crash_suspects, filter_suspects,
+    longest_paths_from, lookahead, make_initial, search, segment_count, verdict_of, FilterProperty,
+    LongestPath, Node, PropKind, VerifyConfig,
+};
+use crate::summary::{
+    effective_threads, summarize_pipeline, summarize_pipeline_par, MapMode, PipelineSummaries,
+};
+use bvsolve::{BvSolver, TermPool};
+use dataplane::Pipeline;
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use symexec::{SegOutcome, Segment, SymInput};
+
+/// A user-defined property over composed pipeline states, checked by
+/// the same step-2 search as the built-in §4 properties.
+///
+/// Implementors classify each composed segment: a feasible state for
+/// which [`CustomProperty::violation`] returns `Some` disproves the
+/// property with a concrete counterexample packet; an exhausted
+/// search proves it. The default hooks mirror crash-freedom:
+/// step-1 fuel exhaustion blocks a full proof, loop overruns block
+/// proofs rather than violating, and sink delivery is inert.
+pub trait CustomProperty: Send + Sync {
+    /// Property name used in reports.
+    fn name(&self) -> String;
+
+    /// Which step-1 summaries the property needs
+    /// ([`MapMode::Abstract`] by default: arbitrary configuration).
+    fn mode(&self) -> MapMode {
+        MapMode::Abstract
+    }
+
+    /// Conjoins extra constraints onto the initial composed state
+    /// (e.g. a header pattern, as filtering does). Default: none.
+    fn constrain_initial(
+        &self,
+        _pool: &mut TermPool,
+        _input: &SymInput,
+        _init: &mut ComposedState,
+    ) {
+    }
+
+    /// `Some(description)` when `seg`, composed into `state`, violates
+    /// the property if feasible.
+    fn violation(
+        &self,
+        pipeline: &Pipeline,
+        stage: usize,
+        seg: &Segment,
+        state: &ComposedState,
+    ) -> Option<String>;
+
+    /// Whether a feasible instance of `seg` blocks a full proof
+    /// without being a violation. Default: step-1 fuel exhaustion
+    /// (the summary is incomplete past it).
+    fn blocker(&self, seg: &Segment) -> bool {
+        seg.outcome == SegOutcome::FuelExhausted
+    }
+
+    /// Whether a loop still continuing at its composition bound is a
+    /// violation rather than a proof blocker. Default: blocker.
+    fn loop_overrun_violates(&self) -> bool {
+        false
+    }
+
+    /// Whether a packet leaving the pipeline via a sink violates the
+    /// property. Default: no.
+    fn sink_violates(&self) -> bool {
+        false
+    }
+
+    /// Suspect count reported after step 1. Default: 0.
+    fn suspects(&self, _sums: &PipelineSummaries) -> usize {
+        0
+    }
+}
+
+/// A verifiable property, as a first-class value.
+///
+/// The three §4 properties, the §5.2 generic baseline, the §3.4
+/// private-state analysis, and an extension point for user-defined
+/// invariants. Pass these to [`Verifier::check`] /
+/// [`Verifier::check_all`].
+#[derive(Clone)]
+#[non_exhaustive]
+pub enum Property {
+    /// No packet may terminate the pipeline abnormally (§4).
+    CrashFreedom,
+    /// No packet may execute more than `imax` instructions (§4).
+    Bounded {
+        /// The instruction bound.
+        imax: u64,
+    },
+    /// Packets matching the pattern are never delivered on a sink,
+    /// under the pipeline's specific configuration (§4).
+    Filter(FilterProperty),
+    /// The whole-pipeline monolithic baseline (§5.2): no summaries, no
+    /// decomposition — the exponential blow-up reference point.
+    Generic {
+        /// Loop unrolling bound per element.
+        loop_cap: u32,
+    },
+    /// The §3.4 private-state pattern analysis over the cached
+    /// abstract summaries (e.g. monotonic-counter overflow by
+    /// induction).
+    StateConsistency,
+    /// A user-defined property over composed states.
+    Custom(Arc<dyn CustomProperty>),
+}
+
+impl std::fmt::Debug for Property {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Property::CrashFreedom => write!(f, "CrashFreedom"),
+            Property::Bounded { imax } => write!(f, "Bounded {{ imax: {imax} }}"),
+            Property::Filter(p) => write!(f, "Filter({p:?})"),
+            Property::Generic { loop_cap } => write!(f, "Generic {{ loop_cap: {loop_cap} }}"),
+            Property::StateConsistency => write!(f, "StateConsistency"),
+            Property::Custom(c) => write!(f, "Custom({})", c.name()),
+        }
+    }
+}
+
+/// Result of checking [`Property::Generic`]: the baseline's state
+/// counts plus run metadata.
+#[derive(Debug)]
+pub struct GenericRun {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Loop unrolling bound used.
+    pub loop_cap: u32,
+    /// The baseline engine's report.
+    pub report: GenericReport,
+    /// Wall-clock time of the run.
+    pub time: Duration,
+}
+
+/// Result of checking [`Property::StateConsistency`]: the §3.4
+/// pattern findings.
+#[derive(Debug)]
+pub struct StateReport {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Recognized private-state patterns and their induction results.
+    pub findings: Vec<StateFinding>,
+    /// Wall-clock time of the analysis, including the step-1 build
+    /// when this check was the one that populated the session cache.
+    pub time: Duration,
+    /// `Some(reason)` when step 1 aborted and no analysis ran.
+    pub error: Option<String>,
+}
+
+/// The outcome of one [`Verifier::check`] call.
+///
+/// Search-based properties (crash-freedom, bounded-execution,
+/// filtering, custom) produce [`Report::Verify`]; the generic
+/// baseline and the state analysis carry their own payloads. Every
+/// variant serializes with [`Report::to_json`].
+#[derive(Debug)]
+pub enum Report {
+    /// A property decided by the step-2 search.
+    Verify(VerifyReport),
+    /// The generic monolithic baseline.
+    Generic(GenericRun),
+    /// The §3.4 private-state findings.
+    State(StateReport),
+}
+
+impl Report {
+    /// The property name this report answers.
+    pub fn property(&self) -> String {
+        match self {
+            Report::Verify(r) => r.property.clone(),
+            Report::Generic(g) => format!("generic (loop_cap={})", g.loop_cap),
+            Report::State(_) => "state-consistency".into(),
+        }
+    }
+
+    /// The verdict, for search-based properties.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        match self {
+            Report::Verify(r) => Some(&r.verdict),
+            _ => None,
+        }
+    }
+
+    /// The inner [`VerifyReport`], if this is a search-based property.
+    pub fn as_verify(&self) -> Option<&VerifyReport> {
+        match self {
+            Report::Verify(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Unwraps the inner [`VerifyReport`].
+    ///
+    /// # Panics
+    /// If the report came from [`Property::Generic`] or
+    /// [`Property::StateConsistency`].
+    pub fn expect_verify(self) -> VerifyReport {
+        match self {
+            Report::Verify(r) => r,
+            other => panic!("expected a step-2 verification report, got {other:?}"),
+        }
+    }
+
+    /// A single-line JSON rendering for machine consumption (bench
+    /// trajectory diffs, CI): property, pipeline, verdict,
+    /// counterexample, state/path counts, and step timings in
+    /// milliseconds.
+    pub fn to_json(&self) -> String {
+        match self {
+            Report::Verify(r) => r.to_json(),
+            Report::Generic(g) => format!(
+                "{{\"kind\":\"generic\",\"pipeline\":\"{}\",\"loop_cap\":{},\
+                 \"outcome\":\"{}\",\"states\":{},\"paths\":{},\"crashes\":{},\
+                 \"unbounded\":{},\"time_ms\":{:.3}}}",
+                json_escape(&g.pipeline),
+                g.loop_cap,
+                match g.report.outcome {
+                    crate::generic::GenericOutcome::Completed => "completed",
+                    crate::generic::GenericOutcome::Exceeded => "exceeded",
+                },
+                g.report.states,
+                g.report.paths,
+                g.report.crashes,
+                g.report.unbounded,
+                g.time.as_secs_f64() * 1e3,
+            ),
+            Report::State(s) => format!(
+                "{{\"kind\":\"state\",\"pipeline\":\"{}\",\"findings\":[{}],\
+                 \"error\":{},\"time_ms\":{:.3}}}",
+                json_escape(&s.pipeline),
+                s.findings
+                    .iter()
+                    .map(|f| format!("\"{}\"", json_escape(&f.to_string())))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                match &s.error {
+                    Some(e) => format!("\"{}\"", json_escape(e)),
+                    None => "null".into(),
+                },
+                s.time.as_secs_f64() * 1e3,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Report::Verify(r) => r.fmt(f),
+            Report::Generic(g) => write!(
+                f,
+                "{} / generic baseline (loop_cap={}): {:?} | {} states, {} paths, \
+                 {} crash suspects, {} unbounded ({:?})",
+                g.pipeline,
+                g.loop_cap,
+                g.report.outcome,
+                g.report.states,
+                g.report.paths,
+                g.report.crashes,
+                g.report.unbounded,
+                g.time,
+            ),
+            Report::State(s) => {
+                if let Some(e) = &s.error {
+                    write!(f, "{} / state-consistency: {e}", s.pipeline)
+                } else if s.findings.is_empty() {
+                    write!(f, "{} / state-consistency: no patterns found", s.pipeline)
+                } else {
+                    write!(
+                        f,
+                        "{} / state-consistency: {}",
+                        s.pipeline,
+                        s.findings
+                            .iter()
+                            .map(|x| x.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Cached step-1 output for one map mode.
+struct CachedSummaries {
+    sums: PipelineSummaries,
+    build_time: Duration,
+}
+
+fn mode_idx(mode: MapMode) -> usize {
+    match mode {
+        MapMode::Abstract => 0,
+        MapMode::Tables => 1,
+    }
+}
+
+/// A verification session over one pipeline: summaries are built
+/// lazily, cached per [`MapMode`], and shared by every property check.
+///
+/// See the [module docs](self) for the full workflow.
+pub struct Verifier<'p> {
+    pipeline: &'p Pipeline,
+    cfg: VerifyConfig,
+    threads: usize,
+    split_depth: usize,
+    pool: TermPool,
+    cache: [Option<CachedSummaries>; 2],
+    step1_runs: usize,
+}
+
+impl<'p> Verifier<'p> {
+    /// A session over `pipeline` with the default configuration,
+    /// sequential engine.
+    pub fn new(pipeline: &'p Pipeline) -> Self {
+        Verifier {
+            pipeline,
+            cfg: VerifyConfig::default(),
+            threads: 1,
+            split_depth: 2,
+            pool: TermPool::new(),
+            cache: [None, None],
+            step1_runs: 0,
+        }
+    }
+
+    /// Sets the verification configuration (step-1 settings and
+    /// step-2 budgets). Call before the first `check`: summaries
+    /// already cached were built with the previous configuration.
+    #[must_use]
+    pub fn config(mut self, cfg: VerifyConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the worker-thread count for both steps: `1` (the default)
+    /// runs the sequential engine in-place, `0` uses all available
+    /// cores, any other value pins that many workers.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the composition depth at which the parallel step-2 search
+    /// splits into independent subtree tasks (ignored by the
+    /// sequential engine; the verdict never depends on it).
+    #[must_use]
+    pub fn split_depth(mut self, split_depth: usize) -> Self {
+        self.split_depth = split_depth;
+        self
+    }
+
+    /// The worker count this session resolves to (`0` → all cores).
+    pub fn effective_threads(&self) -> usize {
+        effective_threads(self.threads)
+    }
+
+    /// How many step-1 summarization passes this session has run —
+    /// at most one per [`MapMode`], however many properties were
+    /// checked. Exposed for the cache-behavior tests.
+    pub fn step1_runs(&self) -> usize {
+        self.step1_runs
+    }
+
+    /// Ensures summaries for `mode` are cached; returns whether this
+    /// call built them.
+    fn ensure(&mut self, mode: MapMode) -> Result<bool, symexec::SymError> {
+        let idx = mode_idx(mode);
+        if self.cache[idx].is_some() {
+            return Ok(false);
+        }
+        let threads = self.effective_threads();
+        let t0 = Instant::now();
+        let sums = if threads == 1 {
+            summarize_pipeline(&mut self.pool, self.pipeline, &self.cfg.sym, mode)?
+        } else {
+            summarize_pipeline_par(&mut self.pool, self.pipeline, &self.cfg.sym, mode, threads)?
+        };
+        self.step1_runs += 1;
+        self.cache[idx] = Some(CachedSummaries {
+            sums,
+            build_time: t0.elapsed(),
+        });
+        Ok(true)
+    }
+
+    /// The cached step-1 summaries for `mode`, building them if this
+    /// is the first property to need them.
+    pub fn summaries(&mut self, mode: MapMode) -> Result<&PipelineSummaries, symexec::SymError> {
+        self.ensure(mode)?;
+        Ok(&self.cache[mode_idx(mode)].as_ref().expect("ensured").sums)
+    }
+
+    /// Checks one property. Step-1 summaries are reused from the
+    /// session cache when a previous check already built them for the
+    /// same map mode.
+    pub fn check(&mut self, property: Property) -> Report {
+        let pipeline = self.pipeline;
+        match property {
+            Property::CrashFreedom => Report::Verify(self.run_search(
+                "crash-freedom".into(),
+                MapMode::Abstract,
+                PropKind::Crash,
+                crash_reach,
+                crash_suspects,
+                |_, _, _| {},
+            )),
+            Property::Bounded { imax } => Report::Verify(self.run_search(
+                format!("bounded-execution (imax={imax})"),
+                MapMode::Abstract,
+                PropKind::Bounded { imax },
+                |sums| lookahead(sums, |_| true),
+                bounded_suspects,
+                |_, _, _| {},
+            )),
+            Property::Filter(prop) => Report::Verify(self.run_search(
+                "filtering".into(),
+                MapMode::Tables,
+                PropKind::Filter,
+                |sums| lookahead(sums, |_| true),
+                |sums| filter_suspects(pipeline, sums),
+                |pool, sums, init| crate::step2::constrain_filter(pool, sums, &prop, init),
+            )),
+            Property::Generic { loop_cap } => {
+                let t0 = Instant::now();
+                let report = run_generic(pipeline, &self.cfg.sym, loop_cap);
+                Report::Generic(GenericRun {
+                    pipeline: pipeline.name.clone(),
+                    loop_cap,
+                    report,
+                    time: t0.elapsed(),
+                })
+            }
+            Property::StateConsistency => {
+                // Like every check, step-1 cost is attributed to the
+                // check that pays it: `time` includes the build when
+                // this call populated the cache.
+                let t0 = Instant::now();
+                if let Err(e) = self.ensure(MapMode::Abstract) {
+                    return Report::State(StateReport {
+                        pipeline: pipeline.name.clone(),
+                        findings: Vec::new(),
+                        time: t0.elapsed(),
+                        error: Some(format!("step 1 aborted: {e}")),
+                    });
+                }
+                let cached = self.cache[mode_idx(MapMode::Abstract)]
+                    .as_ref()
+                    .expect("ensured");
+                let findings = analyze(&mut self.pool, &cached.sums, pipeline);
+                Report::State(StateReport {
+                    pipeline: pipeline.name.clone(),
+                    findings,
+                    time: t0.elapsed(),
+                    error: None,
+                })
+            }
+            Property::Custom(custom) => {
+                let mode = custom.mode();
+                let name = custom.name();
+                let c2 = Arc::clone(&custom);
+                let c3 = Arc::clone(&custom);
+                Report::Verify(self.run_search(
+                    name,
+                    mode,
+                    PropKind::Custom(custom),
+                    |sums| lookahead(sums, |_| true),
+                    move |sums| c2.suspects(sums),
+                    move |pool, sums, init| c3.constrain_initial(pool, &sums.input, init),
+                ))
+            }
+        }
+    }
+
+    /// Checks every property in order, reusing the cached summaries —
+    /// step 1 runs at most once per map mode for the whole batch.
+    pub fn check_all(&mut self, properties: &[Property]) -> Vec<Report> {
+        properties.iter().map(|p| self.check(p.clone())).collect()
+    }
+
+    /// The `n` longest feasible pipeline paths and packets exercising
+    /// them (§5.3 adversarial workload construction), over the cached
+    /// abstract summaries.
+    pub fn longest_paths(&mut self, n: usize) -> Vec<LongestPath> {
+        if self.ensure(MapMode::Abstract).is_err() {
+            return Vec::new();
+        }
+        let Verifier {
+            pipeline,
+            cfg,
+            pool,
+            cache,
+            ..
+        } = self;
+        let cached = cache[mode_idx(MapMode::Abstract)].as_ref().expect("built");
+        let sums = &cached.sums;
+        let init = make_initial(pool, sums);
+        longest_paths_from(pool, pipeline, sums, init, cfg, n)
+    }
+
+    /// The shared step-2 driver: cached summaries, one engine
+    /// dispatch. Sequential (`threads == 1`) runs the DFS in-place;
+    /// otherwise the search splits into a frontier of subtree tasks
+    /// drained by workers — both classify segments through the same
+    /// `step2::classify` kernel.
+    fn run_search(
+        &mut self,
+        name: String,
+        mode: MapMode,
+        kind: PropKind,
+        reach_of: impl Fn(&PipelineSummaries) -> Vec<bool>,
+        suspects_of: impl Fn(&PipelineSummaries) -> usize,
+        init_extra: impl FnOnce(&mut TermPool, &PipelineSummaries, &mut ComposedState),
+    ) -> VerifyReport {
+        let threads = self.effective_threads();
+        let t0 = Instant::now();
+        let built = match self.ensure(mode) {
+            Ok(b) => b,
+            Err(e) => return aborted_report(&name, self.pipeline, e, t0),
+        };
+        let Verifier {
+            pipeline,
+            cfg,
+            split_depth,
+            pool,
+            cache,
+            ..
+        } = self;
+        let cached = cache[mode_idx(mode)].as_ref().expect("ensured");
+        let sums = &cached.sums;
+        // Step-1 cost is attributed to the check that paid it; cache
+        // hits report zero.
+        let step1_time = if built {
+            cached.build_time
+        } else {
+            Duration::ZERO
+        };
+        let mut init = make_initial(pool, sums);
+        init_extra(pool, sums, &mut init);
+        let reach = reach_of(sums);
+
+        let t1 = Instant::now();
+        let composed = AtomicUsize::new(0);
+        let outcome = if threads == 1 {
+            let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
+            search(
+                pool,
+                &mut solver,
+                pipeline,
+                sums,
+                cfg,
+                &kind,
+                vec![Node {
+                    stage: 0,
+                    iter: 0,
+                    state: init,
+                }],
+                &reach,
+                &composed,
+            )
+        } else {
+            let tasks = expand_frontier(pool, pipeline, sums, &kind, init, &reach, *split_depth);
+            let ctx = WorkerCtx {
+                pipeline,
+                sums,
+                cfg,
+                kind: &kind,
+                reach: &reach,
+                composed: &composed,
+            };
+            drain_tasks(pool, &tasks, threads, &ctx)
+        };
+        VerifyReport {
+            property: name,
+            pipeline: pipeline.name.clone(),
+            verdict: verdict_of(outcome),
+            step1_states: sums.total_states,
+            step1_segments: segment_count(sums),
+            suspects: suspects_of(sums),
+            composed_paths: composed.into_inner(),
+            step1_time,
+            step2_time: t1.elapsed(),
+        }
+    }
+}

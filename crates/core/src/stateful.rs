@@ -124,7 +124,23 @@ fn scan_segment(
 }
 
 /// Runs the §3.4 sub-step (ii) pattern analysis over all stages.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Verifier::new(p).check(Property::StateConsistency)` — the \
+            session runs this analysis on its cached abstract summaries \
+            (see the README migration table)"
+)]
 pub fn analyze_private_state(
+    pool: &mut TermPool,
+    sums: &PipelineSummaries,
+    pipeline: &dataplane::Pipeline,
+) -> Vec<StateFinding> {
+    analyze(pool, sums, pipeline)
+}
+
+/// The analysis engine behind [`analyze_private_state`] and
+/// [`crate::session::Property::StateConsistency`].
+pub(crate) fn analyze(
     pool: &mut TermPool,
     sums: &PipelineSummaries,
     pipeline: &dataplane::Pipeline,
@@ -178,7 +194,7 @@ mod tests {
         let p = to_pipeline("mon", vec![elements::traffic_monitor::traffic_monitor(64)]);
         let mut pool = TermPool::new();
         let sums = summarize_pipeline(&mut pool, &p, &cfg(), MapMode::Abstract).expect("ok");
-        let findings = analyze_private_state(&mut pool, &sums, &p);
+        let findings = analyze(&mut pool, &sums, &p);
         assert_eq!(findings.len(), 1, "exactly one counter found");
         match &findings[0] {
             StateFinding::CounterOverflow {
@@ -201,7 +217,7 @@ mod tests {
         let p = to_pipeline("nat", vec![elements::nat::nat_verified(0xC6336401, 64)]);
         let mut pool = TermPool::new();
         let sums = summarize_pipeline(&mut pool, &p, &cfg(), MapMode::Abstract).expect("ok");
-        let findings = analyze_private_state(&mut pool, &sums, &p);
+        let findings = analyze(&mut pool, &sums, &p);
         assert!(findings.is_empty(), "NAT writes ports, not counters");
     }
 }

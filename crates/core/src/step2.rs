@@ -1,19 +1,23 @@
 //! Verification step 2: composing suspect paths and deciding
-//! feasibility — plus the three §4 property drivers.
+//! feasibility — plus the deprecated pre-session property drivers.
 //!
-//! The path search is written once ([`search`]) and parameterized by
-//! [`PropKind`]; the sequential drivers here and the parallel drivers
-//! in [`crate::parallel`] share it, so the two can never diverge on
-//! property semantics.
+//! The path search is written once (`search`) and parameterized by
+//! `PropKind`; the sequential engine and the parallel frontier in
+//! [`crate::parallel`] share it — dispatched from one code path in
+//! [`crate::session::Verifier`] — so the two can never diverge on
+//! property semantics. The `verify_*` free functions here are thin
+//! deprecated wrappers over single-property sessions.
 
 use crate::compose::{compose, ComposedState};
 use crate::report::{CounterExample, Verdict, VerifyReport};
-use crate::summary::{summarize_pipeline, MapMode, PipelineSummaries};
+use crate::session::{CustomProperty, Property, Verifier};
+use crate::summary::PipelineSummaries;
 use bvsolve::{BvSolver, SatVerdict, TermPool};
 use dataplane::{Pipeline, Route};
 use dpir::PORT_CONTINUE;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use symexec::{SegOutcome, Segment, SymConfig};
 
@@ -102,6 +106,8 @@ pub(crate) enum PropKind {
     /// No packet matching the property pattern (conjoined onto the
     /// initial state) may be delivered on a sink.
     Filter,
+    /// A user-defined property (see [`crate::session::CustomProperty`]).
+    Custom(Arc<dyn CustomProperty>),
 }
 
 impl PropKind {
@@ -134,6 +140,7 @@ impl PropKind {
                 }
             }
             PropKind::Filter => None,
+            PropKind::Custom(c) => c.violation(pipeline, stage, seg, next),
         }
     }
 
@@ -144,6 +151,7 @@ impl PropKind {
             // Under Bounded, fuel exhaustion is already a violation.
             PropKind::Bounded { .. } => false,
             PropKind::Crash | PropKind::Filter => seg.outcome == SegOutcome::FuelExhausted,
+            PropKind::Custom(c) => c.blocker(seg),
         }
     }
 
@@ -151,13 +159,21 @@ impl PropKind {
     /// violation (bounded-execution: §5.3 bugs #1/#2 land here) rather
     /// than a proof blocker.
     pub(crate) fn loop_overrun_violates(&self) -> bool {
-        matches!(self, PropKind::Bounded { .. })
+        match self {
+            PropKind::Bounded { .. } => true,
+            PropKind::Crash | PropKind::Filter => false,
+            PropKind::Custom(c) => c.loop_overrun_violates(),
+        }
     }
 
     /// Whether a packet *leaving* the pipeline via a sink violates the
     /// property (filtering).
     pub(crate) fn sink_violates(&self) -> bool {
-        matches!(self, PropKind::Filter)
+        match self {
+            PropKind::Filter => true,
+            PropKind::Crash | PropKind::Bounded { .. } => false,
+            PropKind::Custom(c) => c.sink_violates(),
+        }
     }
 }
 
@@ -350,19 +366,6 @@ pub(crate) fn describe_outcome(pipeline: &Pipeline, stage: usize, seg: &Segment)
     }
 }
 
-/// Builds the step-1 summaries and an initial composed state whose
-/// metadata is zero (packets enter the pipeline with fresh metadata).
-pub(crate) fn prepare(
-    pool: &mut TermPool,
-    pipeline: &Pipeline,
-    cfg: &VerifyConfig,
-    mode: MapMode,
-) -> Result<(PipelineSummaries, ComposedState), symexec::SymError> {
-    let sums = summarize_pipeline(pool, pipeline, &cfg.sym, mode)?;
-    let init = make_initial(pool, &sums);
-    Ok((sums, init))
-}
-
 /// The initial composed state for `sums`: metadata zeroed.
 pub(crate) fn make_initial(pool: &mut TermPool, sums: &PipelineSummaries) -> ComposedState {
     let mut init = ComposedState::initial(&sums.input);
@@ -443,95 +446,38 @@ pub(crate) fn verdict_of(outcome: SearchOutcome) -> Verdict {
 
 /// Proves or disproves **crash-freedom** (§4) for `pipeline`, assuming
 /// arbitrary packets and arbitrary configuration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Verifier::new(p).check(Property::CrashFreedom)` — a session \
+            reuses step-1 summaries across properties (see the README \
+            migration table)"
+)]
 pub fn verify_crash_freedom(pipeline: &Pipeline, cfg: &VerifyConfig) -> VerifyReport {
-    let mut pool = TermPool::new();
-    let t0 = Instant::now();
-    let (sums, init) = match prepare(&mut pool, pipeline, cfg, MapMode::Abstract) {
-        Ok(x) => x,
-        Err(e) => return aborted_report("crash-freedom", pipeline, e, t0),
-    };
-    let step1_time = t0.elapsed();
-    let reach = crash_reach(&sums);
-
-    let t1 = Instant::now();
-    let composed = AtomicUsize::new(0);
-    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
-    let outcome = search(
-        &mut pool,
-        &mut solver,
-        pipeline,
-        &sums,
-        cfg,
-        &PropKind::Crash,
-        vec![Node {
-            stage: 0,
-            iter: 0,
-            state: init,
-        }],
-        &reach,
-        &composed,
-    );
-    VerifyReport {
-        property: "crash-freedom".into(),
-        pipeline: pipeline.name.clone(),
-        verdict: verdict_of(outcome),
-        step1_states: sums.total_states,
-        step1_segments: segment_count(&sums),
-        suspects: crash_suspects(&sums),
-        composed_paths: composed.into_inner(),
-        step1_time,
-        step2_time: t1.elapsed(),
-    }
+    Verifier::new(pipeline)
+        .config(cfg.clone())
+        .check(Property::CrashFreedom)
+        .expect_verify()
 }
 
 /// Proves or disproves **bounded-execution** (§4): no packet executes
 /// more than `imax` instructions. Loop-bound overruns and
 /// fuel-exhausted segments are the suspects — a feasible one is an
 /// (attacker-exploitable) unbounded path, as with §5.3 bugs #1/#2.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Verifier::new(p).check(Property::Bounded { imax })` — a \
+            session reuses step-1 summaries across properties (see the \
+            README migration table)"
+)]
 pub fn verify_bounded_execution(
     pipeline: &Pipeline,
     imax: u64,
     cfg: &VerifyConfig,
 ) -> VerifyReport {
-    let mut pool = TermPool::new();
-    let t0 = Instant::now();
-    let (sums, init) = match prepare(&mut pool, pipeline, cfg, MapMode::Abstract) {
-        Ok(x) => x,
-        Err(e) => return aborted_report("bounded-execution", pipeline, e, t0),
-    };
-    let step1_time = t0.elapsed();
-    // Instruction totals grow everywhere: every stage stays reachable.
-    let reach = lookahead(&sums, |_| true);
-
-    let t1 = Instant::now();
-    let composed = AtomicUsize::new(0);
-    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
-    let outcome = search(
-        &mut pool,
-        &mut solver,
-        pipeline,
-        &sums,
-        cfg,
-        &PropKind::Bounded { imax },
-        vec![Node {
-            stage: 0,
-            iter: 0,
-            state: init,
-        }],
-        &reach,
-        &composed,
-    );
-    VerifyReport {
-        property: format!("bounded-execution (imax={imax})"),
-        pipeline: pipeline.name.clone(),
-        verdict: verdict_of(outcome),
-        step1_states: sums.total_states,
-        step1_segments: segment_count(&sums),
-        suspects: bounded_suspects(&sums),
-        composed_paths: composed.into_inner(),
-        step1_time,
-        step2_time: t1.elapsed(),
-    }
+    Verifier::new(pipeline)
+        .config(cfg.clone())
+        .check(Property::Bounded { imax })
+        .expect_verify()
 }
 
 /// A filtering property (§4): packets matching the header pattern must
@@ -554,6 +500,33 @@ impl FilterProperty {
             dst_ip: None,
             min_len: 38,
         }
+    }
+
+    /// "Any packet with destination IP `a` is dropped."
+    pub fn dst(a: u32) -> Self {
+        FilterProperty {
+            src_ip: None,
+            dst_ip: Some(a),
+            min_len: 38,
+        }
+    }
+
+    /// "Any packet with source IP `s` and destination IP `d` is
+    /// dropped" — the paper's §4 conjunction example.
+    pub fn src_dst(s: u32, d: u32) -> Self {
+        FilterProperty {
+            src_ip: Some(s),
+            dst_ip: Some(d),
+            min_len: 38,
+        }
+    }
+
+    /// Sets the minimum packet length making the matched fields
+    /// meaningful (builder style; the default is 38).
+    #[must_use]
+    pub fn min_len(mut self, min_len: u64) -> Self {
+        self.min_len = min_len;
+        self
     }
 }
 
@@ -585,53 +558,46 @@ pub(crate) fn constrain_filter(
     }
 }
 
+/// Filtering suspect count after step 1: segments that deliver the
+/// packet on a sink (each is a potential policy bypass until step 2
+/// discharges it in context).
+pub(crate) fn filter_suspects(pipeline: &Pipeline, sums: &PipelineSummaries) -> usize {
+    sums.stages
+        .iter()
+        .enumerate()
+        .map(|(k, s)| {
+            let is_loop = s.loop_iters.is_some();
+            s.segments
+                .iter()
+                .filter(|g| match g.outcome {
+                    SegOutcome::Emit(p) if !(is_loop && p == PORT_CONTINUE) => {
+                        matches!(pipeline.stages[k].resolve(p), Route::Sink(_))
+                    }
+                    _ => false,
+                })
+                .count()
+        })
+        .sum()
+}
+
 /// Proves or disproves a **filtering** property under the pipeline's
 /// *specific configuration* (static maps summarized from their
 /// configured contents).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Verifier::new(p).check(Property::Filter(prop))` — a session \
+            reuses step-1 summaries across properties (see the README \
+            migration table)"
+)]
 pub fn verify_filtering(
     pipeline: &Pipeline,
     prop: &FilterProperty,
     cfg: &VerifyConfig,
 ) -> VerifyReport {
-    let mut pool = TermPool::new();
-    let t0 = Instant::now();
-    let (sums, mut init) = match prepare(&mut pool, pipeline, cfg, MapMode::Tables) {
-        Ok(x) => x,
-        Err(e) => return aborted_report("filtering", pipeline, e, t0),
-    };
-    let step1_time = t0.elapsed();
-    constrain_filter(&mut pool, &sums, prop, &mut init);
-
-    let reach = lookahead(&sums, |_| true);
-    let t1 = Instant::now();
-    let composed = AtomicUsize::new(0);
-    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
-    let outcome = search(
-        &mut pool,
-        &mut solver,
-        pipeline,
-        &sums,
-        cfg,
-        &PropKind::Filter,
-        vec![Node {
-            stage: 0,
-            iter: 0,
-            state: init,
-        }],
-        &reach,
-        &composed,
-    );
-    VerifyReport {
-        property: "filtering".into(),
-        pipeline: pipeline.name.clone(),
-        verdict: verdict_of(outcome),
-        step1_states: sums.total_states,
-        step1_segments: segment_count(&sums),
-        suspects: 0,
-        composed_paths: composed.into_inner(),
-        step1_time,
-        step2_time: t1.elapsed(),
-    }
+    Verifier::new(pipeline)
+        .config(cfg.clone())
+        .check(Property::Filter(prop.clone()))
+        .expect_verify()
 }
 
 /// One entry of the longest-path report (§5.3).
@@ -650,12 +616,26 @@ pub struct LongestPath {
 /// decreasing instruction count via a best-first search whose
 /// heuristic (maximum remaining instructions per stage) is admissible,
 /// so paths pop in true length order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Verifier::new(p).longest_paths(n)` — a session reuses \
+            step-1 summaries across properties (see the README migration \
+            table)"
+)]
 pub fn longest_paths(pipeline: &Pipeline, n: usize, cfg: &VerifyConfig) -> Vec<LongestPath> {
-    let mut pool = TermPool::new();
-    let (sums, init) = match prepare(&mut pool, pipeline, cfg, MapMode::Abstract) {
-        Ok(x) => x,
-        Err(_) => return Vec::new(),
-    };
+    Verifier::new(pipeline).config(cfg.clone()).longest_paths(n)
+}
+
+/// The longest-path best-first search over already-built summaries
+/// (the engine behind [`Verifier::longest_paths`]).
+pub(crate) fn longest_paths_from(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    sums: &PipelineSummaries,
+    init: ComposedState,
+    cfg: &VerifyConfig,
+    n: usize,
+) -> Vec<LongestPath> {
     // Optimistic per-stage remaining cost.
     let nst = sums.stages.len();
     let mut stage_max = vec![0u64; nst];
@@ -712,11 +692,11 @@ pub fn longest_paths(pipeline: &Pipeline, n: usize, cfg: &VerifyConfig) -> Vec<L
         }
         if node.terminal {
             // Admissible heuristic ⇒ this is the next-longest path.
-            if let Feas::Sat(m) = check(&mut pool, &mut solver, &node.state, &[]) {
+            if let Feas::Sat(m) = check(pool, &mut solver, &node.state, &[]) {
                 out.push(LongestPath {
                     instrs: node.state.instrs,
                     packet: CounterExample::from_model(
-                        &pool,
+                        pool,
                         &sums.input,
                         &m,
                         format!("{}-instruction path", node.state.instrs),
@@ -733,9 +713,9 @@ pub fn longest_paths(pipeline: &Pipeline, n: usize, cfg: &VerifyConfig) -> Vec<L
             if composed >= cfg.max_composed_paths {
                 break;
             }
-            let next = compose(&mut pool, &node.state, &summary.input, seg, node.stage, i);
+            let next = compose(pool, &node.state, &summary.input, seg, node.stage, i);
             composed += 1;
-            let feasible = !matches!(check(&mut pool, &mut solver, &next, &[]), Feas::Unsat);
+            let feasible = !matches!(check(pool, &mut solver, &next, &[]), Feas::Unsat);
             if !feasible {
                 continue;
             }

@@ -1,6 +1,11 @@
 //! Verifier budget and degradation behavior: when resources run out the
 //! verdict must degrade to Unknown — never to a false Proved/Disproved.
 
+// These suites exercise the deprecated pre-session free functions on
+// purpose: each one doubles as a migration test that the thin wrappers
+// keep returning verdicts identical to the session API they delegate to.
+#![allow(deprecated)]
+
 use elements::pipelines::{to_pipeline, ROUTER_IP};
 use symexec::SymConfig;
 use verifier::{

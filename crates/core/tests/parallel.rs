@@ -3,6 +3,11 @@
 //! disproofs the same counterexample packet, trace and description —
 //! for every thread count and split depth.
 
+// These suites exercise the deprecated pre-session free functions on
+// purpose: each one doubles as a migration test that the thin wrappers
+// keep returning verdicts identical to the session API they delegate to.
+#![allow(deprecated)]
+
 use dataplane::{Element, Pipeline, Route, Stage};
 use dpir::ProgramBuilder;
 use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
@@ -188,15 +193,18 @@ fn gateway_filtering_matches() {
     // counterexample packet is solver-model dependent and may differ
     // between the sequential and parallel pools (see the determinism
     // notes in `verifier::parallel`). Guaranteed and asserted here:
-    // the proof status matches, the parallel packet is identical
-    // across thread counts / split depths, and every reported packet
-    // actually triggers the violation when replayed concretely.
+    // the proof status matches, the packet is identical across all
+    // *parallel* runs (thread counts ≥ 2, any split depth), and every
+    // reported packet actually triggers the violation when replayed
+    // concretely. `threads == 1` runs the sequential engine itself
+    // under the unified session dispatch, so its packet belongs to the
+    // sequential class and is only replay-checked.
     let build = || to_pipeline("gateway", network_gateway(3));
     let prop = FilterProperty::src(0x0A00_002A);
     let seq = verify_filtering(&build(), &prop, &cfg());
 
     let mut parallel_packets = Vec::new();
-    for (threads, split_depth) in [(1, 1), (2, 2), (8, 3)] {
+    for (threads, split_depth) in [(1, 1), (2, 2), (4, 1), (8, 3)] {
         let par = verify_filtering_par(
             &build(),
             &prop,
@@ -213,7 +221,16 @@ fn gateway_filtering_matches() {
         );
         if let Verdict::Disproved(cex) = &par.verdict {
             replay_filtering_violation(&prop, &cex.bytes);
-            parallel_packets.push(cex.bytes.clone());
+            if threads > 1 {
+                parallel_packets.push(cex.bytes.clone());
+            } else if let Verdict::Disproved(seq_cex) = &seq.verdict {
+                // threads == 1 *is* the sequential engine: its packet
+                // must be byte-identical to the sequential wrapper's.
+                assert_eq!(
+                    seq_cex.bytes, cex.bytes,
+                    "threads=1 must reproduce the sequential packet"
+                );
+            }
         }
     }
     if let Verdict::Disproved(cex) = &seq.verdict {

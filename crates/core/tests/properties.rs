@@ -5,6 +5,11 @@
 //! must trigger exactly the violation the verifier predicted. That
 //! closes the loop between the symbolic and concrete semantics.
 
+// These suites exercise the deprecated pre-session free functions on
+// purpose: each one doubles as a migration test that the thin wrappers
+// keep returning verdicts identical to the session API they delegate to.
+#![allow(deprecated)]
+
 use dataplane::{PipelineOutcome, Runner};
 use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
 use elements::pipelines::{

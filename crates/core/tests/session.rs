@@ -1,0 +1,481 @@
+//! Session-API tests: summary caching, multi-property audits, the
+//! sequential/parallel engine dispatch, custom properties, and the
+//! deprecated-wrapper migration guarantees.
+
+use dataplane::{Element, Pipeline, Route, Stage};
+use dpir::ProgramBuilder;
+use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
+use elements::pipelines::{to_pipeline, ROUTER_IP};
+use symexec::{SegOutcome, Segment, SymConfig, SymInput};
+use verifier::{
+    ComposedState, CustomProperty, FilterProperty, MapMode, Property, Report, Verdict, Verifier,
+    VerifyConfig, VerifyReport,
+};
+
+fn cfg() -> VerifyConfig {
+    VerifyConfig {
+        sym: SymConfig {
+            max_pkt_bytes: 48,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// The Table-2 router front used by the audit tests: preproc, TTL and
+/// an IP-options loop.
+fn router() -> Pipeline {
+    to_pipeline(
+        "router",
+        vec![
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+            elements::dec_ttl::dec_ttl(),
+            elements::ip_options::ip_options(2, Some(ROUTER_IP)),
+        ],
+    )
+}
+
+/// Click fragmenter bug #1 behind the router preproc: a real
+/// bounded-execution disproof.
+fn click_bug1() -> Pipeline {
+    to_pipeline(
+        "edge+frag1",
+        vec![
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+            elements::ip_options::ip_options(1, Some(ROUTER_IP)),
+            ip_fragmenter(FragmenterVariant::ClickBug1, 40),
+        ],
+    )
+}
+
+/// The fixed fragmenter behind the same preproc: provably bounded.
+fn fixed_frag() -> Pipeline {
+    to_pipeline(
+        "edge+fixedfrag",
+        vec![
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+            ip_fragmenter(FragmenterVariant::Fixed, 40),
+        ],
+    )
+}
+
+const IMAX: u64 = 5_000;
+
+/// Same proof status, violating trace and description. Counterexample
+/// *bytes* are solver-model dependent across term pools and are
+/// compared only where the engines share a master pool.
+fn assert_same_outcome(a: &VerifyReport, b: &VerifyReport, what: &str) {
+    match (&a.verdict, &b.verdict) {
+        (Verdict::Proved, Verdict::Proved) => {}
+        (Verdict::Disproved(x), Verdict::Disproved(y)) => {
+            assert_eq!(x.trace, y.trace, "{what}: trace differs");
+            assert_eq!(x.description, y.description, "{what}: description differs");
+        }
+        (Verdict::Unknown(x), Verdict::Unknown(y)) => {
+            assert_eq!(x, y, "{what}: unknown reason differs");
+        }
+        (x, y) => panic!("{what}: {x:?} vs {y:?}"),
+    }
+    assert_eq!(a.step1_states, b.step1_states, "{what}: step-1 states");
+    assert_eq!(a.step1_segments, b.step1_segments, "{what}: segments");
+    assert_eq!(a.suspects, b.suspects, "{what}: suspects");
+}
+
+// --------------------------------------------------------------------
+// (a) check_all == fresh per-property runs
+// --------------------------------------------------------------------
+
+#[test]
+fn check_all_matches_fresh_runs_on_click_bug() {
+    let p = click_bug1();
+    let batch = Verifier::new(&p)
+        .config(cfg())
+        .check_all(&[Property::CrashFreedom, Property::Bounded { imax: IMAX }]);
+    assert_eq!(batch.len(), 2);
+    for (prop, got) in [Property::CrashFreedom, Property::Bounded { imax: IMAX }]
+        .into_iter()
+        .zip(&batch)
+    {
+        let fresh = Verifier::new(&p).config(cfg()).check(prop.clone());
+        assert_same_outcome(
+            fresh.as_verify().expect("verify report"),
+            got.as_verify().expect("verify report"),
+            &format!("{prop:?}"),
+        );
+    }
+    // The bug is really found through the cache.
+    assert!(
+        batch[1].as_verify().unwrap().verdict.is_disproved(),
+        "bug #1 must be disproved: {}",
+        batch[1]
+    );
+}
+
+#[test]
+fn check_all_matches_fresh_runs_on_fixed_pipeline() {
+    let p = fixed_frag();
+    let batch = Verifier::new(&p)
+        .config(cfg())
+        .check_all(&[Property::CrashFreedom, Property::Bounded { imax: IMAX }]);
+    for r in &batch {
+        assert!(
+            r.as_verify().unwrap().verdict.is_proved(),
+            "fixed fragmenter proves everything: {r}"
+        );
+    }
+    let fresh = Verifier::new(&p)
+        .config(cfg())
+        .check(Property::Bounded { imax: IMAX });
+    assert_same_outcome(
+        fresh.as_verify().unwrap(),
+        batch[1].as_verify().unwrap(),
+        "fixed/bounded",
+    );
+}
+
+// --------------------------------------------------------------------
+// (b) step 1 runs at most once per MapMode per session
+// --------------------------------------------------------------------
+
+#[test]
+fn step1_cached_once_per_map_mode() {
+    let p = router();
+    let mut v = Verifier::new(&p).config(cfg());
+    assert_eq!(v.step1_runs(), 0, "lazy: nothing built yet");
+
+    v.check(Property::CrashFreedom);
+    assert_eq!(v.step1_runs(), 1, "Abstract built");
+    v.check(Property::Bounded { imax: 10_000 });
+    assert_eq!(v.step1_runs(), 1, "Abstract reused for bounded");
+    v.check(Property::StateConsistency);
+    assert_eq!(v.step1_runs(), 1, "Abstract reused for §3.4");
+    v.check(Property::Filter(FilterProperty::src(0x0BAD_0001)));
+    assert_eq!(v.step1_runs(), 2, "Tables built for filtering");
+    v.check(Property::Filter(FilterProperty::dst(0x0A09_0909)));
+    assert_eq!(v.step1_runs(), 2, "Tables reused");
+    v.check(Property::CrashFreedom);
+    assert_eq!(v.step1_runs(), 2, "Abstract still cached");
+    v.longest_paths(1);
+    assert_eq!(v.step1_runs(), 2, "longest paths reuse the cache too");
+}
+
+/// The acceptance scenario: a three-property audit on the Table-2
+/// router summarizes at most twice (once per map mode), and every
+/// verdict equals its fresh single-property run.
+#[test]
+fn router_audit_summarizes_at_most_twice() {
+    let p = router();
+    let props = [
+        Property::CrashFreedom,
+        Property::Bounded { imax: 10_000 },
+        Property::Filter(FilterProperty::src(0x0BAD_0001)),
+    ];
+    let mut v = Verifier::new(&p).config(cfg());
+    let batch = v.check_all(&props);
+    assert_eq!(v.step1_runs(), 2, "one step-1 pass per MapMode");
+    for (prop, got) in props.iter().zip(&batch) {
+        let fresh = Verifier::new(&p).config(cfg()).check(prop.clone());
+        assert_same_outcome(
+            fresh.as_verify().expect("verify report"),
+            got.as_verify().expect("verify report"),
+            &format!("{prop:?}"),
+        );
+    }
+}
+
+// --------------------------------------------------------------------
+// (c) sequential vs parallel sessions agree
+// --------------------------------------------------------------------
+
+#[test]
+fn sequential_and_parallel_sessions_agree() {
+    let p = click_bug1();
+    let props = [Property::CrashFreedom, Property::Bounded { imax: IMAX }];
+    let seq = Verifier::new(&p).config(cfg()).check_all(&props);
+    let par = Verifier::new(&p).config(cfg()).threads(4).check_all(&props);
+    for ((prop, s), r) in props.iter().zip(&seq).zip(&par) {
+        assert_same_outcome(
+            s.as_verify().unwrap(),
+            r.as_verify().unwrap(),
+            &format!("{prop:?} (threads=4)"),
+        );
+    }
+
+    // Single-property fresh sessions share the master-pool numbering
+    // guarantee of the parallel driver: identical packets too.
+    let s = Verifier::new(&p)
+        .config(cfg())
+        .check(Property::Bounded { imax: IMAX })
+        .expect_verify();
+    let r = Verifier::new(&p)
+        .config(cfg())
+        .threads(4)
+        .check(Property::Bounded { imax: IMAX })
+        .expect_verify();
+    match (&s.verdict, &r.verdict) {
+        (Verdict::Disproved(a), Verdict::Disproved(b)) => {
+            assert_eq!(a.bytes, b.bytes, "counterexample packet differs");
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.description, b.description);
+        }
+        (a, b) => panic!("expected disproofs, got {a:?} vs {b:?}"),
+    }
+}
+
+// --------------------------------------------------------------------
+// Custom properties
+// --------------------------------------------------------------------
+
+/// Crash-freedom reimplemented as a custom property: must agree with
+/// the built-in everywhere the built-in's reachability pruning is not
+/// load-bearing.
+struct NoCrash;
+
+impl CustomProperty for NoCrash {
+    fn name(&self) -> String {
+        "custom-no-crash".into()
+    }
+
+    fn violation(
+        &self,
+        pipeline: &Pipeline,
+        stage: usize,
+        seg: &Segment,
+        _state: &ComposedState,
+    ) -> Option<String> {
+        seg.outcome
+            .is_crash()
+            .then(|| format!("{} crashes", pipeline.stages[stage].element.name))
+    }
+}
+
+fn toy_broken() -> Pipeline {
+    let mut b = ProgramBuilder::new("E2");
+    let v = b.pkt_load(8, 0u64);
+    let ok = b.ule(8, 10u64, v);
+    b.assert_(ok, "in >= 10");
+    b.emit(0);
+    Pipeline::new("toy-broken").push_stage(
+        Stage::passthrough(Element::straight("E2", b.build().expect("valid")))
+            .route(0, Route::Sink(0)),
+    )
+}
+
+#[test]
+fn custom_property_runs_on_the_shared_engine() {
+    let broken = toy_broken();
+    let mut v = Verifier::new(&broken).config(cfg());
+    let custom = v
+        .check(Property::Custom(std::sync::Arc::new(NoCrash)))
+        .expect_verify();
+    assert_eq!(custom.property, "custom-no-crash");
+    let builtin = v.check(Property::CrashFreedom).expect_verify();
+    assert!(custom.verdict.is_disproved(), "{custom}");
+    assert!(builtin.verdict.is_disproved(), "{builtin}");
+    match (&custom.verdict, &builtin.verdict) {
+        (Verdict::Disproved(a), Verdict::Disproved(b)) => {
+            assert_eq!(a.trace, b.trace, "same violating path");
+        }
+        _ => unreachable!(),
+    }
+    assert_eq!(v.step1_runs(), 1, "custom shares the Abstract cache");
+
+    // And on the crash-free router both prove.
+    let p = router();
+    let mut v = Verifier::new(&p).config(cfg());
+    let custom = v
+        .check(Property::Custom(std::sync::Arc::new(NoCrash)))
+        .expect_verify();
+    assert!(custom.verdict.is_proved(), "{custom}");
+}
+
+/// A genuinely new invariant: no delivered packet may have consumed
+/// more than a budget of instructions *and* custom properties can veto
+/// sink delivery — here, "nothing is ever delivered" on a pipeline
+/// that always delivers.
+struct NoDelivery;
+
+impl CustomProperty for NoDelivery {
+    fn name(&self) -> String {
+        "no-delivery".into()
+    }
+
+    fn violation(
+        &self,
+        _pipeline: &Pipeline,
+        _stage: usize,
+        _seg: &Segment,
+        _state: &ComposedState,
+    ) -> Option<String> {
+        None
+    }
+
+    fn sink_violates(&self) -> bool {
+        true
+    }
+
+    fn constrain_initial(
+        &self,
+        pool: &mut bvsolve::TermPool,
+        input: &SymInput,
+        init: &mut ComposedState,
+    ) {
+        // Only consider packets of at least 38 bytes.
+        let min = pool.mk_const(16, 38);
+        let c = pool.mk_ule(min, input.pkt_len);
+        init.constraint.push(c);
+    }
+}
+
+#[test]
+fn custom_sink_property_finds_delivery() {
+    let p = router();
+    let r = Verifier::new(&p)
+        .config(cfg())
+        .check(Property::Custom(std::sync::Arc::new(NoDelivery)))
+        .expect_verify();
+    let Verdict::Disproved(cex) = &r.verdict else {
+        panic!("the router delivers packets: {r}");
+    };
+    assert!(cex.bytes.len() >= 38, "initial constraint respected");
+}
+
+// --------------------------------------------------------------------
+// FilterProperty builders & filtering suspects
+// --------------------------------------------------------------------
+
+#[test]
+fn filter_property_builders() {
+    let d = FilterProperty::dst(0x0A09_0909);
+    assert_eq!(d.dst_ip, Some(0x0A09_0909));
+    assert_eq!(d.src_ip, None);
+    assert_eq!(d.min_len, 38);
+
+    let sd = FilterProperty::src_dst(0x0BAD_0001, 0x0A09_0909).min_len(64);
+    assert_eq!(sd.src_ip, Some(0x0BAD_0001));
+    assert_eq!(sd.dst_ip, Some(0x0A09_0909));
+    assert_eq!(sd.min_len, 64);
+}
+
+#[test]
+fn src_dst_builder_behaves_like_the_struct_literal() {
+    // §4's conjunction example: blacklisted source ⇒ dropped for any
+    // destination.
+    let p = to_pipeline(
+        "fw",
+        vec![elements::ip_filter::ip_filter(vec![0x0BAD_0001])],
+    );
+    let r = Verifier::new(&p)
+        .config(cfg())
+        .check(Property::Filter(FilterProperty::src_dst(
+            0x0BAD_0001,
+            0x0A09_0909,
+        )))
+        .expect_verify();
+    assert!(r.verdict.is_proved(), "{r}");
+}
+
+#[test]
+fn filtering_reports_real_suspect_counts() {
+    // Regression: filtering reports used to hardcode `suspects: 0`.
+    // The firewall's pass-through segments deliver on a sink, so each
+    // is a suspect until step 2 discharges it.
+    let p = to_pipeline(
+        "fw",
+        vec![elements::ip_filter::ip_filter(vec![0x0BAD_0001])],
+    );
+    let r = Verifier::new(&p)
+        .config(cfg())
+        .check(Property::Filter(FilterProperty::src(0x0BAD_0001)))
+        .expect_verify();
+    assert!(
+        r.suspects >= 1,
+        "sink-delivery segments must be counted as filtering suspects: {r}"
+    );
+}
+
+// --------------------------------------------------------------------
+// Deprecated wrappers and JSON output
+// --------------------------------------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_match_session_exactly() {
+    let p = toy_broken();
+    let wrapper = verifier::verify_crash_freedom(&p, &cfg());
+    let session = Verifier::new(&p)
+        .config(cfg())
+        .check(Property::CrashFreedom)
+        .expect_verify();
+    match (&wrapper.verdict, &session.verdict) {
+        (Verdict::Disproved(a), Verdict::Disproved(b)) => {
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.description, b.description);
+        }
+        (a, b) => panic!("expected identical disproofs, got {a:?} vs {b:?}"),
+    }
+    assert_eq!(wrapper.step1_states, session.step1_states);
+    assert_eq!(wrapper.composed_paths, session.composed_paths);
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let p = toy_broken();
+    let mut v = Verifier::new(&p).config(cfg());
+
+    let verify = v.check(Property::CrashFreedom);
+    let j = verify.to_json();
+    assert!(j.contains("\"kind\":\"verify\""), "{j}");
+    assert!(j.contains("\"verdict\":\"disproved\""), "{j}");
+    assert!(j.contains("\"counterexample\":{\"hex\":"), "{j}");
+    assert!(j.contains("\"trace\":[[0,"), "{j}");
+    // Descriptions quote the assert message: escaping must hold.
+    assert!(!j.contains("\"in >= 10\""), "unescaped quote survived: {j}");
+
+    let state = v.check(Property::StateConsistency);
+    let j = state.to_json();
+    assert!(j.contains("\"kind\":\"state\""), "{j}");
+
+    let generic = v.check(Property::Generic { loop_cap: 4 });
+    let j = generic.to_json();
+    assert!(j.contains("\"kind\":\"generic\""), "{j}");
+    assert!(j.contains("\"outcome\":\"completed\""), "{j}");
+    match &generic {
+        Report::Generic(g) => assert!(g.report.crashes >= 1, "baseline sees the crash too"),
+        other => panic!("expected a generic report, got {other:?}"),
+    }
+}
+
+// --------------------------------------------------------------------
+// Lazy summaries API
+// --------------------------------------------------------------------
+
+#[test]
+fn summaries_accessor_builds_and_caches() {
+    let p = router();
+    let mut v = Verifier::new(&p).config(cfg());
+    let n1 = v
+        .summaries(MapMode::Abstract)
+        .expect("step 1 ok")
+        .stages
+        .len();
+    assert_eq!(n1, 4);
+    assert_eq!(v.step1_runs(), 1);
+    // Segment outcomes are visible to callers (e.g. custom tooling).
+    let has_emit = v
+        .summaries(MapMode::Abstract)
+        .expect("cached")
+        .stages
+        .iter()
+        .any(|s| {
+            s.segments
+                .iter()
+                .any(|g| matches!(g.outcome, SegOutcome::Emit(_)))
+        });
+    assert!(has_emit);
+    assert_eq!(v.step1_runs(), 1, "second access is a cache hit");
+}

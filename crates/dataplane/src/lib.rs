@@ -11,7 +11,7 @@
 //!   the write is refused (`write` returns `false`). O(1) lookups,
 //!   crash-free and bounded by construction.
 //! * [`store::LpmTable`] — a longest-prefix-match table flattened to
-//!   /24 entries (Gupta et al. [24]), again pre-allocated arrays.
+//!   /24 entries (Gupta et al., Infocom 1998), again pre-allocated arrays.
 //!
 //! Both sit behind the Fig. 2 key/value interface ([`store::KvStore`]),
 //! which is what lets the verifier abstract them away (Condition 2).

@@ -6,7 +6,7 @@
 
 use crate::lit::Lit;
 
-/// Index of a clause inside the [`ClauseDb`] arena.
+/// Index of a clause inside the `ClauseDb` arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClauseRef(pub(crate) u32);
 

@@ -11,7 +11,7 @@
 use dpv::dataplane::{workload::FlowMix, Runner};
 use dpv::elements::pipelines::{build_all_stores, edge_fib, to_pipeline, ROUTER_IP};
 use dpv::symexec::SymConfig;
-use dpv::verifier::{longest_paths, VerifyConfig};
+use dpv::verifier::{Verifier, VerifyConfig};
 
 fn router_elements() -> Vec<dpv::dataplane::Element> {
     vec![
@@ -50,7 +50,7 @@ fn main() {
 
     // --- adversarial workload --------------------------------------------
     let p = to_pipeline("edge", router_elements());
-    let paths = longest_paths(&p, 5, &cfg);
+    let paths = Verifier::new(&p).config(cfg).longest_paths(5);
     println!("top {} longest paths (symbolic):", paths.len());
     let mut adv_total = 0u64;
     for (i, lp) in paths.iter().enumerate() {

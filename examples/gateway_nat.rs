@@ -1,17 +1,15 @@
 //! Network-gateway verification (§5.1/§5.2): the stateful pipeline —
 //! traffic monitor plus NAT — including the §3.4 private-state analysis
-//! and the Click NAT hairpin crash (bug #3).
+//! and the Click NAT hairpin crash (bug #3), all through one
+//! multi-property `Verifier` session per pipeline.
 //!
 //! ```sh
 //! cargo run --release --example gateway_nat
 //! ```
 
-use dpv::bvsolve::TermPool;
 use dpv::elements::pipelines::{network_gateway, to_pipeline, NAT_PUBLIC_IP, NAT_PUBLIC_PORT};
 use dpv::symexec::SymConfig;
-use dpv::verifier::{
-    analyze_private_state, summarize_pipeline, verify_crash_freedom, MapMode, Verdict, VerifyConfig,
-};
+use dpv::verifier::{Property, Report, Verdict, Verifier, VerifyConfig};
 
 fn cfg() -> VerifyConfig {
     VerifyConfig {
@@ -25,16 +23,20 @@ fn cfg() -> VerifyConfig {
 
 fn main() {
     // --- the shipped gateway: verified NAT ------------------------------
+    // Crash-freedom and the §3.4 state analysis share one step-1 pass.
     let p = to_pipeline("gateway", network_gateway(5));
-    let report = verify_crash_freedom(&p, &cfg());
-    println!("{report}");
-    assert!(matches!(report.verdict, Verdict::Proved));
-
-    // --- §3.4: what does the private state do over packet sequences? ----
-    let mut pool = TermPool::new();
-    let sums = summarize_pipeline(&mut pool, &p, &cfg().sym, MapMode::Abstract).expect("step 1");
-    for finding in analyze_private_state(&mut pool, &sums, &p) {
-        println!("state finding: {finding}");
+    let mut session = Verifier::new(&p).config(cfg());
+    let reports = session.check_all(&[Property::CrashFreedom, Property::StateConsistency]);
+    assert_eq!(session.step1_runs(), 1, "both checks reuse step 1");
+    for report in &reports {
+        println!("{report}");
+    }
+    assert!(matches!(reports[0].verdict(), Some(Verdict::Proved)));
+    if let Report::State(s) = &reports[1] {
+        assert!(
+            !s.findings.is_empty(),
+            "the traffic monitor's counter must be flagged"
+        );
     }
 
     // --- the same gateway with Click's IPRewriter: bug #3 ---------------
@@ -46,7 +48,10 @@ fn main() {
             dpv::elements::nat::nat_click_buggy(NAT_PUBLIC_IP, NAT_PUBLIC_PORT, 64),
         ],
     );
-    let report = verify_crash_freedom(&buggy, &cfg());
+    let report = Verifier::new(&buggy)
+        .config(cfg())
+        .check(Property::CrashFreedom)
+        .expect_verify();
     println!("{report}");
     let Verdict::Disproved(cex) = &report.verdict else {
         panic!("bug #3 must be found");

@@ -9,7 +9,7 @@
 use dpv::dataplane::headers;
 use dpv::elements::pipelines::{to_pipeline, ROUTER_IP};
 use dpv::symexec::SymConfig;
-use dpv::verifier::{verify_filtering, FilterProperty, Verdict, VerifyConfig};
+use dpv::verifier::{FilterProperty, Property, Verdict, Verifier, VerifyConfig};
 
 const BLACKLISTED: u32 = 0x0BAD_0001; // 11.173.0.1
 
@@ -28,6 +28,7 @@ fn main() {
         "policy: every packet with source {} must be dropped\n",
         headers::fmt_ip(BLACKLISTED)
     );
+    let policy = Property::Filter(FilterProperty::src(BLACKLISTED));
 
     // Router with LSRR support, firewall behind it — the vulnerable
     // ordering that was exploited in practice.
@@ -38,7 +39,10 @@ fn main() {
             dpv::elements::ip_filter::ip_filter(vec![BLACKLISTED]),
         ],
     );
-    let report = verify_filtering(&vulnerable, &FilterProperty::src(BLACKLISTED), &cfg());
+    let report = Verifier::new(&vulnerable)
+        .config(cfg())
+        .check(policy.clone())
+        .expect_verify();
     println!("{report}");
     let Verdict::Disproved(cex) = &report.verdict else {
         panic!("the bypass must be found");
@@ -72,7 +76,10 @@ fn main() {
             dpv::elements::ip_filter::ip_filter(vec![BLACKLISTED]),
         ],
     );
-    let report = verify_filtering(&fixed, &FilterProperty::src(BLACKLISTED), &cfg());
+    let report = Verifier::new(&fixed)
+        .config(cfg())
+        .check(policy)
+        .expect_verify();
     println!("{report}");
     assert!(matches!(report.verdict, Verdict::Proved));
     println!("with LSRR disabled the policy is PROVED.");

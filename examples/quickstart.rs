@@ -7,7 +7,7 @@
 
 use dpv::dataplane::{Element, Pipeline, Runner, Stage};
 use dpv::dpir::{PacketData, ProgramBuilder};
-use dpv::verifier::{verify_crash_freedom, Verdict, VerifyConfig};
+use dpv::verifier::{Property, Verdict, Verifier};
 
 /// E1: clamps byte 0 to at least 16 (`out = in < 16 ? 16 : in`).
 fn e1() -> Element {
@@ -61,8 +61,11 @@ fn main() {
 
     // --- verify crash-freedom ------------------------------------------
     // E2 alone would crash on any byte < 16; composed after E1, the
-    // suspect segment is infeasible — the verifier proves it.
-    let report = verify_crash_freedom(&pipeline, &VerifyConfig::default());
+    // suspect segment is infeasible — the verifier proves it. A session
+    // builds the element summaries once; further properties on the same
+    // pipeline would reuse them.
+    let mut session = Verifier::new(&pipeline);
+    let report = session.check(Property::CrashFreedom).expect_verify();
     println!("{report}");
     assert!(matches!(report.verdict, Verdict::Proved));
     println!("crash-freedom PROVED: E1's clamp discharges E2's assert.");
@@ -70,7 +73,9 @@ fn main() {
     // --- now break it ---------------------------------------------------
     let broken = Pipeline::new("toy-broken")
         .push_stage(Stage::passthrough(e2()).route(0, dpv::dataplane::Route::Sink(0)));
-    let report = verify_crash_freedom(&broken, &VerifyConfig::default());
+    let report = Verifier::new(&broken)
+        .check(Property::CrashFreedom)
+        .expect_verify();
     match report.verdict {
         Verdict::Disproved(cex) => {
             println!("E2 alone DISPROVED, counterexample packet: [{}]", cex.hex());

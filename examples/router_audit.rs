@@ -2,14 +2,20 @@
 //! (Click's IP fragmenter) into an existing router pipeline and let the
 //! verifier hunt for crash and termination bugs before deployment.
 //!
+//! One `Verifier` session per candidate pipeline checks *both*
+//! properties on one set of cached element summaries, across all cores.
+//!
 //! ```sh
 //! cargo run --release --example router_audit
+//! DPV_JSON=1 cargo run --release --example router_audit  # machine-readable
 //! ```
 
 use dpv::elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
 use dpv::elements::pipelines::{to_pipeline, ROUTER_IP};
 use dpv::symexec::SymConfig;
-use dpv::verifier::{verify_bounded_execution_par, ParallelConfig, Verdict, VerifyConfig};
+use dpv::verifier::{Property, Verdict, Verifier, VerifyConfig};
+
+const IMAX: u64 = 5_000;
 
 fn cfg() -> VerifyConfig {
     VerifyConfig {
@@ -22,12 +28,11 @@ fn cfg() -> VerifyConfig {
 }
 
 /// Worker threads for the audit: `DPV_THREADS` if set, else all cores.
-fn par() -> ParallelConfig {
-    let threads = std::env::var("DPV_THREADS")
+fn threads() -> usize {
+    std::env::var("DPV_THREADS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    ParallelConfig::with_threads(threads)
+        .unwrap_or(0)
 }
 
 fn audit(name: &str, variant: FragmenterVariant, with_options_element: bool) {
@@ -40,26 +45,36 @@ fn audit(name: &str, variant: FragmenterVariant, with_options_element: bool) {
     }
     elems.push(ip_fragmenter(variant, 40));
     let p = to_pipeline(name, elems.clone());
-    let report = verify_bounded_execution_par(&p, 5_000, &cfg(), &par());
-    println!("== {name}");
-    println!("   {report}");
-    if let Verdict::Disproved(cex) = &report.verdict {
-        println!("   attack packet: {}", cex.hex());
-        // Replay: show the dataplane wedging on it.
-        let p2 = to_pipeline(name, elems);
-        let stores = p2.stages.iter().map(|s| s.element.build_stores()).collect();
-        let mut r = dpv::dataplane::Runner::new(p2, stores);
-        r.fuel_per_stage = 10_000;
-        let mut pkt = dpv::dpir::PacketData::new(cex.bytes.clone());
-        println!("   replay: {:?}", r.run_packet(&mut pkt));
+
+    // One session: step 1 runs once, both properties reuse it.
+    let mut session = Verifier::new(&p).config(cfg()).threads(threads());
+    let reports = session.check_all(&[Property::CrashFreedom, Property::Bounded { imax: IMAX }]);
+
+    println!("== {name} (step-1 passes: {})", session.step1_runs());
+    for report in &reports {
+        println!("   {report}");
+        if std::env::var_os("DPV_JSON").is_some() {
+            println!("   {}", report.to_json());
+        }
+        if let Some(Verdict::Disproved(cex)) = report.verdict() {
+            println!("   attack packet: {}", cex.hex());
+            // Replay: show the dataplane wedging on it.
+            let p2 = to_pipeline(name, elems.clone());
+            let stores = p2.stages.iter().map(|s| s.element.build_stores()).collect();
+            let mut r = dpv::dataplane::Runner::new(p2, stores);
+            r.fuel_per_stage = 10_000;
+            let mut pkt = dpv::dpir::PacketData::new(cex.bytes.clone());
+            println!("   replay: {:?}", r.run_packet(&mut pkt));
+        }
     }
     println!();
 }
 
 fn main() {
-    let threads = par().effective_threads();
+    let n = dpv::verifier::ParallelConfig::with_threads(threads()).effective_threads();
     println!(
-        "Auditing fragmenter variants for bounded-execution (imax = 5000, {threads} threads)\n"
+        "Auditing fragmenter variants for crash-freedom + bounded-execution \
+         (imax = {IMAX}, {n} threads)\n"
     );
     // Bug #1: the missing loop increment — any real option hangs it.
     audit(

@@ -19,9 +19,10 @@
 //! * [`elements`] — the Table-2 element library (Classifier … NAT),
 //!   including faithful reproductions of the three Click bugs of §5.3.
 //! * [`verifier`] — the paper's contribution: compositional verification
-//!   via pipeline and loop decomposition, with sequential and
-//!   multi-core parallel drivers (`verifier::parallel`) that produce
-//!   the same verdicts.
+//!   via pipeline and loop decomposition. The entry point is the
+//!   session API (`verifier::Verifier` + `verifier::Property`): build
+//!   the step-1 summaries once, check many properties, sequentially or
+//!   across all cores with identical verdicts.
 
 pub use bitsat;
 pub use bvsolve;

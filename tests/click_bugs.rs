@@ -11,6 +11,11 @@
 //! * **Bug #3** — Click IPRewriter: the hairpin tuple equal to the
 //!   NAT's own public tuple fires an internal heap assertion.
 
+// These suites exercise the deprecated pre-session free functions on
+// purpose: each one doubles as a migration test that the thin wrappers
+// keep returning verdicts identical to the session API they delegate to.
+#![allow(deprecated)]
+
 use dpv::dataplane::{PipelineOutcome, Runner};
 use dpv::dpir::PacketData;
 use dpv::elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};

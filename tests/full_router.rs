@@ -2,6 +2,11 @@
 //! sound crash-freedom and bounded-execution proofs, plus agreement
 //! between the verified bound and observed concrete behavior.
 
+// These suites exercise the deprecated pre-session free functions on
+// purpose: each one doubles as a migration test that the thin wrappers
+// keep returning verdicts identical to the session API they delegate to.
+#![allow(deprecated)]
+
 use dpv::dataplane::{PipelineOutcome, Runner};
 use dpv::elements::pipelines::{build_all_stores, edge_fib, to_pipeline, ROUTER_IP};
 use dpv::symexec::SymConfig;

@@ -2,6 +2,11 @@
 //! stateful operation under traffic, NAT mapping stability, and the
 //! monitor/control-plane expiration handshake.
 
+// These suites exercise the deprecated pre-session free functions on
+// purpose: each one doubles as a migration test that the thin wrappers
+// keep returning verdicts identical to the session API they delegate to.
+#![allow(deprecated)]
+
 use dpv::dataplane::{headers, workload::PacketBuilder, PipelineOutcome, Runner};
 use dpv::elements::pipelines::{build_all_stores, network_gateway, to_pipeline, NAT_PUBLIC_IP};
 use dpv::symexec::SymConfig;

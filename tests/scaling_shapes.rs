@@ -1,6 +1,11 @@
 //! Integration test: the evaluation's *shapes* asserted as invariants —
 //! who blows up where (Fig. 4), independent of absolute timing.
 
+// These suites exercise the deprecated pre-session free functions on
+// purpose: each one doubles as a migration test that the thin wrappers
+// keep returning verdicts identical to the session API they delegate to.
+#![allow(deprecated)]
+
 use dpv::elements::micro::{field_filter, loop_micro, FilterField};
 use dpv::elements::pipelines::{edge_fib, to_pipeline, ROUTER_IP};
 use dpv::symexec::SymConfig;

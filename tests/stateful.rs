@@ -3,6 +3,11 @@
 //! predicts (scaled down to a width where we can actually drive the
 //! counter over the edge).
 
+// These suites exercise the deprecated pre-session free functions on
+// purpose: each one doubles as a migration test that the thin wrappers
+// keep returning verdicts identical to the session API they delegate to.
+#![allow(deprecated)]
+
 use dpv::bvsolve::TermPool;
 use dpv::dataplane::Element;
 use dpv::dpir::{MapDecl, ProgramBuilder};

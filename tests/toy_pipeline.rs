@@ -2,6 +2,11 @@
 //! API of the facade crate — element authoring, concrete execution,
 //! step-1 suspects, step-2 discharge.
 
+// These suites exercise the deprecated pre-session free functions on
+// purpose: each one doubles as a migration test that the thin wrappers
+// keep returning verdicts identical to the session API they delegate to.
+#![allow(deprecated)]
+
 use dpv::dataplane::{Element, Pipeline, PipelineOutcome, Route, Runner, Stage};
 use dpv::dpir::{PacketData, ProgramBuilder};
 use dpv::verifier::{verify_crash_freedom, Verdict, VerifyConfig};
