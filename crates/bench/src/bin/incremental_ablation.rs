@@ -1,0 +1,188 @@
+//! `incremental` — the incremental-session ablation: step-2 solving
+//! on a persistent [`bvsolve::SolveSession`] (assert-once blasting,
+//! assumption-driven queries, learnt-clause reuse) vs the fresh
+//! solver-per-query baseline, on the same pipelines and properties.
+//!
+//! Verdicts are asserted identical between the two modes; the point
+//! of the ablation is the step-2 wall-clock and the reuse counters.
+//! With `DPV_JSON=1` every report is emitted as a JSON line plus one
+//! `{"bench":"incremental",...}` summary line per (pipeline, mode) —
+//! the bench-trajectory records CI archives.
+
+use dpv_bench::{fig_verify_config, fmt_dur, row, timed};
+use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
+use elements::pipelines::{to_pipeline, ROUTER_IP};
+use std::time::Duration;
+use verifier::{FilterProperty, Property, Report, Verifier, VerifyConfig};
+
+fn preproc() -> Vec<dataplane::Element> {
+    vec![
+        elements::classifier::classifier(),
+        elements::check_ip_header::check_ip_header(false),
+    ]
+}
+
+fn scenarios() -> Vec<(&'static str, dataplane::Pipeline, Vec<Property>)> {
+    let mut out = Vec::new();
+    // The Table-2 router front, full three-property audit.
+    {
+        let mut elems = preproc();
+        elems.push(elements::dec_ttl::dec_ttl());
+        elems.push(elements::ip_options::ip_options(2, Some(ROUTER_IP)));
+        out.push((
+            "router-audit",
+            to_pipeline("router", elems),
+            vec![
+                Property::CrashFreedom,
+                Property::Bounded { imax: 10_000 },
+                Property::Filter(FilterProperty::src(0x0BAD_0001)),
+            ],
+        ));
+    }
+    // Click bug #1: one feasible suspect confirms (fast disproof).
+    {
+        let mut elems = preproc();
+        elems.push(elements::ip_options::ip_options(1, Some(ROUTER_IP)));
+        elems.push(ip_fragmenter(FragmenterVariant::ClickBug1, 40));
+        out.push((
+            "click-bug1-confirm",
+            to_pipeline("edge+opt1+frag", elems),
+            vec![Property::Bounded { imax: 5_000 }],
+        ));
+    }
+    // Fixed fragmenter, no options element in front: every suspect
+    // must be refuted over ~2k composed paths — the query-heavy proof
+    // case where prefix reuse matters most and the session's
+    // size-triggered compaction engages.
+    {
+        let mut elems = preproc();
+        elems.push(ip_fragmenter(FragmenterVariant::Fixed, 40));
+        out.push((
+            "fixed-frag-prove",
+            to_pipeline("edge+fixedfrag", elems),
+            vec![Property::CrashFreedom, Property::Bounded { imax: 5_000 }],
+        ));
+    }
+    out
+}
+
+struct ModeRun {
+    reports: Vec<Report>,
+    total: Duration,
+    step2: Duration,
+    solver: bvsolve::SolverLayerStats,
+}
+
+fn run_mode(p: &dataplane::Pipeline, props: &[Property], incremental: bool) -> ModeRun {
+    let cfg = VerifyConfig {
+        incremental,
+        ..fig_verify_config()
+    };
+    let mut v = Verifier::new(p).config(cfg);
+    let (reports, total) = timed(|| v.check_all(props));
+    let mut step2 = Duration::ZERO;
+    let mut solver = bvsolve::SolverLayerStats::default();
+    for r in reports.iter().filter_map(|r| r.as_verify()) {
+        step2 += r.step2_time;
+        solver.merge(&r.solver);
+    }
+    ModeRun {
+        reports,
+        total,
+        step2,
+        solver,
+    }
+}
+
+fn mode_name(incremental: bool) -> &'static str {
+    if incremental {
+        "session"
+    } else {
+        "fresh"
+    }
+}
+
+fn emit_json(name: &str, incremental: bool, run: &ModeRun) {
+    if std::env::var_os("DPV_JSON").is_none() {
+        return;
+    }
+    let agg = &run.solver;
+    for r in &run.reports {
+        println!("{}", r.to_json());
+    }
+    println!(
+        "{{\"bench\":\"incremental\",\"pipeline\":\"{}\",\"mode\":\"{}\",\
+         \"total_ms\":{:.3},\"step2_ms\":{:.3},\"queries\":{},\
+         \"by_blast\":{},\"blast_cache_hits\":{},\"blast_cache_misses\":{},\
+         \"learnt_reused\":{},\"sat_solve_calls\":{},\"compactions\":{}}}",
+        name,
+        mode_name(incremental),
+        run.total.as_secs_f64() * 1e3,
+        run.step2.as_secs_f64() * 1e3,
+        agg.queries,
+        agg.by_blast,
+        agg.blast_cache_hits,
+        agg.blast_cache_misses,
+        agg.learnt_reused,
+        agg.sat_solve_calls,
+        agg.compactions,
+    );
+}
+
+fn main() {
+    println!("Incremental-session ablation: step-2 solving, session vs fresh");
+    println!();
+    row(&[
+        "pipeline".into(),
+        "mode".into(),
+        "total".into(),
+        "step 2".into(),
+        "queries".into(),
+        "cache hits".into(),
+        "learnt reused".into(),
+        "speedup".into(),
+    ]);
+
+    for (name, p, props) in scenarios() {
+        let fresh = run_mode(&p, &props, false);
+        let session = run_mode(&p, &props, true);
+
+        // The whole point: identical verdicts, cheaper queries.
+        for (f, s) in fresh.reports.iter().zip(&session.reports) {
+            let (f, s) = (
+                f.as_verify().expect("verify"),
+                s.as_verify().expect("verify"),
+            );
+            assert_eq!(
+                format!("{:?}", f.verdict),
+                format!("{:?}", s.verdict),
+                "{name}: verdicts must be identical across modes"
+            );
+        }
+
+        for (incremental, run) in [(false, &fresh), (true, &session)] {
+            let agg = &run.solver;
+            let speedup = if incremental && session.step2.as_secs_f64() > 0.0 {
+                format!(
+                    "{:.2}x",
+                    fresh.step2.as_secs_f64() / session.step2.as_secs_f64()
+                )
+            } else {
+                "-".into()
+            };
+            row(&[
+                name.into(),
+                mode_name(incremental).into(),
+                fmt_dur(run.total),
+                fmt_dur(run.step2),
+                agg.queries.to_string(),
+                agg.blast_cache_hits.to_string(),
+                agg.learnt_reused.to_string(),
+                speedup,
+            ]);
+            emit_json(name, incremental, run);
+        }
+    }
+    println!();
+    println!("verdicts: identical across modes (asserted)");
+}

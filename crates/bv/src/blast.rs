@@ -403,9 +403,31 @@ impl Blaster {
         self.sat.add_clause(&[b[0]]);
     }
 
+    /// Asserts the width-1 term `t` gated on a fresh activation
+    /// literal: the constraint holds only in
+    /// [`Blaster::check_assuming`] calls whose assumptions include
+    /// the returned literal. The blasted circuit stays in the solver
+    /// (memoized per [`TermId`] by [`Blaster::blast`]), so asserting
+    /// a hash-consed term a second time costs one map lookup at the
+    /// call site, not a re-blast.
+    pub fn assert_gated(&mut self, pool: &TermPool, t: TermId) -> Lit {
+        debug_assert_eq!(pool.width(t), 1);
+        let b = self.blast(pool, t);
+        let act = self.sat.new_activation_lit();
+        self.sat.add_gated_clause(act, &[b[0]]);
+        act
+    }
+
     /// Runs the SAT solver.
     pub fn check(&mut self) -> SolveResult {
         self.sat.solve()
+    }
+
+    /// Runs the SAT solver under `assumptions` (typically activation
+    /// literals from [`Blaster::assert_gated`]). Learnt clauses,
+    /// variable activities and saved phases persist across calls.
+    pub fn check_assuming(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.sat.solve_with_assumptions(assumptions)
     }
 
     /// After a SAT verdict: the value of symbolic variable `id`.
@@ -425,6 +447,12 @@ impl Blaster {
     /// Propositional statistics of the underlying solver.
     pub fn sat_stats(&self) -> bitsat::SolverStats {
         self.sat.stats()
+    }
+
+    /// Number of SAT variables allocated so far (a proxy for the size
+    /// of the blasted circuit; sessions use it to decide compaction).
+    pub fn num_sat_vars(&self) -> usize {
+        self.sat.num_vars()
     }
 }
 

@@ -16,6 +16,14 @@
 //!    [`bitsat`] CDCL solver, with model extraction for counterexample
 //!    packets.
 //!
+//! Two front-ends drive the stack: [`BvSolver`] answers isolated
+//! queries on a fresh SAT instance, and [`SolveSession`] answers
+//! *streams* of related queries incrementally — constraints are
+//! blasted once, asserted under activation literals, and retired by
+//! popping an assertion stack, while the CDCL core keeps its learnt
+//! clauses. Verdicts are identical; sessions are the fast path for
+//! the step-2 search.
+//!
 //! ## Example
 //!
 //! ```
@@ -31,7 +39,7 @@
 //! let verdict = solver.check(&mut pool, &[lt, gt]);
 //! assert!(matches!(verdict, SatVerdict::Sat(_)));
 //! if let SatVerdict::Sat(model) = verdict {
-//!     assert_eq!(model.value_of(x, &pool), Some(4)); // only solution
+//!     assert_eq!(model.value_of(x, &pool), 4); // only solution
 //! }
 //! ```
 
@@ -43,6 +51,7 @@ mod eval;
 mod interval;
 mod migrate;
 mod pretty;
+mod session;
 mod solver;
 mod term;
 
@@ -51,5 +60,6 @@ pub use eval::{eval, substitute, Assignment};
 pub use interval::{interval_of, Interval};
 pub use migrate::Migrator;
 pub use pretty::print_term;
+pub use session::SolveSession;
 pub use solver::{BvSolver, Model, SatVerdict, SolverLayerStats};
 pub use term::{BinOp, Term, TermId, TermPool, UnOp, Width};

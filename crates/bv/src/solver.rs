@@ -45,9 +45,10 @@ impl Model {
         self.assignment.get(id)
     }
 
-    /// Evaluates an arbitrary term under this model.
-    pub fn value_of(&self, t: TermId, pool: &TermPool) -> Option<u64> {
-        Some(eval(pool, t, &self.assignment))
+    /// Evaluates an arbitrary term under this model (variables the
+    /// query left unconstrained read as 0).
+    pub fn value_of(&self, t: TermId, pool: &TermPool) -> u64 {
+        eval(pool, t, &self.assignment)
     }
 
     /// The underlying assignment.
@@ -56,7 +57,8 @@ impl Model {
     }
 }
 
-/// Counters for the solver-layering ablation (DESIGN.md §6).
+/// Counters for the solver-layering and incremental-session
+/// ablations (DESIGN.md §6).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolverLayerStats {
     /// Queries answered by constructor-level simplification alone
@@ -68,12 +70,69 @@ pub struct SolverLayerStats {
     pub by_blast: u64,
     /// Total queries.
     pub queries: u64,
+    /// Constraint terms found already blasted and asserted when a
+    /// blast-layer query ran — the [`crate::SolveSession`] prefix
+    /// reuse counter. Always 0 in fresh-solver mode.
+    pub blast_cache_hits: u64,
+    /// Constraint terms blasted and asserted for the first time by a
+    /// blast-layer query (fresh mode: one conjunction per query).
+    pub blast_cache_misses: u64,
+    /// Learnt clauses carried over across SAT calls (see
+    /// [`bitsat::SolverStats`]). Always 0 in fresh-solver mode.
+    pub learnt_reused: u64,
+    /// Underlying CDCL solve calls.
+    pub sat_solve_calls: u64,
+    /// Session compactions: how often the dormant blasted circuits
+    /// grew past the compaction policy and the CNF was rebuilt from
+    /// the active constraints (see [`crate::SolveSession`]).
+    pub compactions: u64,
+}
+
+impl SolverLayerStats {
+    /// Per-field difference `self - earlier`: the counters accrued
+    /// since the `earlier` snapshot was taken (for per-check deltas
+    /// out of a long-lived session).
+    pub fn delta(&self, earlier: &SolverLayerStats) -> SolverLayerStats {
+        SolverLayerStats {
+            by_simplify: self.by_simplify.saturating_sub(earlier.by_simplify),
+            by_interval: self.by_interval.saturating_sub(earlier.by_interval),
+            by_blast: self.by_blast.saturating_sub(earlier.by_blast),
+            queries: self.queries.saturating_sub(earlier.queries),
+            blast_cache_hits: self
+                .blast_cache_hits
+                .saturating_sub(earlier.blast_cache_hits),
+            blast_cache_misses: self
+                .blast_cache_misses
+                .saturating_sub(earlier.blast_cache_misses),
+            learnt_reused: self.learnt_reused.saturating_sub(earlier.learnt_reused),
+            sat_solve_calls: self.sat_solve_calls.saturating_sub(earlier.sat_solve_calls),
+            compactions: self.compactions.saturating_sub(earlier.compactions),
+        }
+    }
+
+    /// Adds `other`'s counters into `self` (for merging per-worker
+    /// stats in the parallel driver).
+    pub fn merge(&mut self, other: &SolverLayerStats) {
+        self.by_simplify += other.by_simplify;
+        self.by_interval += other.by_interval;
+        self.by_blast += other.by_blast;
+        self.queries += other.queries;
+        self.blast_cache_hits += other.blast_cache_hits;
+        self.blast_cache_misses += other.blast_cache_misses;
+        self.learnt_reused += other.learnt_reused;
+        self.sat_solve_calls += other.sat_solve_calls;
+        self.compactions += other.compactions;
+    }
 }
 
 /// The layered bitvector solver.
 ///
-/// Stateless between queries (each `check` builds a fresh SAT instance);
-/// the [`TermPool`] provides cross-query sharing of the term structure.
+/// Stateless between queries (each `check` builds a fresh SAT
+/// instance); the [`TermPool`] provides cross-query sharing of the
+/// term structure. For query streams with shared structure — the
+/// step-2 path search — prefer [`crate::SolveSession`], which keeps
+/// the blasted CNF and the learnt clauses alive across queries and
+/// answers them via assumptions. The two produce identical verdicts.
 #[derive(Debug, Default)]
 pub struct BvSolver {
     stats: SolverLayerStats,
@@ -127,6 +186,8 @@ impl BvSolver {
         }
         // Layer 3: bit-blast + CDCL.
         self.stats.by_blast += 1;
+        self.stats.blast_cache_misses += 1;
+        self.stats.sat_solve_calls += 1;
         let mut bl = Blaster::new();
         if let Some(b) = self.conflict_budget {
             bl.set_conflict_budget(b);
@@ -134,8 +195,11 @@ impl BvSolver {
         bl.assert_true(pool, conj);
         match bl.check() {
             bitsat::SolveResult::Sat => {
+                // Extract only the variables reachable from the query
+                // itself — not the whole pool, which grows with every
+                // term the wider verification run has ever built.
                 let mut a = Assignment::new();
-                for id in 0..pool.num_vars() as u32 {
+                for id in pool.free_vars(conj) {
                     if let Some(v) = bl.model_var(id) {
                         a.set(id, v);
                     }

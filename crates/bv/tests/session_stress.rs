@@ -1,0 +1,145 @@
+//! Randomized session-vs-fresh equivalence: drive a [`SolveSession`]
+//! through interleaved assert/retire/check sequences and require every
+//! verdict to match a fresh [`BvSolver::check`] on the same active set.
+//!
+//! No conflict budget is set, so both engines can only answer Sat or
+//! Unsat — any divergence is a real soundness bug in the incremental
+//! machinery (stale activation literals, leaked retired constraints,
+//! blast-cache corruption).
+
+use bvsolve::{BvSolver, SatVerdict, SolveSession, TermId, TermPool};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A random width-8 term over `vars`, at most `depth` operators deep.
+fn random_expr(pool: &mut TermPool, vars: &[TermId], rng: &mut StdRng, depth: u32) -> TermId {
+    if depth == 0 || rng.gen_bool(0.3) {
+        if rng.gen_bool(0.5) {
+            vars[rng.gen_range(0..vars.len())]
+        } else {
+            pool.mk_const(8, rng.gen::<u8>() as u64)
+        }
+    } else {
+        let a = random_expr(pool, vars, rng, depth - 1);
+        let b = random_expr(pool, vars, rng, depth - 1);
+        match rng.gen_range(0u32..7) {
+            0 => pool.mk_add(a, b),
+            1 => pool.mk_sub(a, b),
+            2 => pool.mk_and(a, b),
+            3 => pool.mk_or(a, b),
+            4 => pool.mk_xor(a, b),
+            5 => pool.mk_mul(a, b),
+            _ => {
+                let sh = pool.mk_const(8, rng.gen_range(0u64..8));
+                pool.mk_shl(a, sh)
+            }
+        }
+    }
+}
+
+/// A random width-1 constraint: a comparison of two random terms.
+fn random_constraint(pool: &mut TermPool, vars: &[TermId], rng: &mut StdRng) -> TermId {
+    let a = random_expr(pool, vars, rng, 2);
+    let b = random_expr(pool, vars, rng, 2);
+    match rng.gen_range(0u32..4) {
+        0 => pool.mk_eq(a, b),
+        1 => pool.mk_ne(a, b),
+        2 => pool.mk_ult(a, b),
+        _ => pool.mk_ule(a, b),
+    }
+}
+
+#[test]
+fn interleaved_assert_retire_check_matches_fresh() {
+    let mut sat_seen = 0usize;
+    let mut unsat_seen = 0usize;
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0xD0B8_E5C0 ^ seed);
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..4)
+            .map(|i| pool.fresh_var(&format!("v{i}"), 8))
+            .collect();
+        let mut session = SolveSession::new();
+        // Half the seeds run with an artificially tiny compaction
+        // floor so the rebuild path is stressed too.
+        if seed % 2 == 0 {
+            session.set_compaction_floor(64);
+        }
+        let mut active: Vec<TermId> = Vec::new();
+        let mut checks = 0usize;
+        for step in 0..150 {
+            match rng.gen_range(0u32..5) {
+                // Assert a new random constraint (biased: growth).
+                0 | 1 => {
+                    let c = random_constraint(&mut pool, &vars, &mut rng);
+                    session.assert_constraint(c);
+                    active.push(c);
+                }
+                // Retire a random suffix.
+                2 if !active.is_empty() => {
+                    let keep = rng.gen_range(0..active.len());
+                    session.retire_to(keep);
+                    active.truncate(keep);
+                }
+                // Check, with or without an ephemeral extra.
+                _ => {
+                    let extra: Vec<TermId> = if rng.gen_bool(0.3) {
+                        vec![random_constraint(&mut pool, &vars, &mut rng)]
+                    } else {
+                        Vec::new()
+                    };
+                    let got = session.check_assuming(&mut pool, &extra);
+                    let mut cs = active.clone();
+                    cs.extend_from_slice(&extra);
+                    let want = BvSolver::new().check(&mut pool, &cs);
+                    match (&got, &want) {
+                        (SatVerdict::Sat(_), SatVerdict::Sat(_)) => sat_seen += 1,
+                        (SatVerdict::Unsat, SatVerdict::Unsat) => unsat_seen += 1,
+                        (g, w) => panic!(
+                            "seed {seed} step {step}: session said {g:?}, fresh said {w:?} \
+                             on {} active + {} extra constraints",
+                            active.len(),
+                            extra.len()
+                        ),
+                    }
+                    checks += 1;
+                }
+            }
+        }
+        assert!(checks > 20, "seed {seed}: too few checks ({checks})");
+    }
+    // The schedule must actually exercise both verdicts.
+    assert!(sat_seen > 0, "no satisfiable checks generated");
+    assert!(unsat_seen > 0, "no unsatisfiable checks generated");
+}
+
+#[test]
+fn sync_form_matches_fresh_on_random_walks() {
+    // The one-call `check_constraints` form the step-2 search uses:
+    // random tree walks over growing/shrinking constraint vectors.
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xBEEF ^ seed);
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..3)
+            .map(|i| pool.fresh_var(&format!("w{i}"), 8))
+            .collect();
+        let mut session = SolveSession::new();
+        let mut cs: Vec<TermId> = Vec::new();
+        for _ in 0..60 {
+            if cs.is_empty() || rng.gen_bool(0.6) {
+                let c = random_constraint(&mut pool, &vars, &mut rng);
+                cs.push(c);
+            } else {
+                cs.truncate(rng.gen_range(0..cs.len()));
+            }
+            let got = session.check_constraints(&mut pool, &cs);
+            let want = BvSolver::new().check(&mut pool, &cs);
+            assert_eq!(
+                got.is_sat(),
+                want.is_sat(),
+                "seed {seed}: verdict diverged on {} constraints",
+                cs.len()
+            );
+            assert_eq!(session.active(), &cs[..], "stack must mirror the vector");
+        }
+    }
+}

@@ -33,7 +33,14 @@
 //!   sequential one when the property leaves input bytes
 //!   unconstrained: solver models are sensitive to term-pool interning
 //!   order, which step-1 migration changes. Both packets trigger the
-//!   same violation.
+//!   same violation. Incremental sessions
+//!   ([`crate::VerifyConfig::incremental`], the default) add no new
+//!   nondeterminism here: a session's in-flight models depend on the
+//!   learnt clauses and saved phases of earlier queries, so the
+//!   winning violation is always re-solved on a fresh solver — at
+//!   merge time here (`reextract`), and inline in the sequential
+//!   engine — making reported packets identical between incremental
+//!   and fresh modes and across thread counts.
 //! * The `composed_paths` consumption differs in both directions: the
 //!   sequential driver counts shallow routing checks the frontier
 //!   split skips, while an infeasible shallow prefix the sequential
@@ -51,11 +58,11 @@ use crate::compose::ComposedState;
 use crate::report::{CounterExample, VerifyReport};
 use crate::session::{Property, Verifier};
 use crate::step2::{
-    check, classify, search, Feas, FilterProperty, Node, PropKind, SearchOutcome, StepEvent,
-    VerifyConfig,
+    check, classify, search, Feas, FilterProperty, Node, PropKind, QuerySolver, SearchOutcome,
+    StepEvent, VerifyConfig,
 };
 use crate::summary::PipelineSummaries;
-use bvsolve::{BvSolver, TermPool};
+use bvsolve::{BvSolver, SolverLayerStats, TermPool};
 use dataplane::Pipeline;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -178,7 +185,7 @@ pub(crate) struct WorkerCtx<'a> {
 fn run_task(
     task: &Task,
     pool: &mut TermPool,
-    solver: &mut BvSolver,
+    solver: &mut QuerySolver,
     ctx: &WorkerCtx,
 ) -> TaskResult {
     if ctx.composed.load(Ordering::Relaxed) >= ctx.cfg.max_composed_paths {
@@ -223,19 +230,24 @@ fn run_task(
 /// Drains `tasks` across `threads` workers and merges the results in
 /// task order (ties between outcome classes resolved exactly as the
 /// sequential search would: first violation wins, then budget, then
-/// solver-unknown).
+/// solver-unknown). Each worker owns its own query solver — in
+/// incremental mode an [`bvsolve::SolveSession`] seeded by the first
+/// frontier task it syncs to — so no solver state is shared or locked
+/// across threads. Returns the merged outcome plus the workers'
+/// summed solver counters.
 pub(crate) fn drain_tasks(
     master: &TermPool,
     tasks: &[Task],
     threads: usize,
     ctx: &WorkerCtx,
-) -> SearchOutcome {
+) -> (SearchOutcome, SolverLayerStats) {
     let next = AtomicUsize::new(0);
     // Index of the earliest violation found so far: tasks after it
     // cannot influence the merged verdict and are skipped.
     let cutoff = AtomicUsize::new(usize::MAX);
     let threads = threads.min(tasks.len().max(1));
     let mut results: Vec<(usize, TaskResult)> = Vec::with_capacity(tasks.len());
+    let mut stats = SolverLayerStats::default();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -243,7 +255,7 @@ pub(crate) fn drain_tasks(
                 let cutoff = &cutoff;
                 s.spawn(move || {
                     let mut pool = master.clone();
-                    let mut solver = BvSolver::with_conflict_budget(ctx.cfg.solver_conflict_budget);
+                    let mut solver = QuerySolver::new(ctx.cfg);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -260,12 +272,14 @@ pub(crate) fn drain_tasks(
                         }
                         out.push((i, r));
                     }
-                    out
+                    (out, solver.stats())
                 })
             })
             .collect();
         for h in handles {
-            results.extend(h.join().expect("step-2 worker panicked"));
+            let (out, worker_stats) = h.join().expect("step-2 worker panicked");
+            results.extend(out);
+            stats.merge(&worker_stats);
         }
     });
     results.sort_by_key(|(i, _)| *i);
@@ -275,20 +289,24 @@ pub(crate) fn drain_tasks(
     for (i, r) in results {
         match r {
             TaskResult::Violation(cex) => {
-                return SearchOutcome::Violation(reextract(i, cex, master, tasks, ctx))
+                return (
+                    SearchOutcome::Violation(reextract(i, cex, master, tasks, ctx)),
+                    stats,
+                );
             }
             TaskResult::Budget => saw_budget = true,
             TaskResult::Unknown => saw_unknown = true,
             TaskResult::Clean | TaskResult::Skipped => {}
         }
     }
-    if saw_budget {
+    let outcome = if saw_budget {
         SearchOutcome::Budget
     } else if saw_unknown {
         SearchOutcome::SolverUnknown
     } else {
         SearchOutcome::Clean
-    }
+    };
+    (outcome, stats)
 }
 
 /// Re-runs the winning violation task on a *fresh* clone of the master
@@ -299,6 +317,14 @@ pub(crate) fn drain_tasks(
 /// dependent. The re-run depends only on the master pool and the task
 /// index, making the reported packet identical across runs and thread
 /// counts.
+///
+/// The re-run always uses a fresh (non-incremental) solver, whatever
+/// `VerifyConfig::incremental` says: a session's models additionally
+/// depend on the learnt clauses and saved phases its worker happened
+/// to accumulate, which is exactly the history-dependence this
+/// re-extraction exists to erase. The sequential engine applies the
+/// same discipline through `QuerySolver::confirm_model`, so reported
+/// packets agree across engines and modes.
 fn reextract(
     i: usize,
     fallback: CounterExample,
@@ -307,7 +333,9 @@ fn reextract(
     ctx: &WorkerCtx,
 ) -> CounterExample {
     let mut pool = master.clone();
-    let mut solver = BvSolver::with_conflict_budget(ctx.cfg.solver_conflict_budget);
+    let mut solver = QuerySolver::Fresh(BvSolver::with_conflict_budget(
+        ctx.cfg.solver_conflict_budget,
+    ));
     let composed = AtomicUsize::new(0);
     let ctx2 = WorkerCtx {
         composed: &composed,

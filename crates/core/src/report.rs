@@ -1,6 +1,6 @@
 //! Verdicts, counterexamples and report formatting.
 
-use bvsolve::{Model, TermPool};
+use bvsolve::{Model, SolverLayerStats, TermPool};
 use std::time::Duration;
 use symexec::SymInput;
 
@@ -88,6 +88,12 @@ pub struct VerifyReport {
     /// Paths composed (feasibility-checked) in step 2 — Table 3's
     /// "# Paths".
     pub composed_paths: usize,
+    /// Solver layer/reuse counters for this check's step-2 queries
+    /// (the per-check delta out of the session's long-lived solver;
+    /// summed over workers in parallel runs). The blast-cache and
+    /// learnt-clause counters are nonzero only in incremental mode
+    /// ([`crate::VerifyConfig::incremental`]).
+    pub solver: SolverLayerStats,
     /// Wall-clock time of step 1.
     pub step1_time: Duration,
     /// Wall-clock time of step 2.
@@ -134,11 +140,17 @@ impl VerifyReport {
             ),
             None => "null".into(),
         };
+        let s = &self.solver;
         format!(
             "{{\"kind\":\"verify\",\"property\":\"{}\",\"pipeline\":\"{}\",\
              \"verdict\":\"{}\",\"description\":{},\"counterexample\":{},\
              \"step1_states\":{},\"step1_segments\":{},\"suspects\":{},\
-             \"composed_paths\":{},\"step1_ms\":{:.3},\"step2_ms\":{:.3}}}",
+             \"composed_paths\":{},\"solver\":{{\"queries\":{},\
+             \"by_simplify\":{},\"by_interval\":{},\"by_blast\":{},\
+             \"blast_cache_hits\":{},\"blast_cache_misses\":{},\
+             \"learnt_reused\":{},\"sat_solve_calls\":{},\
+             \"compactions\":{}}},\
+             \"step1_ms\":{:.3},\"step2_ms\":{:.3}}}",
             json_escape(&self.property),
             json_escape(&self.pipeline),
             verdict,
@@ -151,6 +163,15 @@ impl VerifyReport {
             self.step1_segments,
             self.suspects,
             self.composed_paths,
+            s.queries,
+            s.by_simplify,
+            s.by_interval,
+            s.by_blast,
+            s.blast_cache_hits,
+            s.blast_cache_misses,
+            s.learnt_reused,
+            s.sat_solve_calls,
+            s.compactions,
             self.step1_time.as_secs_f64() * 1e3,
             self.step2_time.as_secs_f64() * 1e3,
         )

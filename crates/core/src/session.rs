@@ -45,6 +45,15 @@
 //! summarized another map mode first and a fresh single-property run
 //! (both packets trigger the same violation) — the same caveat as the
 //! [`crate::parallel`] driver.
+//!
+//! Incremental solver reuse ([`VerifyConfig::incremental`], the
+//! default) does **not** widen that caveat: although a long-lived
+//! [`bvsolve::SolveSession`]'s in-flight models depend on the learnt
+//! clauses and saved phases earlier queries left behind, every
+//! verdict-deciding violation is re-solved on a fresh solver before
+//! it is reported, so counterexample bytes are identical between
+//! incremental and fresh-solver mode for the same engine and thread
+//! count.
 
 use crate::compose::ComposedState;
 use crate::generic::{run_generic, GenericReport};
@@ -54,12 +63,12 @@ use crate::stateful::{analyze, StateFinding};
 use crate::step2::{
     aborted_report, bounded_suspects, crash_reach, crash_suspects, filter_suspects,
     longest_paths_from, lookahead, make_initial, search, segment_count, verdict_of, FilterProperty,
-    LongestPath, Node, PropKind, VerifyConfig,
+    LongestPath, Node, PropKind, QuerySolver, VerifyConfig,
 };
 use crate::summary::{
     effective_threads, summarize_pipeline, summarize_pipeline_par, MapMode, PipelineSummaries,
 };
-use bvsolve::{BvSolver, TermPool};
+use bvsolve::TermPool;
 use dataplane::Pipeline;
 use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
@@ -364,6 +373,15 @@ pub struct Verifier<'p> {
     split_depth: usize,
     pool: TermPool,
     cache: [Option<CachedSummaries>; 2],
+    /// One long-lived step-2 query solver per [`MapMode`], created
+    /// lazily beside the cached summaries. In incremental mode (the
+    /// default) this is a [`bvsolve::SolveSession`] whose blasted
+    /// constraints and learnt clauses persist across every sequential
+    /// property check of the session; with
+    /// [`VerifyConfig::incremental`] `= false` it is a fresh-per-query
+    /// solver (the A/B baseline). Parallel checks use per-worker
+    /// sessions instead (see [`crate::parallel`]).
+    solvers: [Option<QuerySolver>; 2],
     step1_runs: usize,
 }
 
@@ -378,6 +396,7 @@ impl<'p> Verifier<'p> {
             split_depth: 2,
             pool: TermPool::new(),
             cache: [None, None],
+            solvers: [None, None],
             step1_runs: 0,
         }
     }
@@ -583,6 +602,7 @@ impl<'p> Verifier<'p> {
             split_depth,
             pool,
             cache,
+            solvers,
             ..
         } = self;
         let cached = cache[mode_idx(mode)].as_ref().expect("ensured");
@@ -600,11 +620,16 @@ impl<'p> Verifier<'p> {
 
         let t1 = Instant::now();
         let composed = AtomicUsize::new(0);
-        let outcome = if threads == 1 {
-            let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
-            search(
+        let (outcome, solver_stats) = if threads == 1 {
+            // The session beside the cache outlives this check: later
+            // properties in the same map mode reuse its blasted
+            // constraints and learnt clauses. Stats are reported as
+            // the per-check delta.
+            let solver = solvers[mode_idx(mode)].get_or_insert_with(|| QuerySolver::new(cfg));
+            let before = solver.stats();
+            let outcome = search(
                 pool,
-                &mut solver,
+                solver,
                 pipeline,
                 sums,
                 cfg,
@@ -616,7 +641,9 @@ impl<'p> Verifier<'p> {
                 }],
                 &reach,
                 &composed,
-            )
+            );
+            let stats = solver.stats().delta(&before);
+            (outcome, stats)
         } else {
             let tasks = expand_frontier(pool, pipeline, sums, &kind, init, &reach, *split_depth);
             let ctx = WorkerCtx {
@@ -637,6 +664,7 @@ impl<'p> Verifier<'p> {
             step1_segments: segment_count(sums),
             suspects: suspects_of(sums),
             composed_paths: composed.into_inner(),
+            solver: solver_stats,
             step1_time,
             step2_time: t1.elapsed(),
         }

@@ -12,7 +12,7 @@ use crate::compose::{compose, ComposedState};
 use crate::report::{CounterExample, Verdict, VerifyReport};
 use crate::session::{CustomProperty, Property, Verifier};
 use crate::summary::PipelineSummaries;
-use bvsolve::{BvSolver, SatVerdict, TermPool};
+use bvsolve::{BvSolver, SatVerdict, SolveSession, SolverLayerStats, TermPool};
 use dataplane::{Pipeline, Route};
 use dpir::PORT_CONTINUE;
 use std::collections::BinaryHeap;
@@ -31,6 +31,17 @@ pub struct VerifyConfig {
     pub max_composed_paths: usize,
     /// CDCL conflict budget per step-2 feasibility query.
     pub solver_conflict_budget: u64,
+    /// Whether step-2 queries run on an incremental
+    /// [`bvsolve::SolveSession`] — persistent bit-blasting,
+    /// constraints asserted under activation literals as the search
+    /// composes and retired as it backtracks — instead of a fresh
+    /// solver per query. Every decided (Sat/Unsat) query answers
+    /// identically either way; only queries that exhaust
+    /// [`VerifyConfig::solver_conflict_budget`] may degrade to
+    /// Unknown in one mode and not the other, since solver reuse
+    /// changes how many conflicts a given query needs. `false` is
+    /// the A/B baseline for the `incremental` bench ablation.
+    pub incremental: bool,
 }
 
 impl Default for VerifyConfig {
@@ -39,6 +50,7 @@ impl Default for VerifyConfig {
             sym: SymConfig::default(),
             max_composed_paths: 1 << 20,
             solver_conflict_budget: 200_000,
+            incremental: true,
         }
     }
 }
@@ -57,15 +69,88 @@ pub(crate) enum Feas {
     Unknown,
 }
 
+/// The step-2 query engine: an incremental [`SolveSession`] (the
+/// default) or a fresh-per-query [`BvSolver`]
+/// ([`VerifyConfig::incremental`] `= false`, the A/B baseline). Both
+/// decide the same conjunction queries through the same cheap layers,
+/// so decided (Sat/Unsat) verdicts are identical — only
+/// budget-exhausted Unknowns can differ between modes (see
+/// [`VerifyConfig::incremental`]); the session additionally reuses
+/// blasted prefixes and learnt clauses across the query stream.
+pub(crate) enum QuerySolver {
+    Fresh(BvSolver),
+    Session(Box<SolveSession>),
+}
+
+impl QuerySolver {
+    pub(crate) fn new(cfg: &VerifyConfig) -> Self {
+        if cfg.incremental {
+            QuerySolver::Session(Box::new(SolveSession::with_conflict_budget(
+                cfg.solver_conflict_budget,
+            )))
+        } else {
+            QuerySolver::Fresh(BvSolver::with_conflict_budget(cfg.solver_conflict_budget))
+        }
+    }
+
+    /// Decides satisfiability of the conjunction of `cs`. The session
+    /// syncs its assertion stack to `cs` (retire past the common
+    /// prefix, assert the rest); the fresh solver rebuilds from
+    /// scratch.
+    pub(crate) fn check_terms(
+        &mut self,
+        pool: &mut TermPool,
+        cs: &[bvsolve::TermId],
+    ) -> SatVerdict {
+        match self {
+            QuerySolver::Fresh(s) => s.check(pool, cs),
+            QuerySolver::Session(s) => s.check_constraints(pool, cs),
+        }
+    }
+
+    /// Layer/reuse statistics accumulated so far.
+    pub(crate) fn stats(&self) -> SolverLayerStats {
+        match self {
+            QuerySolver::Fresh(s) => s.stats(),
+            QuerySolver::Session(s) => s.stats(),
+        }
+    }
+
+    /// Deterministic model extraction for a *winning* query: session
+    /// models depend on the solver history (learnt clauses, saved
+    /// phases accumulated by earlier queries), so the violation that
+    /// ends a search is re-solved on a fresh solver over the same
+    /// pool — making reported counterexample bytes independent of
+    /// which queries ran earlier and identical to fresh mode's. Falls
+    /// back to the in-flight model (equally valid) if the fresh
+    /// re-run is budget-limited.
+    pub(crate) fn confirm_model(
+        &self,
+        pool: &mut TermPool,
+        cfg: &VerifyConfig,
+        cs: &[bvsolve::TermId],
+        inflight: bvsolve::Model,
+    ) -> bvsolve::Model {
+        if matches!(self, QuerySolver::Fresh(_)) {
+            return inflight;
+        }
+        let mut fresh = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
+        match fresh.check(pool, cs) {
+            SatVerdict::Sat(m) => m,
+            _ => inflight,
+        }
+    }
+}
+
 pub(crate) fn check(
     pool: &mut TermPool,
-    solver: &mut BvSolver,
+    solver: &mut QuerySolver,
     state: &ComposedState,
     extra: &[bvsolve::TermId],
 ) -> Feas {
     let mut cs = state.constraint.clone();
     cs.extend_from_slice(extra);
-    match solver.check(pool, &cs) {
+    match solver.check_terms(pool, &cs) {
         SatVerdict::Sat(m) => Feas::Sat(m),
         SatVerdict::Unsat => Feas::Unsat,
         SatVerdict::Unknown => Feas::Unknown,
@@ -284,7 +369,7 @@ pub(crate) fn classify(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn search(
     pool: &mut TermPool,
-    solver: &mut BvSolver,
+    solver: &mut QuerySolver,
     pipeline: &Pipeline,
     sums: &PipelineSummaries,
     cfg: &VerifyConfig,
@@ -304,6 +389,7 @@ pub(crate) fn search(
                     composed.fetch_add(1, Ordering::Relaxed);
                     match check(pool, solver, &next, &[]) {
                         Feas::Sat(m) => {
+                            let m = solver.confirm_model(pool, cfg, &next.constraint, m);
                             return SearchOutcome::Violation(CounterExample::from_model(
                                 pool,
                                 &sums.input,
@@ -395,6 +481,7 @@ pub(crate) fn aborted_report(
         step1_segments: 0,
         suspects: 0,
         composed_paths: 0,
+        solver: SolverLayerStats::default(),
         step1_time: t0.elapsed(),
         step2_time: Default::default(),
     }
@@ -675,7 +762,7 @@ pub(crate) fn longest_paths_from(
         }
     }
 
-    let mut solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
+    let mut solver = QuerySolver::new(cfg);
     let mut heap: BinaryHeap<QNode> = BinaryHeap::new();
     heap.push(QNode {
         f: suffix[0],
@@ -693,6 +780,7 @@ pub(crate) fn longest_paths_from(
         if node.terminal {
             // Admissible heuristic ⇒ this is the next-longest path.
             if let Feas::Sat(m) = check(pool, &mut solver, &node.state, &[]) {
+                let m = solver.confirm_model(pool, cfg, &node.state.constraint, m);
                 out.push(LongestPath {
                     instrs: node.state.instrs,
                     packet: CounterExample::from_model(

@@ -1,0 +1,217 @@
+//! Incremental-session vs fresh-solver equivalence across the whole
+//! stack: identical verdicts, traces, counterexample bytes and path
+//! counts on real pipelines — sequentially and with worker threads —
+//! plus the solver reuse counters surfaced on [`verifier::VerifyReport`].
+
+use dataplane::Pipeline;
+use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
+use elements::pipelines::{to_pipeline, ROUTER_IP};
+use symexec::SymConfig;
+use verifier::{FilterProperty, Property, Verdict, Verifier, VerifyConfig, VerifyReport};
+
+fn cfg(incremental: bool) -> VerifyConfig {
+    VerifyConfig {
+        sym: SymConfig {
+            max_pkt_bytes: 48,
+            ..Default::default()
+        },
+        incremental,
+        ..Default::default()
+    }
+}
+
+fn router() -> Pipeline {
+    to_pipeline(
+        "router",
+        vec![
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+            elements::dec_ttl::dec_ttl(),
+            elements::ip_options::ip_options(2, Some(ROUTER_IP)),
+        ],
+    )
+}
+
+fn click_bug1() -> Pipeline {
+    to_pipeline(
+        "edge+frag1",
+        vec![
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+            elements::ip_options::ip_options(1, Some(ROUTER_IP)),
+            ip_fragmenter(FragmenterVariant::ClickBug1, 40),
+        ],
+    )
+}
+
+fn audit_props() -> Vec<Property> {
+    vec![
+        Property::CrashFreedom,
+        Property::Bounded { imax: 5_000 },
+        Property::Filter(FilterProperty::src(0x0BAD_0001)),
+    ]
+}
+
+/// Byte-for-byte agreement: verdict class, description, trace,
+/// counterexample packet, and the step-2 query count.
+fn assert_identical(a: &VerifyReport, b: &VerifyReport, what: &str) {
+    match (&a.verdict, &b.verdict) {
+        (Verdict::Proved, Verdict::Proved) => {}
+        (Verdict::Disproved(x), Verdict::Disproved(y)) => {
+            assert_eq!(x.trace, y.trace, "{what}: trace differs");
+            assert_eq!(x.description, y.description, "{what}: description differs");
+            assert_eq!(x.bytes, y.bytes, "{what}: counterexample bytes differ");
+        }
+        (Verdict::Unknown(x), Verdict::Unknown(y)) => {
+            assert_eq!(x, y, "{what}: unknown reason differs")
+        }
+        (x, y) => panic!("{what}: {x:?} vs {y:?}"),
+    }
+    assert_eq!(
+        a.composed_paths, b.composed_paths,
+        "{what}: both modes must walk the same composed paths"
+    );
+    assert_eq!(
+        a.solver.queries, b.solver.queries,
+        "{what}: same query stream"
+    );
+    assert_eq!(
+        a.solver.by_blast, b.solver.by_blast,
+        "{what}: the cheap layers must answer the same queries in both modes"
+    );
+}
+
+#[test]
+fn incremental_matches_fresh_on_proved_pipeline() {
+    let p = router();
+    let fresh = Verifier::new(&p)
+        .config(cfg(false))
+        .check_all(&audit_props());
+    let inc = Verifier::new(&p)
+        .config(cfg(true))
+        .check_all(&audit_props());
+    for ((prop, f), i) in audit_props().iter().zip(&fresh).zip(&inc) {
+        assert_identical(
+            f.as_verify().unwrap(),
+            i.as_verify().unwrap(),
+            &format!("router {prop:?}"),
+        );
+    }
+}
+
+#[test]
+fn incremental_matches_fresh_on_disproved_pipeline() {
+    let p = click_bug1();
+    let props = [Property::CrashFreedom, Property::Bounded { imax: 5_000 }];
+    let fresh = Verifier::new(&p).config(cfg(false)).check_all(&props);
+    let inc = Verifier::new(&p).config(cfg(true)).check_all(&props);
+    for ((prop, f), i) in props.iter().zip(&fresh).zip(&inc) {
+        assert_identical(
+            f.as_verify().unwrap(),
+            i.as_verify().unwrap(),
+            &format!("click-bug {prop:?}"),
+        );
+    }
+    assert!(
+        inc[1].as_verify().unwrap().verdict.is_disproved(),
+        "bug #1 must still be found through the session: {}",
+        inc[1]
+    );
+}
+
+#[test]
+fn parallel_sessions_agree_with_sequential_and_fresh() {
+    let p = click_bug1();
+    let props = [Property::CrashFreedom, Property::Bounded { imax: 5_000 }];
+    let seq = Verifier::new(&p).config(cfg(true)).check_all(&props);
+    let par_inc = Verifier::new(&p)
+        .config(cfg(true))
+        .threads(4)
+        .check_all(&props);
+    let par_fresh = Verifier::new(&p)
+        .config(cfg(false))
+        .threads(4)
+        .check_all(&props);
+    for (((prop, s), pi), pf) in props.iter().zip(&seq).zip(&par_inc).zip(&par_fresh) {
+        assert_identical(
+            pi.as_verify().unwrap(),
+            pf.as_verify().unwrap(),
+            &format!("threads(4) incremental-vs-fresh {prop:?}"),
+        );
+        // Sequential vs parallel: verdict, trace and description (the
+        // PR-1/PR-2 guarantee), bytes included since both re-extract
+        // on the shared master pool.
+        match (
+            &s.as_verify().unwrap().verdict,
+            &pi.as_verify().unwrap().verdict,
+        ) {
+            (Verdict::Proved, Verdict::Proved) => {}
+            (Verdict::Disproved(a), Verdict::Disproved(b)) => {
+                assert_eq!(a.trace, b.trace, "{prop:?}: trace");
+                assert_eq!(a.description, b.description, "{prop:?}: description");
+                assert_eq!(a.bytes, b.bytes, "{prop:?}: bytes");
+            }
+            (Verdict::Unknown(a), Verdict::Unknown(b)) => {
+                assert_eq!(a, b, "{prop:?}: unknown reason")
+            }
+            (a, b) => panic!("{prop:?}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn reuse_counters_are_visible_and_mode_faithful() {
+    // Incremental mode: prefix reuse and clause carry-over must show
+    // up both on the struct and in the JSON line.
+    let p = click_bug1();
+    let r = Verifier::new(&p)
+        .config(cfg(true))
+        .check(Property::Bounded { imax: 5_000 })
+        .expect_verify();
+    assert!(r.solver.queries > 0, "{:?}", r.solver);
+    assert!(r.solver.by_blast > 0, "search must reach the blaster");
+    assert!(
+        r.solver.blast_cache_hits > 0,
+        "shared prefixes must hit the blast cache: {:?}",
+        r.solver
+    );
+    assert!(
+        r.solver.learnt_reused > 0,
+        "later queries must reuse learnt clauses: {:?}",
+        r.solver
+    );
+    let j = r.to_json();
+    assert!(j.contains("\"solver\":{\"queries\":"), "{j}");
+    assert!(j.contains("\"blast_cache_hits\":"), "{j}");
+    assert!(j.contains("\"learnt_reused\":"), "{j}");
+
+    // Fresh mode: the same pipeline reports zero reuse, by definition.
+    let f = Verifier::new(&p)
+        .config(cfg(false))
+        .check(Property::Bounded { imax: 5_000 })
+        .expect_verify();
+    assert_eq!(f.solver.blast_cache_hits, 0, "{:?}", f.solver);
+    assert_eq!(f.solver.learnt_reused, 0, "{:?}", f.solver);
+    assert!(f.solver.by_blast > 0);
+}
+
+#[test]
+fn session_solver_persists_across_checks_in_one_mode() {
+    // Two Abstract-mode properties on one Verifier share one session:
+    // the second check's queries still see the first check's blasted
+    // base constraints, so its miss counter stays below its query
+    // count from the very first blast-layer query.
+    let p = router();
+    let mut v = Verifier::new(&p).config(cfg(true));
+    let r1 = v.check(Property::CrashFreedom).expect_verify();
+    let r2 = v.check(Property::Bounded { imax: 10_000 }).expect_verify();
+    assert!(r1.verdict.is_proved(), "{r1}");
+    assert!(r2.verdict.is_proved(), "{r2}");
+    if r2.solver.by_blast > 0 {
+        assert!(
+            r2.solver.blast_cache_hits > 0,
+            "cross-property prefix reuse: {:?}",
+            r2.solver
+        );
+    }
+}

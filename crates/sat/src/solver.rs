@@ -39,6 +39,14 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses deleted by DB reduction.
     pub deleted_clauses: u64,
+    /// Number of `solve` / `solve_with_assumptions` calls.
+    pub solve_calls: u64,
+    /// Learnt clauses already live at the start of each solve call,
+    /// summed over calls — the incremental-reuse counter. A solver
+    /// used for a single query reports 0; a session that keeps its
+    /// learnt clauses across queries accrues the carried-over count
+    /// on every call.
+    pub learnt_reused: u64,
 }
 
 /// Watcher entry: a clause plus a "blocker" literal checked before
@@ -261,6 +269,41 @@ impl Solver {
         }
     }
 
+    /// Allocates a fresh **activation literal** for gating clauses
+    /// ([`Solver::add_gated_clause`]). Assume it (pass it to
+    /// [`Solver::solve_with_assumptions`]) to enforce the gated
+    /// clauses for that call; leave it out of the assumptions to keep
+    /// them dormant; [`Solver::release`] it to retire them for good.
+    /// Phase saving initializes fresh variables to `false`, so dormant
+    /// gates default to disabled during search.
+    pub fn new_activation_lit(&mut self) -> Lit {
+        Lit::pos(self.new_var())
+    }
+
+    /// Adds `lits` gated on `act`: the stored clause reads
+    /// `¬act ∨ lits…`, so it constrains the search only while `act`
+    /// is assumed. Returns `false` if the solver is already UNSAT at
+    /// the top level (as [`Solver::add_clause`]).
+    pub fn add_gated_clause(&mut self, act: Lit, lits: &[Lit]) -> bool {
+        let mut c = Vec::with_capacity(lits.len() + 1);
+        c.push(!act);
+        c.extend_from_slice(lits);
+        self.add_clause(&c)
+    }
+
+    /// Permanently releases activation literal `act` (a *releasable
+    /// unit*): every clause gated on it becomes satisfied at the top
+    /// level, and assuming `act` afterwards yields
+    /// [`SolveResult::Unsat`].
+    pub fn release(&mut self, act: Lit) -> bool {
+        self.add_clause(&[!act])
+    }
+
+    /// Number of live learnt clauses currently in the database.
+    pub fn num_learnts(&self) -> usize {
+        self.db.num_learnt()
+    }
+
     /// Current value of a variable (meaningful after a SAT result).
     pub fn value(&self, v: Var) -> Option<bool> {
         self.assigns[v.index()]
@@ -280,6 +323,8 @@ impl Solver {
     /// only). The solver state (learnt clauses, activities) persists
     /// across calls, enabling cheap incremental queries.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solve_calls += 1;
+        self.stats.learnt_reused += self.db.num_learnt() as u64;
         if self.unsat {
             return SolveResult::Unsat;
         }
@@ -817,6 +862,65 @@ mod tests {
         for i in 0..n {
             assert_ne!(m[i], m[i + 1]);
         }
+    }
+
+    #[test]
+    fn activation_literals_gate_clauses() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let on_a = s.new_activation_lit();
+        let on_na = s.new_activation_lit();
+        s.add_gated_clause(on_a, &[a]);
+        s.add_gated_clause(on_na, &[!a]);
+        // Either constraint alone is satisfiable and enforced.
+        assert!(s.solve_with_assumptions(&[on_a]).is_sat());
+        assert_eq!(s.value(a.var()), Some(true));
+        assert!(s.solve_with_assumptions(&[on_na]).is_sat());
+        assert_eq!(s.value(a.var()), Some(false));
+        // Both together contradict; neither leaves the formula free.
+        assert!(s.solve_with_assumptions(&[on_a, on_na]).is_unsat());
+        assert!(s.solve().is_sat());
+        // Releasing retires the gate: its clauses go dormant forever
+        // and the activation literal itself becomes unassumable.
+        assert!(s.release(on_a));
+        assert!(s.solve_with_assumptions(&[on_na]).is_sat());
+        assert!(s.solve_with_assumptions(&[on_a]).is_unsat());
+        assert!(s.solve().is_sat(), "release never poisons the formula");
+    }
+
+    #[test]
+    fn reuse_counters_accrue_across_calls() {
+        // Pigeonhole 4→3 forces conflicts, so the first call learns
+        // clauses that the second call then reports as carried over.
+        let mut s = Solver::new();
+        let holes = 3;
+        let p = |i: usize, j: usize| i * holes + j;
+        for i in 0..holes + 1 {
+            let cl: Vec<Lit> = (0..holes).map(|j| lit(&mut s, p(i, j), true)).collect();
+            s.add_clause(&cl);
+        }
+        for j in 0..holes {
+            for i1 in 0..holes + 1 {
+                for i2 in (i1 + 1)..holes + 1 {
+                    let a = lit(&mut s, p(i1, j), false);
+                    let b = lit(&mut s, p(i2, j), false);
+                    s.add_clause(&[a, b]);
+                }
+            }
+        }
+        let extra = lit(&mut s, 50, true);
+        assert!(s.solve_with_assumptions(&[extra]).is_unsat());
+        let s1 = s.stats();
+        assert_eq!(s1.solve_calls, 1);
+        assert_eq!(s1.learnt_reused, 0, "nothing to reuse on the first call");
+        assert!(s.num_learnts() > 0, "the hard instance must learn clauses");
+        assert!(s.solve_with_assumptions(&[!extra]).is_unsat());
+        let s2 = s.stats();
+        assert_eq!(s2.solve_calls, 2);
+        assert!(
+            s2.learnt_reused > 0,
+            "second call must see the first call's learnt clauses"
+        );
     }
 
     #[test]
