@@ -10,6 +10,10 @@
 //! * `incremental` — step-2 solving on a persistent solve session
 //!   (assert-once blasting, learnt-clause reuse) vs a fresh solver per
 //!   query, same verdicts by construction.
+//! * `core_pruning` — the step-2 search with conflict-driven pruning
+//!   (UNSAT-core learning + subsumption-based subtree skipping) vs
+//!   asking the solver about every composed path, same verdicts by
+//!   construction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dpv_bench::{fig_sym_config, fig_verify_config, generic_sym_config};
@@ -110,6 +114,38 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let cfg = VerifyConfig {
                         incremental,
+                        ..fig_verify_config()
+                    };
+                    Verifier::new(&p)
+                        .config(cfg)
+                        .check_all(&[Property::CrashFreedom, Property::Bounded { imax: 5_000 }])
+                })
+            });
+        }
+    }
+
+    // Conflict-driven pruning: the same refutation-heavy audit with
+    // core learning + subsumption skipping on vs off (both arms on
+    // incremental sessions, so the delta is pruning alone).
+    {
+        let p = to_pipeline(
+            "edge+opt2+fixedfrag",
+            vec![
+                elements::classifier::classifier(),
+                elements::check_ip_header::check_ip_header(false),
+                elements::ip_options::ip_options(2, Some(elements::pipelines::ROUTER_IP)),
+                elements::ip_fragmenter::ip_fragmenter(
+                    elements::ip_fragmenter::FragmenterVariant::Fixed,
+                    24,
+                ),
+            ],
+        );
+        for pruning in [true, false] {
+            let label = if pruning { "pruned" } else { "baseline" };
+            g.bench_function(format!("core_pruning/{label}"), |b| {
+                b.iter(|| {
+                    let cfg = VerifyConfig {
+                        core_pruning: pruning,
                         ..fig_verify_config()
                     };
                     Verifier::new(&p)

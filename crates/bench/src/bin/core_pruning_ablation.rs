@@ -1,0 +1,221 @@
+//! `core_pruning` — the conflict-driven pruning ablation: the step-2
+//! search with UNSAT-core learning and subsumption-based subtree
+//! skipping ([`verifier::VerifyConfig::core_pruning`], the default)
+//! vs the same search asking the solver about every composed path.
+//!
+//! Both arms run on incremental solve sessions, so the measured delta
+//! is pruning alone. The binary **asserts** verdict equality between
+//! the two modes — sequentially and with 4 worker threads — plus the
+//! two structural claims of the design: a refutation-heavy proof must
+//! actually skip subtrees (`subtrees_pruned > 0`), and a later
+//! property in the same session must hit cores learned by an earlier
+//! one (`core_hits > 0` before it learns anything itself). The point
+//! of the ablation is the step-2 wall clock and those counters.
+//!
+//! With `DPV_JSON=1` every report is emitted as a JSON line plus one
+//! `{"bench":"core_pruning",...}` summary line per (pipeline, mode,
+//! engine) — the bench-trajectory records CI archives and diffs
+//! against `BENCH_step2.json`.
+
+use dpv_bench::{fig_verify_config, fmt_dur, row, timed};
+use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
+use elements::pipelines::{to_pipeline, ROUTER_IP};
+use std::time::Duration;
+use verifier::{CoreStats, FilterProperty, Property, Report, Verifier, VerifyConfig};
+
+fn preproc() -> Vec<dataplane::Element> {
+    vec![
+        elements::classifier::classifier(),
+        elements::check_ip_header::check_ip_header(false),
+    ]
+}
+
+fn scenarios() -> Vec<(&'static str, dataplane::Pipeline, Vec<Property>)> {
+    let mut out = Vec::new();
+    // Refutation-heavy: the options loop in front of the fragmenter
+    // multiplies prefixes into the fragmentation loop, and every
+    // suspect is refuted — the workload where learned cores pay twice
+    // (sibling subtrees within a property share refutations through
+    // the hash-consed constraint terms, and the second property
+    // re-walks the whole composition tree). No map elements: map
+    // reads havoc fresh variables per composition, which would break
+    // the TermId-identity cores rely on across properties.
+    {
+        let mut elems = preproc();
+        elems.push(elements::ip_options::ip_options(3, Some(ROUTER_IP)));
+        elems.push(ip_fragmenter(FragmenterVariant::Fixed, 24));
+        out.push((
+            "opt-frag-prove",
+            to_pipeline("edge+opt3+fixedfrag", elems),
+            vec![Property::CrashFreedom, Property::Bounded { imax: 5_000 }],
+        ));
+    }
+    // The Table-2 router front, full three-property audit (filtering
+    // exercises the second, Tables-mode core store).
+    {
+        let mut elems = preproc();
+        elems.push(elements::dec_ttl::dec_ttl());
+        elems.push(elements::ip_options::ip_options(2, Some(ROUTER_IP)));
+        out.push((
+            "router-audit",
+            to_pipeline("router", elems),
+            vec![
+                Property::CrashFreedom,
+                Property::Bounded { imax: 10_000 },
+                Property::Filter(FilterProperty::src(0x0BAD_0001)),
+            ],
+        ));
+    }
+    out
+}
+
+struct ModeRun {
+    reports: Vec<Report>,
+    total: Duration,
+    step2: Duration,
+    cores: CoreStats,
+}
+
+fn run_mode(p: &dataplane::Pipeline, props: &[Property], pruning: bool, threads: usize) -> ModeRun {
+    let cfg = VerifyConfig {
+        core_pruning: pruning,
+        ..fig_verify_config()
+    };
+    let mut v = Verifier::new(p).config(cfg).threads(threads);
+    let (reports, total) = timed(|| v.check_all(props));
+    let mut step2 = Duration::ZERO;
+    let mut cores = CoreStats::default();
+    for r in reports.iter().filter_map(|r| r.as_verify()) {
+        step2 += r.step2_time;
+        cores.merge(&r.cores);
+    }
+    ModeRun {
+        reports,
+        total,
+        step2,
+        cores,
+    }
+}
+
+fn mode_name(pruning: bool) -> &'static str {
+    if pruning {
+        "pruned"
+    } else {
+        "baseline"
+    }
+}
+
+fn assert_verdicts_match(name: &str, engine: &str, a: &ModeRun, b: &ModeRun) {
+    for (x, y) in a.reports.iter().zip(&b.reports) {
+        let (x, y) = (
+            x.as_verify().expect("verify"),
+            y.as_verify().expect("verify"),
+        );
+        assert_eq!(
+            format!("{:?}", x.verdict),
+            format!("{:?}", y.verdict),
+            "{name} ({engine}): verdicts must be identical across pruning modes"
+        );
+        assert_eq!(
+            x.composed_paths, y.composed_paths,
+            "{name} ({engine}): pruning must not change the composed-path count"
+        );
+    }
+}
+
+fn emit_json(name: &str, pruning: bool, engine: &str, run: &ModeRun) {
+    if std::env::var_os("DPV_JSON").is_none() {
+        return;
+    }
+    for r in &run.reports {
+        println!("{}", r.to_json());
+    }
+    println!(
+        "{{\"bench\":\"core_pruning\",\"pipeline\":\"{}\",\"mode\":\"{}\",\
+         \"engine\":\"{}\",\"total_ms\":{:.3},\"step2_ms\":{:.3},\
+         \"cores_learned\":{},\"core_hits\":{},\"subtrees_pruned\":{}}}",
+        name,
+        mode_name(pruning),
+        engine,
+        run.total.as_secs_f64() * 1e3,
+        run.step2.as_secs_f64() * 1e3,
+        run.cores.cores_learned,
+        run.cores.core_hits,
+        run.cores.subtrees_pruned,
+    );
+}
+
+fn main() {
+    println!("Conflict-driven pruning ablation: step-2 search, pruned vs baseline");
+    println!();
+    row(&[
+        "pipeline".into(),
+        "engine".into(),
+        "mode".into(),
+        "total".into(),
+        "step 2".into(),
+        "cores".into(),
+        "hits".into(),
+        "subtrees".into(),
+        "speedup".into(),
+    ]);
+
+    for (name, p, props) in scenarios() {
+        for threads in [1usize, 4] {
+            let engine = if threads == 1 { "seq" } else { "par4" };
+            let baseline = run_mode(&p, &props, false, threads);
+            let pruned = run_mode(&p, &props, true, threads);
+
+            // The whole point: identical verdicts, fewer queries.
+            assert_verdicts_match(name, engine, &baseline, &pruned);
+            assert_eq!(
+                baseline.cores.core_hits, 0,
+                "{name} ({engine}): baseline must not prune"
+            );
+            assert!(
+                pruned.cores.subtrees_pruned > 0,
+                "{name} ({engine}): pruning must cut whole subtrees: {:?}",
+                pruned.cores
+            );
+            // Cross-property reuse: every report after the first in the
+            // same map mode re-walks compositions the earlier property
+            // refuted, so at least one later check must record hits.
+            let later_hits: u64 = pruned
+                .reports
+                .iter()
+                .skip(1)
+                .filter_map(|r| r.as_verify())
+                .map(|r| r.cores.core_hits)
+                .sum();
+            assert!(
+                later_hits > 0,
+                "{name} ({engine}): later properties must hit earlier cores"
+            );
+
+            for (pruning, run) in [(false, &baseline), (true, &pruned)] {
+                let speedup = if pruning && run.step2.as_secs_f64() > 0.0 {
+                    format!(
+                        "{:.2}x",
+                        baseline.step2.as_secs_f64() / run.step2.as_secs_f64()
+                    )
+                } else {
+                    "-".into()
+                };
+                row(&[
+                    name.into(),
+                    engine.into(),
+                    mode_name(pruning).into(),
+                    fmt_dur(run.total),
+                    fmt_dur(run.step2),
+                    run.cores.cores_learned.to_string(),
+                    run.cores.core_hits.to_string(),
+                    run.cores.subtrees_pruned.to_string(),
+                    speedup,
+                ]);
+                emit_json(name, pruning, engine, run);
+            }
+        }
+    }
+    println!();
+    println!("verdicts and composed-path counts: identical across modes (asserted)");
+}

@@ -40,11 +40,17 @@
 //!   phases accumulated by earlier queries); callers that need
 //!   deterministic model bytes re-solve the winning query on a fresh
 //!   solver.
+//!
+//! Because every query is assumption-driven, UNSAT answers come with
+//! an [`crate::Infeasibility`] **core** for free: the subset of the
+//! queried constraints whose activation literals the CDCL backend
+//! used to derive the contradiction ([`bitsat::Solver::last_core`]).
+//! The step-2 search feeds these cores into its subsumption pruner.
 
 use crate::blast::Blaster;
 use crate::eval::{eval, Assignment};
 use crate::interval::{interval_of, Interval};
-use crate::solver::{Model, SatVerdict, SolverLayerStats};
+use crate::solver::{cheap_core, map_core, Model, SatVerdict, SolverLayerStats};
 use crate::term::{TermId, TermPool};
 use bitsat::Lit;
 use std::collections::HashMap;
@@ -80,8 +86,18 @@ pub struct SolveSession {
     /// Activation literal per constraint term blasted into the
     /// current blaster — the blast cache index.
     acts: HashMap<TermId, Lit>,
-    /// `learnt_reused` accrued by blasters retired at compaction.
-    retired_learnt_reused: u64,
+    /// CDCL counters accrued by blasters retired at compaction
+    /// (`learnt_reused`, `decisions`, `propagations` are surfaced
+    /// through [`SolveSession::stats`]).
+    retired_sat: bitsat::SolverStats,
+    /// Drop-one core-minimization budget forwarded to every blaster
+    /// (incl. rebuilds after compaction). `None` = off.
+    core_minimize_budget: Option<u64>,
+    /// Whether UNSAT verdicts carry a mapped [`crate::Infeasibility`]
+    /// core (default). Callers that never read cores can switch this
+    /// off to skip the per-query activation-literal reverse map and
+    /// the cheap-layer core clones.
+    extract_cores: bool,
     /// SAT-variable floor below which the session never compacts
     /// ([`COMPACT_MIN_VARS`] by default; lowered only by tests that
     /// need to cross compaction boundaries on small formulas).
@@ -104,7 +120,9 @@ impl Default for SolveSession {
             conflict_budget: None,
             stack: Vec::new(),
             acts: HashMap::new(),
-            retired_learnt_reused: 0,
+            retired_sat: bitsat::SolverStats::default(),
+            core_minimize_budget: None,
+            extract_cores: true,
             compact_min_vars: COMPACT_MIN_VARS,
         }
     }
@@ -122,6 +140,28 @@ impl SolveSession {
     #[doc(hidden)]
     pub fn set_compaction_floor(&mut self, vars: usize) {
         self.compact_min_vars = vars;
+    }
+
+    /// Enables (`Some(budget)`) or disables (`None`, the default)
+    /// drop-one minimization of the UNSAT cores this session reports:
+    /// smaller cores subsume more future constraint sets, at the cost
+    /// of up to `core.len()` extra budget-capped CDCL calls per UNSAT
+    /// answer (see [`bitsat::Solver::set_core_minimize_budget`]).
+    pub fn set_core_minimize_budget(&mut self, budget: Option<u64>) {
+        self.core_minimize_budget = budget;
+        self.blaster.set_core_minimize_budget(budget);
+    }
+
+    /// Disables (or re-enables; on by default) UNSAT-core reporting.
+    /// Verdicts are unaffected — the queries are assumption-driven
+    /// either way — but with cores off the session skips the
+    /// activation-literal reverse map per blast query and the
+    /// constraint-vector clone per cheap-layer refutation, returning
+    /// an empty (inert) [`crate::Infeasibility`] instead. Callers that
+    /// never consume cores (e.g. the step-2 engine with conflict-driven
+    /// pruning disabled) should switch this off.
+    pub fn set_core_extraction(&mut self, enabled: bool) {
+        self.extract_cores = enabled;
     }
 
     /// Creates a session whose CDCL calls each get a `budget`-conflict
@@ -150,11 +190,16 @@ impl SolveSession {
         {
             return;
         }
-        self.retired_learnt_reused += self.blaster.sat_stats().learnt_reused;
+        let sat = self.blaster.sat_stats();
+        self.retired_sat.learnt_reused += sat.learnt_reused;
+        self.retired_sat.decisions += sat.decisions;
+        self.retired_sat.propagations += sat.propagations;
         self.blaster = Blaster::new();
         if let Some(b) = self.conflict_budget {
             self.blaster.set_conflict_budget(b);
         }
+        self.blaster
+            .set_core_minimize_budget(self.core_minimize_budget);
         self.acts.clear();
         self.stats.compactions += 1;
     }
@@ -208,7 +253,7 @@ impl SolveSession {
         }
         if pool.is_false(conj) {
             self.stats.by_simplify += 1;
-            return SatVerdict::Unsat;
+            return SatVerdict::Unsat(self.maybe_cheap_core(pool, &all));
         }
         match interval_of(pool, conj) {
             Interval { lo: 1, .. } => {
@@ -217,7 +262,7 @@ impl SolveSession {
             }
             Interval { hi: 0, .. } => {
                 self.stats.by_interval += 1;
-                return SatVerdict::Unsat;
+                return SatVerdict::Unsat(self.maybe_cheap_core(pool, &all));
             }
             _ => {}
         }
@@ -226,6 +271,10 @@ impl SolveSession {
         self.stats.sat_solve_calls += 1;
         self.maybe_compact(all.len());
         let mut assumptions = Vec::with_capacity(all.len());
+        let mut act_term: HashMap<Lit, TermId> = HashMap::new();
+        if self.extract_cores {
+            act_term.reserve(all.len());
+        }
         for &t in &all {
             let act = match self.acts.get(&t) {
                 Some(&a) => {
@@ -239,6 +288,9 @@ impl SolveSession {
                     a
                 }
             };
+            if self.extract_cores {
+                act_term.insert(act, t);
+            }
             assumptions.push(act);
         }
         match self.blaster.check_assuming(&assumptions) {
@@ -256,8 +308,25 @@ impl SolveSession {
                 );
                 SatVerdict::Sat(Model::from_assignment(a))
             }
-            bitsat::SolveResult::Unsat => SatVerdict::Unsat,
+            bitsat::SolveResult::Unsat if self.extract_cores => {
+                // Map the assumption-level core (activation literals)
+                // back to the constraint terms they gate. Dormant
+                // constraints from earlier queries cannot appear: only
+                // this query's assumptions are eligible for the core.
+                SatVerdict::Unsat(map_core(self.blaster.last_core(), &act_term, &all))
+            }
+            bitsat::SolveResult::Unsat => SatVerdict::Unsat(crate::Infeasibility::default()),
             bitsat::SolveResult::Unknown => SatVerdict::Unknown,
+        }
+    }
+
+    /// Core for a cheap-layer refutation — empty (no clone) when core
+    /// extraction is off.
+    fn maybe_cheap_core(&self, pool: &TermPool, all: &[TermId]) -> crate::Infeasibility {
+        if self.extract_cores {
+            cheap_core(pool, all)
+        } else {
+            crate::Infeasibility::default()
         }
     }
 
@@ -285,7 +354,9 @@ impl SolveSession {
     pub fn stats(&self) -> SolverLayerStats {
         let mut s = self.stats;
         let sat = self.blaster.sat_stats();
-        s.learnt_reused = self.retired_learnt_reused + sat.learnt_reused;
+        s.learnt_reused = self.retired_sat.learnt_reused + sat.learnt_reused;
+        s.decisions = self.retired_sat.decisions + sat.decisions;
+        s.propagations = self.retired_sat.propagations + sat.propagations;
         s
     }
 

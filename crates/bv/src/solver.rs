@@ -4,14 +4,36 @@ use crate::blast::Blaster;
 use crate::eval::{eval, Assignment};
 use crate::interval::{interval_of, Interval};
 use crate::term::{TermId, TermPool};
+use std::collections::HashMap;
+
+/// Why a query was infeasible: an **UNSAT core** over the queried
+/// constraint terms.
+///
+/// `core` is a subset of the constraints handed to the solver whose
+/// conjunction is already unsatisfiable on its own — so any future
+/// query whose constraint set contains every core term can be refuted
+/// without touching a solver. Cores come from assumption-level
+/// conflict analysis in the CDCL backend ([`bitsat::Solver::last_core`])
+/// when the bit-blast layer answers, and degrade to the full queried
+/// set when a cheap layer (simplification, intervals) refutes the
+/// conjunction as a whole. Terms are hash-consed per [`TermPool`], so
+/// a core is meaningful for exactly the pool that produced it.
+#[derive(Debug, Clone, Default)]
+pub struct Infeasibility {
+    /// The core: constraint terms whose conjunction is UNSAT. Empty
+    /// means *no core information* (the solver was not asked to
+    /// attribute the refutation — see [`BvSolver::with_cores`]), never
+    /// "true is UNSAT"; consumers must treat an empty core as inert.
+    pub core: Vec<TermId>,
+}
 
 /// Outcome of a feasibility query.
 #[derive(Debug, Clone)]
 pub enum SatVerdict {
     /// Satisfiable, with a model assigning every relevant variable.
     Sat(Model),
-    /// Unsatisfiable.
-    Unsat,
+    /// Unsatisfiable, with an [`Infeasibility`] core explaining why.
+    Unsat(Infeasibility),
     /// Budget exhausted (only possible with a conflict budget set).
     Unknown,
 }
@@ -24,7 +46,7 @@ impl SatVerdict {
 
     /// `true` iff unsatisfiable.
     pub fn is_unsat(&self) -> bool {
-        matches!(self, SatVerdict::Unsat)
+        matches!(self, SatVerdict::Unsat(_))
     }
 }
 
@@ -82,6 +104,12 @@ pub struct SolverLayerStats {
     pub learnt_reused: u64,
     /// Underlying CDCL solve calls.
     pub sat_solve_calls: u64,
+    /// CDCL decisions across all solve calls (incl. blasters retired
+    /// by session compaction).
+    pub decisions: u64,
+    /// CDCL unit propagations across all solve calls (incl. blasters
+    /// retired by session compaction).
+    pub propagations: u64,
     /// Session compactions: how often the dormant blasted circuits
     /// grew past the compaction policy and the CNF was rebuilt from
     /// the active constraints (see [`crate::SolveSession`]).
@@ -106,6 +134,8 @@ impl SolverLayerStats {
                 .saturating_sub(earlier.blast_cache_misses),
             learnt_reused: self.learnt_reused.saturating_sub(earlier.learnt_reused),
             sat_solve_calls: self.sat_solve_calls.saturating_sub(earlier.sat_solve_calls),
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
             compactions: self.compactions.saturating_sub(earlier.compactions),
         }
     }
@@ -121,8 +151,44 @@ impl SolverLayerStats {
         self.blast_cache_misses += other.blast_cache_misses;
         self.learnt_reused += other.learnt_reused;
         self.sat_solve_calls += other.sat_solve_calls;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
         self.compactions += other.compactions;
     }
+}
+
+/// The best core a cheap (non-blast) layer can offer: the single
+/// constraint that already simplified to `false`, or — when only the
+/// *conjunction* was refuted — the full queried set, which is a
+/// trivially correct (if unminimized) core.
+pub(crate) fn cheap_core(pool: &TermPool, constraints: &[TermId]) -> Infeasibility {
+    let core = match constraints.iter().find(|&&t| pool.is_false(t)) {
+        Some(&t) => vec![t],
+        None => constraints.to_vec(),
+    };
+    Infeasibility { core }
+}
+
+/// Maps the CDCL backend's assumption core (activation literals) back
+/// to the constraint terms they gate. An empty SAT-level core (the
+/// formula was UNSAT with no assumption needed — unreachable with
+/// all-gated assertion, but kept defensive) degrades to the full set.
+pub(crate) fn map_core(
+    sat_core: &[bitsat::Lit],
+    act_term: &HashMap<bitsat::Lit, TermId>,
+    constraints: &[TermId],
+) -> Infeasibility {
+    let mut core: Vec<TermId> = sat_core
+        .iter()
+        .filter_map(|l| act_term.get(l).copied())
+        .collect();
+    if core.is_empty() {
+        core = constraints.to_vec();
+    } else {
+        core.sort_unstable();
+        core.dedup();
+    }
+    Infeasibility { core }
 }
 
 /// The layered bitvector solver.
@@ -137,6 +203,7 @@ impl SolverLayerStats {
 pub struct BvSolver {
     stats: SolverLayerStats,
     conflict_budget: Option<u64>,
+    extract_cores: bool,
 }
 
 impl BvSolver {
@@ -149,9 +216,26 @@ impl BvSolver {
     /// [`SatVerdict::Unknown`].
     pub fn with_conflict_budget(budget: u64) -> Self {
         BvSolver {
-            stats: SolverLayerStats::default(),
             conflict_budget: Some(budget),
+            ..Self::default()
         }
+    }
+
+    /// Enables UNSAT-core extraction: [`SatVerdict::Unsat`] verdicts
+    /// from the blast layer carry a real assumption-level core instead
+    /// of the trivial full-set one. Because a fresh solver decides the
+    /// plain conjunction first (keeping satisfying models byte-stable
+    /// for counterexample extraction, independent of term-pool
+    /// numbering), the core costs a *second*, assumption-driven solve
+    /// per UNSAT answer — callers that never read cores (step-1
+    /// feasibility, model re-extraction, the pruning-off baseline)
+    /// should leave this off. [`crate::SolveSession`] needs no such
+    /// knob: its queries are assumption-driven natively, so cores are
+    /// free there.
+    #[must_use]
+    pub fn with_cores(mut self) -> Self {
+        self.extract_cores = true;
+        self
     }
 
     /// Layer statistics accumulated so far.
@@ -160,6 +244,11 @@ impl BvSolver {
     }
 
     /// Decides satisfiability of the conjunction of width-1 `constraints`.
+    ///
+    /// [`SatVerdict::Unsat`] carries an [`Infeasibility`] core: the
+    /// constraints are asserted under one-shot activation literals and
+    /// solved via assumptions, so the CDCL backend can report which
+    /// subset derived the contradiction.
     pub fn check(&mut self, pool: &mut TermPool, constraints: &[TermId]) -> SatVerdict {
         self.stats.queries += 1;
         // Layer 1: constructor-level simplification.
@@ -170,7 +259,7 @@ impl BvSolver {
         }
         if pool.is_false(conj) {
             self.stats.by_simplify += 1;
-            return SatVerdict::Unsat;
+            return SatVerdict::Unsat(self.maybe_cheap_core(pool, constraints));
         }
         // Layer 2: interval analysis.
         match interval_of(pool, conj) {
@@ -180,11 +269,15 @@ impl BvSolver {
             }
             Interval { hi: 0, .. } => {
                 self.stats.by_interval += 1;
-                return SatVerdict::Unsat;
+                return SatVerdict::Unsat(self.maybe_cheap_core(pool, constraints));
             }
             _ => {}
         }
-        // Layer 3: bit-blast + CDCL.
+        // Layer 3: bit-blast + CDCL. The conjunction itself is
+        // asserted and solved (models stay byte-stable across
+        // term-pool numberings — counterexample extraction relies on
+        // that); a second, assumption-driven pass names the core when
+        // the answer is UNSAT and the caller asked for cores.
         self.stats.by_blast += 1;
         self.stats.blast_cache_misses += 1;
         self.stats.sat_solve_calls += 1;
@@ -193,7 +286,11 @@ impl BvSolver {
             bl.set_conflict_budget(b);
         }
         bl.assert_true(pool, conj);
-        match bl.check() {
+        let result = bl.check();
+        let sat = bl.sat_stats();
+        self.stats.decisions += sat.decisions;
+        self.stats.propagations += sat.propagations;
+        match result {
             bitsat::SolveResult::Sat => {
                 // Extract only the variables reachable from the query
                 // itself — not the whole pool, which grows with every
@@ -211,8 +308,55 @@ impl BvSolver {
                 );
                 SatVerdict::Sat(Model::from_assignment(a))
             }
-            bitsat::SolveResult::Unsat => SatVerdict::Unsat,
+            bitsat::SolveResult::Unsat if self.extract_cores => {
+                SatVerdict::Unsat(self.core_pass(pool, constraints))
+            }
+            bitsat::SolveResult::Unsat => SatVerdict::Unsat(Infeasibility::default()),
             bitsat::SolveResult::Unknown => SatVerdict::Unknown,
+        }
+    }
+
+    /// Core for a cheap-layer refutation — empty (no allocation, no
+    /// scan) unless the caller opted into cores: hot non-core callers
+    /// (step-1 fork feasibility, model re-extraction, the pruning-off
+    /// baseline) drop the verdict's core unread.
+    fn maybe_cheap_core(&self, pool: &TermPool, constraints: &[TermId]) -> Infeasibility {
+        if self.extract_cores {
+            cheap_core(pool, constraints)
+        } else {
+            Infeasibility::default()
+        }
+    }
+
+    /// The one-shot core pass: re-solve the (known-UNSAT) query with
+    /// every constraint gated behind an activation literal, so the
+    /// CDCL backend's assumption-level conflict analysis names the
+    /// subset actually used. Falls back to the full set if the capped
+    /// re-solve fails to reconfirm UNSAT (possible only under a
+    /// conflict budget — a fresh solver may need a different number of
+    /// conflicts than the first pass did).
+    fn core_pass(&mut self, pool: &mut TermPool, constraints: &[TermId]) -> Infeasibility {
+        self.stats.sat_solve_calls += 1;
+        let mut bl = Blaster::new();
+        if let Some(b) = self.conflict_budget {
+            bl.set_conflict_budget(b);
+        }
+        let mut acts: Vec<bitsat::Lit> = Vec::with_capacity(constraints.len());
+        let mut act_term: HashMap<bitsat::Lit, TermId> = HashMap::new();
+        for &t in constraints {
+            let act = bl.assert_gated(pool, t);
+            act_term.insert(act, t);
+            acts.push(act);
+        }
+        let result = bl.check_assuming(&acts);
+        let sat = bl.sat_stats();
+        self.stats.decisions += sat.decisions;
+        self.stats.propagations += sat.propagations;
+        match result {
+            bitsat::SolveResult::Unsat => map_core(bl.last_core(), &act_term, constraints),
+            _ => Infeasibility {
+                core: constraints.to_vec(),
+            },
         }
     }
 
@@ -222,7 +366,7 @@ impl BvSolver {
         let neg = pool.mk_not(t);
         match self.check(pool, &[neg]) {
             SatVerdict::Sat(m) => (false, Some(m)),
-            SatVerdict::Unsat => (true, None),
+            SatVerdict::Unsat(_) => (true, None),
             SatVerdict::Unknown => (false, None),
         }
     }

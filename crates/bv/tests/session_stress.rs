@@ -48,6 +48,34 @@ fn random_constraint(pool: &mut TermPool, vars: &[TermId], rng: &mut StdRng) -> 
     }
 }
 
+/// The two defining properties of an [`bvsolve::Infeasibility`] core:
+/// it is a subset of the queried constraints, and its conjunction is
+/// itself UNSAT (checked on a throwaway fresh solver).
+fn assert_core_sound(
+    pool: &mut TermPool,
+    inf: &bvsolve::Infeasibility,
+    cs: &[TermId],
+    seed: u64,
+    step: usize,
+) {
+    assert!(
+        !inf.core.is_empty(),
+        "seed {seed} step {step}: empty core for an UNSAT query"
+    );
+    for t in &inf.core {
+        assert!(
+            cs.contains(t),
+            "seed {seed} step {step}: core term {t:?} not among the queried constraints"
+        );
+    }
+    assert!(
+        BvSolver::new().check(pool, &inf.core).is_unsat(),
+        "seed {seed} step {step}: returned core is not itself UNSAT ({} of {} terms)",
+        inf.core.len(),
+        cs.len()
+    );
+}
+
 #[test]
 fn interleaved_assert_retire_check_matches_fresh() {
     let mut sat_seen = 0usize;
@@ -93,7 +121,10 @@ fn interleaved_assert_retire_check_matches_fresh() {
                     let want = BvSolver::new().check(&mut pool, &cs);
                     match (&got, &want) {
                         (SatVerdict::Sat(_), SatVerdict::Sat(_)) => sat_seen += 1,
-                        (SatVerdict::Unsat, SatVerdict::Unsat) => unsat_seen += 1,
+                        (SatVerdict::Unsat(inf), SatVerdict::Unsat(_)) => {
+                            assert_core_sound(&mut pool, inf, &cs, seed, step);
+                            unsat_seen += 1;
+                        }
                         (g, w) => panic!(
                             "seed {seed} step {step}: session said {g:?}, fresh said {w:?} \
                              on {} active + {} extra constraints",
@@ -139,6 +170,9 @@ fn sync_form_matches_fresh_on_random_walks() {
                 "seed {seed}: verdict diverged on {} constraints",
                 cs.len()
             );
+            if let SatVerdict::Unsat(inf) = &got {
+                assert_core_sound(&mut pool, inf, &cs, seed, 0);
+            }
             assert_eq!(session.active(), &cs[..], "stack must mirror the vector");
         }
     }

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod compose;
+pub mod cores;
 pub mod generic;
 pub mod parallel;
 pub mod report;
@@ -60,6 +61,7 @@ pub mod step2;
 pub mod summary;
 
 pub use compose::ComposedState;
+pub use cores::{CoreStats, CoreStore};
 pub use generic::{GenericOutcome, GenericReport};
 pub use parallel::ParallelConfig;
 pub use report::{CounterExample, Verdict, VerifyReport};

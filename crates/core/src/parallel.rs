@@ -53,8 +53,31 @@
 //!   degrade to `Unknown("step-2 path budget exceeded")`
 //!   nondeterministically. Far from the edge (the normal case, with
 //!   the default budget of 2^20 paths) none of this is observable.
+//!
+//! **Conflict-driven pruning** ([`crate::VerifyConfig::core_pruning`],
+//! the default) adds no verdict nondeterminism on top of the above as
+//! long as every query is *decided* (Sat/Unsat): pruning only ever
+//! skips queries whose UNSAT answer is entailed by a learned core, so
+//! the search takes exactly the same branches whether a given skip
+//! happens or not, composed-path counts are unaffected (pruned
+//! compositions still count), and the winning counterexample is still
+//! re-extracted on the master pool with pruning off — reported
+//! packets remain identical across thread counts and pruning modes.
+//! What *is* scheduling dependent is the **accounting**: which worker
+//! learns a core first, how many siblings see it in time (cores
+//! propagate at task boundaries only), and hence the per-run
+//! `cores_learned` / `core_hits` / `subtrees_pruned` counters and the
+//! solver-side query counters. Near the CDCL conflict budget the
+//! guarantee weakens exactly as it does for incremental sessions: a
+//! query the unpruned run answered `Unknown` may be pruned to a
+//! definite `Unsat` (changing which subtrees expand, and with them
+//! path counts), and skipped solves change the learnt-clause state
+//! behind *later* budget-limited queries in either direction —
+//! budget-free runs (every query decided, the normal case with the
+//! default 200k-conflict budget) never diverge.
 
 use crate::compose::ComposedState;
+use crate::cores::{CoreStats, CoreStore, Pruner};
 use crate::report::{CounterExample, VerifyReport};
 use crate::session::{Property, Verifier};
 use crate::step2::{
@@ -65,6 +88,7 @@ use crate::summary::PipelineSummaries;
 use bvsolve::{BvSolver, SolverLayerStats, TermPool};
 use dataplane::Pipeline;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Thread-pool settings for the parallel driver.
 #[derive(Debug, Clone)]
@@ -180,12 +204,17 @@ pub(crate) struct WorkerCtx<'a> {
     pub(crate) kind: &'a PropKind,
     pub(crate) reach: &'a [bool],
     pub(crate) composed: &'a AtomicUsize,
+    /// The session's per-map-mode core store. Workers keep a local
+    /// replica and exchange cores with it at task boundaries only,
+    /// so no lock is held while solving.
+    pub(crate) core_store: &'a Arc<Mutex<CoreStore>>,
 }
 
 fn run_task(
     task: &Task,
     pool: &mut TermPool,
     solver: &mut QuerySolver,
+    pruner: &mut Pruner,
     ctx: &WorkerCtx,
 ) -> TaskResult {
     if ctx.composed.load(Ordering::Relaxed) >= ctx.cfg.max_composed_paths {
@@ -194,7 +223,7 @@ fn run_task(
     match task {
         Task::Check { state, violation } => {
             ctx.composed.fetch_add(1, Ordering::Relaxed);
-            let feas = check(pool, solver, state, &[]);
+            let feas = check(pool, solver, pruner, state, false);
             match (feas, violation) {
                 (Feas::Sat(m), Some(desc)) => TaskResult::Violation(CounterExample::from_model(
                     pool,
@@ -211,6 +240,7 @@ fn run_task(
         Task::Explore(node) => match search(
             pool,
             solver,
+            pruner,
             ctx.pipeline,
             ctx.sums,
             ctx.cfg,
@@ -232,22 +262,31 @@ fn run_task(
 /// sequential search would: first violation wins, then budget, then
 /// solver-unknown). Each worker owns its own query solver — in
 /// incremental mode an [`bvsolve::SolveSession`] seeded by the first
-/// frontier task it syncs to — so no solver state is shared or locked
-/// across threads. Returns the merged outcome plus the workers'
-/// summed solver counters.
+/// frontier task it syncs to — plus a local [`CoreStore`] replica
+/// synced with the session's shared store at task boundaries, so no
+/// solver state is shared and no lock is held while solving. Cores
+/// containing worker-private terms (interned below the split point by
+/// that worker alone) never leave their worker; everything else is
+/// published for siblings, later properties, and later engines.
+/// Returns the merged outcome plus the workers' summed solver and
+/// pruning counters.
 pub(crate) fn drain_tasks(
     master: &TermPool,
     tasks: &[Task],
     threads: usize,
     ctx: &WorkerCtx,
-) -> (SearchOutcome, SolverLayerStats) {
+) -> (SearchOutcome, SolverLayerStats, CoreStats) {
     let next = AtomicUsize::new(0);
     // Index of the earliest violation found so far: tasks after it
     // cannot influence the merged verdict and are skipped.
     let cutoff = AtomicUsize::new(usize::MAX);
     let threads = threads.min(tasks.len().max(1));
+    // Terms at or above this index were interned by a single worker's
+    // clone and are meaningless elsewhere: they gate core publishing.
+    let shared_term_limit = master.len();
     let mut results: Vec<(usize, TaskResult)> = Vec::with_capacity(tasks.len());
     let mut stats = SolverLayerStats::default();
+    let mut core_stats = CoreStats::default();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -256,6 +295,11 @@ pub(crate) fn drain_tasks(
                 s.spawn(move || {
                     let mut pool = master.clone();
                     let mut solver = QuerySolver::new(ctx.cfg);
+                    let mut pruner = Pruner::new(
+                        Arc::clone(ctx.core_store),
+                        ctx.cfg.core_pruning,
+                        shared_term_limit,
+                    );
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -266,20 +310,23 @@ pub(crate) fn drain_tasks(
                             out.push((i, TaskResult::Skipped));
                             continue;
                         }
-                        let r = run_task(&tasks[i], &mut pool, &mut solver, ctx);
+                        pruner.sync();
+                        let r = run_task(&tasks[i], &mut pool, &mut solver, &mut pruner, ctx);
+                        pruner.publish();
                         if matches!(r, TaskResult::Violation(_)) {
                             cutoff.fetch_min(i, Ordering::Relaxed);
                         }
                         out.push((i, r));
                     }
-                    (out, solver.stats())
+                    (out, solver.stats(), pruner.stats)
                 })
             })
             .collect();
         for h in handles {
-            let (out, worker_stats) = h.join().expect("step-2 worker panicked");
+            let (out, worker_stats, worker_cores) = h.join().expect("step-2 worker panicked");
             results.extend(out);
             stats.merge(&worker_stats);
+            core_stats.merge(&worker_cores);
         }
     });
     results.sort_by_key(|(i, _)| *i);
@@ -292,6 +339,7 @@ pub(crate) fn drain_tasks(
                 return (
                     SearchOutcome::Violation(reextract(i, cex, master, tasks, ctx)),
                     stats,
+                    core_stats,
                 );
             }
             TaskResult::Budget => saw_budget = true,
@@ -306,7 +354,7 @@ pub(crate) fn drain_tasks(
     } else {
         SearchOutcome::Clean
     };
-    (outcome, stats)
+    (outcome, stats, core_stats)
 }
 
 /// Re-runs the winning violation task on a *fresh* clone of the master
@@ -336,12 +384,16 @@ fn reextract(
     let mut solver = QuerySolver::Fresh(BvSolver::with_conflict_budget(
         ctx.cfg.solver_conflict_budget,
     ));
+    // Pruning is off for the re-run: it can only skip UNSAT queries,
+    // but disabling it keeps the replay maximally independent of what
+    // other workers learned.
+    let mut pruner = Pruner::new(Arc::new(Mutex::new(CoreStore::new())), false, usize::MAX);
     let composed = AtomicUsize::new(0);
     let ctx2 = WorkerCtx {
         composed: &composed,
         ..*ctx
     };
-    match run_task(&tasks[i], &mut pool, &mut solver, &ctx2) {
+    match run_task(&tasks[i], &mut pool, &mut solver, &mut pruner, &ctx2) {
         TaskResult::Violation(cex) => cex,
         // Only reachable if the shared budget truncated the original
         // run differently; the in-flight counterexample is still valid.

@@ -1,5 +1,6 @@
 //! Verdicts, counterexamples and report formatting.
 
+use crate::cores::CoreStats;
 use bvsolve::{Model, SolverLayerStats, TermPool};
 use std::time::Duration;
 use symexec::SymInput;
@@ -94,6 +95,13 @@ pub struct VerifyReport {
     /// learnt-clause counters are nonzero only in incremental mode
     /// ([`crate::VerifyConfig::incremental`]).
     pub solver: SolverLayerStats,
+    /// Conflict-driven pruning counters for this check (cores learned,
+    /// queries skipped via core subsumption, continuation subtrees cut
+    /// before expansion). All zero with
+    /// [`crate::VerifyConfig::core_pruning`] `= false`; `core_hits`
+    /// from the very first query of a check indicate cores carried
+    /// over from an earlier property in the same session.
+    pub cores: CoreStats,
     /// Wall-clock time of step 1.
     pub step1_time: Duration,
     /// Wall-clock time of step 2.
@@ -149,7 +157,10 @@ impl VerifyReport {
              \"by_simplify\":{},\"by_interval\":{},\"by_blast\":{},\
              \"blast_cache_hits\":{},\"blast_cache_misses\":{},\
              \"learnt_reused\":{},\"sat_solve_calls\":{},\
+             \"decisions\":{},\"propagations\":{},\
              \"compactions\":{}}},\
+             \"cores\":{{\"cores_learned\":{},\"core_hits\":{},\
+             \"subtrees_pruned\":{}}},\
              \"step1_ms\":{:.3},\"step2_ms\":{:.3}}}",
             json_escape(&self.property),
             json_escape(&self.pipeline),
@@ -171,7 +182,12 @@ impl VerifyReport {
             s.blast_cache_misses,
             s.learnt_reused,
             s.sat_solve_calls,
+            s.decisions,
+            s.propagations,
             s.compactions,
+            self.cores.cores_learned,
+            self.cores.core_hits,
+            self.cores.subtrees_pruned,
             self.step1_time.as_secs_f64() * 1e3,
             self.step2_time.as_secs_f64() * 1e3,
         )

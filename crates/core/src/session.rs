@@ -56,6 +56,7 @@
 //! count.
 
 use crate::compose::ComposedState;
+use crate::cores::{CoreStore, Pruner};
 use crate::generic::{run_generic, GenericReport};
 use crate::parallel::{drain_tasks, expand_frontier, WorkerCtx};
 use crate::report::{json_escape, Verdict, VerifyReport};
@@ -71,7 +72,7 @@ use crate::summary::{
 use bvsolve::TermPool;
 use dataplane::Pipeline;
 use std::sync::atomic::AtomicUsize;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use symexec::{SegOutcome, Segment, SymInput};
 
@@ -221,6 +222,10 @@ pub struct StateReport {
 /// baseline and the state analysis carry their own payloads. Every
 /// variant serializes with [`Report::to_json`].
 #[derive(Debug)]
+// A handful of reports exist per verification run and they are moved,
+// not stored in bulk — boxing the large variant would only tax every
+// accessor for a size win nothing observes.
+#[allow(clippy::large_enum_variant)]
 pub enum Report {
     /// A property decided by the step-2 search.
     Verify(VerifyReport),
@@ -382,6 +387,14 @@ pub struct Verifier<'p> {
     /// solver (the A/B baseline). Parallel checks use per-worker
     /// sessions instead (see [`crate::parallel`]).
     solvers: [Option<QuerySolver>; 2],
+    /// One UNSAT-core store per [`MapMode`], beside the cached
+    /// summaries: cores learned refuting paths for one property prune
+    /// the step-2 searches of every later property in the same mode
+    /// (the constraint terms are hash-consed in the shared pool, so
+    /// identical compositions re-intern to identical `TermId`s).
+    /// Parallel workers sync with the same store at task boundaries.
+    /// Inert with [`VerifyConfig::core_pruning`] `= false`.
+    core_stores: [Arc<Mutex<CoreStore>>; 2],
     step1_runs: usize,
 }
 
@@ -397,6 +410,10 @@ impl<'p> Verifier<'p> {
             pool: TermPool::new(),
             cache: [None, None],
             solvers: [None, None],
+            core_stores: [
+                Arc::new(Mutex::new(CoreStore::new())),
+                Arc::new(Mutex::new(CoreStore::new())),
+            ],
             step1_runs: 0,
         }
     }
@@ -568,12 +585,23 @@ impl<'p> Verifier<'p> {
             cfg,
             pool,
             cache,
+            core_stores,
             ..
         } = self;
         let cached = cache[mode_idx(MapMode::Abstract)].as_ref().expect("built");
         let sums = &cached.sums;
         let init = make_initial(pool, sums);
-        longest_paths_from(pool, pipeline, sums, init, cfg, n)
+        // The longest-path search prunes with (and feeds) the same
+        // abstract-mode core store as the property checks.
+        let mut pruner = Pruner::new(
+            Arc::clone(&core_stores[mode_idx(MapMode::Abstract)]),
+            cfg.core_pruning,
+            usize::MAX,
+        );
+        pruner.sync();
+        let out = longest_paths_from(pool, pipeline, sums, init, cfg, &mut pruner, n);
+        pruner.publish();
+        out
     }
 
     /// The shared step-2 driver: cached summaries, one engine
@@ -603,6 +631,7 @@ impl<'p> Verifier<'p> {
             pool,
             cache,
             solvers,
+            core_stores,
             ..
         } = self;
         let cached = cache[mode_idx(mode)].as_ref().expect("ensured");
@@ -620,16 +649,22 @@ impl<'p> Verifier<'p> {
 
         let t1 = Instant::now();
         let composed = AtomicUsize::new(0);
-        let (outcome, solver_stats) = if threads == 1 {
+        let core_store = &core_stores[mode_idx(mode)];
+        let (outcome, solver_stats, core_stats) = if threads == 1 {
             // The session beside the cache outlives this check: later
             // properties in the same map mode reuse its blasted
             // constraints and learnt clauses. Stats are reported as
-            // the per-check delta.
+            // the per-check delta. The pruner syncs cores learned by
+            // earlier checks (either engine) in and publishes this
+            // check's harvest back at the end.
             let solver = solvers[mode_idx(mode)].get_or_insert_with(|| QuerySolver::new(cfg));
+            let mut pruner = Pruner::new(Arc::clone(core_store), cfg.core_pruning, usize::MAX);
+            pruner.sync();
             let before = solver.stats();
             let outcome = search(
                 pool,
                 solver,
+                &mut pruner,
                 pipeline,
                 sums,
                 cfg,
@@ -643,7 +678,8 @@ impl<'p> Verifier<'p> {
                 &composed,
             );
             let stats = solver.stats().delta(&before);
-            (outcome, stats)
+            pruner.publish();
+            (outcome, stats, pruner.stats)
         } else {
             let tasks = expand_frontier(pool, pipeline, sums, &kind, init, &reach, *split_depth);
             let ctx = WorkerCtx {
@@ -653,6 +689,7 @@ impl<'p> Verifier<'p> {
                 kind: &kind,
                 reach: &reach,
                 composed: &composed,
+                core_store,
             };
             drain_tasks(pool, &tasks, threads, &ctx)
         };
@@ -665,6 +702,7 @@ impl<'p> Verifier<'p> {
             suspects: suspects_of(sums),
             composed_paths: composed.into_inner(),
             solver: solver_stats,
+            cores: core_stats,
             step1_time,
             step2_time: t1.elapsed(),
         }

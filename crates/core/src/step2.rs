@@ -9,6 +9,7 @@
 //! deprecated wrappers over single-property sessions.
 
 use crate::compose::{compose, ComposedState};
+use crate::cores::{CoreStats, Pruner};
 use crate::report::{CounterExample, Verdict, VerifyReport};
 use crate::session::{CustomProperty, Property, Verifier};
 use crate::summary::PipelineSummaries;
@@ -42,6 +43,25 @@ pub struct VerifyConfig {
     /// changes how many conflicts a given query needs. `false` is
     /// the A/B baseline for the `incremental` bench ablation.
     pub incremental: bool,
+    /// Whether the step-2 search learns **UNSAT cores** from refuted
+    /// queries and skips any later query whose constraint set subsumes
+    /// a known core (see [`crate::CoreStore`]). Pruning only ever
+    /// replaces queries the solver would answer `Unsat`, so on runs
+    /// where every query is decided — the normal case, far from
+    /// [`VerifyConfig::solver_conflict_budget`] — verdicts,
+    /// counterexample bytes and composed-path counts are equivalent
+    /// by construction (pruned compositions still count; only the
+    /// solver call is skipped). Near the budget the caveat is the
+    /// [`VerifyConfig::incremental`] one: a query the unpruned run
+    /// answered `Unknown` may be pruned to a definite `Unsat`, and
+    /// skipped solves change the solver state behind later
+    /// budget-limited queries. A [`crate::session::Verifier`] keeps
+    /// one store per map mode, so cores learned proving one property
+    /// prune the session's other properties too; parallel workers
+    /// share the session store behind a mutex, publishing at task
+    /// boundaries. `false` is the A/B baseline for the `core_pruning`
+    /// bench ablation.
+    pub core_pruning: bool,
 }
 
 impl Default for VerifyConfig {
@@ -51,6 +71,7 @@ impl Default for VerifyConfig {
             max_composed_paths: 1 << 20,
             solver_conflict_budget: 200_000,
             incremental: true,
+            core_pruning: true,
         }
     }
 }
@@ -85,11 +106,25 @@ pub(crate) enum QuerySolver {
 impl QuerySolver {
     pub(crate) fn new(cfg: &VerifyConfig) -> Self {
         if cfg.incremental {
-            QuerySolver::Session(Box::new(SolveSession::with_conflict_budget(
-                cfg.solver_conflict_budget,
-            )))
+            // Note: drop-one core minimization stays off here — on the
+            // step-2 stream the analyze-final cores are already sharp
+            // enough that the capped re-solves cost far more than the
+            // extra subsumptions they buy (measured 2-3x slower on the
+            // refutation-heavy ablation with no extra hits).
+            let mut session = SolveSession::with_conflict_budget(cfg.solver_conflict_budget);
+            // No pruner will read the cores, so don't build them.
+            session.set_core_extraction(cfg.core_pruning);
+            QuerySolver::Session(Box::new(session))
         } else {
-            QuerySolver::Fresh(BvSolver::with_conflict_budget(cfg.solver_conflict_budget))
+            // Sessions produce cores for free (assumption-driven
+            // queries); the fresh baseline pays a second solve per
+            // UNSAT for them, so only ask when pruning will use them.
+            let solver = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
+            QuerySolver::Fresh(if cfg.core_pruning {
+                solver.with_cores()
+            } else {
+                solver
+            })
         }
     }
 
@@ -142,17 +177,28 @@ impl QuerySolver {
     }
 }
 
+/// One feasibility query, with the conflict-driven pruning layer in
+/// front: a constraint set that subsumes a learned UNSAT core is
+/// refuted without touching the solver (`subtree` marks continuation
+/// nodes, whose skip prunes a whole search subtree), and every solver
+/// `Unsat` feeds its core back into the pruner.
 pub(crate) fn check(
     pool: &mut TermPool,
     solver: &mut QuerySolver,
+    pruner: &mut Pruner,
     state: &ComposedState,
-    extra: &[bvsolve::TermId],
+    subtree: bool,
 ) -> Feas {
-    let mut cs = state.constraint.clone();
-    cs.extend_from_slice(extra);
-    match solver.check_terms(pool, &cs) {
+    let cs = &state.constraint;
+    if pruner.known_unsat(cs, subtree) {
+        return Feas::Unsat;
+    }
+    match solver.check_terms(pool, cs) {
         SatVerdict::Sat(m) => Feas::Sat(m),
-        SatVerdict::Unsat => Feas::Unsat,
+        SatVerdict::Unsat(infeasibility) => {
+            pruner.learn(infeasibility.core);
+            Feas::Unsat
+        }
         SatVerdict::Unknown => Feas::Unknown,
     }
 }
@@ -370,6 +416,7 @@ pub(crate) fn classify(
 pub(crate) fn search(
     pool: &mut TermPool,
     solver: &mut QuerySolver,
+    pruner: &mut Pruner,
     pipeline: &Pipeline,
     sums: &PipelineSummaries,
     cfg: &VerifyConfig,
@@ -387,7 +434,7 @@ pub(crate) fn search(
             match classify(pool, pipeline, sums, kind, &node, i, seg, reach) {
                 StepEvent::ViolationCheck(what, next) => {
                     composed.fetch_add(1, Ordering::Relaxed);
-                    match check(pool, solver, &next, &[]) {
+                    match check(pool, solver, pruner, &next, false) {
                         Feas::Sat(m) => {
                             let m = solver.confirm_model(pool, cfg, &next.constraint, m);
                             return SearchOutcome::Violation(CounterExample::from_model(
@@ -404,13 +451,13 @@ pub(crate) fn search(
                 }
                 StepEvent::BlockerCheck(next) => {
                     composed.fetch_add(1, Ordering::Relaxed);
-                    if !matches!(check(pool, solver, &next, &[]), Feas::Unsat) {
+                    if !matches!(check(pool, solver, pruner, &next, false), Feas::Unsat) {
                         saw_unknown = true;
                     }
                 }
                 StepEvent::Continue(n) => {
                     composed.fetch_add(1, Ordering::Relaxed);
-                    match check(pool, solver, &n.state, &[]) {
+                    match check(pool, solver, pruner, &n.state, true) {
                         Feas::Sat(_) | Feas::Unknown => stack.push(n),
                         Feas::Unsat => {}
                     }
@@ -482,6 +529,7 @@ pub(crate) fn aborted_report(
         suspects: 0,
         composed_paths: 0,
         solver: SolverLayerStats::default(),
+        cores: CoreStats::default(),
         step1_time: t0.elapsed(),
         step2_time: Default::default(),
     }
@@ -715,12 +763,14 @@ pub fn longest_paths(pipeline: &Pipeline, n: usize, cfg: &VerifyConfig) -> Vec<L
 
 /// The longest-path best-first search over already-built summaries
 /// (the engine behind [`Verifier::longest_paths`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn longest_paths_from(
     pool: &mut TermPool,
     pipeline: &Pipeline,
     sums: &PipelineSummaries,
     init: ComposedState,
     cfg: &VerifyConfig,
+    pruner: &mut Pruner,
     n: usize,
 ) -> Vec<LongestPath> {
     // Optimistic per-stage remaining cost.
@@ -779,7 +829,7 @@ pub(crate) fn longest_paths_from(
         }
         if node.terminal {
             // Admissible heuristic ⇒ this is the next-longest path.
-            if let Feas::Sat(m) = check(pool, &mut solver, &node.state, &[]) {
+            if let Feas::Sat(m) = check(pool, &mut solver, pruner, &node.state, false) {
                 let m = solver.confirm_model(pool, cfg, &node.state.constraint, m);
                 out.push(LongestPath {
                     instrs: node.state.instrs,
@@ -803,7 +853,7 @@ pub(crate) fn longest_paths_from(
             }
             let next = compose(pool, &node.state, &summary.input, seg, node.stage, i);
             composed += 1;
-            let feasible = !matches!(check(pool, &mut solver, &next, &[]), Feas::Unsat);
+            let feasible = !matches!(check(pool, &mut solver, pruner, &next, true), Feas::Unsat);
             if !feasible {
                 continue;
             }

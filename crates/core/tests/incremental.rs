@@ -2,6 +2,13 @@
 //! stack: identical verdicts, traces, counterexample bytes and path
 //! counts on real pipelines — sequentially and with worker threads —
 //! plus the solver reuse counters surfaced on [`verifier::VerifyReport`].
+//! The same discipline covers conflict-driven pruning
+//! ([`verifier::VerifyConfig::core_pruning`]): pruning only ever skips
+//! queries the solver would answer UNSAT, so on these budget-free
+//! workloads (no query comes near `solver_conflict_budget`) verdict,
+//! counterexample bytes *and composed-path counts* must match the
+//! unpruned run exactly (compositions still count; only the solver
+//! call is skipped).
 
 use dataplane::Pipeline;
 use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
@@ -17,6 +24,13 @@ fn cfg(incremental: bool) -> VerifyConfig {
         },
         incremental,
         ..Default::default()
+    }
+}
+
+fn cfg_pruning(core_pruning: bool) -> VerifyConfig {
+    VerifyConfig {
+        core_pruning,
+        ..cfg(true)
     }
 }
 
@@ -157,6 +171,159 @@ fn parallel_sessions_agree_with_sequential_and_fresh() {
             (a, b) => panic!("{prop:?}: {a:?} vs {b:?}"),
         }
     }
+}
+
+/// Pruned-vs-unpruned agreement: verdict class, trace, description,
+/// counterexample bytes, and the composed-path count (pruning skips
+/// solver calls, never compositions). Query counts are *expected* to
+/// differ — that is the point of pruning — so they are not compared.
+fn assert_prune_equivalent(pruned: &VerifyReport, plain: &VerifyReport, what: &str) {
+    match (&pruned.verdict, &plain.verdict) {
+        (Verdict::Proved, Verdict::Proved) => {}
+        (Verdict::Disproved(x), Verdict::Disproved(y)) => {
+            assert_eq!(x.trace, y.trace, "{what}: trace differs");
+            assert_eq!(x.description, y.description, "{what}: description differs");
+            assert_eq!(x.bytes, y.bytes, "{what}: counterexample bytes differ");
+        }
+        (Verdict::Unknown(x), Verdict::Unknown(y)) => {
+            assert_eq!(x, y, "{what}: unknown reason differs")
+        }
+        (x, y) => panic!("{what}: {x:?} vs {y:?}"),
+    }
+    assert_eq!(
+        pruned.composed_paths, plain.composed_paths,
+        "{what}: pruning must not change which paths are composed"
+    );
+    assert_eq!(
+        plain.cores.core_hits, 0,
+        "{what}: the baseline must report zero pruning activity"
+    );
+    assert_eq!(
+        plain.cores.cores_learned, 0,
+        "{what}: baseline learns nothing"
+    );
+}
+
+#[test]
+fn pruning_matches_unpruned_on_proved_pipeline() {
+    let p = router();
+    let plain = Verifier::new(&p)
+        .config(cfg_pruning(false))
+        .check_all(&audit_props());
+    let pruned = Verifier::new(&p)
+        .config(cfg_pruning(true))
+        .check_all(&audit_props());
+    let mut learned_total = 0;
+    for ((prop, pl), pr) in audit_props().iter().zip(&plain).zip(&pruned) {
+        assert_prune_equivalent(
+            pr.as_verify().unwrap(),
+            pl.as_verify().unwrap(),
+            &format!("router {prop:?}"),
+        );
+        learned_total += pr.as_verify().unwrap().cores.cores_learned;
+    }
+    assert!(
+        learned_total > 0,
+        "a refutation-heavy proof must learn cores"
+    );
+}
+
+#[test]
+fn pruning_matches_unpruned_on_disproved_pipeline() {
+    let p = click_bug1();
+    let props = [Property::CrashFreedom, Property::Bounded { imax: 5_000 }];
+    let plain = Verifier::new(&p)
+        .config(cfg_pruning(false))
+        .check_all(&props);
+    let pruned = Verifier::new(&p)
+        .config(cfg_pruning(true))
+        .check_all(&props);
+    for ((prop, pl), pr) in props.iter().zip(&plain).zip(&pruned) {
+        assert_prune_equivalent(
+            pr.as_verify().unwrap(),
+            pl.as_verify().unwrap(),
+            &format!("click-bug {prop:?}"),
+        );
+    }
+    assert!(
+        pruned[1].as_verify().unwrap().verdict.is_disproved(),
+        "bug #1 must still be found with pruning on: {}",
+        pruned[1]
+    );
+}
+
+#[test]
+fn parallel_pruning_matches_unpruned_and_sequential() {
+    let p = click_bug1();
+    let props = [Property::CrashFreedom, Property::Bounded { imax: 5_000 }];
+    let seq = Verifier::new(&p)
+        .config(cfg_pruning(true))
+        .check_all(&props);
+    let par_pruned = Verifier::new(&p)
+        .config(cfg_pruning(true))
+        .threads(4)
+        .check_all(&props);
+    let par_plain = Verifier::new(&p)
+        .config(cfg_pruning(false))
+        .threads(4)
+        .check_all(&props);
+    for (((prop, s), pp), pl) in props.iter().zip(&seq).zip(&par_pruned).zip(&par_plain) {
+        assert_prune_equivalent(
+            pp.as_verify().unwrap(),
+            pl.as_verify().unwrap(),
+            &format!("threads(4) pruned-vs-plain {prop:?}"),
+        );
+        // And against the sequential pruned run: the PR-1/PR-2/PR-3
+        // guarantee (verdict, trace, description, bytes) must survive
+        // pruning too.
+        match (
+            &s.as_verify().unwrap().verdict,
+            &pp.as_verify().unwrap().verdict,
+        ) {
+            (Verdict::Proved, Verdict::Proved) => {}
+            (Verdict::Disproved(a), Verdict::Disproved(b)) => {
+                assert_eq!(a.trace, b.trace, "{prop:?}: trace");
+                assert_eq!(a.description, b.description, "{prop:?}: description");
+                assert_eq!(a.bytes, b.bytes, "{prop:?}: bytes");
+            }
+            (Verdict::Unknown(a), Verdict::Unknown(b)) => {
+                assert_eq!(a, b, "{prop:?}: unknown reason")
+            }
+            (a, b) => panic!("{prop:?}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn cross_property_core_reuse_is_visible() {
+    // Two Abstract-mode properties in one session: compositions along
+    // the same prefixes re-intern to identical hash-consed terms, so
+    // cores learned refuting crash-freedom paths must register as
+    // core_hits in the bounded-execution search before it learns
+    // anything itself.
+    let p = router();
+    let mut v = Verifier::new(&p).config(cfg_pruning(true));
+    let r1 = v.check(Property::CrashFreedom).expect_verify();
+    let r2 = v.check(Property::Bounded { imax: 10_000 }).expect_verify();
+    assert!(r1.verdict.is_proved(), "{r1}");
+    assert!(r2.verdict.is_proved(), "{r2}");
+    assert!(
+        r1.cores.cores_learned > 0,
+        "first property must learn cores: {:?}",
+        r1.cores
+    );
+    assert!(
+        r2.cores.core_hits > 0,
+        "second property must reuse the first property's cores: {:?}",
+        r2.cores
+    );
+    // The JSON line surfaces the pruning counters.
+    let j = r2.to_json();
+    assert!(j.contains("\"cores\":{\"cores_learned\":"), "{j}");
+    assert!(j.contains("\"core_hits\":"), "{j}");
+    assert!(j.contains("\"subtrees_pruned\":"), "{j}");
+    assert!(j.contains("\"decisions\":"), "{j}");
+    assert!(j.contains("\"propagations\":"), "{j}");
 }
 
 #[test]

@@ -27,8 +27,15 @@ pub struct Clause {
     pub lits: Vec<Lit>,
     /// Whether this clause was learnt (eligible for DB reduction).
     pub learnt: bool,
-    /// Activity for learnt-clause reduction.
+    /// Activity for learnt-clause reduction (the eviction tie-break).
     pub activity: f64,
+    /// Literal-block distance at learn time: the number of distinct
+    /// decision levels among the clause's literals. Low-LBD ("glue")
+    /// clauses connect few levels and are empirically the most
+    /// reusable, so `reduce_db` evicts high-LBD clauses first and
+    /// never deletes clauses with LBD ≤ 2. Always 0 for problem
+    /// clauses.
+    pub lbd: u32,
     /// Marked for deletion by the reducer; skipped by propagation.
     pub deleted: bool,
 }
@@ -70,6 +77,7 @@ impl ClauseDb {
             lits,
             learnt,
             activity: 0.0,
+            lbd: 0,
             deleted: false,
         });
         r

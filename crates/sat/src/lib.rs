@@ -11,7 +11,10 @@
 //!   non-chronological backjumping,
 //! * VSIDS-style variable activities with phase saving,
 //! * Luby-sequence restarts,
-//! * activity-driven learnt-clause database reduction.
+//! * LBD-driven learnt-clause database reduction (glue clauses are
+//!   kept forever; activity is the tie-break),
+//! * assumption-level UNSAT cores ([`Solver::last_core`], with
+//!   optional drop-one minimization under a conflict budget).
 //!
 //! The design goal mirrors the networking guides' advice for dataplane
 //! code: simple, deterministic, allocation-conscious, no `unsafe`.

@@ -47,6 +47,18 @@ pub struct SolverStats {
     /// learnt clauses across queries accrues the carried-over count
     /// on every call.
     pub learnt_reused: u64,
+    /// Assumption-level UNSAT cores extracted (one per UNSAT verdict
+    /// under assumptions; see [`Solver::last_core`]).
+    pub cores: u64,
+    /// Total literals across all extracted cores (so `core_lits /
+    /// cores` is the mean core size, after any minimization).
+    pub core_lits: u64,
+    /// Learnt clauses with LBD ≤ 2 ("glue" clauses — never evicted by
+    /// DB reduction).
+    pub glue_learnts: u64,
+    /// Sum of LBD over all learnt clauses (so `lbd_sum / conflicts`
+    /// tracks the mean glue level of the conflict stream).
+    pub lbd_sum: u64,
 }
 
 /// Watcher entry: a clause plus a "blocker" literal checked before
@@ -168,6 +180,12 @@ pub struct Solver {
     max_learnt: f64,
     /// Conflict budget for `solve` (`u64::MAX` = unlimited).
     conflict_budget: u64,
+    /// Assumption subset that derived the last UNSAT verdict
+    /// (see [`Solver::last_core`]).
+    last_core: Vec<Lit>,
+    /// When set, UNSAT cores are shrunk by drop-one re-solving, each
+    /// attempt capped at this many conflicts.
+    core_minimize_budget: Option<u64>,
 }
 
 impl Solver {
@@ -322,9 +340,80 @@ impl Solver {
     /// Solves under `assumptions` (literals forced true for this call
     /// only). The solver state (learnt clauses, activities) persists
     /// across calls, enabling cheap incremental queries.
+    ///
+    /// On [`SolveResult::Unsat`], [`Solver::last_core`] holds the
+    /// subset of `assumptions` used to derive the contradiction.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.stats.solve_calls += 1;
         self.stats.learnt_reused += self.db.num_learnt() as u64;
+        let result = self.solve_internal(assumptions);
+        if result == SolveResult::Unsat && !assumptions.is_empty() {
+            if let Some(budget) = self.core_minimize_budget {
+                self.minimize_core(budget);
+            }
+            self.stats.cores += 1;
+            self.stats.core_lits += self.last_core.len() as u64;
+        }
+        result
+    }
+
+    /// The assumption subset that derived the last UNSAT verdict — a
+    /// (not necessarily minimal) *core*: re-solving with exactly these
+    /// assumptions is again UNSAT, so any assumption set containing
+    /// them can be refuted without search. Empty when the last verdict
+    /// was not UNSAT, when it was reached without assumptions, or when
+    /// the formula is UNSAT at the top level (no assumptions needed).
+    /// Enable [`Solver::set_core_minimize_budget`] to shrink cores by
+    /// drop-one re-solving.
+    pub fn last_core(&self) -> &[Lit] {
+        &self.last_core
+    }
+
+    /// Enables (`Some(budget)`) or disables (`None`, the default)
+    /// drop-one core minimization: after an UNSAT-under-assumptions
+    /// verdict, each core literal is tentatively dropped and the rest
+    /// re-solved under a `budget`-conflict cap; literals whose removal
+    /// keeps the query UNSAT are discarded. Minimization re-enters the
+    /// CDCL loop, so its conflicts accrue to [`SolverStats::conflicts`]
+    /// (but not to `solve_calls`).
+    pub fn set_core_minimize_budget(&mut self, budget: Option<u64>) {
+        self.core_minimize_budget = budget;
+    }
+
+    /// Drop-one minimization of `last_core` (destructive update: each
+    /// literal of the original core is tested at most once, and every
+    /// successful drop adopts the re-solve's possibly-smaller core).
+    fn minimize_core(&mut self, budget: u64) {
+        let original = std::mem::take(&mut self.last_core);
+        let mut core = original.clone();
+        let saved = self.conflict_budget;
+        for l in original {
+            if core.len() <= 1 {
+                break;
+            }
+            let Some(pos) = core.iter().position(|&x| x == l) else {
+                continue; // already dropped by an earlier adoption
+            };
+            let mut cand = core.clone();
+            cand.remove(pos);
+            self.conflict_budget = budget;
+            if self.solve_internal(&cand) == SolveResult::Unsat {
+                // The nested core is a subset of `cand` — adopt it.
+                core = std::mem::take(&mut self.last_core);
+                if core.is_empty() {
+                    // Degenerate: the formula itself became UNSAT.
+                    core = cand;
+                }
+            }
+        }
+        self.conflict_budget = saved;
+        self.last_core = core;
+    }
+
+    /// The CDCL search loop (no stats bump, no minimization — the
+    /// re-entrant body behind [`Solver::solve_with_assumptions`]).
+    fn solve_internal(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.last_core.clear();
         if self.unsat {
             return SolveResult::Unsat;
         }
@@ -374,7 +463,10 @@ impl Solver {
                             self.trail_lim.push(self.trail.len());
                             continue;
                         }
-                        Some(false) => break SolveResult::Unsat,
+                        Some(false) => {
+                            self.last_core = self.analyze_final(a);
+                            break SolveResult::Unsat;
+                        }
                         None => {
                             self.trail_lim.push(self.trail.len());
                             self.enqueue(a, ClauseRef::NONE);
@@ -606,13 +698,68 @@ impl Solver {
         red
     }
 
+    /// Assumption-level conflict analysis ("analyze final"): the
+    /// pseudo-decision `p` (an assumption) was found falsified during
+    /// establishment, so the current trail derives `¬p` from level-0
+    /// facts plus earlier assumptions. Walking the implication graph
+    /// backwards from `var(p)` and collecting every reason-free
+    /// assignment above level 0 yields exactly the assumption subset
+    /// used — the UNSAT core (every decision on the trail during
+    /// establishment is an assumption).
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            // `¬p` is a level-0 fact: `p` alone is the core.
+            return core;
+        }
+        self.seen[p.var().index()] = true;
+        let floor = self.trail_lim[0];
+        for i in (floor..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let vi = l.var().index();
+            if !self.seen[vi] {
+                continue;
+            }
+            self.seen[vi] = false;
+            let r = self.reason[vi];
+            if r.is_none() {
+                // A pseudo-decision: an assumption (possibly ¬p itself,
+                // when the assumption list is self-contradictory).
+                core.push(l);
+            } else {
+                for &q in self.db.get(r).lits.iter().skip(1) {
+                    let qi = q.var().index();
+                    if self.level[qi] > 0 {
+                        self.seen[qi] = true;
+                    }
+                }
+            }
+        }
+        // If var(p) was assigned at level 0 the walk never reached it.
+        self.seen[p.var().index()] = false;
+        core
+    }
+
     fn learn(&mut self, learnt: Vec<Lit>) {
         debug_assert!(!learnt.is_empty());
         let asserting = learnt[0];
+        // LBD (glue): distinct decision levels among the clause's
+        // literals. The backjump does not rewrite `level[]`, so the
+        // entries still read as of the conflict for every literal,
+        // including the (now unassigned) asserting one.
+        let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+        self.stats.lbd_sum += lbd as u64;
+        if lbd <= 2 {
+            self.stats.glue_learnts += 1;
+        }
         if learnt.len() == 1 {
             self.enqueue(asserting, ClauseRef::NONE);
         } else {
             let cref = self.db.add(learnt, true);
+            self.db.get_mut(cref).lbd = lbd;
             self.bump_clause(cref);
             self.attach(cref);
             self.enqueue(asserting, cref);
@@ -676,24 +823,27 @@ impl Solver {
         self.cla_inc /= 0.999;
     }
 
-    /// Deletes the less-active half of the learnt clauses (keeping
-    /// binary clauses and clauses that are a reason for the current
-    /// assignment — at level 0 nothing is locked except units, which are
-    /// not stored as clauses).
+    /// Deletes the worse half of the learnt clauses, keyed primarily by
+    /// LBD (higher glue level evicted first) with activity as the
+    /// tie-break (lower evicted first). Glue clauses (LBD ≤ 2), binary
+    /// clauses and clauses that are a reason for the current assignment
+    /// are never deleted — at level 0 nothing is locked except units,
+    /// which are not stored as clauses.
     fn reduce_db(&mut self) {
         let mut learnt: Vec<ClauseRef> = (0..self.db.len() as u32)
             .map(ClauseRef)
             .filter(|&r| {
                 let c = self.db.get(r);
-                c.learnt && !c.deleted && c.len() > 2 && !self.is_reason(r)
+                c.learnt && !c.deleted && c.len() > 2 && c.lbd > 2 && !self.is_reason(r)
             })
             .collect();
         learnt.sort_by(|&a, &b| {
-            self.db
-                .get(a)
-                .activity
-                .partial_cmp(&self.db.get(b).activity)
-                .expect("activities are finite")
+            let (ca, cb) = (self.db.get(a), self.db.get(b));
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .expect("activities are finite"),
+            )
         });
         let half = learnt.len() / 2;
         for &r in &learnt[..half] {
@@ -921,6 +1071,102 @@ mod tests {
             s2.learnt_reused > 0,
             "second call must see the first call's learnt clauses"
         );
+    }
+
+    #[test]
+    fn unsat_core_excludes_irrelevant_assumptions() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        let c = lit(&mut s, 2, true);
+        s.add_clause(&[!a, b]); // a -> b
+        assert!(s.solve_with_assumptions(&[c, a, !b]).is_unsat());
+        let core: Vec<Lit> = s.last_core().to_vec();
+        assert!(core.contains(&a), "core must name a: {core:?}");
+        assert!(core.contains(&!b), "core must name ¬b: {core:?}");
+        assert!(!core.contains(&c), "c is irrelevant: {core:?}");
+        assert_eq!(s.stats().cores, 1);
+        assert_eq!(s.stats().core_lits, core.len() as u64);
+        // The core itself is UNSAT — the defining property.
+        assert!(s.solve_with_assumptions(&core).is_unsat());
+        // A SAT call clears it.
+        assert!(s.solve_with_assumptions(&[a]).is_sat());
+        assert!(s.last_core().is_empty());
+    }
+
+    #[test]
+    fn core_of_contradictory_assumptions_names_both() {
+        let mut s = Solver::new();
+        let x = lit(&mut s, 0, true);
+        let y = lit(&mut s, 1, true);
+        assert!(s.solve_with_assumptions(&[y, x, !x]).is_unsat());
+        let core = s.last_core().to_vec();
+        assert!(core.contains(&x) && core.contains(&!x), "{core:?}");
+        assert!(!core.contains(&y), "{core:?}");
+    }
+
+    #[test]
+    fn core_of_released_activation_lit_is_singleton() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let act = s.new_activation_lit();
+        s.add_gated_clause(act, &[a]);
+        assert!(s.release(act));
+        assert!(s.solve_with_assumptions(&[a, act]).is_unsat());
+        assert_eq!(s.last_core(), &[act], "only the released lit matters");
+    }
+
+    #[test]
+    fn drop_one_minimization_shrinks_cores() {
+        // a propagates ¬b first, so the naive trail walk blames {b, a};
+        // but b is self-contradictory via q, so the minimal core is {b}.
+        let mut naive = Solver::new();
+        let a = lit(&mut naive, 0, true);
+        let b = lit(&mut naive, 1, true);
+        let q = lit(&mut naive, 2, true);
+        naive.add_clause(&[!a, !b]);
+        naive.add_clause(&[!b, q]);
+        naive.add_clause(&[!b, !q]);
+        assert!(naive.solve_with_assumptions(&[a, b]).is_unsat());
+        assert_eq!(naive.last_core().len(), 2, "{:?}", naive.last_core());
+
+        let mut min = Solver::new();
+        let a = lit(&mut min, 0, true);
+        let b = lit(&mut min, 1, true);
+        let q = lit(&mut min, 2, true);
+        min.add_clause(&[!a, !b]);
+        min.add_clause(&[!b, q]);
+        min.add_clause(&[!b, !q]);
+        min.set_core_minimize_budget(Some(1_000));
+        assert!(min.solve_with_assumptions(&[a, b]).is_unsat());
+        assert_eq!(min.last_core(), &[b], "minimized core is exactly {{b}}");
+        assert_eq!(min.stats().core_lits, 1);
+    }
+
+    #[test]
+    fn lbd_counters_accrue_on_hard_instances() {
+        // Pigeonhole 5→4 forces many conflicts; every learnt clause has
+        // LBD ≥ 1, so lbd_sum must at least match the conflict count.
+        let mut s = Solver::new();
+        let holes = 4;
+        let p = |i: usize, j: usize| i * holes + j;
+        for i in 0..holes + 1 {
+            let cl: Vec<Lit> = (0..holes).map(|j| lit(&mut s, p(i, j), true)).collect();
+            s.add_clause(&cl);
+        }
+        for j in 0..holes {
+            for i1 in 0..holes + 1 {
+                for i2 in (i1 + 1)..holes + 1 {
+                    let a = lit(&mut s, p(i1, j), false);
+                    let b = lit(&mut s, p(i2, j), false);
+                    s.add_clause(&[a, b]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.lbd_sum >= st.conflicts, "{st:?}");
     }
 
     #[test]

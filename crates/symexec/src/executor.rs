@@ -857,7 +857,7 @@ fn feasible(pool: &mut TermPool, solver: &mut BvSolver, cs: &[TermId], cfg: &Sym
     if cfg.exact_forks {
         // Treat Unknown (budget) as feasible: over-approximation keeps
         // verification sound (extra suspects, never missed ones).
-        !matches!(solver.check(pool, cs), SatVerdict::Unsat)
+        !matches!(solver.check(pool, cs), SatVerdict::Unsat(_))
     } else {
         // Cheap layers only.
         let conj = pool.mk_conj(cs);
