@@ -1,0 +1,174 @@
+//! `fleet_ablation` — the summary-store ablation: verifying a fleet
+//! of router config variants with the content-addressed step-1 store
+//! shared (cold, then warm) vs disabled (the per-task baseline).
+//!
+//! The fleet is ≥ 8 variants of the same router element sequence
+//! differing only in FIB contents — the deployment shape the store
+//! targets: abstract-mode summaries (crash-freedom / bounded) are
+//! table-blind, so the whole fleet shares one step-1 pass per
+//! distinct element; a warm store shares even that across runs.
+//!
+//! Asserted invariants (the store's soundness contract):
+//! * per-(variant, property) verdicts, counterexample bytes and
+//!   composed-path counts identical across `nostore` / `cold` / `warm`;
+//! * `cold` hits the store (variants overlap), `warm` never misses;
+//! * warm-store step-1 wall-clock beats cold by ≥ 1.3x.
+//!
+//! With `DPV_JSON=1` each mode emits a `{"bench":"fleet",...}`
+//! summary line for the CI perf trajectory (`perf_diff` keys on
+//! bench/pipeline/mode/engine and gates on `step2_ms`).
+
+use dpv_bench::{fig_verify_config, fmt_dur, row};
+use elements::pipelines::{ip_router, to_pipeline};
+use std::time::Duration;
+use verifier::fleet::{Fleet, FleetReport};
+use verifier::{Property, SummaryStore, Verdict};
+
+const VARIANTS: u32 = 10;
+const FLEET_THREADS: usize = 4;
+
+/// FIB for variant `i`: same shape, different contents — the
+/// config-sweep case where only Tables-mode keys differ.
+fn fib(i: u32) -> Vec<(u32, u32, u32)> {
+    vec![
+        (0x0A00_0000 | (i << 16), 16, i % 4),
+        (0x0A00_0000, 8, 0),
+        (0xC0A8_0000 | i, 32, (i + 1) % 4),
+    ]
+}
+
+fn fleet() -> Fleet {
+    let mut fleet = Fleet::new()
+        .config(fig_verify_config())
+        .threads(FLEET_THREADS);
+    for i in 0..VARIANTS {
+        fleet = fleet.variant(
+            format!("fib-{i}"),
+            to_pipeline("router", ip_router(6, 2, fib(i))),
+        );
+    }
+    fleet.properties(&[Property::CrashFreedom, Property::Bounded { imax: 10_000 }])
+}
+
+fn assert_equivalent(a: &FleetReport, b: &FleetReport, what: &str) {
+    assert_eq!(a.variants.len(), b.variants.len());
+    for (va, vb) in a.variants.iter().zip(&b.variants) {
+        for (ra, rb) in va.reports.iter().zip(&vb.reports) {
+            let (ra, rb) = (
+                ra.as_verify().expect("verify"),
+                rb.as_verify().expect("verify"),
+            );
+            match (&ra.verdict, &rb.verdict) {
+                (Verdict::Disproved(x), Verdict::Disproved(y)) => {
+                    assert_eq!(x.bytes, y.bytes, "{what}/{}: cex bytes", va.variant);
+                    assert_eq!(x.trace, y.trace, "{what}/{}: trace", va.variant);
+                }
+                (Verdict::Proved, Verdict::Proved) => {}
+                (Verdict::Unknown(x), Verdict::Unknown(y)) => {
+                    assert_eq!(x, y, "{what}/{}: unknown reason", va.variant);
+                }
+                (x, y) => panic!("{what}/{}: verdicts diverge: {x:?} vs {y:?}", va.variant),
+            }
+            assert_eq!(
+                ra.composed_paths, rb.composed_paths,
+                "{what}/{}: composed paths",
+                va.variant
+            );
+        }
+    }
+}
+
+fn emit_json(mode: &str, r: &FleetReport) {
+    if std::env::var_os("DPV_JSON").is_none() {
+        return;
+    }
+    println!("{}", r.to_json());
+    println!(
+        "{{\"bench\":\"fleet\",\"pipeline\":\"router-fleet\",\"mode\":\"{mode}\",\
+         \"engine\":\"par{FLEET_THREADS}\",\"variants\":{VARIANTS},\
+         \"summary_hits\":{},\"summary_misses\":{},\"store_size\":{},\
+         \"step1_ms\":{:.3},\"step2_ms\":{:.3},\"total_ms\":{:.3}}}",
+        r.summary_hits,
+        r.summary_misses,
+        r.store_size,
+        r.step1_time().as_secs_f64() * 1e3,
+        r.step2_time().as_secs_f64() * 1e3,
+        r.time.as_secs_f64() * 1e3,
+    );
+}
+
+fn print_row(mode: &str, r: &FleetReport, warm_step1: Option<Duration>) {
+    row(&[
+        mode.into(),
+        fmt_dur(r.time),
+        fmt_dur(r.step1_time()),
+        fmt_dur(r.step2_time()),
+        format!("{}/{}", r.summary_hits, r.summary_misses),
+        r.store_size.to_string(),
+        match warm_step1 {
+            Some(w) if w.as_secs_f64() > 0.0 => {
+                format!("{:.2}x", r.step1_time().as_secs_f64() / w.as_secs_f64())
+            }
+            _ => "-".into(),
+        },
+    ]);
+}
+
+fn main() {
+    println!(
+        "Fleet ablation: {VARIANTS} router FIB variants x 2 properties, \
+         {FLEET_THREADS} workers"
+    );
+    println!();
+    row(&[
+        "mode".into(),
+        "wall".into(),
+        "step 1".into(),
+        "step 2".into(),
+        "hits/misses".into(),
+        "stored".into(),
+        "step1 vs warm".into(),
+    ]);
+
+    // Baseline: no sharing — every (variant, property) task re-executes
+    // step 1 for itself.
+    let nostore = fleet().share_store(false).run();
+
+    // Cold shared store: first tasks miss, the rest of the fleet hits.
+    let store = SummaryStore::shared();
+    let cold = fleet().store(std::sync::Arc::clone(&store)).run();
+
+    // Warm store: a second audit of the same fleet — zero executions.
+    let warm = fleet().store(std::sync::Arc::clone(&store)).run();
+
+    assert_equivalent(&nostore, &cold, "nostore vs cold");
+    assert_equivalent(&nostore, &warm, "nostore vs warm");
+    assert!(cold.summary_hits > 0, "fleet variants share elements");
+    assert!(
+        warm.summary_misses == 0,
+        "warm run must be fully cached (got {} misses)",
+        warm.summary_misses
+    );
+    assert!(warm.summary_hits > 0);
+
+    let speedup = cold.step1_time().as_secs_f64() / warm.step1_time().as_secs_f64().max(1e-9);
+    print_row("nostore", &nostore, Some(warm.step1_time()));
+    print_row("cold", &cold, Some(warm.step1_time()));
+    print_row("warm", &warm, None);
+    emit_json("nostore", &nostore);
+    emit_json("cold", &cold);
+    emit_json("warm", &warm);
+
+    println!();
+    println!(
+        "step-1: nostore {} | cold {} | warm {} ({speedup:.2}x cold/warm)",
+        fmt_dur(nostore.step1_time()),
+        fmt_dur(cold.step1_time()),
+        fmt_dur(warm.step1_time()),
+    );
+    assert!(
+        speedup >= 1.3,
+        "warm store must cut step-1 wall-clock by >= 1.3x (got {speedup:.2}x)"
+    );
+    println!("verdicts, counterexample bytes, composed paths: identical across modes (asserted)");
+}

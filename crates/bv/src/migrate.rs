@@ -1,13 +1,20 @@
 //! Cross-pool term migration.
 //!
-//! The parallel verification driver runs step-1 symbolic execution of
-//! each pipeline element in a private [`TermPool`] on a worker thread,
-//! then imports the resulting summaries into the single master pool
-//! that step-2 composition works over. [`Migrator`] performs that
-//! import: variables are re-created in the destination pool (preserving
-//! name and width) and terms are rebuilt bottom-up through the normal
-//! simplifying constructors, so an imported term is semantically equal
-//! to its source.
+//! The verifier's step 1 executes every pipeline element in a private
+//! [`TermPool`] — on a worker thread in parallel runs, and always for
+//! the content-addressed summary store, whose cached summaries must be
+//! pool-independent — then imports the resulting summaries into the
+//! single master pool that step-2 composition works over. [`Migrator`]
+//! performs that import: variables are re-created in the destination
+//! pool (preserving name and width) and terms are rebuilt bottom-up
+//! through the normal simplifying constructors, so an imported term is
+//! semantically equal to its source.
+//!
+//! Because the constructors are deterministic, migrating the same
+//! source pool into equal destination states yields identical
+//! destination ids — which is what lets a summary-store cache hit
+//! reproduce, byte for byte, the master pool a cache miss (or a
+//! store-less run) would have built.
 
 use crate::term::{Term, TermId, TermPool};
 use std::collections::HashMap;

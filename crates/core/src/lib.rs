@@ -15,9 +15,12 @@
 //! The entry point is the [`session`] API: a [`Verifier`] caches the
 //! step-1 summaries per [`MapMode`] and checks any number of
 //! [`Property`] values against them, sequentially or across all cores
-//! ([`Verifier::threads`]). The per-property free functions
-//! (`verify_crash_freedom`, …) are deprecated thin wrappers kept for
-//! migration.
+//! ([`Verifier::threads`]). Step-1 summaries are content-addressed in
+//! a [`SummaryStore`] ([`Verifier::with_store`]) so sessions,
+//! pipelines and config variants share them; the [`fleet`] module
+//! scales that to N pipeline variants × M properties on one store.
+//! The per-property free functions (`verify_crash_freedom`, …) are
+//! deprecated thin wrappers kept for migration.
 //!
 //! ## How it works (paper §3)
 //!
@@ -52,6 +55,7 @@
 
 pub mod compose;
 pub mod cores;
+pub mod fleet;
 pub mod generic;
 pub mod parallel;
 pub mod report;
@@ -62,14 +66,16 @@ pub mod summary;
 
 pub use compose::ComposedState;
 pub use cores::{CoreStats, CoreStore};
+pub use fleet::{Fleet, FleetReport, VariantReport};
 pub use generic::{GenericOutcome, GenericReport};
 pub use parallel::ParallelConfig;
-pub use report::{CounterExample, Verdict, VerifyReport};
+pub use report::{CounterExample, SummaryCacheStats, Verdict, VerifyReport};
 pub use session::{CustomProperty, GenericRun, Property, Report, StateReport, Verifier};
 pub use stateful::StateFinding;
 pub use step2::{FilterProperty, LongestPath, VerifyConfig};
 pub use summary::{
-    summarize_pipeline, summarize_pipeline_par, MapMode, PipelineSummaries, StageSummary,
+    summarize_pipeline, summarize_pipeline_par, summarize_pipeline_with_store, MapMode,
+    PipelineSummaries, StageSummary, SummaryKey, SummaryStore,
 };
 
 // Deprecated pre-session entry points, re-exported for migration.

@@ -7,9 +7,13 @@
 //!
 //! Runs both verification steps across a pool of worker threads:
 //!
-//! * **step 1** executes each pipeline element in a worker-private
-//!   term pool and migrates the summaries into the master pool
-//!   ([`crate::summary::summarize_pipeline_par`]);
+//! * **step 1** fetches each pipeline element's summary from the
+//!   content-addressed store — executing misses in worker-private
+//!   term pools — and migrates the results into the master pool in
+//!   stage order ([`crate::summary::summarize_pipeline_par`]); since
+//!   the sequential driver takes the same fetch-and-rebase path, the
+//!   master pool is identical across thread counts *and* across
+//!   cache-cold vs cache-warm [`crate::SummaryStore`] states;
 //! * **step 2** splits the composed-path search into a frontier of
 //!   independent subtree and feasibility-check tasks, drained by
 //!   workers from a shared queue (each worker owns a clone of the

@@ -60,6 +60,16 @@ pub enum Verdict {
 }
 
 impl Verdict {
+    /// The machine-readable lowercase label every JSON emitter uses
+    /// (`"proved"` / `"disproved"` / `"unknown"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Proved => "proved",
+            Verdict::Disproved(_) => "disproved",
+            Verdict::Unknown(_) => "unknown",
+        }
+    }
+
     /// `true` iff proved.
     pub fn is_proved(&self) -> bool {
         matches!(self, Verdict::Proved)
@@ -69,6 +79,22 @@ impl Verdict {
     pub fn is_disproved(&self) -> bool {
         matches!(self, Verdict::Disproved(_))
     }
+}
+
+/// Step-1 summary-store counters for one check (see
+/// [`crate::SummaryStore`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SummaryCacheStats {
+    /// Stages served from the content-addressed store without
+    /// re-execution. Like `step1_time`, attributed to the check that
+    /// built the session's summaries; cache-warm checks report zero.
+    pub hits: usize,
+    /// Stages symbolically executed (then cached) by this check.
+    pub misses: usize,
+    /// Distinct summaries in the store when the report was built —
+    /// grows across sessions sharing one store; reads zero for a
+    /// session-private store, which is cleared after each build.
+    pub store_size: usize,
 }
 
 /// A full verification report (one property, one pipeline).
@@ -102,6 +128,11 @@ pub struct VerifyReport {
     /// from the very first query of a check indicate cores carried
     /// over from an earlier property in the same session.
     pub cores: CoreStats,
+    /// Step-1 summary-store counters: stages rebased from cache vs
+    /// executed, and the store's current size. Hits on the check that
+    /// paid step 1 indicate summaries inherited from other sessions
+    /// (or repeated elements); see [`crate::SummaryStore`].
+    pub summary: SummaryCacheStats,
     /// Wall-clock time of step 1.
     pub step1_time: Duration,
     /// Wall-clock time of step 2.
@@ -131,10 +162,11 @@ impl VerifyReport {
     /// step timings in milliseconds. Stable field set so bench bins
     /// and CI can diff verdict/paths/time trajectories across runs.
     pub fn to_json(&self) -> String {
-        let (verdict, description, cex) = match &self.verdict {
-            Verdict::Proved => ("proved", None, None),
-            Verdict::Disproved(c) => ("disproved", Some(c.description.clone()), Some(c)),
-            Verdict::Unknown(r) => ("unknown", Some(r.clone()), None),
+        let verdict = self.verdict.label();
+        let (description, cex) = match &self.verdict {
+            Verdict::Proved => (None, None),
+            Verdict::Disproved(c) => (Some(c.description.clone()), Some(c)),
+            Verdict::Unknown(r) => (Some(r.clone()), None),
         };
         let cex_json = match cex {
             Some(c) => format!(
@@ -161,6 +193,7 @@ impl VerifyReport {
              \"compactions\":{}}},\
              \"cores\":{{\"cores_learned\":{},\"core_hits\":{},\
              \"subtrees_pruned\":{}}},\
+             \"summary\":{{\"hits\":{},\"misses\":{},\"store_size\":{}}},\
              \"step1_ms\":{:.3},\"step2_ms\":{:.3}}}",
             json_escape(&self.property),
             json_escape(&self.pipeline),
@@ -188,6 +221,9 @@ impl VerifyReport {
             self.cores.cores_learned,
             self.cores.core_hits,
             self.cores.subtrees_pruned,
+            self.summary.hits,
+            self.summary.misses,
+            self.summary.store_size,
             self.step1_time.as_secs_f64() * 1e3,
             self.step2_time.as_secs_f64() * 1e3,
         )

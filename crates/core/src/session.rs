@@ -27,6 +27,14 @@
 //! }
 //! ```
 //!
+//! Step-1 results are additionally content-addressed in a
+//! [`SummaryStore`]: pass one with [`Verifier::with_store`] and the
+//! Abstract/Tables summaries survive the session, turning the next
+//! session over the same elements (same pipeline, a rewired variant,
+//! or a different table configuration for abstract-mode properties)
+//! into pure cache hits — see [`crate::fleet`] for the N-variants ×
+//! M-properties driver built on top.
+//!
 //! Properties are values ([`Property`]), so audits can be assembled,
 //! stored and replayed; user-defined invariants plug in through
 //! [`CustomProperty`] and run on the same cached summaries and the
@@ -67,7 +75,7 @@ use crate::step2::{
     LongestPath, Node, PropKind, QuerySolver, VerifyConfig,
 };
 use crate::summary::{
-    effective_threads, summarize_pipeline, summarize_pipeline_par, MapMode, PipelineSummaries,
+    effective_threads, summarize_pipeline_with_store, MapMode, PipelineSummaries, SummaryStore,
 };
 use bvsolve::TermPool;
 use dataplane::Pipeline;
@@ -395,6 +403,23 @@ pub struct Verifier<'p> {
     /// Parallel workers sync with the same store at task boundaries.
     /// Inert with [`VerifyConfig::core_pruning`] `= false`.
     core_stores: [Arc<Mutex<CoreStore>>; 2],
+    /// The content-addressed step-1 summary store consulted (and fed)
+    /// by [`Verifier::summaries`]. Private per session by default;
+    /// [`Verifier::with_store`] shares one across sessions, pipelines
+    /// and config variants, so the Abstract/Tables caches survive the
+    /// session that built them. Cache hits rebase the stored
+    /// pool-independent summaries into this session's `pool` via
+    /// [`bvsolve::Migrator`], reproducing exactly what execution would
+    /// have interned — verdicts and counterexample bytes are
+    /// independent of the store's prior contents.
+    store: Arc<SummaryStore>,
+    /// Whether `store` was supplied via [`Verifier::with_store`]. A
+    /// session-private store is cleared after each step-1 build: its
+    /// entries each own a full [`bvsolve::TermPool`], and once a
+    /// mode's summaries sit in `cache` nothing in this session reads
+    /// them again (the other map mode hashes to different keys), so
+    /// keeping them would roughly double step-1 memory for nothing.
+    store_shared: bool,
     step1_runs: usize,
 }
 
@@ -414,8 +439,31 @@ impl<'p> Verifier<'p> {
                 Arc::new(Mutex::new(CoreStore::new())),
                 Arc::new(Mutex::new(CoreStore::new())),
             ],
+            store: SummaryStore::shared(),
+            store_shared: false,
             step1_runs: 0,
         }
+    }
+
+    /// Shares a content-addressed [`SummaryStore`]: step-1 summaries
+    /// this session builds become cache hits for every other session
+    /// (or [`crate::fleet::Fleet`]) holding the same store, and vice
+    /// versa. Call before the first `check`; summaries already cached
+    /// in the session were built against the previous store.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<SummaryStore>) -> Self {
+        self.store = store;
+        self.store_shared = true;
+        self
+    }
+
+    /// The summary store this session consults. Note that the default
+    /// session-private store is cleared after every step-1 build (see
+    /// [`Verifier::with_store`] for keeping summaries alive across
+    /// sessions), so reading it here is mostly useful for its hit/miss
+    /// counters.
+    pub fn store(&self) -> &Arc<SummaryStore> {
+        &self.store
     }
 
     /// Sets the verification configuration (step-1 settings and
@@ -466,12 +514,22 @@ impl<'p> Verifier<'p> {
         }
         let threads = self.effective_threads();
         let t0 = Instant::now();
-        let sums = if threads == 1 {
-            summarize_pipeline(&mut self.pool, self.pipeline, &self.cfg.sym, mode)?
-        } else {
-            summarize_pipeline_par(&mut self.pool, self.pipeline, &self.cfg.sym, mode, threads)?
-        };
+        let sums = summarize_pipeline_with_store(
+            &mut self.pool,
+            self.pipeline,
+            &self.cfg.sym,
+            mode,
+            &self.store,
+            threads,
+        )?;
         self.step1_runs += 1;
+        if !self.store_shared {
+            // Nothing in this session will hit these entries again —
+            // the summaries are cached above and the other map mode
+            // keys differently. Drop the duplicate pools (intra-build
+            // dedup across repeated elements already happened).
+            self.store.clear();
+        }
         self.cache[idx] = Some(CachedSummaries {
             sums,
             build_time: t0.elapsed(),
@@ -632,16 +690,18 @@ impl<'p> Verifier<'p> {
             cache,
             solvers,
             core_stores,
+            store,
             ..
         } = self;
         let cached = cache[mode_idx(mode)].as_ref().expect("ensured");
         let sums = &cached.sums;
         // Step-1 cost is attributed to the check that paid it; cache
-        // hits report zero.
-        let step1_time = if built {
-            cached.build_time
+        // hits report zero. The summary-store counters follow the same
+        // attribution.
+        let (step1_time, summary_hits, summary_misses) = if built {
+            (cached.build_time, sums.summary_hits, sums.summary_misses)
         } else {
-            Duration::ZERO
+            (Duration::ZERO, 0, 0)
         };
         let mut init = make_initial(pool, sums);
         init_extra(pool, sums, &mut init);
@@ -703,6 +763,11 @@ impl<'p> Verifier<'p> {
             composed_paths: composed.into_inner(),
             solver: solver_stats,
             cores: core_stats,
+            summary: crate::report::SummaryCacheStats {
+                hits: summary_hits,
+                misses: summary_misses,
+                store_size: store.len(),
+            },
             step1_time,
             step2_time: t1.elapsed(),
         }

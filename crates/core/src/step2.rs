@@ -530,6 +530,7 @@ pub(crate) fn aborted_report(
         composed_paths: 0,
         solver: SolverLayerStats::default(),
         cores: CoreStats::default(),
+        summary: Default::default(),
         step1_time: t0.elapsed(),
         step2_time: Default::default(),
     }

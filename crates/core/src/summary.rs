@@ -1,16 +1,41 @@
-//! Verification step 1: per-element segment summaries.
+//! Verification step 1: per-element segment summaries, behind a
+//! content-addressed store.
+//!
+//! The paper's scalability argument (§4, Fig. 4) rests on summaries
+//! being *reusable*: step 1 runs once per element, step 2 once per
+//! composition. The [`SummaryStore`] makes that reuse first-class and
+//! fleet-wide: every stage summary is keyed by a structural hash of
+//! `(element program, map mode, table-config bytes, sym config)`
+//! ([`SummaryKey`]) and stored **pool-independent** — the summary
+//! lives in its own private [`TermPool`] and is *rebased* into a
+//! requesting session's pool through [`bvsolve::Migrator`]. A hundred
+//! pipeline variants sharing the same handful of elements (different
+//! wiring, different table contents) then pay for symbolic execution
+//! once per distinct element, not once per variant.
+//!
+//! Soundness of the addressing rests on the executor's determinism
+//! guarantee (`symexec::execute` module docs): identical inputs
+//! reproduce the summary exactly, so replaying a cache hit by
+//! migration is indistinguishable — variable numbering, term
+//! structure, verdicts, counterexample bytes — from re-executing.
+//! Both [`summarize_pipeline`] and [`summarize_pipeline_par`] are thin
+//! wrappers over the store-consulting driver (with a throwaway store),
+//! so cached and uncached runs build byte-identical master pools by
+//! construction.
 
 use bvsolve::{Migrator, TermPool};
-use dataplane::{ElementKind, Pipeline, TableConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use dataplane::{Element, ElementKind, Pipeline};
+use dpir::fingerprint128;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use symexec::{
     execute, AbstractMapModel, MapBranch, MapModel, MapOpRecord, Segment, SymConfig, SymError,
     SymInput, TableMapModel,
 };
 
 /// How static maps are modeled during step 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MapMode {
     /// Abstract everything (crash-freedom / bounded-execution with
     /// arbitrary configuration — paper §4).
@@ -45,6 +70,10 @@ pub struct PipelineSummaries {
     pub stages: Vec<StageSummary>,
     /// Total states across all stages.
     pub total_states: usize,
+    /// Stages served from the [`SummaryStore`] without re-execution.
+    pub summary_hits: usize,
+    /// Stages that had to be symbolically executed (then cached).
+    pub summary_misses: usize,
 }
 
 /// A per-stage map model: configured static maps become ITE-chain
@@ -56,16 +85,12 @@ struct StageMapModel {
 }
 
 impl StageMapModel {
-    fn new(element: &dataplane::Element, mode: MapMode) -> Self {
+    fn new(element: &Element, mode: MapMode) -> Self {
         let mut tables = TableMapModel::new();
         let mut table_ids = Vec::new();
         if mode == MapMode::Tables {
             for (map, cfg) in &element.tables {
-                let pairs = match cfg {
-                    TableConfig::Exact(p) => p.clone(),
-                    TableConfig::Lpm(_) => cfg.as_pairs(),
-                };
-                tables.set_table(*map, pairs);
+                tables.set_table(*map, cfg.as_pairs());
                 table_ids.push(map.0);
             }
         }
@@ -126,64 +151,235 @@ impl MapModel for StageMapModel {
     }
 }
 
-/// Runs step 1 over every stage of `pipeline`.
+/// The content address of one stage summary: everything the symbolic
+/// execution of a stage depends on, structurally hashed.
 ///
-/// Each element (or loop body, per Condition 1) is executed exactly
-/// once with fully unconstrained symbolic input — the per-element work
-/// is `m · 2^n`, not `2^(m·n)` (§2.2).
-pub fn summarize_pipeline(
-    pool: &mut TermPool,
-    pipeline: &Pipeline,
-    cfg: &SymConfig,
-    mode: MapMode,
-) -> Result<PipelineSummaries, SymError> {
-    let input = SymInput::fresh(pool, cfg, "in");
-    let mut stages = Vec::with_capacity(pipeline.stages.len());
-    let mut total_states = 0usize;
-    for (k, stage) in pipeline.stages.iter().enumerate() {
-        let elem = &stage.element;
-        let elem_input = SymInput::fresh(pool, cfg, &format!("e{k}"));
-        let mut model = StageMapModel::new(elem, mode);
-        let prog = elem.program();
-        let report = execute(pool, prog, &elem_input, &mut model, cfg)?;
-        total_states += report.states;
-        stages.push(StageSummary {
-            name: elem.name.clone(),
-            input: elem_input,
-            segments: report.segments,
-            loop_iters: match &elem.kind {
-                ElementKind::Straight(_) => None,
-                ElementKind::Loop { max_iters, .. } => Some(*max_iters),
-            },
-            states: report.states,
-        });
-    }
-    Ok(PipelineSummaries {
-        input,
-        stages,
-        total_states,
-    })
+/// Two stages with equal keys produce byte-identical summaries (the
+/// executor is deterministic), so the store may serve either one's
+/// cached result for the other. In [`MapMode::Abstract`] the table
+/// configuration is **excluded** — abstract execution never consults
+/// it — which is what lets config-only fleet variants share all their
+/// abstract-mode step-1 work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SummaryKey {
+    /// Structural fingerprint of (element display name, DPIR program).
+    pub program: u128,
+    /// Map-model mode the stage was executed under.
+    pub mode: MapMode,
+    /// Fingerprint of the table contents consulted in
+    /// [`MapMode::Tables`] (exactly the `as_pairs()` contents fed to
+    /// the ITE-chain model, per map id); `0` in [`MapMode::Abstract`].
+    /// 128-bit like `program`: the table bytes are precisely what
+    /// varies across a fleet's config variants, so this field carries
+    /// the collision load.
+    pub tables: u128,
+    /// Fingerprint of the [`SymConfig`] fields that shape execution.
+    pub sym: u128,
 }
 
-/// Output of one stage's step-1 run in a worker-private pool, before
-/// migration into the master pool.
-struct LocalStage {
+impl SummaryKey {
+    /// The content address of `element` executed under `(mode, cfg)`.
+    pub fn of(element: &Element, mode: MapMode, cfg: &SymConfig) -> Self {
+        let program = fingerprint128(&(element.name.as_str(), element.program()));
+        let tables = match mode {
+            MapMode::Abstract => 0,
+            MapMode::Tables => {
+                // Hash what execution actually consumes
+                // (`StageMapModel::new` flattens LPM to pairs), so
+                // configs with equal semantics share a summary.
+                let consumed: Vec<(u32, Vec<(u64, u64)>)> = element
+                    .tables
+                    .iter()
+                    .map(|(map, tc)| (map.0, tc.as_pairs()))
+                    .collect();
+                fingerprint128(&consumed)
+            }
+        };
+        // Exhaustive destructuring (no `..`): adding a SymConfig field
+        // fails to compile here until it is added to the key — a field
+        // silently missing from the address would serve summaries
+        // executed under a different configuration.
+        let SymConfig {
+            max_pkt_bytes,
+            min_pkt_len,
+            max_states,
+            max_instrs_per_path,
+            exact_forks,
+            fork_conflict_budget,
+            fork_on_symbolic_offset,
+        } = *cfg;
+        let sym = fingerprint128(&(
+            max_pkt_bytes,
+            min_pkt_len,
+            max_states,
+            max_instrs_per_path,
+            exact_forks,
+            fork_conflict_budget,
+            fork_on_symbolic_offset,
+        ));
+        SummaryKey {
+            program,
+            mode,
+            tables,
+            sym,
+        }
+    }
+}
+
+/// A pool-independent stage summary: the execution result in its own
+/// private [`TermPool`], ready to be rebased into any session pool.
+#[derive(Debug)]
+pub struct StoredStage {
     pool: TermPool,
     input: SymInput,
     segments: Vec<Segment>,
     states: usize,
 }
 
-/// Runs step 1 over every stage of `pipeline`, one stage per worker
-/// across `threads` threads (0 = all available cores).
+/// A content-addressed, thread-safe cache of stage summaries.
 ///
-/// Each element executes in a worker-private [`TermPool`] (identical
-/// execution to [`summarize_pipeline`], since stages are independent by
-/// construction — §2.2's `m · 2^n`); results are then migrated into
-/// `pool` in stage order, including every worker variable in creation
-/// order, so the master pool's variable numbering — and therefore
-/// every downstream model and counterexample — is identical to a
-/// sequential run's.
+/// Sessions consult the store during step 1: a hit rebases the cached
+/// pool-independent summary into the session's [`TermPool`] via
+/// [`bvsolve::Migrator`]; a miss executes the stage into a fresh
+/// private pool, caches it, then rebases the same way. Because hits
+/// and misses take the identical rebase path and execution is
+/// deterministic, a session's master pool — and therefore every
+/// verdict, counterexample byte and composed-path count downstream —
+/// is independent of the store's prior contents.
+///
+/// Share one store across [`crate::Verifier`] sessions (or a whole
+/// [`crate::fleet::Fleet`]) with `Arc<SummaryStore>`; the Abstract and
+/// Tables caches both live here, keyed by [`SummaryKey::mode`].
+#[derive(Debug, Default)]
+pub struct SummaryStore {
+    entries: Mutex<HashMap<SummaryKey, Arc<StoredStage>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SummaryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty store behind an [`Arc`], ready to share.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Distinct `(element, mode, tables, cfg)` summaries held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("summary store poisoned").len()
+    }
+
+    /// Whether the store holds no summaries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime count of stage requests served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of stage requests that had to execute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached summary (the hit/miss counters are kept).
+    ///
+    /// The store never evicts on its own, and each entry owns a full
+    /// [`TermPool`] — a long-lived store sweeping many *distinct*
+    /// Tables-mode configurations grows linearly with configurations
+    /// seen. Call this between sweeps whose table configs will not
+    /// recur (abstract-mode entries are table-blind and cheap to
+    /// rebuild, so clearing is never a correctness concern — only the
+    /// next requests' cache temperature).
+    pub fn clear(&self) {
+        self.entries.lock().expect("summary store poisoned").clear();
+    }
+
+    /// Fetches the summary for `element` under `(mode, cfg)`,
+    /// executing and caching it on a miss. Returns whether this was a
+    /// hit. Execution happens outside the store lock; if two threads
+    /// race on the same key both execute (identically — the executor
+    /// is deterministic) and the first insert wins.
+    fn stage(
+        &self,
+        element: &Element,
+        mode: MapMode,
+        cfg: &SymConfig,
+    ) -> Result<(Arc<StoredStage>, bool), SymError> {
+        let key = SummaryKey::of(element, mode, cfg);
+        if let Some(found) = self
+            .entries
+            .lock()
+            .expect("summary store poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(found), true));
+        }
+        let mut exec_pool = TermPool::new();
+        let exec_input = SymInput::fresh(&mut exec_pool, cfg, &element.name);
+        let mut model = StageMapModel::new(element, mode);
+        let report = execute(
+            &mut exec_pool,
+            element.program(),
+            &exec_input,
+            &mut model,
+            cfg,
+        )?;
+        // Compact before storing: the execution pool also holds every
+        // per-instruction intermediate and infeasible-branch term,
+        // which rebasing never reads. Keep all variables (the
+        // creation-order numbering contract) but only the terms
+        // reachable from the summary.
+        let mut pool = TermPool::new();
+        let (input, segments) =
+            import_summary(&mut pool, &exec_pool, &exec_input, &report.segments);
+        let stored = Arc::new(StoredStage {
+            pool,
+            input,
+            segments,
+            states: report.states,
+        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("summary store poisoned");
+        let entry = entries.entry(key).or_insert_with(|| Arc::clone(&stored));
+        Ok((Arc::clone(entry), false))
+    }
+}
+
+/// Runs step 1 over every stage of `pipeline`, sequentially, with a
+/// throwaway store (intra-pipeline sharing only).
+///
+/// Each element (or loop body, per Condition 1) is executed exactly
+/// once with fully unconstrained symbolic input — the per-element work
+/// is `m · 2^n`, not `2^(m·n)` (§2.2). Prefer
+/// [`summarize_pipeline_with_store`] (or a [`crate::Verifier`] with a
+/// shared store) when several pipelines or sessions share elements.
+pub fn summarize_pipeline(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    cfg: &SymConfig,
+    mode: MapMode,
+) -> Result<PipelineSummaries, SymError> {
+    summarize_pipeline_with_store(pool, pipeline, cfg, mode, &SummaryStore::new(), 1)
+}
+
+/// Runs step 1 over every stage of `pipeline`, one stage per worker
+/// across `threads` threads (0 = all available cores), with a
+/// throwaway store.
+///
+/// Identical output to [`summarize_pipeline`] — both drivers fetch
+/// pool-independent summaries (executed in private pools) and migrate
+/// them into `pool` in stage order, importing every summary variable
+/// in creation order, so the master pool's variable numbering — and
+/// therefore every downstream model and counterexample — is
+/// independent of the thread count.
 pub fn summarize_pipeline_par(
     pool: &mut TermPool,
     pipeline: &Pipeline,
@@ -191,51 +387,53 @@ pub fn summarize_pipeline_par(
     mode: MapMode,
     threads: usize,
 ) -> Result<PipelineSummaries, SymError> {
+    let threads = effective_threads(threads);
+    summarize_pipeline_with_store(pool, pipeline, cfg, mode, &SummaryStore::new(), threads)
+}
+
+/// The step-1 driver: fetches every stage summary from `store`
+/// (executing misses), then rebases them into `pool` in stage order.
+///
+/// `threads` pins the worker count for the fetch phase: `1` fetches
+/// in-place, `0` uses all available cores (the crate-wide
+/// convention). The rebase phase is always sequential in stage order,
+/// which is what makes the master pool deterministic across thread
+/// counts and store states.
+pub fn summarize_pipeline_with_store(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    cfg: &SymConfig,
+    mode: MapMode,
+    store: &SummaryStore,
+    threads: usize,
+) -> Result<PipelineSummaries, SymError> {
     let input = SymInput::fresh(pool, cfg, "in");
     let n = pipeline.stages.len();
-    let threads = effective_threads(threads).min(n.max(1));
-
-    let slots: Vec<Mutex<Option<Result<LocalStage, SymError>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let k = next.fetch_add(1, Ordering::Relaxed);
-                if k >= n {
-                    break;
-                }
-                let elem = &pipeline.stages[k].element;
-                let mut wpool = TermPool::new();
-                let elem_input = SymInput::fresh(&mut wpool, cfg, &format!("e{k}"));
-                let mut model = StageMapModel::new(elem, mode);
-                let res = execute(&mut wpool, elem.program(), &elem_input, &mut model, cfg).map(
-                    |report| LocalStage {
-                        pool: wpool,
-                        input: elem_input,
-                        segments: report.segments,
-                        states: report.states,
-                    },
-                );
-                *slots[k].lock().expect("stage slot poisoned") = Some(res);
-            });
-        }
+    let threads = effective_threads(threads).clamp(1, n.max(1));
+    let fetched = run_indexed(n, threads, |k| {
+        store.stage(&pipeline.stages[k].element, mode, cfg)
     });
 
     let mut stages = Vec::with_capacity(n);
     let mut total_states = 0usize;
-    for (k, slot) in slots.into_iter().enumerate() {
-        let local = slot
-            .into_inner()
-            .expect("stage slot poisoned")
-            .expect("worker pool processed every stage")?;
-        total_states += local.states;
-        stages.push(migrate_stage(pool, pipeline, k, local));
+    let mut summary_hits = 0usize;
+    let mut summary_misses = 0usize;
+    for (k, res) in fetched.into_iter().enumerate() {
+        let (stored, hit) = res?;
+        if hit {
+            summary_hits += 1;
+        } else {
+            summary_misses += 1;
+        }
+        total_states += stored.states;
+        stages.push(rebase_stage(pool, &stored, &pipeline.stages[k].element));
     }
     Ok(PipelineSummaries {
         input,
         stages,
         total_states,
+        summary_hits,
+        summary_misses,
     })
 }
 
@@ -251,73 +449,119 @@ pub(crate) fn effective_threads(threads: usize) -> usize {
     }
 }
 
-/// Imports a worker-pool stage result into the master pool.
-fn migrate_stage(
+/// Runs `n` independent indexed tasks across `threads` workers
+/// (`<= 1` runs them in place) and collects the results in index
+/// order — the one worker-pool scaffold behind the step-1 fetch phase
+/// and [`crate::fleet::Fleet::run`].
+pub(crate) fn run_indexed<T: Send>(
+    n: usize,
+    threads: usize,
+    task: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return (0..n).map(task).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock().expect("task slot poisoned") = Some(task(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("task slot poisoned")
+                .expect("worker pool ran every task")
+        })
+        .collect()
+}
+
+/// Rebases a pool-independent stored summary into the master pool.
+fn rebase_stage(pool: &mut TermPool, stored: &StoredStage, element: &Element) -> StageSummary {
+    let (input, segments) = import_summary(pool, &stored.pool, &stored.input, &stored.segments);
+    StageSummary {
+        name: element.name.clone(),
+        input,
+        segments,
+        loop_iters: match &element.kind {
+            ElementKind::Straight(_) => None,
+            ElementKind::Loop { max_iters, .. } => Some(*max_iters),
+        },
+        states: stored.states,
+    }
+}
+
+/// Imports a stage summary from `src` into `pool`: all source
+/// variables first, in creation order (so the destination numbering
+/// matches what executing the stage in place would have produced),
+/// then every term reachable from the summary. Used both to compact
+/// summaries into their store entry and to rebase entries into
+/// session pools — one code path, so a hit reproduces a miss exactly.
+fn import_summary(
     pool: &mut TermPool,
-    pipeline: &Pipeline,
-    k: usize,
-    local: LocalStage,
-) -> StageSummary {
+    src: &TermPool,
+    src_input: &SymInput,
+    src_segments: &[Segment],
+) -> (SymInput, Vec<Segment>) {
     let mut mig = Migrator::new();
-    // All worker variables first, in creation order: gives the master
-    // pool the same numbering a sequential run would have produced.
-    mig.import_all_vars(&local.pool, pool);
+    mig.import_all_vars(src, pool);
     let input = SymInput {
-        pkt_bytes: local
-            .input
+        pkt_bytes: src_input
             .pkt_bytes
             .iter()
-            .map(|&t| mig.import(t, &local.pool, pool))
+            .map(|&t| mig.import(t, src, pool))
             .collect(),
-        pkt_len: mig.import(local.input.pkt_len, &local.pool, pool),
-        meta: local
-            .input
+        pkt_len: mig.import(src_input.pkt_len, src, pool),
+        meta: src_input
             .meta
             .iter()
-            .map(|&t| mig.import(t, &local.pool, pool))
+            .map(|&t| mig.import(t, src, pool))
             .collect(),
-        pkt_byte_vars: local
-            .input
+        pkt_byte_vars: src_input
             .pkt_byte_vars
             .iter()
             .map(|&v| mig.mapped_var(v).expect("input var imported"))
             .collect(),
-        len_var: mig
-            .mapped_var(local.input.len_var)
-            .expect("len var imported"),
-        meta_vars: local
-            .input
+        len_var: mig.mapped_var(src_input.len_var).expect("len var imported"),
+        meta_vars: src_input
             .meta_vars
             .iter()
             .map(|&v| mig.mapped_var(v).expect("meta var imported"))
             .collect(),
-        base_constraints: local
-            .input
+        base_constraints: src_input
             .base_constraints
             .iter()
-            .map(|&t| mig.import(t, &local.pool, pool))
+            .map(|&t| mig.import(t, src, pool))
             .collect(),
     };
-    let segments = local
-        .segments
+    let segments = src_segments
         .iter()
         .map(|seg| Segment {
             constraint: seg
                 .constraint
                 .iter()
-                .map(|&t| mig.import(t, &local.pool, pool))
+                .map(|&t| mig.import(t, src, pool))
                 .collect(),
             outcome: seg.outcome,
             pkt_out: seg
                 .pkt_out
                 .iter()
-                .map(|&t| mig.import(t, &local.pool, pool))
+                .map(|&t| mig.import(t, src, pool))
                 .collect(),
-            len_out: mig.import(seg.len_out, &local.pool, pool),
+            len_out: mig.import(seg.len_out, src, pool),
             meta_out: seg
                 .meta_out
                 .iter()
-                .map(|&t| mig.import(t, &local.pool, pool))
+                .map(|&t| mig.import(t, src, pool))
                 .collect(),
             instrs: seg.instrs,
             map_ops: seg
@@ -326,8 +570,8 @@ fn migrate_stage(
                 .map(|op| MapOpRecord {
                     map: op.map,
                     kind: op.kind,
-                    key: mig.import(op.key, &local.pool, pool),
-                    value: op.value.map(|v| mig.import(v, &local.pool, pool)),
+                    key: mig.import(op.key, src, pool),
+                    value: op.value.map(|v| mig.import(v, src, pool)),
                     havoc_value_var: op
                         .havoc_value_var
                         .map(|v| mig.mapped_var(v).expect("havoc var imported")),
@@ -338,22 +582,13 @@ fn migrate_stage(
                 .collect(),
         })
         .collect();
-    let stage = &pipeline.stages[k];
-    StageSummary {
-        name: stage.element.name.clone(),
-        input,
-        segments,
-        loop_iters: match &stage.element.kind {
-            ElementKind::Straight(_) => None,
-            ElementKind::Loop { max_iters, .. } => Some(*max_iters),
-        },
-        states: local.states,
-    }
+    (input, segments)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dataplane::TableConfig;
     use elements::pipelines::to_pipeline;
     use symexec::SegOutcome;
 
@@ -416,5 +651,77 @@ mod tests {
         let tab = summarize_pipeline(&mut pool2, &p, &cfg(), MapMode::Tables).expect("ok");
         // Table mode must not multiply states per entry (ITE chain).
         assert!(tab.total_states <= abs.total_states + 2);
+    }
+
+    #[test]
+    fn store_shares_identical_elements_within_a_pipeline() {
+        let p = to_pipeline(
+            "t",
+            vec![elements::dec_ttl::dec_ttl(), elements::dec_ttl::dec_ttl()],
+        );
+        let store = SummaryStore::new();
+        let mut pool = TermPool::new();
+        let s = summarize_pipeline_with_store(&mut pool, &p, &cfg(), MapMode::Abstract, &store, 1)
+            .expect("ok");
+        assert_eq!(s.summary_misses, 1, "first DecTTL executes");
+        assert_eq!(s.summary_hits, 1, "second DecTTL is served from cache");
+        assert_eq!(store.len(), 1);
+        // The two stages are distinct instantiations: no shared vars.
+        assert_ne!(
+            s.stages[0].input.pkt_byte_vars, s.stages[1].input.pkt_byte_vars,
+            "rebased instances must not alias"
+        );
+    }
+
+    #[test]
+    fn abstract_keys_ignore_table_contents() {
+        let mk = |routes: Vec<(u32, u32, u32)>| {
+            to_pipeline("t", vec![elements::ip_lookup::ip_lookup(2, routes)]).stages[0]
+                .element
+                .clone()
+        };
+        let a = mk(vec![(0x0A000000, 8, 0)]);
+        let b = mk(vec![(0x0B000000, 8, 1)]);
+        assert_eq!(
+            SummaryKey::of(&a, MapMode::Abstract, &cfg()),
+            SummaryKey::of(&b, MapMode::Abstract, &cfg()),
+            "abstract execution never reads tables"
+        );
+        assert_ne!(
+            SummaryKey::of(&a, MapMode::Tables, &cfg()),
+            SummaryKey::of(&b, MapMode::Tables, &cfg()),
+            "table contents are part of the Tables-mode address"
+        );
+    }
+
+    #[test]
+    fn sym_config_participates_in_the_key() {
+        let e = to_pipeline("t", vec![elements::dec_ttl::dec_ttl()]).stages[0]
+            .element
+            .clone();
+        let small = SymConfig {
+            max_pkt_bytes: 32,
+            ..Default::default()
+        };
+        assert_ne!(
+            SummaryKey::of(&e, MapMode::Abstract, &cfg()),
+            SummaryKey::of(&e, MapMode::Abstract, &small),
+            "window size shapes the summary"
+        );
+    }
+
+    #[test]
+    fn lpm_and_equivalent_exact_share_a_tables_key() {
+        let mut a = elements::dec_ttl::dec_ttl();
+        a.tables
+            .push((dpir::MapId(0), TableConfig::Lpm(vec![(10, 8, 7)])));
+        let mut b = elements::dec_ttl::dec_ttl();
+        b.tables
+            .push((dpir::MapId(0), TableConfig::Exact(vec![(10, 7)])));
+        assert_eq!(
+            SummaryKey::of(&a, MapMode::Tables, &cfg()),
+            SummaryKey::of(&b, MapMode::Tables, &cfg()),
+            "the key hashes what execution consumes (as_pairs)"
+        );
     }
 }

@@ -1,0 +1,340 @@
+//! Content-addressed summary store and fleet tests: key hashing,
+//! deterministic (byte-identical) rebasing, store-on vs store-off
+//! verdict/counterexample/path equivalence for both engines, and
+//! fleet scheduling determinism.
+
+use bvsolve::TermPool;
+use dataplane::Pipeline;
+use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
+use elements::pipelines::{to_pipeline, ROUTER_IP};
+use std::sync::Arc;
+use symexec::SymConfig;
+use verifier::fleet::Fleet;
+use verifier::{
+    summarize_pipeline, summarize_pipeline_with_store, MapMode, Property, SummaryKey, SummaryStore,
+    Verifier, VerifyConfig, VerifyReport,
+};
+
+fn cfg() -> VerifyConfig {
+    VerifyConfig {
+        sym: SymConfig {
+            max_pkt_bytes: 48,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Router front: preproc, TTL, options loop (crash disproof, bounded
+/// proof — both engines exercise suspects and refutations).
+fn router() -> Pipeline {
+    to_pipeline(
+        "router",
+        vec![
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+            elements::dec_ttl::dec_ttl(),
+            elements::ip_options::ip_options(2, Some(ROUTER_IP)),
+        ],
+    )
+}
+
+/// Click fragmenter bug #1 — a real bounded-execution disproof with a
+/// counterexample packet.
+fn click_bug1() -> Pipeline {
+    to_pipeline(
+        "edge+frag1",
+        vec![
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+            elements::ip_options::ip_options(1, Some(ROUTER_IP)),
+            ip_fragmenter(FragmenterVariant::ClickBug1, 40),
+        ],
+    )
+}
+
+/// A router variant whose only difference is the ip_lookup table
+/// contents (the fleet's config-variant shape).
+fn lookup_variant(routes: Vec<(u32, u32, u32)>) -> Pipeline {
+    to_pipeline(
+        "lookup",
+        vec![
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+            elements::ip_lookup::ip_lookup(2, routes),
+        ],
+    )
+}
+
+/// Renders the full step-1 result — var names/widths plus the Debug
+/// form of every stage (which includes every TermId) — so two pools
+/// can be compared for byte-identical construction.
+fn render(pool: &TermPool, sums: &verifier::PipelineSummaries) -> String {
+    let mut out = String::new();
+    for v in 0..pool.num_vars() as u32 {
+        out.push_str(&format!("{}:{};", pool.var_name(v), pool.var_width(v)));
+    }
+    for s in &sums.stages {
+        out.push_str(&format!("{s:?}\n"));
+    }
+    out
+}
+
+#[test]
+fn warm_store_rebases_byte_identically() {
+    let p = router();
+    let store = SummaryStore::new();
+    let c = cfg();
+
+    let mut cold_pool = TermPool::new();
+    let cold =
+        summarize_pipeline_with_store(&mut cold_pool, &p, &c.sym, MapMode::Abstract, &store, 1)
+            .expect("ok");
+    assert_eq!(cold.summary_misses, p.stages.len());
+    assert_eq!(cold.summary_hits, 0);
+
+    let mut warm_pool = TermPool::new();
+    let warm =
+        summarize_pipeline_with_store(&mut warm_pool, &p, &c.sym, MapMode::Abstract, &store, 1)
+            .expect("ok");
+    assert_eq!(warm.summary_hits, p.stages.len(), "fully served from cache");
+    assert_eq!(warm.summary_misses, 0);
+
+    // And a store-less run for the "store off" reference point.
+    let mut off_pool = TermPool::new();
+    let off = summarize_pipeline(&mut off_pool, &p, &c.sym, MapMode::Abstract).expect("ok");
+
+    let cold_r = render(&cold_pool, &cold);
+    assert_eq!(
+        cold_r,
+        render(&warm_pool, &warm),
+        "hit == miss, byte for byte"
+    );
+    assert_eq!(cold_r, render(&off_pool, &off), "store on == store off");
+}
+
+#[test]
+fn warm_store_rebases_byte_identically_threaded() {
+    let p = router();
+    let store = SummaryStore::new();
+    let c = cfg();
+    let mut a_pool = TermPool::new();
+    let a = summarize_pipeline_with_store(&mut a_pool, &p, &c.sym, MapMode::Tables, &store, 4)
+        .expect("ok");
+    let mut b_pool = TermPool::new();
+    let b = summarize_pipeline_with_store(&mut b_pool, &p, &c.sym, MapMode::Tables, &store, 4)
+        .expect("ok");
+    assert_eq!(b.summary_hits, p.stages.len());
+    assert_eq!(render(&a_pool, &a), render(&b_pool, &b));
+    // threads(4) == threads(1): the rebase phase is sequential.
+    let mut s_pool = TermPool::new();
+    let s = summarize_pipeline_with_store(
+        &mut s_pool,
+        &p,
+        &c.sym,
+        MapMode::Tables,
+        &SummaryStore::new(),
+        1,
+    )
+    .expect("ok");
+    assert_eq!(render(&a_pool, &a), render(&s_pool, &s));
+}
+
+#[test]
+fn table_contents_change_the_key() {
+    let a = lookup_variant(vec![(0x0A00_0000, 8, 0)]).stages[2]
+        .element
+        .clone();
+    let b = lookup_variant(vec![(0x0B00_0000, 8, 1)]).stages[2]
+        .element
+        .clone();
+    let c = cfg();
+    assert_eq!(
+        SummaryKey::of(&a, MapMode::Abstract, &c.sym),
+        SummaryKey::of(&b, MapMode::Abstract, &c.sym),
+        "abstract summaries are table-blind: variants share them"
+    );
+    assert_ne!(
+        SummaryKey::of(&a, MapMode::Tables, &c.sym),
+        SummaryKey::of(&b, MapMode::Tables, &c.sym),
+        "tables-mode summaries are keyed by contents"
+    );
+    // Same contents ⇒ same key, both modes.
+    let a2 = lookup_variant(vec![(0x0A00_0000, 8, 0)]).stages[2]
+        .element
+        .clone();
+    assert_eq!(
+        SummaryKey::of(&a, MapMode::Tables, &c.sym),
+        SummaryKey::of(&a2, MapMode::Tables, &c.sym),
+    );
+}
+
+/// Proof status, trace, description, *and bytes* — sessions share the
+/// deterministic master-pool construction, so everything must match.
+fn assert_identical_reports(a: &VerifyReport, b: &VerifyReport, what: &str) {
+    match (&a.verdict, &b.verdict) {
+        (verifier::Verdict::Disproved(x), verifier::Verdict::Disproved(y)) => {
+            assert_eq!(x.bytes, y.bytes, "{what}: counterexample bytes");
+            assert_eq!(x.trace, y.trace, "{what}: trace");
+            assert_eq!(x.description, y.description, "{what}: description");
+        }
+        (verifier::Verdict::Proved, verifier::Verdict::Proved) => {}
+        (verifier::Verdict::Unknown(x), verifier::Verdict::Unknown(y)) => {
+            assert_eq!(x, y, "{what}: unknown reason");
+        }
+        (x, y) => panic!("{what}: verdicts diverge: {x:?} vs {y:?}"),
+    }
+    assert_eq!(a.step1_states, b.step1_states, "{what}: step-1 states");
+    assert_eq!(a.composed_paths, b.composed_paths, "{what}: composed paths");
+}
+
+#[test]
+fn store_on_off_identical_verdicts_seq_and_par() {
+    let props = [Property::CrashFreedom, Property::Bounded { imax: 5_000 }];
+    for threads in [1usize, 4] {
+        for p in [router(), click_bug1()] {
+            // Store off: a session's default private store, cold.
+            let mut off = Verifier::new(&p).config(cfg()).threads(threads);
+            let off_reports = off.check_all(&props);
+
+            // Store on: a store pre-warmed by a full unrelated session.
+            let store = SummaryStore::shared();
+            let mut warmer = Verifier::new(&p)
+                .config(cfg())
+                .with_store(Arc::clone(&store));
+            let _ = warmer.check_all(&props);
+            assert!(store.misses() > 0, "warmer populated the store");
+
+            let mut on = Verifier::new(&p)
+                .config(cfg())
+                .threads(threads)
+                .with_store(Arc::clone(&store));
+            let on_reports = on.check_all(&props);
+
+            let hits_before = store.hits();
+            assert!(hits_before > 0, "warm session hit the store");
+
+            for (a, b) in off_reports.iter().zip(&on_reports) {
+                assert_identical_reports(
+                    a.as_verify().expect("verify"),
+                    b.as_verify().expect("verify"),
+                    &format!("{} threads={threads}", p.name),
+                );
+            }
+            // The building check reports its cache traffic.
+            let first = on_reports[0].as_verify().expect("verify");
+            assert_eq!(first.summary.hits, p.stages.len(), "all stages rebased");
+            assert_eq!(first.summary.misses, 0);
+            assert!(first.summary.store_size > 0);
+            // The cache-warm check (same mode) reports zero, like
+            // step1_time.
+            let second = on_reports[1].as_verify().expect("verify");
+            assert_eq!(second.summary.hits + second.summary.misses, 0);
+        }
+    }
+}
+
+#[test]
+fn report_json_carries_summary_counters() {
+    let p = router();
+    let store = SummaryStore::shared();
+    let mut v = Verifier::new(&p)
+        .config(cfg())
+        .with_store(Arc::clone(&store));
+    let r = v.check(Property::CrashFreedom);
+    let json = r.to_json();
+    assert!(
+        json.contains("\"summary\":{\"hits\":0,\"misses\":4,\"store_size\":4}"),
+        "cold session executes every stage: {json}"
+    );
+    let mut v2 = Verifier::new(&p)
+        .config(cfg())
+        .with_store(Arc::clone(&store));
+    let r2 = v2.check(Property::CrashFreedom);
+    assert!(
+        r2.to_json()
+            .contains("\"summary\":{\"hits\":4,\"misses\":0,\"store_size\":4}"),
+        "warm session is all hits: {}",
+        r2.to_json()
+    );
+}
+
+#[test]
+fn fleet_matches_individual_sessions_and_is_schedule_independent() {
+    let fibs: Vec<Vec<(u32, u32, u32)>> = (0..4)
+        .map(|i| vec![(0x0A00_0000 + (i << 16), 16, i), (0x0B00_0000, 8, 9)])
+        .collect();
+    let props = [Property::CrashFreedom, Property::Bounded { imax: 5_000 }];
+
+    let build_fleet = |threads: usize, share: bool| {
+        let mut fleet = Fleet::new()
+            .config(cfg())
+            .threads(threads)
+            .share_store(share);
+        for (i, fib) in fibs.iter().enumerate() {
+            fleet = fleet.variant(format!("fib-{i}"), lookup_variant(fib.clone()));
+        }
+        fleet.properties(&props).run()
+    };
+
+    let seq = build_fleet(1, true);
+    let par = build_fleet(4, true);
+    let isolated = build_fleet(4, false);
+
+    assert!(
+        seq.summary_hits > 0,
+        "variants share elements: the store must hit"
+    );
+    assert_eq!(
+        isolated.summary_hits, 0,
+        "share_store(false) never touches the fleet store"
+    );
+
+    // Reference: one private session per (variant, property).
+    for (i, fib) in fibs.iter().enumerate() {
+        let p = lookup_variant(fib.clone());
+        let mut v = Verifier::new(&p).config(cfg());
+        for (j, prop) in props.iter().enumerate() {
+            let reference = v.check(prop.clone());
+            for fleet_run in [&seq, &par, &isolated] {
+                assert_identical_reports(
+                    reference.as_verify().expect("verify"),
+                    fleet_run.variants[i].reports[j]
+                        .as_verify()
+                        .expect("verify"),
+                    &format!("variant {i} prop {j}"),
+                );
+            }
+        }
+    }
+
+    // Aggregates agree across schedules.
+    assert_eq!(seq.disproved(), par.disproved());
+    assert_eq!(seq.all_proved(), par.all_proved());
+    let json = seq.to_json();
+    assert!(json.contains("\"kind\":\"fleet\""), "{json}");
+    assert!(json.contains("\"summary_hits\""), "{json}");
+    assert!(json.contains("fib-3"), "{json}");
+}
+
+#[test]
+fn fleet_abstract_checks_share_across_table_variants() {
+    // Variants differing ONLY in table contents: abstract-mode keys
+    // ignore tables, so after variant 0 every abstract stage hits.
+    let fibs: Vec<Vec<(u32, u32, u32)>> = (0..3).map(|i| vec![(0x0A00_0000, 8, i)]).collect();
+    let mut fleet = Fleet::new().config(cfg()).threads(1);
+    for (i, fib) in fibs.iter().enumerate() {
+        fleet = fleet.variant(format!("v{i}"), lookup_variant(fib.clone()));
+    }
+    let report = fleet.properties(&[Property::CrashFreedom]).run();
+    let stages = 3;
+    assert_eq!(
+        report.summary_misses as usize, stages,
+        "step 1 executes once per distinct element, not per variant"
+    );
+    assert_eq!(
+        report.summary_hits as usize,
+        (fibs.len() - 1) * stages,
+        "every later variant is all hits"
+    );
+}

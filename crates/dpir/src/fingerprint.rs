@@ -1,0 +1,137 @@
+//! Stable structural fingerprints for content addressing.
+//!
+//! The verifier's summary store keys cached step-1 summaries by *what
+//! was executed*: the element's IR program, the map-model mode, and
+//! the table configuration it was executed against. That key has to
+//! be a pure function of structure — two [`Program`]s that compare
+//! equal must fingerprint equal, in any process, regardless of
+//! allocation order or `HashMap` seeding.
+//!
+//! [`StableHasher`] provides that: an FNV-1a implementation of
+//! [`std::hash::Hasher`] with no per-process state, so the derived
+//! [`std::hash::Hash`] impls of the IR types feed it a canonical byte
+//! stream (enum discriminants in declaration order, fields in
+//! declaration order). [`Program::fingerprint`] combines two
+//! independently-seeded passes into a 128-bit value, making accidental
+//! collisions across a fleet of element variants negligible.
+
+use crate::program::Program;
+use std::hash::{Hash, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic, seedable FNV-1a [`Hasher`].
+///
+/// Unlike [`std::collections::hash_map::DefaultHasher`], the output
+/// depends only on the byte stream and the seed — never on process
+/// randomization — so it is usable for content addressing. It is
+/// *not* collision resistant against adversaries; the summary store
+/// widens it to 128 bits ([`fingerprint128`]) which is ample for
+/// trusted inputs.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    /// A hasher with the standard FNV-1a offset basis.
+    pub fn new() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+
+    /// A hasher whose initial state is perturbed by `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        let mut h = StableHasher(FNV_OFFSET);
+        h.write_u64(seed);
+        h
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// 128-bit stable fingerprint of any `Hash` value: two independently
+/// seeded [`StableHasher`] passes over the same canonical stream.
+pub fn fingerprint128<T: Hash + ?Sized>(value: &T) -> u128 {
+    let mut lo = StableHasher::with_seed(0x5eed_0000_0000_0001);
+    let mut hi = StableHasher::with_seed(0x5eed_0000_0000_0002);
+    value.hash(&mut lo);
+    value.hash(&mut hi);
+    ((hi.finish() as u128) << 64) | lo.finish() as u128
+}
+
+impl Program {
+    /// A stable 128-bit structural fingerprint of the program: name,
+    /// blocks (instructions + terminators), register widths, map
+    /// declarations and assert messages. Equal programs fingerprint
+    /// equal in any process; the verifier's summary store uses this to
+    /// content-address step-1 summaries, which is sound because
+    /// symbolic execution of a program is deterministic (see
+    /// `symexec::execute`).
+    pub fn fingerprint(&self) -> u128 {
+        fingerprint128(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn sample(imm: u64) -> Program {
+        let mut b = ProgramBuilder::new("sample");
+        let v = b.pkt_load(8, 0u64);
+        let c = b.ult(8, v, imm);
+        let (t, e) = b.fork(c);
+        let _ = t;
+        b.emit(0);
+        b.switch_to(e);
+        b.drop_();
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn equal_programs_fingerprint_equal() {
+        assert_eq!(sample(10).fingerprint(), sample(10).fingerprint());
+    }
+
+    #[test]
+    fn structural_change_changes_fingerprint() {
+        assert_ne!(sample(10).fingerprint(), sample(11).fingerprint());
+    }
+
+    #[test]
+    fn name_participates() {
+        let mut p = sample(10);
+        p.name = "renamed".into();
+        assert_ne!(p.fingerprint(), sample(10).fingerprint());
+    }
+
+    #[test]
+    fn hasher_is_seed_sensitive_and_stable() {
+        let mut a = StableHasher::with_seed(1);
+        let mut b = StableHasher::with_seed(1);
+        let mut c = StableHasher::with_seed(2);
+        use std::hash::Hasher;
+        for h in [&mut a, &mut b, &mut c] {
+            h.write(b"payload");
+        }
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), c.finish());
+    }
+}

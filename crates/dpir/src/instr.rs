@@ -5,7 +5,7 @@ use std::fmt;
 
 /// An instruction operand: a register or an immediate (width comes from
 /// the instruction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// A register.
     Reg(Reg),
@@ -137,7 +137,7 @@ impl fmt::Display for CrashReason {
 }
 
 /// A straight-line instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// `dst = a op b` at width `w`.
     Bin {
@@ -286,7 +286,7 @@ pub enum Instr {
 }
 
 /// A block terminator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod fingerprint;
 pub mod instr;
 pub mod interp;
 pub mod pretty;
@@ -43,6 +44,7 @@ pub mod program;
 pub mod types;
 
 pub use builder::ProgramBuilder;
+pub use fingerprint::{fingerprint128, StableHasher};
 pub use instr::{BinOp, CastKind, CrashReason, Instr, Operand, Terminator, UnOp};
 pub use interp::{run_program, ExecOutcome, ExecResult, MapRuntime, NullMapRuntime, PacketData};
 pub use program::{Block, MapDecl, Program, ValidateError};

@@ -10,7 +10,7 @@ use std::fmt;
 /// capacity hint. The backing structure (chained-array hash table,
 /// flattened LPM, …) is chosen by the dataplane at link time — the
 /// paper's Condition 2/3 separation of interface from implementation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MapDecl {
     /// Debug name (e.g. `"nat_flows"`).
     pub name: String,
@@ -28,7 +28,7 @@ pub struct MapDecl {
 }
 
 /// A basic block: straight-line instructions plus one terminator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Block {
     /// Instructions, executed in order.
     pub instrs: Vec<Instr>,
@@ -37,7 +37,7 @@ pub struct Block {
 }
 
 /// A complete IR program (one packet-processing element or loop body).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Program {
     /// Debug name (e.g. `"CheckIPHeader"`).
     pub name: String,

@@ -1,4 +1,23 @@
 //! The symbolic interpreter: one IR program → all feasible segments.
+//!
+//! ## Determinism guarantee
+//!
+//! [`execute`] is a pure function of its inputs: for identical
+//! `(prog, input, cfg)` and a map model that behaves identically (the
+//! stock models in [`crate::mapmodel`] are deterministic), two runs
+//! starting from identical [`TermPool`] states perform **the same
+//! sequence of pool operations** — same variables in the same creation
+//! order, same terms, same segments with the same [`bvsolve::TermId`]s.
+//! The worklist is an explicit LIFO `Vec`, branch feasibility is
+//! decided by the deterministic layered solver, and no step iterates a
+//! hash map, so there is no hidden ordering to vary between runs.
+//!
+//! The verifier's content-addressed summary store depends on this: it
+//! keys step-1 summaries by a structural hash of
+//! `(program, map mode, table config)` and replays a cached summary by
+//! pool migration, which is indistinguishable from re-executing only
+//! because execution is reproducible. `crates/symexec/tests/`
+//! `determinism.rs` pins the guarantee.
 
 use crate::input::{SymConfig, SymInput};
 use crate::mapmodel::MapModel;
