@@ -19,6 +19,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod gen;
+
 use std::time::{Duration, Instant};
 use symexec::SymConfig;
 use verifier::VerifyConfig;

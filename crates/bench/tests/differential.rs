@@ -1,0 +1,181 @@
+//! Differential testing of the verifier across every mode toggle.
+//!
+//! One generated pipeline ([`dpv_bench::gen`]) is checked under six
+//! configurations — sequential baseline, `threads(4)`, incremental
+//! off, core-pruning off, summary store on, and everything off — and
+//! the reports must agree:
+//!
+//! * verdict labels are identical in every mode (and match whether the
+//!   generator planted a violation);
+//! * counterexample **bytes**, description and violating trace are
+//!   byte-identical in every mode;
+//! * `composed_paths` is identical across all sequential modes, and
+//!   identical to the parallel run on proved pipelines (on disproved
+//!   runs parallel workers may legitimately over-count tasks started
+//!   before the violation cutoff propagates — see
+//!   `verifier::parallel`'s module docs).
+//!
+//! `differential_smoke` keeps debug-mode tier-1 fast by shrinking the
+//! pipelines; `differential_full` is the paper-scale matrix (20 seeds,
+//! 50+ stages) and is `#[ignore]`d so CI runs it explicitly in release
+//! (`cargo test --release -p dpv-bench -- --ignored`).
+
+use dpv_bench::gen::{deep_pipeline_with, gen_verify_config, GenConfig, Generated};
+use verifier::{Property, Report, SummaryStore, Verdict, Verifier, VerifyReport};
+
+struct Mode {
+    name: &'static str,
+    threads: usize,
+    incremental: bool,
+    pruning: bool,
+    store: bool,
+}
+
+const MODES: [Mode; 6] = [
+    Mode {
+        name: "seq",
+        threads: 1,
+        incremental: true,
+        pruning: true,
+        store: false,
+    },
+    Mode {
+        name: "threads4",
+        threads: 4,
+        incremental: true,
+        pruning: true,
+        store: false,
+    },
+    Mode {
+        name: "fresh-solver",
+        threads: 1,
+        incremental: false,
+        pruning: true,
+        store: false,
+    },
+    Mode {
+        name: "no-pruning",
+        threads: 1,
+        incremental: true,
+        pruning: false,
+        store: false,
+    },
+    Mode {
+        name: "store",
+        threads: 1,
+        incremental: true,
+        pruning: true,
+        store: true,
+    },
+    Mode {
+        name: "bare",
+        threads: 1,
+        incremental: false,
+        pruning: false,
+        store: false,
+    },
+];
+
+fn run_mode(g: &Generated, m: &Mode) -> VerifyReport {
+    let mut cfg = gen_verify_config();
+    cfg.incremental = m.incremental;
+    cfg.core_pruning = m.pruning;
+    let mut v = Verifier::new(&g.pipeline).config(cfg).threads(m.threads);
+    if m.store {
+        v = v.with_store(SummaryStore::shared());
+    }
+    match v.check(Property::CrashFreedom) {
+        Report::Verify(r) => r,
+        other => panic!("expected a verify report, got {other:?}"),
+    }
+}
+
+/// The comparable payload of a counterexample: packet bytes,
+/// description, and the `(stage, segment)` trace.
+type CexPayload = (Vec<u8>, String, Vec<(usize, usize)>);
+
+fn cex_of(rep: &VerifyReport) -> Option<CexPayload> {
+    match &rep.verdict {
+        Verdict::Disproved(cex) => Some((
+            cex.bytes.clone(),
+            cex.description.clone(),
+            cex.trace.clone(),
+        )),
+        _ => None,
+    }
+}
+
+fn check_seed(seed: u64, cfg: GenConfig) {
+    let g = deep_pipeline_with(seed, cfg);
+    let expected = if g.planted { "disproved" } else { "proved" };
+    let baseline = run_mode(&g, &MODES[0]);
+    assert_eq!(
+        baseline.verdict.label(),
+        expected,
+        "seed {seed}: baseline verdict"
+    );
+    let base_cex = cex_of(&baseline);
+    for m in &MODES[1..] {
+        let rep = run_mode(&g, m);
+        assert_eq!(
+            rep.verdict.label(),
+            baseline.verdict.label(),
+            "seed {seed}: verdict diverged in mode {}",
+            m.name
+        );
+        assert_eq!(
+            cex_of(&rep),
+            base_cex,
+            "seed {seed}: counterexample diverged in mode {}",
+            m.name
+        );
+        if m.threads == 1 || base_cex.is_none() {
+            assert_eq!(
+                rep.composed_paths, baseline.composed_paths,
+                "seed {seed}: composed_paths diverged in mode {}",
+                m.name
+            );
+        }
+    }
+}
+
+/// Debug-friendly matrix: four seeds (proved and disproved mixes) at
+/// reduced stage count, so plain `cargo test` stays quick.
+#[test]
+fn differential_smoke() {
+    for seed in [0u64, 1, 2, 3] {
+        let mut cfg = GenConfig::from_seed(seed);
+        cfg.stages = 20;
+        cfg.rounds = 2;
+        check_seed(seed, cfg);
+    }
+}
+
+/// The paper-scale matrix: 20 generated pipelines of 50+ stages, all
+/// six modes each. Run explicitly in release:
+/// `cargo test --release -p dpv-bench -- --ignored`.
+#[test]
+#[ignore = "paper-scale matrix; run in release via -- --ignored"]
+fn differential_full() {
+    let mut proved = 0usize;
+    let mut disproved = 0usize;
+    for seed in 0u64..20 {
+        let mut cfg = GenConfig::from_seed(seed);
+        // Bound the stage count: solver cost on proved pipelines grows
+        // superlinearly with depth, and the matrix is 6 runs per seed.
+        cfg.stages = 50 + (seed as usize * 7) % 11;
+        cfg.rounds = 2;
+        if cfg.plant_violation {
+            disproved += 1;
+        } else {
+            proved += 1;
+        }
+        check_seed(seed, cfg);
+    }
+    // The matrix must exercise both outcomes.
+    assert!(proved >= 5, "want a healthy proved mix, got {proved}");
+    assert!(
+        disproved >= 5,
+        "want a healthy disproved mix, got {disproved}"
+    );
+}

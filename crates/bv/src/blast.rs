@@ -319,12 +319,70 @@ impl Blaster {
     // --- term lowering ---------------------------------------------------
 
     /// Lowers `t` to its bit vector (LSB first), memoized.
+    ///
+    /// Iterative over an explicit visit/build work stack (the
+    /// `Migrator::import` idiom): deep generic-mode constraint terms
+    /// blast within a bounded thread stack. The word-level circuits
+    /// called per node are themselves loops, so no path here recurses
+    /// on term depth.
     pub fn blast(&mut self, pool: &TermPool, t: TermId) -> Vec<Lit> {
         if let Some(b) = self.bits.get(&t) {
             return b.clone();
         }
+        enum Step {
+            Visit(TermId),
+            Build(TermId),
+        }
+        let mut stack = vec![Step::Visit(t)];
+        while let Some(step) = stack.pop() {
+            match step {
+                Step::Visit(x) => {
+                    if self.bits.contains_key(&x) {
+                        continue;
+                    }
+                    match *pool.get(x) {
+                        // Leaves build immediately.
+                        Term::Const { .. } | Term::Var { .. } => {
+                            stack.push(Step::Build(x));
+                        }
+                        Term::Unary(_, c) | Term::ZExt(c, _) | Term::SExt(c, _) => {
+                            stack.push(Step::Build(x));
+                            stack.push(Step::Visit(c));
+                        }
+                        Term::Extract { arg, .. } => {
+                            stack.push(Step::Build(x));
+                            stack.push(Step::Visit(arg));
+                        }
+                        Term::Binary(_, c, d) | Term::Concat(c, d) => {
+                            stack.push(Step::Build(x));
+                            stack.push(Step::Visit(c));
+                            stack.push(Step::Visit(d));
+                        }
+                        Term::Ite(c, d, e) => {
+                            stack.push(Step::Build(x));
+                            stack.push(Step::Visit(c));
+                            stack.push(Step::Visit(d));
+                            stack.push(Step::Visit(e));
+                        }
+                    }
+                }
+                Step::Build(x) => {
+                    if self.bits.contains_key(&x) {
+                        continue;
+                    }
+                    let out = self.build_bits(pool, x);
+                    debug_assert_eq!(out.len(), pool.width(x) as usize, "blasted width mismatch");
+                    self.bits.insert(x, out);
+                }
+            }
+        }
+        self.bits[&t].clone()
+    }
+
+    /// Lowers one node whose children are already in `self.bits`.
+    fn build_bits(&mut self, pool: &TermPool, t: TermId) -> Vec<Lit> {
         let w = pool.width(t) as usize;
-        let out: Vec<Lit> = match *pool.get(t) {
+        match *pool.get(t) {
             Term::Const { value, .. } => self.const_bits(value, w),
             Term::Var { id, .. } => {
                 if let Some(b) = self.var_bits.get(&id) {
@@ -336,7 +394,7 @@ impl Blaster {
                 }
             }
             Term::Unary(op, a) => {
-                let av = self.blast(pool, a);
+                let av = self.bits[&a].clone();
                 match op {
                     UnOp::Not => av.iter().map(|&l| !l).collect(),
                     UnOp::Neg => self.neg_vec(&av),
@@ -344,8 +402,8 @@ impl Blaster {
             }
             Term::Binary(op, a, b) => {
                 use crate::term::BinOp::*;
-                let av = self.blast(pool, a);
-                let bv = self.blast(pool, b);
+                let av = self.bits[&a].clone();
+                let bv = self.bits[&b].clone();
                 match op {
                     Add => self.add_vec(&av, &bv),
                     Sub => self.sub_vec(&av, &bv),
@@ -371,42 +429,36 @@ impl Blaster {
                 }
             }
             Term::Ite(c, a, b) => {
-                let cv = self.blast(pool, c)[0];
-                let av = self.blast(pool, a);
-                let bv = self.blast(pool, b);
+                let cv = self.bits[&c][0];
+                let av = self.bits[&a].clone();
+                let bv = self.bits[&b].clone();
                 (0..av.len())
                     .map(|i| self.g_ite(cv, av[i], bv[i]))
                     .collect()
             }
             Term::ZExt(a, wid) => {
-                let mut av = self.blast(pool, a);
+                let mut av = self.bits[&a].clone();
                 while av.len() < wid as usize {
                     av.push(self.false_lit());
                 }
                 av
             }
             Term::SExt(a, wid) => {
-                let mut av = self.blast(pool, a);
+                let mut av = self.bits[&a].clone();
                 let sign = av[av.len() - 1];
                 while av.len() < wid as usize {
                     av.push(sign);
                 }
                 av
             }
-            Term::Extract { hi, lo, arg } => {
-                let av = self.blast(pool, arg);
-                av[lo as usize..=hi as usize].to_vec()
-            }
+            Term::Extract { hi, lo, arg } => self.bits[&arg][lo as usize..=hi as usize].to_vec(),
             Term::Concat(hi, lo) => {
-                let hv = self.blast(pool, hi);
-                let mut lv = self.blast(pool, lo);
+                let hv = self.bits[&hi].clone();
+                let mut lv = self.bits[&lo].clone();
                 lv.extend(hv);
                 lv
             }
-        };
-        debug_assert_eq!(out.len(), w, "blasted width mismatch");
-        self.bits.insert(t, out.clone());
-        out
+        }
     }
 
     /// Asserts that the width-1 term `t` is true.

@@ -32,59 +32,90 @@ impl Assignment {
     }
 }
 
-/// Evaluates `t` under `a`. Unassigned variables read as 0.
-pub fn eval(pool: &TermPool, t: TermId, a: &Assignment) -> u64 {
-    let mut memo: HashMap<TermId, u64> = HashMap::new();
-    eval_memo(pool, t, a, &mut memo)
+/// The explicit work-stack step shared by the iterative DAG walks in
+/// this crate (the `Migrator::import` idiom): `Visit` schedules a
+/// node's children, `Build` combines their memoized results. Heap
+/// depth replaces call-stack depth, so arbitrarily deep terms never
+/// overflow the thread stack.
+enum Step {
+    Visit(TermId),
+    Build(TermId),
 }
 
-fn eval_memo(pool: &TermPool, t: TermId, a: &Assignment, memo: &mut HashMap<TermId, u64>) -> u64 {
-    if let Some(&v) = memo.get(&t) {
-        return v;
+/// Evaluates `t` under `a`. Unassigned variables read as 0.
+///
+/// Iterative over an explicit work stack: safe on arbitrarily deep
+/// term DAGs (deep generic-mode constraints reach depths far beyond
+/// the default thread stack).
+pub fn eval(pool: &TermPool, t: TermId, a: &Assignment) -> u64 {
+    let mut memo: HashMap<TermId, u64> = HashMap::new();
+    let mut stack = vec![Step::Visit(t)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Visit(x) => {
+                if memo.contains_key(&x) {
+                    continue;
+                }
+                match *pool.get(x) {
+                    Term::Const { value, .. } => {
+                        memo.insert(x, value);
+                    }
+                    Term::Var { id, width } => {
+                        memo.insert(x, mask(width, a.get(id)));
+                    }
+                    Term::Unary(_, c) | Term::ZExt(c, _) | Term::SExt(c, _) => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(c));
+                    }
+                    Term::Extract { arg, .. } => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(arg));
+                    }
+                    Term::Binary(_, c, d) | Term::Concat(c, d) => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(c));
+                        stack.push(Step::Visit(d));
+                    }
+                    Term::Ite(c, d, e) => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(c));
+                        stack.push(Step::Visit(d));
+                        stack.push(Step::Visit(e));
+                    }
+                }
+            }
+            Step::Build(x) => {
+                if memo.contains_key(&x) {
+                    continue;
+                }
+                let w = pool.width(x);
+                let v = match *pool.get(x) {
+                    Term::Const { .. } | Term::Var { .. } => unreachable!("handled in Visit"),
+                    Term::Unary(op, c) => {
+                        let cv = memo[&c];
+                        match op {
+                            UnOp::Not => mask(w, !cv),
+                            UnOp::Neg => mask(w, cv.wrapping_neg()),
+                        }
+                    }
+                    Term::Binary(op, c, d) => eval_binop(op, pool.width(c), memo[&c], memo[&d]),
+                    Term::Ite(c, d, e) => {
+                        if memo[&c] == 1 {
+                            memo[&d]
+                        } else {
+                            memo[&e]
+                        }
+                    }
+                    Term::ZExt(c, _) => memo[&c],
+                    Term::SExt(c, wid) => mask(wid, sext64(pool.width(c), memo[&c]) as u64),
+                    Term::Extract { hi, lo, arg } => mask(hi - lo + 1, memo[&arg] >> lo),
+                    Term::Concat(hi, lo) => (memo[&hi] << pool.width(lo)) | memo[&lo],
+                };
+                memo.insert(x, v);
+            }
+        }
     }
-    let w = pool.width(t);
-    let v = match *pool.get(t) {
-        Term::Const { value, .. } => value,
-        Term::Var { id, width } => mask(width, a.get(id)),
-        Term::Unary(op, x) => {
-            let xv = eval_memo(pool, x, a, memo);
-            match op {
-                UnOp::Not => mask(w, !xv),
-                UnOp::Neg => mask(w, xv.wrapping_neg()),
-            }
-        }
-        Term::Binary(op, x, y) => {
-            let xw = pool.width(x);
-            let xv = eval_memo(pool, x, a, memo);
-            let yv = eval_memo(pool, y, a, memo);
-            eval_binop(op, xw, xv, yv)
-        }
-        Term::Ite(c, x, y) => {
-            if eval_memo(pool, c, a, memo) == 1 {
-                eval_memo(pool, x, a, memo)
-            } else {
-                eval_memo(pool, y, a, memo)
-            }
-        }
-        Term::ZExt(x, _) => eval_memo(pool, x, a, memo),
-        Term::SExt(x, wid) => {
-            let xw = pool.width(x);
-            let xv = eval_memo(pool, x, a, memo);
-            mask(wid, sext64(xw, xv) as u64)
-        }
-        Term::Extract { hi, lo, arg } => {
-            let xv = eval_memo(pool, arg, a, memo);
-            mask(hi - lo + 1, xv >> lo)
-        }
-        Term::Concat(hi, lo) => {
-            let lw = pool.width(lo);
-            let hv = eval_memo(pool, hi, a, memo);
-            let lv = eval_memo(pool, lo, a, memo);
-            (hv << lw) | lv
-        }
-    };
-    memo.insert(t, v);
-    v
+    memo[&t]
 }
 
 /// The concrete semantics of a binary operator on `w`-bit operands.
@@ -135,65 +166,98 @@ pub(crate) fn eval_binop(op: BinOp, w: u32, x: u64, y: u64) -> u64 {
 /// composition primitive of verification step 2: substituting element
 /// A's output terms for element B's input variables yields
 /// `C_B(S_A(in))` exactly as in the paper's §3.1 walkthrough.
+///
+/// Iterative over an explicit visit/build work stack (the
+/// `Migrator::import` idiom), so composition never recurses on term
+/// depth — deep pipelines compose within a bounded thread stack.
 pub fn substitute(pool: &mut TermPool, t: TermId, map: &HashMap<u32, TermId>) -> TermId {
     let mut memo: HashMap<TermId, TermId> = HashMap::new();
-    subst_memo(pool, t, map, &mut memo)
-}
-
-fn subst_memo(
-    pool: &mut TermPool,
-    t: TermId,
-    map: &HashMap<u32, TermId>,
-    memo: &mut HashMap<TermId, TermId>,
-) -> TermId {
-    if let Some(&r) = memo.get(&t) {
-        return r;
-    }
-    let node = pool.get(t).clone();
-    let r = match node {
-        Term::Const { .. } => t,
-        Term::Var { id, width } => match map.get(&id) {
-            Some(&rep) => {
-                debug_assert_eq!(pool.width(rep), width, "substitution width mismatch");
-                rep
+    let mut stack = vec![Step::Visit(t)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Visit(x) => {
+                if memo.contains_key(&x) {
+                    continue;
+                }
+                match *pool.get(x) {
+                    Term::Const { .. } => {
+                        memo.insert(x, x);
+                    }
+                    Term::Var { id, width } => {
+                        let r = match map.get(&id) {
+                            Some(&rep) => {
+                                debug_assert_eq!(
+                                    pool.width(rep),
+                                    width,
+                                    "substitution width mismatch"
+                                );
+                                rep
+                            }
+                            None => x,
+                        };
+                        memo.insert(x, r);
+                    }
+                    Term::Unary(_, c) | Term::ZExt(c, _) | Term::SExt(c, _) => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(c));
+                    }
+                    Term::Extract { arg, .. } => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(arg));
+                    }
+                    Term::Binary(_, c, d) | Term::Concat(c, d) => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(c));
+                        stack.push(Step::Visit(d));
+                    }
+                    Term::Ite(c, d, e) => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(c));
+                        stack.push(Step::Visit(d));
+                        stack.push(Step::Visit(e));
+                    }
+                }
             }
-            None => t,
-        },
-        Term::Unary(op, a) => {
-            let a2 = subst_memo(pool, a, map, memo);
-            pool.mk_unary(op, a2)
+            Step::Build(x) => {
+                if memo.contains_key(&x) {
+                    continue;
+                }
+                let r = match *pool.get(x) {
+                    Term::Const { .. } | Term::Var { .. } => unreachable!("handled in Visit"),
+                    Term::Unary(op, c) => {
+                        let c2 = memo[&c];
+                        pool.mk_unary(op, c2)
+                    }
+                    Term::Binary(op, c, d) => {
+                        let (c2, d2) = (memo[&c], memo[&d]);
+                        pool.mk_binary(op, c2, d2)
+                    }
+                    Term::Ite(c, d, e) => {
+                        let (c2, d2, e2) = (memo[&c], memo[&d], memo[&e]);
+                        pool.mk_ite(c2, d2, e2)
+                    }
+                    Term::ZExt(c, w) => {
+                        let c2 = memo[&c];
+                        pool.mk_zext(c2, w)
+                    }
+                    Term::SExt(c, w) => {
+                        let c2 = memo[&c];
+                        pool.mk_sext(c2, w)
+                    }
+                    Term::Extract { hi, lo, arg } => {
+                        let a2 = memo[&arg];
+                        pool.mk_extract(a2, hi, lo)
+                    }
+                    Term::Concat(c, d) => {
+                        let (c2, d2) = (memo[&c], memo[&d]);
+                        pool.mk_concat(c2, d2)
+                    }
+                };
+                memo.insert(x, r);
+            }
         }
-        Term::Binary(op, a, b) => {
-            let a2 = subst_memo(pool, a, map, memo);
-            let b2 = subst_memo(pool, b, map, memo);
-            pool.mk_binary(op, a2, b2)
-        }
-        Term::Ite(c, a, b) => {
-            let c2 = subst_memo(pool, c, map, memo);
-            let a2 = subst_memo(pool, a, map, memo);
-            let b2 = subst_memo(pool, b, map, memo);
-            pool.mk_ite(c2, a2, b2)
-        }
-        Term::ZExt(a, w) => {
-            let a2 = subst_memo(pool, a, map, memo);
-            pool.mk_zext(a2, w)
-        }
-        Term::SExt(a, w) => {
-            let a2 = subst_memo(pool, a, map, memo);
-            pool.mk_sext(a2, w)
-        }
-        Term::Extract { hi, lo, arg } => {
-            let a2 = subst_memo(pool, arg, map, memo);
-            pool.mk_extract(a2, hi, lo)
-        }
-        Term::Concat(a, b) => {
-            let a2 = subst_memo(pool, a, map, memo);
-            let b2 = subst_memo(pool, b, map, memo);
-            pool.mk_concat(a2, b2)
-        }
-    };
-    memo.insert(t, r);
-    r
+    }
+    memo[&t]
 }
 
 #[cfg(test)]

@@ -40,92 +40,130 @@ impl Interval {
 }
 
 /// Computes a conservative unsigned interval for `t`.
+///
+/// Iterative over an explicit visit/build work stack: each node's
+/// interval is a pure function of its children's, so evaluating all
+/// children before combining yields exactly the recursive result
+/// (including for `Ite` with a decided condition, where the combine
+/// simply selects the taken branch's interval) while staying safe on
+/// arbitrarily deep term DAGs.
 pub fn interval_of(pool: &TermPool, t: TermId) -> Interval {
-    let mut memo = HashMap::new();
-    go(pool, t, &mut memo)
-}
-
-fn go(pool: &TermPool, t: TermId, memo: &mut HashMap<TermId, Interval>) -> Interval {
-    if let Some(&i) = memo.get(&t) {
-        return i;
+    enum Step {
+        Visit(TermId),
+        Build(TermId),
     }
-    let w = pool.width(t);
-    let full = Interval::full(w);
-    let r = match *pool.get(t) {
-        Term::Const { value, .. } => Interval::point(value),
-        Term::Var { width, .. } => Interval::full(width),
-        Term::Unary(op, a) => {
-            let ia = go(pool, a, memo);
-            match op {
-                // ¬[lo,hi] = [¬hi, ¬lo] within the width.
-                UnOp::Not => Interval {
-                    lo: mask(w, !ia.hi),
-                    hi: mask(w, !ia.lo),
-                },
-                UnOp::Neg => {
-                    if ia.is_point() {
-                        Interval::point(mask(w, ia.lo.wrapping_neg()))
-                    } else {
-                        full
+    let mut memo: HashMap<TermId, Interval> = HashMap::new();
+    let mut stack = vec![Step::Visit(t)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Visit(x) => {
+                if memo.contains_key(&x) {
+                    continue;
+                }
+                match *pool.get(x) {
+                    Term::Const { value, .. } => {
+                        memo.insert(x, Interval::point(value));
+                    }
+                    Term::Var { width, .. } => {
+                        memo.insert(x, Interval::full(width));
+                    }
+                    Term::Unary(_, c) | Term::ZExt(c, _) | Term::SExt(c, _) => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(c));
+                    }
+                    Term::Extract { arg, .. } => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(arg));
+                    }
+                    Term::Binary(_, c, d) | Term::Concat(c, d) => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(c));
+                        stack.push(Step::Visit(d));
+                    }
+                    Term::Ite(c, d, e) => {
+                        stack.push(Step::Build(x));
+                        stack.push(Step::Visit(c));
+                        stack.push(Step::Visit(d));
+                        stack.push(Step::Visit(e));
                     }
                 }
             }
-        }
-        Term::Binary(op, a, b) => {
-            let aw = pool.width(a);
-            let ia = go(pool, a, memo);
-            let ib = go(pool, b, memo);
-            binop_interval(op, aw, ia, ib)
-        }
-        Term::Ite(c, a, b) => {
-            let ic = go(pool, c, memo);
-            if ic == Interval::point(1) {
-                go(pool, a, memo)
-            } else if ic == Interval::point(0) {
-                go(pool, b, memo)
-            } else {
-                let ia = go(pool, a, memo);
-                let ib = go(pool, b, memo);
-                Interval {
-                    lo: ia.lo.min(ib.lo),
-                    hi: ia.hi.max(ib.hi),
+            Step::Build(x) => {
+                if memo.contains_key(&x) {
+                    continue;
                 }
+                let w = pool.width(x);
+                let full = Interval::full(w);
+                let r = match *pool.get(x) {
+                    Term::Const { .. } | Term::Var { .. } => unreachable!("handled in Visit"),
+                    Term::Unary(op, c) => {
+                        let ia = memo[&c];
+                        match op {
+                            // ¬[lo,hi] = [¬hi, ¬lo] within the width.
+                            UnOp::Not => Interval {
+                                lo: mask(w, !ia.hi),
+                                hi: mask(w, !ia.lo),
+                            },
+                            UnOp::Neg => {
+                                if ia.is_point() {
+                                    Interval::point(mask(w, ia.lo.wrapping_neg()))
+                                } else {
+                                    full
+                                }
+                            }
+                        }
+                    }
+                    Term::Binary(op, c, d) => binop_interval(op, pool.width(c), memo[&c], memo[&d]),
+                    Term::Ite(c, d, e) => {
+                        let (ic, ia, ib) = (memo[&c], memo[&d], memo[&e]);
+                        if ic == Interval::point(1) {
+                            ia
+                        } else if ic == Interval::point(0) {
+                            ib
+                        } else {
+                            Interval {
+                                lo: ia.lo.min(ib.lo),
+                                hi: ia.hi.max(ib.hi),
+                            }
+                        }
+                    }
+                    Term::ZExt(c, _) => memo[&c],
+                    Term::SExt(c, wid) => {
+                        let aw = pool.width(c);
+                        let ia = memo[&c];
+                        // Values with the sign bit clear stay small;
+                        // otherwise the extension fills high bits —
+                        // approximate by width split.
+                        let sign_bit = 1u64 << (aw - 1);
+                        if ia.hi < sign_bit {
+                            ia
+                        } else {
+                            Interval::full(wid)
+                        }
+                    }
+                    Term::Extract { hi, lo, arg } => {
+                        let ia = memo[&arg];
+                        if lo == 0 && ia.hi <= mask(hi + 1, u64::MAX) {
+                            // Low slice of a small value keeps its range.
+                            ia
+                        } else {
+                            full
+                        }
+                    }
+                    Term::Concat(c, d) => {
+                        let lw = pool.width(d);
+                        let (ia, ib) = (memo[&c], memo[&d]);
+                        Interval {
+                            lo: (ia.lo << lw) | ib.lo,
+                            hi: (ia.hi << lw) | ib.hi,
+                        }
+                    }
+                };
+                memo.insert(x, r);
             }
         }
-        Term::ZExt(a, _) => go(pool, a, memo),
-        Term::SExt(a, wid) => {
-            let aw = pool.width(a);
-            let ia = go(pool, a, memo);
-            // Values with the sign bit clear stay small; otherwise the
-            // extension fills high bits — approximate by width split.
-            let sign_bit = 1u64 << (aw - 1);
-            if ia.hi < sign_bit {
-                ia
-            } else {
-                Interval::full(wid)
-            }
-        }
-        Term::Extract { hi, lo, arg } => {
-            let ia = go(pool, arg, memo);
-            if lo == 0 && ia.hi <= mask(hi + 1, u64::MAX) {
-                // Low slice of a small value keeps its range.
-                ia
-            } else {
-                full
-            }
-        }
-        Term::Concat(a, b) => {
-            let lw = pool.width(b);
-            let ia = go(pool, a, memo);
-            let ib = go(pool, b, memo);
-            Interval {
-                lo: (ia.lo << lw) | ib.lo,
-                hi: (ia.hi << lw) | ib.hi,
-            }
-        }
-    };
-    memo.insert(t, r);
-    r
+    }
+    memo[&t]
 }
 
 fn binop_interval(op: BinOp, w: u32, a: Interval, b: Interval) -> Interval {

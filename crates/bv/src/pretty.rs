@@ -4,108 +4,122 @@
 use crate::term::{BinOp, Term, TermId, TermPool, UnOp};
 
 /// Renders `t` as an SMT-ish infix string.
+///
+/// Iterative over an explicit event stack (emit text / render node),
+/// so counterexample explanations never recurse on term depth — deep
+/// generic-mode terms print within a bounded thread stack. Events are
+/// pushed in reverse so the output string builds strictly left to
+/// right, byte-identical to the old recursive renderer.
 pub fn print_term(pool: &TermPool, t: TermId) -> String {
-    let mut s = String::new();
-    go(pool, t, &mut s);
-    s
-}
-
-fn go(pool: &TermPool, t: TermId, out: &mut String) {
-    match *pool.get(t) {
-        Term::Const { width, value } => {
-            if width == 1 {
-                out.push_str(if value == 1 { "true" } else { "false" });
-            } else {
-                out.push_str(&format!("{value}"));
+    /// `Node(t, wrap)` renders `t`, parenthesized when `wrap` and the
+    /// node is non-atomic (the old `paren` helper); `Str`/`Owned`
+    /// append literal text.
+    enum Ev {
+        Node(TermId, bool),
+        Str(&'static str),
+        Owned(String),
+    }
+    let mut out = String::new();
+    let mut stack = vec![Ev::Node(t, false)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Str(s) => out.push_str(s),
+            Ev::Owned(s) => out.push_str(&s),
+            Ev::Node(x, wrap) => {
+                let atomic = matches!(*pool.get(x), Term::Const { .. } | Term::Var { .. });
+                if wrap && !atomic {
+                    out.push('(');
+                    stack.push(Ev::Str(")"));
+                }
+                match *pool.get(x) {
+                    Term::Const { width, value } => {
+                        if width == 1 {
+                            out.push_str(if value == 1 { "true" } else { "false" });
+                        } else {
+                            out.push_str(&format!("{value}"));
+                        }
+                    }
+                    Term::Var { id, .. } => out.push_str(pool.var_name(id)),
+                    Term::Unary(op, a) => {
+                        out.push_str(match op {
+                            UnOp::Not => {
+                                if pool.width(a) == 1 {
+                                    "!"
+                                } else {
+                                    "~"
+                                }
+                            }
+                            UnOp::Neg => "-",
+                        });
+                        stack.push(Ev::Node(a, true));
+                    }
+                    Term::Binary(op, a, b) => {
+                        let opstr = match op {
+                            BinOp::Add => " + ",
+                            BinOp::Sub => " - ",
+                            BinOp::Mul => " * ",
+                            BinOp::UDiv => " / ",
+                            BinOp::URem => " % ",
+                            BinOp::And => {
+                                if pool.width(a) == 1 {
+                                    " && "
+                                } else {
+                                    " & "
+                                }
+                            }
+                            BinOp::Or => {
+                                if pool.width(a) == 1 {
+                                    " || "
+                                } else {
+                                    " | "
+                                }
+                            }
+                            BinOp::Xor => " ^ ",
+                            BinOp::Shl => " << ",
+                            BinOp::Lshr => " >> ",
+                            BinOp::Eq => " == ",
+                            BinOp::Ult => " <u ",
+                            BinOp::Ule => " <=u ",
+                            BinOp::Slt => " <s ",
+                            BinOp::Sle => " <=s ",
+                        };
+                        stack.push(Ev::Node(b, true));
+                        stack.push(Ev::Str(opstr));
+                        stack.push(Ev::Node(a, true));
+                    }
+                    Term::Ite(c, a, b) => {
+                        out.push_str("ite(");
+                        stack.push(Ev::Str(")"));
+                        stack.push(Ev::Node(b, false));
+                        stack.push(Ev::Str(", "));
+                        stack.push(Ev::Node(a, false));
+                        stack.push(Ev::Str(", "));
+                        stack.push(Ev::Node(c, false));
+                    }
+                    Term::ZExt(a, w) => {
+                        out.push_str(&format!("zext{w}("));
+                        stack.push(Ev::Str(")"));
+                        stack.push(Ev::Node(a, false));
+                    }
+                    Term::SExt(a, w) => {
+                        out.push_str(&format!("sext{w}("));
+                        stack.push(Ev::Str(")"));
+                        stack.push(Ev::Node(a, false));
+                    }
+                    Term::Extract { hi, lo, arg } => {
+                        stack.push(Ev::Owned(format!("[{hi}:{lo}]")));
+                        stack.push(Ev::Node(arg, true));
+                    }
+                    Term::Concat(a, b) => {
+                        stack.push(Ev::Node(b, true));
+                        stack.push(Ev::Str(" ++ "));
+                        stack.push(Ev::Node(a, true));
+                    }
+                }
             }
         }
-        Term::Var { id, .. } => out.push_str(pool.var_name(id)),
-        Term::Unary(op, a) => {
-            out.push_str(match op {
-                UnOp::Not => {
-                    if pool.width(a) == 1 {
-                        "!"
-                    } else {
-                        "~"
-                    }
-                }
-                UnOp::Neg => "-",
-            });
-            paren(pool, a, out);
-        }
-        Term::Binary(op, a, b) => {
-            paren(pool, a, out);
-            out.push_str(match op {
-                BinOp::Add => " + ",
-                BinOp::Sub => " - ",
-                BinOp::Mul => " * ",
-                BinOp::UDiv => " / ",
-                BinOp::URem => " % ",
-                BinOp::And => {
-                    if pool.width(a) == 1 {
-                        " && "
-                    } else {
-                        " & "
-                    }
-                }
-                BinOp::Or => {
-                    if pool.width(a) == 1 {
-                        " || "
-                    } else {
-                        " | "
-                    }
-                }
-                BinOp::Xor => " ^ ",
-                BinOp::Shl => " << ",
-                BinOp::Lshr => " >> ",
-                BinOp::Eq => " == ",
-                BinOp::Ult => " <u ",
-                BinOp::Ule => " <=u ",
-                BinOp::Slt => " <s ",
-                BinOp::Sle => " <=s ",
-            });
-            paren(pool, b, out);
-        }
-        Term::Ite(c, a, b) => {
-            out.push_str("ite(");
-            go(pool, c, out);
-            out.push_str(", ");
-            go(pool, a, out);
-            out.push_str(", ");
-            go(pool, b, out);
-            out.push(')');
-        }
-        Term::ZExt(a, w) => {
-            out.push_str(&format!("zext{w}("));
-            go(pool, a, out);
-            out.push(')');
-        }
-        Term::SExt(a, w) => {
-            out.push_str(&format!("sext{w}("));
-            go(pool, a, out);
-            out.push(')');
-        }
-        Term::Extract { hi, lo, arg } => {
-            paren(pool, arg, out);
-            out.push_str(&format!("[{hi}:{lo}]"));
-        }
-        Term::Concat(a, b) => {
-            paren(pool, a, out);
-            out.push_str(" ++ ");
-            paren(pool, b, out);
-        }
     }
-}
-
-fn paren(pool: &TermPool, t: TermId, out: &mut String) {
-    let atomic = matches!(*pool.get(t), Term::Const { .. } | Term::Var { .. });
-    if atomic {
-        go(pool, t, out);
-    } else {
-        out.push('(');
-        go(pool, t, out);
-        out.push(')');
-    }
+    out
 }
 
 #[cfg(test)]

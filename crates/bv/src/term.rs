@@ -147,6 +147,12 @@ pub(crate) fn sext64(w: Width, v: u64) -> i64 {
 #[derive(Debug, Default, Clone)]
 pub struct TermPool {
     terms: Vec<Term>,
+    /// Width per term, filled at intern time (children are always
+    /// interned before their parents, so each entry is an O(1)
+    /// combination of already-cached child widths). This keeps
+    /// [`TermPool::width`] — called by every constructor — constant
+    /// time and recursion-free regardless of term depth.
+    widths: Vec<Width>,
     dedup: HashMap<Term, TermId>,
     /// Name and width per symbolic variable id.
     var_meta: Vec<(String, Width)>,
@@ -175,23 +181,9 @@ impl TermPool {
         &self.terms[t.0 as usize]
     }
 
-    /// Width of a term.
+    /// Width of a term (O(1): widths are cached at intern time).
     pub fn width(&self, t: TermId) -> Width {
-        match *self.get(t) {
-            Term::Const { width, .. } | Term::Var { width, .. } => width,
-            Term::Unary(_, a) => self.width(a),
-            Term::Binary(op, a, _) => {
-                if op.is_comparison() {
-                    1
-                } else {
-                    self.width(a)
-                }
-            }
-            Term::Ite(_, a, _) => self.width(a),
-            Term::ZExt(_, w) | Term::SExt(_, w) => w,
-            Term::Extract { hi, lo, .. } => hi - lo + 1,
-            Term::Concat(a, b) => self.width(a) + self.width(b),
-        }
+        self.widths[t.0 as usize]
     }
 
     /// Number of symbolic variables created.
@@ -213,8 +205,23 @@ impl TermPool {
         if let Some(&id) = self.dedup.get(&t) {
             return id;
         }
+        let w = match t {
+            Term::Const { width, .. } | Term::Var { width, .. } => width,
+            Term::Unary(_, a) | Term::Ite(_, a, _) => self.widths[a.0 as usize],
+            Term::Binary(op, a, _) => {
+                if op.is_comparison() {
+                    1
+                } else {
+                    self.widths[a.0 as usize]
+                }
+            }
+            Term::ZExt(_, w) | Term::SExt(_, w) => w,
+            Term::Extract { hi, lo, .. } => hi - lo + 1,
+            Term::Concat(a, b) => self.widths[a.0 as usize] + self.widths[b.0 as usize],
+        };
         let id = TermId(self.terms.len() as u32);
         self.terms.push(t.clone());
+        self.widths.push(w);
         self.dedup.insert(t, id);
         id
     }
@@ -320,13 +327,18 @@ impl TermPool {
         if let (Some(x), Some(y)) = (ca, cb) {
             return self.fold_const(op, w, x, y);
         }
-        // Canonical order for commutative ops: constant (or lower id) left.
-        let (a, b, ca, cb) =
-            if op.is_commutative() && (cb.is_some() && ca.is_none() || a.0 > b.0 && cb.is_none()) {
-                (b, a, cb, ca)
-            } else {
-                (a, b, ca, cb)
+        // Canonical order for commutative ops: constant left, else lower
+        // id left. The id rule must only apply when *neither* side is a
+        // constant — otherwise a constant with a higher id than its
+        // co-operand would swap right again, and the two orderings of
+        // the same expression would intern as distinct nodes.
+        let swap = op.is_commutative()
+            && match (ca, cb) {
+                (None, Some(_)) => true,
+                (None, None) => a.0 > b.0,
+                _ => false,
             };
+        let (a, b, ca, cb) = if swap { (b, a, cb, ca) } else { (a, b, ca, cb) };
         if let Some(t) = self.simplify_binary(op, w, a, b, ca, cb) {
             return t;
         }

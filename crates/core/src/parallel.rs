@@ -45,18 +45,21 @@
 //!   merge time here (`reextract`), and inline in the sequential
 //!   engine — making reported packets identical between incremental
 //!   and fresh modes and across thread counts.
-//! * The `composed_paths` consumption differs in both directions: the
-//!   sequential driver counts shallow routing checks the frontier
-//!   split skips, while an infeasible shallow prefix the sequential
-//!   search prunes with one check becomes an Explore task that spends
-//!   several checks discovering every successor unsatisfiable. A run
-//!   whose sequential count sits near `max_composed_paths` can
-//!   therefore exhaust the shared budget only in parallel (or only
-//!   sequentially), and *which* tasks hit the budget first is
-//!   scheduling dependent — near the budget edge the verdict may
+//! * `composed_paths` accounting: the frontier split charges shallow
+//!   classify events exactly as the sequential search does (and
+//!   `run_task` does not re-count them), so on runs that explore the
+//!   whole tree — proofs, and budget-free clean searches — the
+//!   reported count is identical across engines and thread counts;
+//!   the differential harness in `crates/bench` asserts this. On
+//!   *disproved* runs workers may have started tasks past the winning
+//!   violation before the cutoff propagates, so the parallel count
+//!   can exceed the sequential one by the work of those in-flight
+//!   tasks. And near `max_composed_paths` *which* tasks hit the
+//!   shared budget first is scheduling dependent — the verdict may
 //!   degrade to `Unknown("step-2 path budget exceeded")`
 //!   nondeterministically. Far from the edge (the normal case, with
-//!   the default budget of 2^20 paths) none of this is observable.
+//!   the default budget of 2^20 paths) neither effect is observable
+//!   on proved pipelines.
 //!
 //! **Conflict-driven pruning** ([`crate::VerifyConfig::core_pruning`],
 //! the default) adds no verdict nondeterminism on top of the above as
@@ -159,17 +162,31 @@ enum TaskResult {
 /// checks emitted inline and subtrees emitted when a node at
 /// `split_depth` compositions is popped.
 ///
-/// No solver runs here — infeasible prefixes simply produce tasks
-/// whose every check is unsatisfiable, which is what the sequential
-/// search's pruning would have concluded too.
+/// Suspect/blocker checks are deferred to worker tasks, but shallow
+/// *continuations* are feasibility-pruned right here, with the same
+/// `check(.., subtree: true)` call the sequential search makes before
+/// pushing a node — so an infeasible shallow prefix is cut after one
+/// query instead of becoming an Explore task that discovers every
+/// successor unsatisfiable.
+///
+/// `composed` is bumped once per classify event exactly as the
+/// sequential search does it, and `run_task` does *not* count the
+/// `Check` tasks emitted here again. Together with the pruned
+/// continuations this makes the reported `composed_paths` identical
+/// across engines and thread counts on exhaustive (proved) runs,
+/// which the differential harness asserts.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn expand_frontier(
     pool: &mut TermPool,
+    solver: &mut QuerySolver,
+    pruner: &mut Pruner,
     pipeline: &Pipeline,
     sums: &PipelineSummaries,
     kind: &PropKind,
     init: ComposedState,
     reach: &[bool],
     split_depth: usize,
+    composed: &AtomicUsize,
 ) -> Vec<Task> {
     let mut tasks = Vec::new();
     let mut stack = vec![Node {
@@ -184,15 +201,27 @@ pub(crate) fn expand_frontier(
         }
         for (i, seg) in sums.stages[node.stage].segments.iter().enumerate() {
             match classify(pool, pipeline, sums, kind, &node, i, seg, reach) {
-                StepEvent::ViolationCheck(what, next) => tasks.push(Task::Check {
-                    state: next,
-                    violation: Some(what),
-                }),
-                StepEvent::BlockerCheck(next) => tasks.push(Task::Check {
-                    state: next,
-                    violation: None,
-                }),
-                StepEvent::Continue(n) => stack.push(n),
+                StepEvent::ViolationCheck(what, next) => {
+                    composed.fetch_add(1, Ordering::Relaxed);
+                    tasks.push(Task::Check {
+                        state: next,
+                        violation: Some(what),
+                    });
+                }
+                StepEvent::BlockerCheck(next) => {
+                    composed.fetch_add(1, Ordering::Relaxed);
+                    tasks.push(Task::Check {
+                        state: next,
+                        violation: None,
+                    });
+                }
+                StepEvent::Continue(n) => {
+                    composed.fetch_add(1, Ordering::Relaxed);
+                    match check(pool, solver, pruner, &n.state, true) {
+                        Feas::Sat(_) | Feas::Unknown => stack.push(n),
+                        Feas::Unsat => {}
+                    }
+                }
                 StepEvent::Inert => {}
             }
         }
@@ -226,7 +255,9 @@ fn run_task(
     }
     match task {
         Task::Check { state, violation } => {
-            ctx.composed.fetch_add(1, Ordering::Relaxed);
+            // Already counted by `expand_frontier` at classify time —
+            // counting here again would double-charge shallow checks
+            // relative to the sequential engine.
             let feas = check(pool, solver, pruner, state, false);
             match (feas, violation) {
                 (Feas::Sat(m), Some(desc)) => TaskResult::Violation(CounterExample::from_model(

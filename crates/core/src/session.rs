@@ -741,7 +741,27 @@ impl<'p> Verifier<'p> {
             pruner.publish();
             (outcome, stats, pruner.stats)
         } else {
-            let tasks = expand_frontier(pool, pipeline, sums, &kind, init, &reach, *split_depth);
+            // Frontier expansion prunes infeasible shallow prefixes
+            // with the same persistent solver the sequential engine
+            // would use, so the set of explored nodes — and hence the
+            // composed-path count — matches it exactly on exhaustive
+            // runs. Its cores are published like any other check's.
+            let solver = solvers[mode_idx(mode)].get_or_insert_with(|| QuerySolver::new(cfg));
+            let mut pruner = Pruner::new(Arc::clone(core_store), cfg.core_pruning, usize::MAX);
+            pruner.sync();
+            let tasks = expand_frontier(
+                pool,
+                solver,
+                &mut pruner,
+                pipeline,
+                sums,
+                &kind,
+                init,
+                &reach,
+                *split_depth,
+                &composed,
+            );
+            pruner.publish();
             let ctx = WorkerCtx {
                 pipeline,
                 sums,
