@@ -25,6 +25,7 @@
 //! DPV_JSON=1 cargo run --release -p dpv-bench --bin incremental_ablation  | grep '"bench"'  > BENCH_step2.json
 //! DPV_JSON=1 cargo run --release -p dpv-bench --bin core_pruning_ablation | grep '"bench"' >> BENCH_step2.json
 //! DPV_JSON=1 cargo run --release -p dpv-bench --bin fleet_ablation        | grep '"bench"' >> BENCH_step2.json
+//! DPV_JSON=1 cargo run --release -p dpv-bench --bin static_simplify_ablation | grep '"bench"' >> BENCH_step2.json
 //! DPV_JSON=1 cargo run --release -p dpv-bench --bin fig4a                 | grep '"bench"' >> BENCH_step2.json
 //! ```
 

@@ -1,0 +1,221 @@
+//! `static_simplify` — the pre-symbolic-execution simplifier ablation
+//! ([`verifier::VerifyConfig::static_simplify`], default off) vs the
+//! raw pipeline.
+//!
+//! Two claims, both **asserted**:
+//!
+//! 1. **Verdict preservation** (part A): on the differential-harness
+//!    generator seeds (all 20), the simplified run reproduces the raw
+//!    run exactly — verdict label, counterexample bytes / description /
+//!    trace, and composed-path count. This is the same equality the
+//!    7-mode differential test checks; the ablation re-asserts it on
+//!    the exact binaries whose timings land in `BENCH_step2.json`.
+//! 2. **Pruning** (part B): on figure pipelines under *cheap* fork
+//!    checking (`exact_forks = false`, the budget-friendly step-1 mode
+//!    where infeasible crash forks survive as spurious suspects), the
+//!    statically proven in-bounds sites must remove suspects — i.e.
+//!    prune composed paths — while the verdict stays identical. Under
+//!    exact fork checking the solver refutes those forks anyway (that
+//!    is *why* part A can demand path equality); the static pass then
+//!    only saves the queries.
+//!
+//! With `DPV_JSON=1` each run emits its report plus one
+//! `{"bench":"static_simplify",...}` summary line per
+//! (pipeline, mode, engine), diffable against `BENCH_step2.json` via
+//! the `perf_diff` gate.
+
+use dpv_bench::gen::{deep_pipeline_with, gen_verify_config, GenConfig};
+use dpv_bench::{fig_verify_config, fmt_dur, row, timed};
+use elements::ip_fragmenter::{ip_fragmenter, FragmenterVariant};
+use elements::pipelines::{to_pipeline, ROUTER_IP};
+use std::time::Duration;
+use verifier::{Property, Report, Verifier, VerifyConfig, VerifyReport};
+
+fn run(p: &dataplane::Pipeline, mut cfg: VerifyConfig, simplify: bool) -> (VerifyReport, Duration) {
+    cfg.static_simplify = simplify;
+    let mut v = Verifier::new(p).config(cfg);
+    let (rep, total) = timed(|| v.check(Property::CrashFreedom));
+    match rep {
+        Report::Verify(r) => (r, total),
+        other => panic!("expected a verify report, got {other:?}"),
+    }
+}
+
+fn mode_name(simplify: bool) -> &'static str {
+    if simplify {
+        "simplified"
+    } else {
+        "raw"
+    }
+}
+
+fn emit_json(pipeline: &str, simplify: bool, rep: &VerifyReport, total: Duration) {
+    if std::env::var_os("DPV_JSON").is_none() {
+        return;
+    }
+    println!("{}", rep.to_json());
+    println!(
+        "{{\"bench\":\"static_simplify\",\"pipeline\":\"{}\",\"mode\":\"{}\",\
+         \"engine\":\"seq\",\"total_ms\":{:.3},\"step2_ms\":{:.3},\
+         \"step1_states\":{},\"suspects\":{},\"composed_paths\":{},\
+         \"lints_emitted\":{},\"blocks_removed\":{},\"intervals_seeded\":{}}}",
+        pipeline,
+        mode_name(simplify),
+        total.as_secs_f64() * 1e3,
+        rep.step2_time.as_secs_f64() * 1e3,
+        rep.step1_states,
+        rep.suspects,
+        rep.composed_paths,
+        rep.static_stats.lints_emitted,
+        rep.static_stats.blocks_removed,
+        rep.static_stats.intervals_seeded,
+    );
+}
+
+/// The comparable payload of a counterexample: packet bytes,
+/// description, and the `(stage, segment)` trace.
+type CexPayload = (Vec<u8>, String, Vec<(usize, usize)>);
+
+fn cex_payload(rep: &VerifyReport) -> Option<CexPayload> {
+    match &rep.verdict {
+        verifier::Verdict::Disproved(c) => {
+            Some((c.bytes.clone(), c.description.clone(), c.trace.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// Part A: exact-forks equality on the differential generator seeds.
+fn part_a() {
+    println!("part A — verdict preservation on the 20 differential seeds (exact forks)");
+    row(&[
+        "seed".into(),
+        "verdict".into(),
+        "paths".into(),
+        "raw step2".into(),
+        "simp step2".into(),
+    ]);
+    for seed in 0u64..20 {
+        let mut gc = GenConfig::from_seed(seed);
+        gc.stages = 20;
+        gc.rounds = 2;
+        let g = deep_pipeline_with(seed, gc);
+        let (raw, raw_total) = run(&g.pipeline, gen_verify_config(), false);
+        let (simp, simp_total) = run(&g.pipeline, gen_verify_config(), true);
+        assert_eq!(
+            raw.verdict.label(),
+            if g.planted { "disproved" } else { "proved" },
+            "seed {seed}: raw verdict vs planted ground truth"
+        );
+        assert_eq!(
+            raw.verdict.label(),
+            simp.verdict.label(),
+            "seed {seed}: simplification changed the verdict"
+        );
+        assert_eq!(
+            cex_payload(&raw),
+            cex_payload(&simp),
+            "seed {seed}: simplification changed the counterexample"
+        );
+        assert_eq!(
+            raw.composed_paths, simp.composed_paths,
+            "seed {seed}: simplification changed the composed-path count"
+        );
+        row(&[
+            seed.to_string(),
+            raw.verdict.label().into(),
+            raw.composed_paths.to_string(),
+            fmt_dur(raw.step2_time),
+            fmt_dur(simp.step2_time),
+        ]);
+        let name = format!("gen-seed{seed}");
+        emit_json(&name, false, &raw, raw_total);
+        emit_json(&name, true, &simp, simp_total);
+    }
+    println!("20/20 seeds: verdicts, counterexamples and path counts identical\n");
+}
+
+/// Part B: suspect pruning on figure pipelines under cheap forks.
+fn part_b() {
+    println!("part B — path pruning on figure pipelines (cheap forks)");
+    row(&[
+        "pipeline".into(),
+        "verdict".into(),
+        "suspects".into(),
+        "paths raw".into(),
+        "paths simp".into(),
+        "pruned".into(),
+    ]);
+    let scenarios = vec![
+        (
+            "edge+opt1+fixedfrag",
+            to_pipeline(
+                "edge+opt1+fixedfrag",
+                vec![
+                    elements::classifier::classifier(),
+                    elements::check_ip_header::check_ip_header(false),
+                    elements::ip_options::ip_options(1, Some(ROUTER_IP)),
+                    ip_fragmenter(FragmenterVariant::Fixed, 24),
+                ],
+            ),
+        ),
+        (
+            "router",
+            to_pipeline(
+                "router",
+                vec![
+                    elements::classifier::classifier(),
+                    elements::check_ip_header::check_ip_header(false),
+                    elements::dec_ttl::dec_ttl(),
+                    elements::ip_options::ip_options(2, Some(ROUTER_IP)),
+                ],
+            ),
+        ),
+    ];
+    let mut total_pruned = 0usize;
+    for (name, p) in &scenarios {
+        let mut cfg = fig_verify_config();
+        cfg.sym.exact_forks = false;
+        let (raw, raw_total) = run(p, cfg.clone(), false);
+        let (simp, simp_total) = run(p, cfg, true);
+        assert_eq!(
+            raw.verdict.label(),
+            simp.verdict.label(),
+            "{name}: simplification changed the verdict"
+        );
+        assert_eq!(
+            cex_payload(&raw),
+            cex_payload(&simp),
+            "{name}: simplification changed the counterexample"
+        );
+        assert!(
+            simp.suspects <= raw.suspects && simp.composed_paths <= raw.composed_paths,
+            "{name}: simplification must never add suspects or paths"
+        );
+        let pruned = raw.composed_paths - simp.composed_paths;
+        total_pruned += pruned;
+        row(&[
+            (*name).into(),
+            raw.verdict.label().into(),
+            format!("{} → {}", raw.suspects, simp.suspects),
+            raw.composed_paths.to_string(),
+            simp.composed_paths.to_string(),
+            pruned.to_string(),
+        ]);
+        emit_json(name, false, &raw, raw_total);
+        emit_json(name, true, &simp, simp_total);
+    }
+    assert!(
+        total_pruned > 0,
+        "static simplification pruned no composed paths on any figure pipeline"
+    );
+    println!("composed paths pruned across figure pipelines: {total_pruned} (asserted > 0)\n");
+}
+
+fn main() {
+    println!("Static-simplification ablation: simplified vs raw pipelines");
+    println!();
+    part_a();
+    part_b();
+    println!("all equalities asserted; see README §Static analysis & linting");
+}

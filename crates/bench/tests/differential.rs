@@ -1,9 +1,9 @@
 //! Differential testing of the verifier across every mode toggle.
 //!
-//! One generated pipeline ([`dpv_bench::gen`]) is checked under six
+//! One generated pipeline ([`dpv_bench::gen`]) is checked under seven
 //! configurations — sequential baseline, `threads(4)`, incremental
-//! off, core-pruning off, summary store on, and everything off — and
-//! the reports must agree:
+//! off, core-pruning off, summary store on, everything off, and the
+//! static simplifier on — and the reports must agree:
 //!
 //! * verdict labels are identical in every mode (and match whether the
 //!   generator planted a violation);
@@ -29,15 +29,17 @@ struct Mode {
     incremental: bool,
     pruning: bool,
     store: bool,
+    simplify: bool,
 }
 
-const MODES: [Mode; 6] = [
+const MODES: [Mode; 7] = [
     Mode {
         name: "seq",
         threads: 1,
         incremental: true,
         pruning: true,
         store: false,
+        simplify: false,
     },
     Mode {
         name: "threads4",
@@ -45,6 +47,7 @@ const MODES: [Mode; 6] = [
         incremental: true,
         pruning: true,
         store: false,
+        simplify: false,
     },
     Mode {
         name: "fresh-solver",
@@ -52,6 +55,7 @@ const MODES: [Mode; 6] = [
         incremental: false,
         pruning: true,
         store: false,
+        simplify: false,
     },
     Mode {
         name: "no-pruning",
@@ -59,6 +63,7 @@ const MODES: [Mode; 6] = [
         incremental: true,
         pruning: false,
         store: false,
+        simplify: false,
     },
     Mode {
         name: "store",
@@ -66,6 +71,7 @@ const MODES: [Mode; 6] = [
         incremental: true,
         pruning: true,
         store: true,
+        simplify: false,
     },
     Mode {
         name: "bare",
@@ -73,6 +79,20 @@ const MODES: [Mode; 6] = [
         incremental: false,
         pruning: false,
         store: false,
+        simplify: false,
+    },
+    // Step 1 summarizes the statically simplified programs
+    // (`VerifyConfig::static_simplify`): the simplifier is
+    // verdict-preserving by construction, so the verdict,
+    // counterexample bytes and composed-path count must all match the
+    // raw baseline exactly.
+    Mode {
+        name: "simplify",
+        threads: 1,
+        incremental: true,
+        pruning: true,
+        store: false,
+        simplify: true,
     },
 ];
 
@@ -80,6 +100,7 @@ fn run_mode(g: &Generated, m: &Mode) -> VerifyReport {
     let mut cfg = gen_verify_config();
     cfg.incremental = m.incremental;
     cfg.core_pruning = m.pruning;
+    cfg.static_simplify = m.simplify;
     let mut v = Verifier::new(&g.pipeline).config(cfg).threads(m.threads);
     if m.store {
         v = v.with_store(SummaryStore::shared());

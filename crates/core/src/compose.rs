@@ -18,6 +18,14 @@ use symexec::{MapOpRecord, SegOutcome, Segment, SymInput};
 pub struct ComposedState {
     /// Conjunction of all composed path constraints.
     pub constraint: Vec<TermId>,
+    /// Statically proven facts accumulated from the composed segments
+    /// (`Segment::assumed`, substituted like constraints). Implied by
+    /// `constraint` on every model; feasibility checks may conjoin
+    /// them so the cheap solver layers — which reason per conjunct —
+    /// can refute compositions they would otherwise pass to the
+    /// expensive layers, but counterexample extraction must ignore
+    /// them.
+    pub assumed: Vec<TermId>,
     /// Packet bytes as terms over the pipeline input.
     pub pkt: Vec<TermId>,
     /// Packet length term.
@@ -38,6 +46,7 @@ impl ComposedState {
     pub fn initial(input: &SymInput) -> Self {
         ComposedState {
             constraint: input.base_constraints.clone(),
+            assumed: Vec::new(),
             pkt: input.pkt_bytes.clone(),
             len: input.pkt_len,
             meta: input.meta.clone(),
@@ -78,6 +87,7 @@ pub fn compose(
     let mut seen: HashSet<u32> = HashSet::new();
     let mut all_terms: Vec<TermId> = Vec::new();
     all_terms.extend(segment.constraint.iter().copied());
+    all_terms.extend(segment.assumed.iter().copied());
     all_terms.extend(segment.pkt_out.iter().copied());
     all_terms.push(segment.len_out);
     all_terms.extend(segment.meta_out.iter().copied());
@@ -122,6 +132,13 @@ pub fn compose(
             constraint.push(c2);
         }
     }
+    let mut assumed = state.assumed.clone();
+    for &c in &segment.assumed {
+        let c2 = substitute(pool, c, &map);
+        if !pool.is_true(c2) {
+            assumed.push(c2);
+        }
+    }
     let pkt = segment
         .pkt_out
         .iter()
@@ -152,6 +169,7 @@ pub fn compose(
     trace.push((stage_idx, seg_idx));
     ComposedState {
         constraint,
+        assumed,
         pkt,
         len,
         meta,

@@ -260,13 +260,16 @@ fn run_task(
             // relative to the sequential engine.
             let feas = check(pool, solver, pruner, state, false);
             match (feas, violation) {
-                (Feas::Sat(m), Some(desc)) => TaskResult::Violation(CounterExample::from_model(
-                    pool,
-                    &ctx.sums.input,
-                    &m,
-                    desc.clone(),
-                    state.trace.clone(),
-                )),
+                (Feas::Sat(m), Some(desc)) => {
+                    let m = solver.confirm_model(pool, ctx.cfg, state, m);
+                    TaskResult::Violation(CounterExample::from_model(
+                        pool,
+                        &ctx.sums.input,
+                        &m,
+                        desc.clone(),
+                        state.trace.clone(),
+                    ))
+                }
                 (Feas::Unsat, _) => TaskResult::Clean,
                 (_, None) => TaskResult::Unknown,
                 (Feas::Unknown, Some(_)) => TaskResult::Unknown,

@@ -97,6 +97,24 @@ pub struct SummaryCacheStats {
     pub store_size: usize,
 }
 
+/// Static-analysis counters for one check (see
+/// [`dpir::analysis`]). All zero unless
+/// [`crate::VerifyConfig::static_simplify`] is on, and — like
+/// `step1_time` — attributed to the check that built the session's
+/// summaries; cache-warm checks report zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticStats {
+    /// Diagnostics the lint pass emitted across all stage programs
+    /// (severity Warning and Error alike).
+    pub lints_emitted: usize,
+    /// Unreachable basic blocks the simplifier deleted across all
+    /// stage programs.
+    pub blocks_removed: usize,
+    /// Interval facts exported to the executor: proven-safe access
+    /// sites plus exit-length bounds, summed over stage programs.
+    pub intervals_seeded: usize,
+}
+
 /// A full verification report (one property, one pipeline).
 #[derive(Debug)]
 pub struct VerifyReport {
@@ -133,6 +151,9 @@ pub struct VerifyReport {
     /// paid step 1 indicate summaries inherited from other sessions
     /// (or repeated elements); see [`crate::SummaryStore`].
     pub summary: SummaryCacheStats,
+    /// Static-analysis counters (lints, simplifier effect). All zero
+    /// unless [`crate::VerifyConfig::static_simplify`] is on.
+    pub static_stats: StaticStats,
     /// Wall-clock time of step 1.
     pub step1_time: Duration,
     /// Wall-clock time of step 2.
@@ -194,6 +215,8 @@ impl VerifyReport {
              \"cores\":{{\"cores_learned\":{},\"core_hits\":{},\
              \"subtrees_pruned\":{}}},\
              \"summary\":{{\"hits\":{},\"misses\":{},\"store_size\":{}}},\
+             \"static\":{{\"lints_emitted\":{},\"blocks_removed\":{},\
+             \"intervals_seeded\":{}}},\
              \"step1_ms\":{:.3},\"step2_ms\":{:.3}}}",
             json_escape(&self.property),
             json_escape(&self.pipeline),
@@ -224,6 +247,9 @@ impl VerifyReport {
             self.summary.hits,
             self.summary.misses,
             self.summary.store_size,
+            self.static_stats.lints_emitted,
+            self.static_stats.blocks_removed,
+            self.static_stats.intervals_seeded,
             self.step1_time.as_secs_f64() * 1e3,
             self.step2_time.as_secs_f64() * 1e3,
         )

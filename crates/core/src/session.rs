@@ -67,7 +67,7 @@ use crate::compose::ComposedState;
 use crate::cores::{CoreStore, Pruner};
 use crate::generic::{run_generic, GenericReport};
 use crate::parallel::{drain_tasks, expand_frontier, WorkerCtx};
-use crate::report::{json_escape, Verdict, VerifyReport};
+use crate::report::{json_escape, StaticStats, Verdict, VerifyReport};
 use crate::stateful::{analyze, StateFinding};
 use crate::step2::{
     aborted_report, bounded_suspects, crash_reach, crash_suspects, filter_suspects,
@@ -78,11 +78,12 @@ use crate::summary::{
     effective_threads, summarize_pipeline_with_store, MapMode, PipelineSummaries, SummaryStore,
 };
 use bvsolve::TermPool;
-use dataplane::Pipeline;
+use dataplane::{ElementKind, Pipeline};
+use dpir::analysis::{lint_program, simplify, Diagnostic, IvEnv};
 use std::sync::atomic::AtomicUsize;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use symexec::{SegOutcome, Segment, SymInput};
+use symexec::{SegOutcome, Segment, SymConfig, SymInput};
 
 /// A user-defined property over composed pipeline states, checked by
 /// the same step-2 search as the built-in §4 properties.
@@ -375,6 +376,38 @@ fn mode_idx(mode: MapMode) -> usize {
     }
 }
 
+/// The interval-analysis environment matching what the executor will
+/// constrain the entry packet length to.
+fn iv_env(sym: &SymConfig) -> IvEnv {
+    IvEnv {
+        len_lo: sym.min_pkt_len,
+        len_hi: sym.max_pkt_bytes as u64,
+    }
+}
+
+/// The static pass behind [`VerifyConfig::static_simplify`]: lints
+/// every stage program (for the report counters), then replaces each
+/// with its verdict-preserving simplification. Loop elements are
+/// processed on their iteration body. Map-mode independent, so one
+/// result serves both summary caches.
+fn static_pass(pipeline: &Pipeline, sym: &SymConfig) -> (Pipeline, StaticStats) {
+    let env = iv_env(sym);
+    let mut out = pipeline.clone();
+    let mut stats = StaticStats::default();
+    for stage in &mut out.stages {
+        let prog = match &mut stage.element.kind {
+            ElementKind::Straight(p) => p,
+            ElementKind::Loop { body, .. } => body,
+        };
+        stats.lints_emitted += lint_program(prog, env).len();
+        let (simplified, s) = simplify(prog, env);
+        stats.blocks_removed += s.blocks_removed;
+        stats.intervals_seeded += s.intervals_exported;
+        *prog = simplified;
+    }
+    (out, stats)
+}
+
 /// A verification session over one pipeline: summaries are built
 /// lazily, cached per [`MapMode`], and shared by every property check.
 ///
@@ -420,6 +453,12 @@ pub struct Verifier<'p> {
     /// them again (the other map mode hashes to different keys), so
     /// keeping them would roughly double step-1 memory for nothing.
     store_shared: bool,
+    /// The statically simplified pipeline and the pass's counters,
+    /// built lazily by the first step-1 build when
+    /// [`VerifyConfig::static_simplify`] is on, then shared by both
+    /// map modes (the pass only rewrites programs, which the modes
+    /// share). `None` when the flag is off or no build ran yet.
+    simplified: Option<(Pipeline, StaticStats)>,
     step1_runs: usize,
 }
 
@@ -441,6 +480,7 @@ impl<'p> Verifier<'p> {
             ],
             store: SummaryStore::shared(),
             store_shared: false,
+            simplified: None,
             step1_runs: 0,
         }
     }
@@ -514,14 +554,26 @@ impl<'p> Verifier<'p> {
         }
         let threads = self.effective_threads();
         let t0 = Instant::now();
-        let sums = summarize_pipeline_with_store(
-            &mut self.pool,
-            self.pipeline,
-            &self.cfg.sym,
-            mode,
-            &self.store,
-            threads,
-        )?;
+        if self.cfg.static_simplify && self.simplified.is_none() {
+            self.simplified = Some(static_pass(self.pipeline, &self.cfg.sym));
+        }
+        let Verifier {
+            pool,
+            pipeline,
+            cfg,
+            store,
+            simplified,
+            ..
+        } = &mut *self;
+        // With `static_simplify` on, step 1 summarizes the simplified
+        // programs — their `Facts` make them fingerprint (and hence
+        // store-key) differently from the raw ones whenever any fact
+        // was derived, so the two modes never share cache entries.
+        let summarized: &Pipeline = match simplified {
+            Some((p, _)) => p,
+            None => pipeline,
+        };
+        let sums = summarize_pipeline_with_store(pool, summarized, &cfg.sym, mode, store, threads)?;
         self.step1_runs += 1;
         if !self.store_shared {
             // Nothing in this session will hit these entries again —
@@ -542,6 +594,30 @@ impl<'p> Verifier<'p> {
     pub fn summaries(&mut self, mode: MapMode) -> Result<&PipelineSummaries, symexec::SymError> {
         self.ensure(mode)?;
         Ok(&self.cache[mode_idx(mode)].as_ref().expect("ensured").sums)
+    }
+
+    /// Runs the [`dpir::analysis`] lint pass over every stage program
+    /// (loop elements are linted on their iteration body), against
+    /// this session's packet-length environment
+    /// ([`symexec::SymConfig::min_pkt_len`] /
+    /// [`symexec::SymConfig::max_pkt_bytes`]). Returns one
+    /// `(element name, diagnostics)` entry per stage, in pipeline
+    /// order — including stages with no findings, so callers can
+    /// report coverage. Pure static analysis: nothing is executed,
+    /// summarized or cached, and the raw (unsimplified) programs are
+    /// linted regardless of [`VerifyConfig::static_simplify`].
+    pub fn lint(&self) -> Vec<(String, Vec<Diagnostic>)> {
+        let env = iv_env(&self.cfg.sym);
+        self.pipeline
+            .stages
+            .iter()
+            .map(|s| {
+                (
+                    s.element.name.clone(),
+                    lint_program(s.element.program(), env),
+                )
+            })
+            .collect()
     }
 
     /// Checks one property. Step-1 summaries are reused from the
@@ -691,6 +767,7 @@ impl<'p> Verifier<'p> {
             solvers,
             core_stores,
             store,
+            simplified,
             ..
         } = self;
         let cached = cache[mode_idx(mode)].as_ref().expect("ensured");
@@ -787,6 +864,13 @@ impl<'p> Verifier<'p> {
                 hits: summary_hits,
                 misses: summary_misses,
                 store_size: store.len(),
+            },
+            // Attributed like `step1_time`: the check that built this
+            // mode's summaries reports the static pass's counters.
+            static_stats: if built {
+                simplified.as_ref().map(|(_, s)| *s).unwrap_or_default()
+            } else {
+                StaticStats::default()
             },
             step1_time,
             step2_time: t1.elapsed(),

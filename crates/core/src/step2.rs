@@ -62,6 +62,22 @@ pub struct VerifyConfig {
     /// boundaries. `false` is the A/B baseline for the `core_pruning`
     /// bench ablation.
     pub core_pruning: bool,
+    /// Whether step-1 summarization runs on the statically simplified
+    /// programs ([`dpir::analysis::simplify()`]) instead of the raw
+    /// ones. The simplifier is verdict-preserving by construction —
+    /// it only applies pool-exact rewrites (folds whose result the
+    /// term pool would intern to the identical term) and deletes
+    /// blocks no execution reaches — so verdicts, counterexample
+    /// bytes and composed-path semantics match the raw run; the
+    /// exported [`dpir::Facts`] additionally let step 1 skip crash
+    /// forks at proven-safe access sites and step 2 refute
+    /// compositions earlier via [`ComposedState::assumed`].
+    /// Simplified programs hash differently whenever any fact was
+    /// derived (the `facts` field participates in the fingerprint),
+    /// so [`crate::SummaryStore`] entries never mix the two modes.
+    /// `false` is the A/B baseline for the `static_simplify` bench
+    /// ablation.
+    pub static_simplify: bool,
 }
 
 impl Default for VerifyConfig {
@@ -72,6 +88,7 @@ impl Default for VerifyConfig {
             solver_conflict_budget: 200_000,
             incremental: true,
             core_pruning: true,
+            static_simplify: false,
         }
     }
 }
@@ -153,24 +170,28 @@ impl QuerySolver {
 
     /// Deterministic model extraction for a *winning* query: session
     /// models depend on the solver history (learnt clauses, saved
-    /// phases accumulated by earlier queries), so the violation that
-    /// ends a search is re-solved on a fresh solver over the same
-    /// pool — making reported counterexample bytes independent of
-    /// which queries ran earlier and identical to fresh mode's. Falls
-    /// back to the in-flight model (equally valid) if the fresh
-    /// re-run is budget-limited.
+    /// phases accumulated by earlier queries), and models found with
+    /// [`ComposedState::assumed`] facts conjoined depend on which
+    /// facts the static simplifier derived — so the violation that
+    /// ends a search is re-solved on a fresh solver, over the path
+    /// `constraint` alone, making reported counterexample bytes
+    /// independent of which queries ran earlier and of
+    /// [`VerifyConfig::static_simplify`]. A fresh solver with no
+    /// facts in play already has that property and skips the re-run.
+    /// Falls back to the in-flight model (equally valid) if the
+    /// fresh re-run is budget-limited.
     pub(crate) fn confirm_model(
         &self,
         pool: &mut TermPool,
         cfg: &VerifyConfig,
-        cs: &[bvsolve::TermId],
+        state: &ComposedState,
         inflight: bvsolve::Model,
     ) -> bvsolve::Model {
-        if matches!(self, QuerySolver::Fresh(_)) {
+        if matches!(self, QuerySolver::Fresh(_)) && state.assumed.is_empty() {
             return inflight;
         }
         let mut fresh = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
-        match fresh.check(pool, cs) {
+        match fresh.check(pool, &state.constraint) {
             SatVerdict::Sat(m) => m,
             _ => inflight,
         }
@@ -189,7 +210,27 @@ pub(crate) fn check(
     state: &ComposedState,
     subtree: bool,
 ) -> Feas {
-    let cs = &state.constraint;
+    // Conjoin the statically proven facts (`assumed`) for feasibility
+    // only: they are implied by `constraint` on every model, so
+    // satisfiability is unchanged, but the per-conjunct cheap layers
+    // can refute more compositions without the CDCL core. Pruning on
+    // the combined set is equally sound — an UNSAT subset of
+    // constraint ∧ assumed makes `constraint` alone UNSAT. Model
+    // extraction (and [`QuerySolver::confirm_model`]) stays on
+    // `constraint`, so counterexample bytes are byte-identical to a
+    // run without facts.
+    let combined: Vec<bvsolve::TermId>;
+    let cs: &[bvsolve::TermId] = if state.assumed.is_empty() {
+        &state.constraint
+    } else {
+        combined = state
+            .constraint
+            .iter()
+            .chain(state.assumed.iter())
+            .copied()
+            .collect();
+        &combined
+    };
     if pruner.known_unsat(cs, subtree) {
         return Feas::Unsat;
     }
@@ -436,7 +477,7 @@ pub(crate) fn search(
                     composed.fetch_add(1, Ordering::Relaxed);
                     match check(pool, solver, pruner, &next, false) {
                         Feas::Sat(m) => {
-                            let m = solver.confirm_model(pool, cfg, &next.constraint, m);
+                            let m = solver.confirm_model(pool, cfg, &next, m);
                             return SearchOutcome::Violation(CounterExample::from_model(
                                 pool,
                                 &sums.input,
@@ -531,6 +572,7 @@ pub(crate) fn aborted_report(
         solver: SolverLayerStats::default(),
         cores: CoreStats::default(),
         summary: Default::default(),
+        static_stats: Default::default(),
         step1_time: t0.elapsed(),
         step2_time: Default::default(),
     }
@@ -831,7 +873,7 @@ pub(crate) fn longest_paths_from(
         if node.terminal {
             // Admissible heuristic ⇒ this is the next-longest path.
             if let Feas::Sat(m) = check(pool, &mut solver, pruner, &node.state, false) {
-                let m = solver.confirm_model(pool, cfg, &node.state.constraint, m);
+                let m = solver.confirm_model(pool, cfg, &node.state, m);
                 out.push(LongestPath {
                     instrs: node.state.instrs,
                     packet: CounterExample::from_model(

@@ -551,6 +551,11 @@ fn import_summary(
                 .iter()
                 .map(|&t| mig.import(t, src, pool))
                 .collect(),
+            assumed: seg
+                .assumed
+                .iter()
+                .map(|&t| mig.import(t, src, pool))
+                .collect(),
             outcome: seg.outcome,
             pkt_out: seg
                 .pkt_out

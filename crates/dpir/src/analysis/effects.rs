@@ -1,0 +1,153 @@
+//! Map and packet access effects.
+//!
+//! Summarizes, over the reachable part of a program:
+//!
+//! * per-map usage ([`MapUse`]): read / written / tested / expired —
+//!   the raw material for "reads a map nothing ever writes"
+//!   diagnostics;
+//! * packet access sites with their interval-derived safety
+//!   classification (delegated to [`super::intervals`]);
+//! * **dead metadata stores**: a `MetaStore` whose slot is overwritten
+//!   on every path before any read *and* before the element exits.
+//!   Slot liveness is a textbook backward bit-vector analysis, run on
+//!   the engine's [`super::backward_fixpoint`]; every program-leaving
+//!   terminator marks all slots live (metadata travels to downstream
+//!   elements and to the property checker), so only genuinely
+//!   shadowed stores are flagged.
+
+use super::{backward_fixpoint, reach::reachable_from, Backward, ConstResult, Lattice};
+use crate::instr::Instr;
+use crate::program::Program;
+use crate::types::META_SLOTS;
+
+/// How one map is used across the (reachable) program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapUse {
+    /// Some reachable `MapRead` targets it.
+    pub read: bool,
+    /// Some reachable `MapWrite` targets it.
+    pub written: bool,
+    /// Some reachable `MapTest` targets it.
+    pub tested: bool,
+    /// Some reachable `MapExpire` targets it.
+    pub expired: bool,
+}
+
+/// A dead (shadowed) metadata store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadStore {
+    /// Block index.
+    pub block: usize,
+    /// Instruction index within the block.
+    pub instr: usize,
+    /// The shadowed slot.
+    pub slot: u8,
+}
+
+/// Stabilized effects summary.
+pub struct Effects {
+    /// Per-map usage, indexed by map id.
+    pub maps: Vec<MapUse>,
+    /// Metadata stores overwritten before any read or exit.
+    pub dead_meta_stores: Vec<DeadStore>,
+}
+
+/// Liveness bit-set over metadata slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Live(u32);
+
+impl Lattice for Live {
+    fn join_from(&mut self, other: &Self) -> bool {
+        let j = self.0 | other.0;
+        let changed = j != self.0;
+        self.0 = j;
+        changed
+    }
+}
+
+struct MetaLiveness;
+
+impl Backward for MetaLiveness {
+    type State = Live;
+
+    fn exit(&self, prog: &Program, block: usize) -> Live {
+        use crate::Terminator::*;
+        match prog.blocks[block].term {
+            // Metadata outlives the element on every program exit:
+            // downstream elements and the property checker read it.
+            Emit(_) | Drop | Crash(_) => Live(!0u32 >> (32 - META_SLOTS as u32)),
+            Jump(_) | Branch { .. } => Live(0),
+        }
+    }
+
+    fn flow_back(&mut self, prog: &Program, block: usize, out: Live) -> Live {
+        let mut live = out;
+        for ins in prog.blocks[block].instrs.iter().rev() {
+            match *ins {
+                Instr::MetaStore { slot, .. } => live.0 &= !(1 << slot),
+                Instr::MetaLoad { slot, .. } => live.0 |= 1 << slot,
+                _ => {}
+            }
+        }
+        live
+    }
+}
+
+impl Effects {
+    /// Computes the effects summary, reusing an existing constprop
+    /// result for reachability.
+    pub fn run(prog: &Program, cp: &ConstResult) -> Effects {
+        let reach = reachable_from(cp);
+        let mut maps = vec![MapUse::default(); prog.maps.len()];
+        for (b, block) in prog.blocks.iter().enumerate() {
+            if !reach[b] {
+                continue;
+            }
+            for ins in &block.instrs {
+                match *ins {
+                    Instr::MapRead { map, .. } => maps[map.index()].read = true,
+                    Instr::MapWrite { map, .. } => maps[map.index()].written = true,
+                    Instr::MapTest { map, .. } => maps[map.index()].tested = true,
+                    Instr::MapExpire { map, .. } => maps[map.index()].expired = true,
+                    _ => {}
+                }
+            }
+        }
+
+        // Dead stores: walk each reachable block backward from its
+        // stabilized exit liveness.
+        let outs = backward_fixpoint(prog, &mut MetaLiveness);
+        let mut dead_meta_stores = Vec::new();
+        for (b, block) in prog.blocks.iter().enumerate() {
+            if !reach[b] {
+                continue;
+            }
+            let mut live = outs[b];
+            // Record (index, liveness-after) per instruction in
+            // reverse, then emit in forward order.
+            let mut dead_here = Vec::new();
+            for (i, ins) in block.instrs.iter().enumerate().rev() {
+                match *ins {
+                    Instr::MetaStore { slot, .. } => {
+                        if live.0 & (1 << slot) == 0 {
+                            dead_here.push(DeadStore {
+                                block: b,
+                                instr: i,
+                                slot,
+                            });
+                        }
+                        live.0 &= !(1 << slot);
+                    }
+                    Instr::MetaLoad { slot, .. } => live.0 |= 1 << slot,
+                    _ => {}
+                }
+            }
+            dead_here.reverse();
+            dead_meta_stores.extend(dead_here);
+        }
+        Effects {
+            maps,
+            dead_meta_stores,
+        }
+    }
+}

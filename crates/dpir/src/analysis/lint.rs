@@ -1,0 +1,205 @@
+//! Diagnostics over the analysis results: the `dpv-lint` catalog.
+//!
+//! | Code | Severity | Meaning |
+//! |---|---|---|
+//! | `DPV001` | warning | unreachable block (constant-decided branches) |
+//! | `DPV002` | error | packet access provably out of bounds on every path |
+//! | `DPV003` | warning | branch condition is a propagated constant (always taken) |
+//! | `DPV004` | warning | metadata store overwritten before any read or exit |
+//! | `DPV005` | warning | store writes the value the slot already holds (no-progress store) |
+//! | `DPV006` | warning | read/test of a non-static map no reachable code writes |
+//! | `DPV007` | error | division by a constant zero |
+//!
+//! Spans are `(block, instr)` pairs; `instr == block.instrs.len()`
+//! addresses the block's terminator. `DPV005` is the one that catches
+//! the seeded Click fragmenter cursor bug: the loop body stores the
+//! cursor it just loaded, unmodified, so the walk can never advance.
+
+use super::constprop::ConstProp;
+use super::effects::Effects;
+use super::intervals::{Intervals, IvEnv};
+use super::reach::reachable_from;
+use crate::program::Program;
+use std::fmt;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or informational.
+    Info,
+    /// Suspicious but not necessarily a defect.
+    Warning,
+    /// A defect: the flagged behavior happens on every execution that
+    /// reaches the span.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One diagnostic: severity, location, stable code, human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// `(block, instr)`; `instr == instrs.len()` is the terminator.
+    pub span: (u32, u32),
+    /// Stable lint code (`"DPV001"`…).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] b{}:{}: {}",
+            self.severity, self.code, self.span.0, self.span.1, self.message
+        )
+    }
+}
+
+/// Runs every lint over `prog` under the length environment `env`.
+///
+/// Diagnostics come out grouped by lint code, each group in program
+/// order — deterministic, so allowlists can match on exact output.
+pub fn lint_program(prog: &Program, env: IvEnv) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let cp = ConstProp::run(prog);
+    let reach = reachable_from(&cp);
+
+    // DPV001: unreachable blocks.
+    for (b, reachable) in reach.iter().enumerate() {
+        if !reachable {
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                span: (b as u32, 0),
+                code: "DPV001",
+                message: format!("block b{b} is unreachable under constant-decided branches"),
+            });
+        }
+    }
+
+    // DPV002: provable out-of-bounds accesses (reachable sites only).
+    let iv = Intervals::run(prog, env);
+    for site in iv.site_safety(prog) {
+        if site.proven_oob {
+            let what = if site.is_store { "store" } else { "load" };
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                span: (site.block as u32, site.instr as u32),
+                code: "DPV002",
+                message: format!(
+                    "{}-byte packet {what} is out of bounds on every path \
+                     (packet length ≤ {} here)",
+                    site.bytes,
+                    iv.entry[site.block].as_ref().map_or(0, |s| s.len.hi),
+                ),
+            });
+        }
+    }
+
+    // DPV003: always-taken branches.
+    for (b, d) in cp.decided.iter().enumerate() {
+        if let Some(taken) = d {
+            let arm = if *taken { "then" } else { "else" };
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                span: (b as u32, prog.blocks[b].instrs.len() as u32),
+                code: "DPV003",
+                message: format!("branch condition is constant: the {arm} edge is always taken"),
+            });
+        }
+    }
+
+    // DPV004: dead (shadowed) metadata stores.
+    let eff = Effects::run(prog, &cp);
+    for d in &eff.dead_meta_stores {
+        out.push(Diagnostic {
+            severity: Severity::Warning,
+            span: (d.block as u32, d.instr as u32),
+            code: "DPV004",
+            message: format!(
+                "store to metadata slot {} is overwritten on every path before being read",
+                d.slot
+            ),
+        });
+    }
+
+    // DPV005: no-progress stores.
+    for r in &cp.redundant_stores {
+        out.push(Diagnostic {
+            severity: Severity::Warning,
+            span: (r.block as u32, r.instr as u32),
+            code: "DPV005",
+            message: format!(
+                "metadata slot {} is stored with the value it already holds — \
+                 state does not advance (loop-cursor bug signature)",
+                r.slot
+            ),
+        });
+    }
+
+    // DPV006: reads of never-written non-static maps. Static maps are
+    // control-plane tables (FIBs, classifier rules): populated outside
+    // the program, so reading them without writes is the normal case.
+    for (id, (decl, used)) in prog.maps.iter().zip(&eff.maps).enumerate() {
+        if decl.is_static || used.written {
+            continue;
+        }
+        if used.read || used.tested {
+            // Span: the first reachable read/test site.
+            let span = first_map_use(prog, &reach, id as u32);
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                span,
+                code: "DPV006",
+                message: format!(
+                    "map \"{}\" is read but no reachable code ever writes it \
+                     (reads always miss)",
+                    decl.name
+                ),
+            });
+        }
+    }
+
+    // DPV007: certain division by zero.
+    for d in &cp.certain_div_by_zero {
+        out.push(Diagnostic {
+            severity: Severity::Error,
+            span: (d.block as u32, d.instr as u32),
+            code: "DPV007",
+            message: "divisor is the constant zero: this operation crashes on every path"
+                .to_string(),
+        });
+    }
+
+    out
+}
+
+fn first_map_use(prog: &Program, reach: &[bool], id: u32) -> (u32, u32) {
+    use crate::instr::Instr;
+    for (b, block) in prog.blocks.iter().enumerate() {
+        if !reach[b] {
+            continue;
+        }
+        for (i, ins) in block.instrs.iter().enumerate() {
+            let m = match *ins {
+                Instr::MapRead { map, .. } | Instr::MapTest { map, .. } => Some(map),
+                _ => None,
+            };
+            if m.map(|m| m.0) == Some(id) {
+                return (b as u32, i as u32);
+            }
+        }
+    }
+    (0, 0)
+}

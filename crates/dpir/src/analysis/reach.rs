@@ -1,0 +1,32 @@
+//! Block reachability under constant-decided branches.
+//!
+//! A block is *reachable* when some CFG path from the entry reaches it
+//! taking only edges that constant propagation cannot rule out: a
+//! `Branch` whose condition is a propagated constant contributes only
+//! its decided edge. This is exactly the executor's behavior (a
+//! pool-constant condition short-circuits without forking), so a block
+//! unreachable here is never visited by any symbolic or concrete
+//! execution — which is what makes deleting it verdict-preserving and
+//! reporting it (`DPV001`) a genuine dead-code diagnostic.
+
+use super::constprop::ConstProp;
+use crate::program::Program;
+
+/// Per-block reachability under constant-decided branches.
+///
+/// Thin wrapper over [`ConstProp::run`]: the constprop engine already
+/// drops decided-dead edges, so "reachable" is "has a stabilized entry
+/// state".
+pub fn reachable_blocks(prog: &Program) -> Vec<bool> {
+    ConstProp::run(prog)
+        .entry
+        .iter()
+        .map(Option::is_some)
+        .collect()
+}
+
+/// Reachability from an existing [`super::ConstResult`], avoiding a
+/// second fixpoint run.
+pub fn reachable_from(cp: &super::ConstResult) -> Vec<bool> {
+    cp.entry.iter().map(Option::is_some).collect()
+}

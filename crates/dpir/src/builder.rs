@@ -22,7 +22,7 @@
 //! ```
 
 use crate::instr::{BinOp, Instr, Operand, Terminator, UnOp};
-use crate::program::{Block, MapDecl, Program, ValidateError};
+use crate::program::{Block, Facts, MapDecl, Program, ValidateError};
 use crate::types::{BlockId, MapId, PortId, Reg, Width};
 
 /// Error returned by [`ProgramBuilder::build`].
@@ -54,6 +54,9 @@ pub struct ProgramBuilder {
     maps: Vec<MapDecl>,
     assert_msgs: Vec<String>,
     cur: BlockId,
+    /// Whether each register has been written by an already-emitted
+    /// instruction (debug-build invariant checking only).
+    written: Vec<bool>,
 }
 
 impl ProgramBuilder {
@@ -66,6 +69,7 @@ impl ProgramBuilder {
             maps: Vec::new(),
             assert_msgs: Vec::new(),
             cur: BlockId(0),
+            written: Vec::new(),
         }
     }
 
@@ -73,6 +77,7 @@ impl ProgramBuilder {
     pub fn reg(&mut self, w: Width) -> Reg {
         let r = Reg(self.reg_widths.len() as u32);
         self.reg_widths.push(w);
+        self.written.push(false);
         r
     }
 
@@ -108,7 +113,31 @@ impl ProgramBuilder {
             "appending to a sealed block in {}",
             self.name
         );
+        self.check_reads(&i);
+        for r in instr_writes(&i) {
+            self.written[r.index()] = true;
+        }
         self.blocks[cur].0.push(i);
+    }
+
+    /// Debug-build invariant: every register an instruction reads must
+    /// have been written by some earlier-emitted instruction. Elements
+    /// are emitted entry-first, so emission order is a conservative
+    /// over-approximation of execution order — reading a register no
+    /// emitted instruction has defined is always an authoring bug
+    /// (silently reading the executor's zero initialization).
+    fn check_reads(&self, i: &Instr) {
+        if cfg!(debug_assertions) {
+            for o in instr_reads(i) {
+                if let Operand::Reg(r) = o {
+                    debug_assert!(
+                        self.written[r.index()],
+                        "register {r} read before any write in {} ({i:?})",
+                        self.name
+                    );
+                }
+            }
+        }
     }
 
     fn seal(&mut self, t: Terminator) {
@@ -118,7 +147,33 @@ impl ProgramBuilder {
             "double terminator in {}",
             self.name
         );
+        match t {
+            Terminator::Jump(b) => self.check_target(b),
+            Terminator::Branch { cond, then_, else_ } => {
+                if let Operand::Reg(r) = cond {
+                    debug_assert!(
+                        self.written[r.index()],
+                        "branch condition {r} read before any write in {}",
+                        self.name
+                    );
+                }
+                self.check_target(then_);
+                self.check_target(else_);
+            }
+            _ => {}
+        }
         self.blocks[cur].1 = Some(t);
+    }
+
+    /// Debug-build invariant: terminator targets must name blocks that
+    /// already exist (the builder only hands out ids it allocated, so
+    /// an out-of-range id is a hand-constructed `BlockId`).
+    fn check_target(&self, b: BlockId) {
+        debug_assert!(
+            b.index() < self.blocks.len(),
+            "terminator targets unallocated block {b} in {}",
+            self.name
+        );
     }
 
     // --- instruction emitters (return the destination register) --------
@@ -431,9 +486,50 @@ impl ProgramBuilder {
             reg_widths: self.reg_widths,
             maps: self.maps,
             assert_msgs: self.assert_msgs,
+            facts: Facts::default(),
         };
         prog.validate().map_err(BuildError::Invalid)?;
         Ok(prog)
+    }
+}
+
+/// The operands an instruction reads.
+fn instr_reads(i: &Instr) -> Vec<Operand> {
+    match *i {
+        Instr::Bin { a, b, .. } => vec![a, b],
+        Instr::Un { a, .. } | Instr::Cast { a, .. } | Instr::Mov { a, .. } => vec![a],
+        Instr::PktLoad { off, .. } => vec![off],
+        Instr::PktStore { off, val, .. } => vec![off, val],
+        Instr::PktLen { .. } | Instr::MetaLoad { .. } => vec![],
+        Instr::MetaStore { val, .. } => vec![val],
+        Instr::MapRead { key, .. } | Instr::MapTest { key, .. } | Instr::MapExpire { key, .. } => {
+            vec![key]
+        }
+        Instr::MapWrite { key, val, .. } => vec![key, val],
+        Instr::PktPush { n } | Instr::PktPull { n } => vec![n],
+        Instr::Assert { cond, .. } => vec![cond],
+    }
+}
+
+/// The registers an instruction writes.
+fn instr_writes(i: &Instr) -> Vec<Reg> {
+    match *i {
+        Instr::Bin { dst, .. }
+        | Instr::Un { dst, .. }
+        | Instr::Cast { dst, .. }
+        | Instr::Mov { dst, .. }
+        | Instr::PktLoad { dst, .. }
+        | Instr::PktLen { dst }
+        | Instr::MetaLoad { dst, .. } => vec![dst],
+        Instr::MapRead { found, val, .. } => vec![found, val],
+        Instr::MapWrite { ok, .. } => vec![ok],
+        Instr::MapTest { found, .. } => vec![found],
+        Instr::PktStore { .. }
+        | Instr::MetaStore { .. }
+        | Instr::MapExpire { .. }
+        | Instr::PktPush { .. }
+        | Instr::PktPull { .. }
+        | Instr::Assert { .. } => vec![],
     }
 }
 
@@ -464,6 +560,25 @@ mod tests {
         b.drop_();
         let p = b.build().expect("valid");
         assert_eq!(p.blocks.len(), 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "read before any write")]
+    fn read_before_write_panics() {
+        let mut b = ProgramBuilder::new("rbw");
+        let never_written = b.reg(16);
+        // Reads a register no emitted instruction has defined.
+        b.add(16, never_written, 1u64);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "targets unallocated block")]
+    fn jump_to_unallocated_block_panics() {
+        let mut b = ProgramBuilder::new("badjump");
+        // A hand-constructed id the builder never allocated.
+        b.jump(BlockId(7));
     }
 
     #[test]

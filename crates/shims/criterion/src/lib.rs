@@ -5,6 +5,8 @@
 //! `sample_size` samples; the median per-iteration time is printed.
 //! There is no statistical analysis, HTML report or regression store.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -12,6 +12,8 @@
 //! counts honor `ProptestConfig::with_cases` and can be overridden
 //! globally with the `PROPTEST_CASES` environment variable.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod array;
 pub mod collection;

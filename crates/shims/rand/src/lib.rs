@@ -2,6 +2,8 @@
 //! workspace uses, backed by SplitMix64. Not cryptographic; statistical
 //! quality is adequate for workload generation and tests.
 
+#![forbid(unsafe_code)]
+
 /// Types that can be sampled uniformly from a 64-bit draw.
 pub trait Uniform: Copy {
     /// Maps a uniform `u64` onto `Self`.

@@ -207,7 +207,9 @@ pub fn execute(
                     break 'state;
                 }
                 Terminator::Emit(p) => {
-                    segments.push(finish(pool, &st, SegOutcome::Emit(p), cfg));
+                    let mut seg = finish(pool, &st, SegOutcome::Emit(p), cfg);
+                    attach_assumed(pool, prog, &st, &mut seg);
+                    segments.push(seg);
                     break 'state;
                 }
                 Terminator::Drop => {
@@ -334,6 +336,7 @@ fn step(
                 off_t,
                 k,
                 CrashReason::OobRead,
+                site_proven_safe(prog, st),
                 cfg,
                 solver,
                 states,
@@ -378,6 +381,7 @@ fn step(
                 off_t,
                 k,
                 CrashReason::OobWrite,
+                site_proven_safe(prog, st),
                 cfg,
                 solver,
                 states,
@@ -430,6 +434,7 @@ fn step(
                 st,
                 fits,
                 CrashReason::OobWrite,
+                false,
                 cfg,
                 solver,
                 states,
@@ -465,6 +470,7 @@ fn step(
                 st,
                 fits,
                 CrashReason::OobRead,
+                false,
                 cfg,
                 solver,
                 states,
@@ -637,8 +643,22 @@ enum BoundsFlow {
     Proceed,
 }
 
+/// Whether the static simplifier proved the *current* instruction's
+/// packet access in bounds on every feasible path (`st.iidx` was
+/// already advanced past it by the instruction loop).
+fn site_proven_safe(prog: &Program, st: &PathState) -> bool {
+    debug_assert!(st.iidx > 0);
+    let site = (st.bb as u32, (st.iidx - 1) as u32);
+    // `Facts::safe_sites` comes out of the analysis in (block, instr)
+    // order.
+    prog.facts.safe_sites.binary_search(&site).is_ok()
+}
+
 /// Emits a crash segment for the out-of-bounds case (if feasible) and
-/// constrains the surviving path to be in bounds.
+/// constrains the surviving path to be in bounds. With `proven_safe`,
+/// the crash fork (and its feasibility query) is skipped — the static
+/// interval analysis already refuted it — but the surviving path still
+/// records the identical in-bounds constraint.
 #[allow(clippy::too_many_arguments)]
 fn bounds_fork(
     pool: &mut TermPool,
@@ -646,6 +666,7 @@ fn bounds_fork(
     off_t: TermId,
     k: usize,
     reason: CrashReason,
+    proven_safe: bool,
     cfg: &SymConfig,
     solver: &mut BvSolver,
     states: &mut usize,
@@ -659,7 +680,18 @@ fn bounds_fork(
     let end = pool.mk_add(off32, kc);
     let len32 = pool.mk_zext(st.len, 32);
     let inb = pool.mk_ule(end, len32);
-    if fork_crash_unless(pool, st, inb, reason, cfg, solver, states, pruned, segments) {
+    if fork_crash_unless(
+        pool,
+        st,
+        inb,
+        reason,
+        proven_safe,
+        cfg,
+        solver,
+        states,
+        pruned,
+        segments,
+    ) {
         BoundsFlow::Proceed
     } else {
         BoundsFlow::AlwaysCrash
@@ -668,13 +700,19 @@ fn bounds_fork(
 
 /// Forks a crash segment on `¬cond` (if feasible); constrains the
 /// current path with `cond`. Returns false if the path itself is dead
-/// (cond constant-false).
+/// (cond constant-false). With `skip_crash_branch` the crash fork is
+/// elided outright — callers pass it only when a static proof showed
+/// `¬cond` infeasible under the path constraints, in which case an
+/// exact fork check would have refuted the branch anyway (this only
+/// skips the query, and under cheap fork checking it also removes the
+/// spurious crash suspects the cheap layers cannot refute).
 #[allow(clippy::too_many_arguments)]
 fn fork_crash_unless(
     pool: &mut TermPool,
     st: &mut PathState,
     cond: TermId,
     reason: CrashReason,
+    skip_crash_branch: bool,
     cfg: &SymConfig,
     solver: &mut BvSolver,
     states: &mut usize,
@@ -687,6 +725,11 @@ fn fork_crash_unless(
     if pool.is_false(cond) {
         segments.push(finish(pool, st, SegOutcome::Crash(reason), cfg));
         return false;
+    }
+    if skip_crash_branch {
+        *pruned += 1;
+        st.constraint.push(cond);
+        return true;
     }
     let notc = pool.mk_not(cond);
     let mut crash_st = st.clone();
@@ -888,10 +931,40 @@ fn feasible(pool: &mut TermPool, solver: &mut BvSolver, cs: &[TermId], cfg: &Sym
     }
 }
 
+/// Attaches statically proven exit facts to an `Emit` segment: the
+/// simplifier's exit-length interval becomes `assumed` terms. Each
+/// term is implied by the segment's path constraints (the interval
+/// analysis quantified over feasible executions under the same entry
+/// bounds), so conjoining them downstream never changes
+/// satisfiability — they only help the cheap solver layers decide.
+fn attach_assumed(pool: &mut TermPool, prog: &Program, st: &PathState, seg: &mut Segment) {
+    let Some((lo, hi)) = prog.facts.exit_len else {
+        return;
+    };
+    // Length is a 16-bit term; bounds outside that range are either
+    // vacuous (hi ≥ 2^16-1) or come from an infeasible refinement and
+    // must not be masked into a wrong constraint.
+    if lo > 0 && lo <= 0xffff {
+        let lo_c = pool.mk_const(16, lo);
+        let t = pool.mk_ule(lo_c, st.len);
+        if !pool.is_true(t) {
+            seg.assumed.push(t);
+        }
+    }
+    if hi < 0xffff {
+        let hi_c = pool.mk_const(16, hi);
+        let t = pool.mk_ule(st.len, hi_c);
+        if !pool.is_true(t) {
+            seg.assumed.push(t);
+        }
+    }
+}
+
 fn finish(pool: &mut TermPool, st: &PathState, outcome: SegOutcome, _cfg: &SymConfig) -> Segment {
     let _ = pool;
     Segment {
         constraint: st.constraint.clone(),
+        assumed: Vec::new(),
         outcome,
         pkt_out: st.pkt.clone(),
         len_out: st.len,

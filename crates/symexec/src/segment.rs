@@ -61,6 +61,15 @@ pub struct MapOpRecord {
 pub struct Segment {
     /// Path constraint: conjunction of width-1 terms over the input.
     pub constraint: Vec<TermId>,
+    /// Statically proven facts about the segment's exit state
+    /// (currently: packet-length bounds from
+    /// `dpir::Facts::exit_len`), as width-1 terms over the input.
+    /// Every term here is **implied by `constraint`** on all feasible
+    /// models — step-2 composition may conjoin them to sharpen
+    /// feasibility checks without changing satisfiability, and
+    /// counterexample extraction ignores them. Empty unless the
+    /// program came out of the static simplifier.
+    pub assumed: Vec<TermId>,
     /// Outcome.
     pub outcome: SegOutcome,
     /// Output packet bytes (terms over the input), window-sized.
