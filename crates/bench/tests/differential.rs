@@ -1,9 +1,10 @@
 //! Differential testing of the verifier across every mode toggle.
 //!
-//! One generated pipeline ([`dpv_bench::gen`]) is checked under seven
+//! One generated pipeline ([`dpv_bench::gen`]) is checked under eight
 //! configurations — sequential baseline, `threads(4)`, incremental
-//! off, core-pruning off, summary store on, everything off, and the
-//! static simplifier on — and the reports must agree:
+//! off, core-pruning off, summary store on, everything off, the
+//! static simplifier on, and portfolio racing on — and the reports
+//! must agree:
 //!
 //! * verdict labels are identical in every mode (and match whether the
 //!   generator planted a violation);
@@ -30,9 +31,10 @@ struct Mode {
     pruning: bool,
     store: bool,
     simplify: bool,
+    portfolio: Option<usize>,
 }
 
-const MODES: [Mode; 7] = [
+const MODES: [Mode; 8] = [
     Mode {
         name: "seq",
         threads: 1,
@@ -40,6 +42,7 @@ const MODES: [Mode; 7] = [
         pruning: true,
         store: false,
         simplify: false,
+        portfolio: None,
     },
     Mode {
         name: "threads4",
@@ -48,6 +51,7 @@ const MODES: [Mode; 7] = [
         pruning: true,
         store: false,
         simplify: false,
+        portfolio: None,
     },
     Mode {
         name: "fresh-solver",
@@ -56,6 +60,7 @@ const MODES: [Mode; 7] = [
         pruning: true,
         store: false,
         simplify: false,
+        portfolio: None,
     },
     Mode {
         name: "no-pruning",
@@ -64,6 +69,7 @@ const MODES: [Mode; 7] = [
         pruning: false,
         store: false,
         simplify: false,
+        portfolio: None,
     },
     Mode {
         name: "store",
@@ -72,6 +78,7 @@ const MODES: [Mode; 7] = [
         pruning: true,
         store: true,
         simplify: false,
+        portfolio: None,
     },
     Mode {
         name: "bare",
@@ -80,6 +87,7 @@ const MODES: [Mode; 7] = [
         pruning: false,
         store: false,
         simplify: false,
+        portfolio: None,
     },
     // Step 1 summarizes the statically simplified programs
     // (`VerifyConfig::static_simplify`): the simplifier is
@@ -93,6 +101,22 @@ const MODES: [Mode; 7] = [
         pruning: true,
         store: false,
         simplify: true,
+        portfolio: None,
+    },
+    // Portfolio racing decides each escalated query with whichever of
+    // N diversified solver clones finishes first. Decided verdicts are
+    // a property of the query, not the racer, and counterexample
+    // models are re-extracted on the session solver — so verdict,
+    // counterexample bytes and composed-path count must all match the
+    // sequential baseline exactly, race or no race.
+    Mode {
+        name: "portfolio",
+        threads: 1,
+        incremental: true,
+        pruning: true,
+        store: false,
+        simplify: false,
+        portfolio: Some(4),
     },
 ];
 
@@ -101,6 +125,11 @@ fn run_mode(g: &Generated, m: &Mode) -> VerifyReport {
     cfg.incremental = m.incremental;
     cfg.core_pruning = m.pruning;
     cfg.static_simplify = m.simplify;
+    cfg.portfolio = m.portfolio;
+    if m.portfolio.is_some() {
+        // A low bar so small generated pipelines actually race.
+        cfg.portfolio_escalation = 1;
+    }
     let mut v = Verifier::new(&g.pipeline).config(cfg).threads(m.threads);
     if m.store {
         v = v.with_store(SummaryStore::shared());
@@ -173,7 +202,7 @@ fn differential_smoke() {
 }
 
 /// The paper-scale matrix: 20 generated pipelines of 50+ stages, all
-/// six modes each. Run explicitly in release:
+/// eight modes each. Run explicitly in release:
 /// `cargo test --release -p dpv-bench -- --ignored`.
 #[test]
 #[ignore = "paper-scale matrix; run in release via -- --ignored"]
@@ -183,7 +212,7 @@ fn differential_full() {
     for seed in 0u64..20 {
         let mut cfg = GenConfig::from_seed(seed);
         // Bound the stage count: solver cost on proved pipelines grows
-        // superlinearly with depth, and the matrix is 6 runs per seed.
+        // superlinearly with depth, and the matrix is 8 runs per seed.
         cfg.stages = 50 + (seed as usize * 7) % 11;
         cfg.rounds = 2;
         if cfg.plant_violation {

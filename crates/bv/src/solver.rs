@@ -36,6 +36,12 @@ pub enum SatVerdict {
     Unsat(Infeasibility),
     /// Budget exhausted (only possible with a conflict budget set).
     Unknown,
+    /// The query was cancelled through the CDCL interrupt hook before
+    /// a verdict ([`bitsat::SolveResult::Interrupted`]). Surfaces only
+    /// from explicitly interrupted solves — inside a portfolio race the
+    /// driver absorbs the losers' `Interrupted` results and returns
+    /// the winner's verdict.
+    Interrupted,
 }
 
 impl SatVerdict {
@@ -114,7 +120,25 @@ pub struct SolverLayerStats {
     /// grew past the compaction policy and the CNF was rebuilt from
     /// the active constraints (see [`crate::SolveSession`]).
     pub compactions: u64,
+    /// Portfolio races run ([`crate::SolveSession::check_portfolio`]
+    /// or budget-escalated hard queries). Always 0 with the portfolio
+    /// off.
+    pub portfolio_races: u64,
+    /// Races won per diversification seed (index = racer seed,
+    /// capped at [`MAX_RACERS`]); seed 0 is the undiversified clone.
+    /// Sums to at most `portfolio_races` (a race every racer loses to
+    /// the budget counts for no seed).
+    pub races_won_by: [u64; MAX_RACERS],
+    /// Glue clauses imported from the shared pool into the session's
+    /// main solver at solve-call boundaries.
+    pub clauses_imported: u64,
+    /// Glue clauses racers exported into the shared pool.
+    pub clauses_exported: u64,
 }
+
+/// Upper bound on portfolio racers per race (and the length of
+/// [`SolverLayerStats::races_won_by`]).
+pub const MAX_RACERS: usize = 8;
 
 impl SolverLayerStats {
     /// Per-field difference `self - earlier`: the counters accrued
@@ -137,6 +161,16 @@ impl SolverLayerStats {
             decisions: self.decisions.saturating_sub(earlier.decisions),
             propagations: self.propagations.saturating_sub(earlier.propagations),
             compactions: self.compactions.saturating_sub(earlier.compactions),
+            portfolio_races: self.portfolio_races.saturating_sub(earlier.portfolio_races),
+            races_won_by: std::array::from_fn(|i| {
+                self.races_won_by[i].saturating_sub(earlier.races_won_by[i])
+            }),
+            clauses_imported: self
+                .clauses_imported
+                .saturating_sub(earlier.clauses_imported),
+            clauses_exported: self
+                .clauses_exported
+                .saturating_sub(earlier.clauses_exported),
         }
     }
 
@@ -154,6 +188,12 @@ impl SolverLayerStats {
         self.decisions += other.decisions;
         self.propagations += other.propagations;
         self.compactions += other.compactions;
+        self.portfolio_races += other.portfolio_races;
+        for (mine, theirs) in self.races_won_by.iter_mut().zip(other.races_won_by) {
+            *mine += theirs;
+        }
+        self.clauses_imported += other.clauses_imported;
+        self.clauses_exported += other.clauses_exported;
     }
 }
 
@@ -313,6 +353,7 @@ impl BvSolver {
             }
             bitsat::SolveResult::Unsat => SatVerdict::Unsat(Infeasibility::default()),
             bitsat::SolveResult::Unknown => SatVerdict::Unknown,
+            bitsat::SolveResult::Interrupted => SatVerdict::Interrupted,
         }
     }
 
@@ -367,7 +408,7 @@ impl BvSolver {
         match self.check(pool, &[neg]) {
             SatVerdict::Sat(m) => (false, Some(m)),
             SatVerdict::Unsat(_) => (true, None),
-            SatVerdict::Unknown => (false, None),
+            SatVerdict::Unknown | SatVerdict::Interrupted => (false, None),
         }
     }
 }

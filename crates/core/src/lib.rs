@@ -58,6 +58,7 @@ pub mod cores;
 pub mod fleet;
 pub mod generic;
 pub mod parallel;
+mod prefilter;
 pub mod report;
 pub mod session;
 pub mod stateful;
@@ -69,6 +70,7 @@ pub use cores::{CoreStats, CoreStore};
 pub use fleet::{Fleet, FleetReport, VariantReport};
 pub use generic::{GenericOutcome, GenericReport};
 pub use parallel::ParallelConfig;
+pub use prefilter::PrefilterStats;
 pub use report::{CounterExample, StaticStats, SummaryCacheStats, Verdict, VerifyReport};
 pub use session::{CustomProperty, GenericRun, Property, Report, StateReport, Verifier};
 pub use stateful::StateFinding;

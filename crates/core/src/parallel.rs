@@ -82,9 +82,27 @@
 //! behind *later* budget-limited queries in either direction —
 //! budget-free runs (every query decided, the normal case with the
 //! default 200k-conflict budget) never diverge.
+//!
+//! **Portfolio racing** ([`crate::VerifyConfig::portfolio`], default
+//! off) inherits the session-layer guarantee
+//! (see `bvsolve::session`): a race only ever changes *which* solver
+//! decides a query and how fast, never the Sat/Unsat answer, so
+//! verdicts, composed-path counts and — because every winning
+//! violation is re-solved on a fresh solver — counterexample bytes
+//! are identical with the portfolio on or off, at any racer count,
+//! under either engine; the differential harness asserts exactly
+//! this. What the race does perturb is accounting and wall time:
+//! `portfolio_races`, `races_won_by`, the glue-traffic counters and
+//! the solver-side decision/propagation totals all depend on which
+//! diversified clone wins, which is scheduling dependent. The same
+//! budget caveat as above applies: a race spends more total conflicts
+//! than one solver, so near a conflict budget it may decide a query
+//! the single-solver run leaves `Unknown` — never the reverse
+//! verdict.
 
 use crate::compose::ComposedState;
 use crate::cores::{CoreStats, CoreStore, Pruner};
+use crate::prefilter::{Prefilter, PrefilterStats};
 use crate::report::{CounterExample, VerifyReport};
 use crate::session::{Property, Verifier};
 use crate::step2::{
@@ -180,6 +198,7 @@ pub(crate) fn expand_frontier(
     pool: &mut TermPool,
     solver: &mut QuerySolver,
     pruner: &mut Pruner,
+    prefilter: &mut Prefilter,
     pipeline: &Pipeline,
     sums: &PipelineSummaries,
     kind: &PropKind,
@@ -217,7 +236,7 @@ pub(crate) fn expand_frontier(
                 }
                 StepEvent::Continue(n) => {
                     composed.fetch_add(1, Ordering::Relaxed);
-                    match check(pool, solver, pruner, &n.state, true) {
+                    match check(pool, solver, pruner, prefilter, &n.state, true) {
                         Feas::Sat(_) | Feas::Unknown => stack.push(n),
                         Feas::Unsat => {}
                     }
@@ -248,6 +267,7 @@ fn run_task(
     pool: &mut TermPool,
     solver: &mut QuerySolver,
     pruner: &mut Pruner,
+    prefilter: &mut Prefilter,
     ctx: &WorkerCtx,
 ) -> TaskResult {
     if ctx.composed.load(Ordering::Relaxed) >= ctx.cfg.max_composed_paths {
@@ -258,7 +278,7 @@ fn run_task(
             // Already counted by `expand_frontier` at classify time —
             // counting here again would double-charge shallow checks
             // relative to the sequential engine.
-            let feas = check(pool, solver, pruner, state, false);
+            let feas = check(pool, solver, pruner, prefilter, state, false);
             match (feas, violation) {
                 (Feas::Sat(m), Some(desc)) => {
                     let m = solver.confirm_model(pool, ctx.cfg, state, m);
@@ -279,6 +299,7 @@ fn run_task(
             pool,
             solver,
             pruner,
+            prefilter,
             ctx.pipeline,
             ctx.sums,
             ctx.cfg,
@@ -313,7 +334,7 @@ pub(crate) fn drain_tasks(
     tasks: &[Task],
     threads: usize,
     ctx: &WorkerCtx,
-) -> (SearchOutcome, SolverLayerStats, CoreStats) {
+) -> (SearchOutcome, SolverLayerStats, CoreStats, PrefilterStats) {
     let next = AtomicUsize::new(0);
     // Index of the earliest violation found so far: tasks after it
     // cannot influence the merged verdict and are skipped.
@@ -325,6 +346,7 @@ pub(crate) fn drain_tasks(
     let mut results: Vec<(usize, TaskResult)> = Vec::with_capacity(tasks.len());
     let mut stats = SolverLayerStats::default();
     let mut core_stats = CoreStats::default();
+    let mut prefilter_stats = PrefilterStats::default();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -338,6 +360,11 @@ pub(crate) fn drain_tasks(
                         ctx.cfg.core_pruning,
                         shared_term_limit,
                     );
+                    // Worker-private, but the corpus is the same
+                    // deterministic function of the pipeline input on
+                    // every worker, so hits don't depend on scheduling.
+                    let mut prefilter =
+                        Prefilter::new(ctx.cfg.concrete_prefilter, &ctx.sums.input, &ctx.cfg.sym);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -349,22 +376,31 @@ pub(crate) fn drain_tasks(
                             continue;
                         }
                         pruner.sync();
-                        let r = run_task(&tasks[i], &mut pool, &mut solver, &mut pruner, ctx);
+                        let r = run_task(
+                            &tasks[i],
+                            &mut pool,
+                            &mut solver,
+                            &mut pruner,
+                            &mut prefilter,
+                            ctx,
+                        );
                         pruner.publish();
                         if matches!(r, TaskResult::Violation(_)) {
                             cutoff.fetch_min(i, Ordering::Relaxed);
                         }
                         out.push((i, r));
                     }
-                    (out, solver.stats(), pruner.stats)
+                    (out, solver.stats(), pruner.stats, prefilter.stats)
                 })
             })
             .collect();
         for h in handles {
-            let (out, worker_stats, worker_cores) = h.join().expect("step-2 worker panicked");
+            let (out, worker_stats, worker_cores, worker_prefilter) =
+                h.join().expect("step-2 worker panicked");
             results.extend(out);
             stats.merge(&worker_stats);
             core_stats.merge(&worker_cores);
+            prefilter_stats.merge(&worker_prefilter);
         }
     });
     results.sort_by_key(|(i, _)| *i);
@@ -378,6 +414,7 @@ pub(crate) fn drain_tasks(
                     SearchOutcome::Violation(reextract(i, cex, master, tasks, ctx)),
                     stats,
                     core_stats,
+                    prefilter_stats,
                 );
             }
             TaskResult::Budget => saw_budget = true,
@@ -392,7 +429,7 @@ pub(crate) fn drain_tasks(
     } else {
         SearchOutcome::Clean
     };
-    (outcome, stats, core_stats)
+    (outcome, stats, core_stats, prefilter_stats)
 }
 
 /// Re-runs the winning violation task on a *fresh* clone of the master
@@ -426,12 +463,24 @@ fn reextract(
     // but disabling it keeps the replay maximally independent of what
     // other workers learned.
     let mut pruner = Pruner::new(Arc::new(Mutex::new(CoreStore::new())), false, usize::MAX);
+    // Same deterministic corpus as the workers'; its counters are
+    // replay bookkeeping and are not merged into the report. With the
+    // prefilter on, `confirm_model` inside the replay re-solves fresh
+    // anyway, so the reported bytes cannot be a corpus packet.
+    let mut prefilter = Prefilter::new(ctx.cfg.concrete_prefilter, &ctx.sums.input, &ctx.cfg.sym);
     let composed = AtomicUsize::new(0);
     let ctx2 = WorkerCtx {
         composed: &composed,
         ..*ctx
     };
-    match run_task(&tasks[i], &mut pool, &mut solver, &mut pruner, &ctx2) {
+    match run_task(
+        &tasks[i],
+        &mut pool,
+        &mut solver,
+        &mut pruner,
+        &mut prefilter,
+        &ctx2,
+    ) {
         TaskResult::Violation(cex) => cex,
         // Only reachable if the shared budget truncated the original
         // run differently; the in-flight counterexample is still valid.

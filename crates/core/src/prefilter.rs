@@ -1,0 +1,256 @@
+//! Concrete-execution prefilter for step-2 feasibility queries.
+//!
+//! Most composed paths the step-2 search wants to *extend* are
+//! trivially feasible — an ordinary packet walks them. Proving that
+//! with CDCL costs a bit-blast and a solve; proving it by *running*
+//! the composed constraints on a handful of concrete packets costs a
+//! term-DAG evaluation. [`Prefilter`] does the latter: it keeps a
+//! small deterministic packet corpus and, before a query reaches the
+//! solver, evaluates the constraint conjuncts under each corpus
+//! assignment ([`bvsolve::eval`], the crate's reference semantics).
+//! If every conjunct evaluates to 1 the query is satisfiable — by
+//! exhibition, not by search — and the solver is skipped.
+//!
+//! **Soundness.** A corpus entry is a *total* assignment as far as
+//! `eval` is concerned: assigned packet bytes and length read their
+//! corpus values, every other variable (havocs, metadata) reads 0. A
+//! conjunction that evaluates to 1 under any total assignment is
+//! satisfiable, so a prefilter hit is always a correct `Sat` — the
+//! filter can only accelerate SAT answers, never refute (a miss says
+//! nothing) and never flip a verdict. Evaluation is conjunct-by-
+//! conjunct with early termination, so misses usually cost one eval
+//! of whichever conjunct the corpus packet violates first.
+//!
+//! The static corpus rarely survives deep paths on its own, so the
+//! filter also **learns**: every satisfying model the solver produces
+//! is adopted into a small bounded cache ([`Prefilter::learn`]) and
+//! probed before the static packets. Sibling paths in the step-2
+//! search share long constraint prefixes, so the packet that walked
+//! one path usually walks the next — on refutation-heavy proofs most
+//! feasibility checks for path *extensions* hit this cache and skip
+//! the solver entirely.
+//!
+//! **Determinism.** The static corpus is a fixed function of the
+//! packet window size and the configured length bounds; the learned
+//! cache follows the engine's query order (per worker, in parallel
+//! runs), so *hit counts* may vary across engines while verdicts
+//! cannot — a hit is always a `Sat` the solver would also have
+//! reached. Reported counterexamples stay byte-identical with the
+//! prefilter on or off: a violation decided by a corpus hit is
+//! re-solved on a fresh solver before it is reported
+//! (`QuerySolver::confirm_model` skips its fast path whenever the
+//! prefilter is enabled), exactly like session- and portfolio-found
+//! models.
+
+use bvsolve::{eval, Assignment, TermId, TermPool};
+use symexec::{SymConfig, SymInput};
+
+/// Counters for the concrete-execution prefilter (see
+/// [`crate::VerifyConfig::concrete_prefilter`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrefilterStats {
+    /// Queries the prefilter evaluated before the solver saw them.
+    pub checks: u64,
+    /// Queries decided `Sat` by a corpus packet (solver skipped).
+    pub hits: u64,
+}
+
+impl PrefilterStats {
+    /// Per-field sum, for merging parallel workers' counters.
+    pub(crate) fn merge(&mut self, other: &PrefilterStats) {
+        self.checks += other.checks;
+        self.hits += other.hits;
+    }
+}
+
+/// How many deterministic packets the corpus holds.
+const CORPUS_SIZE: usize = 4;
+
+/// How many recently learned solver models the corpus additionally
+/// holds (newest first, oldest evicted).
+const LEARNED_CAP: usize = 8;
+
+/// SplitMix64 finalizer — the corpus's deterministic byte pattern.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The concrete-execution prefilter: a deterministic packet corpus
+/// plus hit/check counters. Disabled instances answer `None` for
+/// every query at zero cost.
+pub(crate) struct Prefilter {
+    corpus: Vec<Assignment>,
+    /// Satisfying assignments from recent solver models: sibling
+    /// paths share long constraint prefixes, so a packet that walked
+    /// one path usually walks the next — checked before the static
+    /// corpus, newest first.
+    learned: Vec<Assignment>,
+    pub(crate) stats: PrefilterStats,
+}
+
+impl Prefilter {
+    /// Builds the corpus over `input`'s packet variables: the all-zero
+    /// minimum-length packet, the all-0xFF maximum-length packet, an
+    /// incrementing-byte packet, and a SplitMix64-patterned packet at
+    /// intermediate lengths. When `enabled` is false the corpus is
+    /// empty and every probe is a free miss.
+    pub(crate) fn new(enabled: bool, input: &SymInput, sym: &SymConfig) -> Self {
+        let mut corpus = Vec::new();
+        if enabled {
+            let min_len = sym.min_pkt_len;
+            let max_len = sym.max_pkt_bytes as u64;
+            let lens = [
+                min_len,
+                max_len,
+                (min_len + max_len) / 2,
+                max_len.min(min_len + 64),
+            ];
+            for (k, len) in lens.into_iter().enumerate().take(CORPUS_SIZE) {
+                let mut a = Assignment::new();
+                a.set(input.len_var, len);
+                for (i, &vid) in input.pkt_byte_vars.iter().enumerate() {
+                    let byte = match k {
+                        0 => 0,
+                        1 => 0xFF,
+                        2 => i as u64 & 0xFF,
+                        _ => mix(i as u64) & 0xFF,
+                    };
+                    a.set(vid, byte);
+                }
+                corpus.push(a);
+            }
+        }
+        Prefilter {
+            corpus,
+            learned: Vec::new(),
+            stats: PrefilterStats::default(),
+        }
+    }
+
+    /// Probes `cs` against the corpus — learned models first (newest
+    /// wins, for prefix locality), then the static packets:
+    /// `Some(packet assignment)` when some corpus entry satisfies
+    /// every conjunct (a sound `Sat`), `None` when none does (the
+    /// query goes to the solver).
+    pub(crate) fn try_sat(&mut self, pool: &TermPool, cs: &[TermId]) -> Option<&Assignment> {
+        if self.corpus.is_empty() {
+            return None;
+        }
+        self.stats.checks += 1;
+        let hit = self
+            .learned
+            .iter()
+            .chain(&self.corpus)
+            .position(|a| cs.iter().all(|&c| eval(pool, c, a) == 1))?;
+        self.stats.hits += 1;
+        Some(
+            self.learned
+                .iter()
+                .chain(&self.corpus)
+                .nth(hit)
+                .expect("position just found"),
+        )
+    }
+
+    /// Adopts a satisfying solver model into the corpus. Sibling
+    /// composed paths differ only in their last few conjuncts, so the
+    /// model that walked one path usually satisfies the next query
+    /// outright — this is what turns the filter from a cold-start
+    /// heuristic into a model cache. Bounded at [`LEARNED_CAP`]
+    /// entries, oldest evicted; a no-op when the filter is disabled.
+    pub(crate) fn learn(&mut self, a: &Assignment) {
+        if self.corpus.is_empty() {
+            return;
+        }
+        if self.learned.len() == LEARNED_CAP {
+            self.learned.pop();
+        }
+        self.learned.insert(0, a.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bvsolve::TermPool;
+
+    fn setup() -> (TermPool, SymInput, SymConfig) {
+        let mut pool = TermPool::new();
+        let sym = SymConfig::default();
+        let input = SymInput::fresh(&mut pool, &sym, "t");
+        (pool, input, sym)
+    }
+
+    #[test]
+    fn hit_is_a_real_packet() {
+        let (mut pool, input, sym) = setup();
+        let mut pf = Prefilter::new(true, &input, &sym);
+        // byte[0] == 0 ∧ len ≤ 96: the all-zero corpus packet.
+        let zero = pool.mk_const(8, 0);
+        let c1 = pool.mk_eq(input.pkt_bytes[0], zero);
+        let max = pool.mk_const(16, sym.max_pkt_bytes as u64);
+        let c2 = pool.mk_ule(input.pkt_len, max);
+        let hit = pf.try_sat(&pool, &[c1, c2]).cloned();
+        let a = hit.expect("the all-zero packet satisfies this");
+        assert_eq!(eval(&pool, c1, &a), 1);
+        assert_eq!(pf.stats.hits, 1);
+        assert_eq!(pf.stats.checks, 1);
+    }
+
+    #[test]
+    fn unsat_conjunction_misses() {
+        let (mut pool, input, sym) = setup();
+        let mut pf = Prefilter::new(true, &input, &sym);
+        let b = input.pkt_bytes[3];
+        let c7 = pool.mk_const(8, 7);
+        let c9 = pool.mk_const(8, 9);
+        let eq7 = pool.mk_eq(b, c7);
+        let eq9 = pool.mk_eq(b, c9);
+        assert!(pf.try_sat(&pool, &[eq7, eq9]).is_none());
+        assert_eq!(pf.stats.hits, 0);
+        assert_eq!(pf.stats.checks, 1);
+    }
+
+    #[test]
+    fn learned_model_decides_sibling_query() {
+        let (mut pool, input, sym) = setup();
+        let mut pf = Prefilter::new(true, &input, &sym);
+        // A constraint no static corpus packet satisfies: byte[0] == 77.
+        let c77 = pool.mk_const(8, 77);
+        let eq77 = pool.mk_eq(input.pkt_bytes[0], c77);
+        assert!(pf.try_sat(&pool, &[eq77]).is_none());
+        // Learn the "solver model" for it; the sibling query (same
+        // prefix, one more satisfied conjunct) now hits concretely.
+        let mut model = Assignment::new();
+        model.set(input.pkt_byte_vars[0], 77);
+        model.set(input.len_var, 20);
+        pf.learn(&model);
+        let min = pool.mk_const(16, 8);
+        let sibling = pool.mk_ule(min, input.pkt_len);
+        let hit = pf.try_sat(&pool, &[eq77, sibling]).cloned();
+        assert!(hit.is_some(), "learned model must decide the sibling");
+        assert_eq!(pf.stats.checks, 2);
+        assert_eq!(pf.stats.hits, 1);
+        // The cache is bounded: over-filling evicts, never grows.
+        for _ in 0..3 * LEARNED_CAP {
+            pf.learn(&model);
+        }
+        assert_eq!(pf.learned.len(), LEARNED_CAP);
+    }
+
+    #[test]
+    fn disabled_filter_is_inert() {
+        let (mut pool, input, sym) = setup();
+        let mut pf = Prefilter::new(false, &input, &sym);
+        let t = pool.mk_eq(input.pkt_bytes[0], input.pkt_bytes[0]);
+        assert!(pf.try_sat(&pool, &[t]).is_none());
+        assert_eq!(pf.stats.checks, 0);
+        // Learning is a no-op too: a disabled filter stays empty.
+        pf.learn(&Assignment::new());
+        assert!(pf.try_sat(&pool, &[t]).is_none());
+        assert_eq!(pf.stats.checks, 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! Verdicts, counterexamples and report formatting.
 
 use crate::cores::CoreStats;
+use crate::prefilter::PrefilterStats;
 use bvsolve::{Model, SolverLayerStats, TermPool};
 use std::time::Duration;
 use symexec::SymInput;
@@ -154,6 +155,13 @@ pub struct VerifyReport {
     /// Static-analysis counters (lints, simplifier effect). All zero
     /// unless [`crate::VerifyConfig::static_simplify`] is on.
     pub static_stats: StaticStats,
+    /// Concrete-execution prefilter counters (queries probed against
+    /// the packet corpus, queries decided `Sat` without a solver
+    /// call). All zero unless
+    /// [`crate::VerifyConfig::concrete_prefilter`] is on. The
+    /// portfolio counters live in `solver`
+    /// ([`bvsolve::SolverLayerStats`]).
+    pub prefilter: PrefilterStats,
     /// Wall-clock time of step 1.
     pub step1_time: Duration,
     /// Wall-clock time of step 2.
@@ -211,12 +219,15 @@ impl VerifyReport {
              \"blast_cache_hits\":{},\"blast_cache_misses\":{},\
              \"learnt_reused\":{},\"sat_solve_calls\":{},\
              \"decisions\":{},\"propagations\":{},\
-             \"compactions\":{}}},\
+             \"compactions\":{},\"portfolio_races\":{},\
+             \"races_won_by\":[{}],\"clauses_imported\":{},\
+             \"clauses_exported\":{}}},\
              \"cores\":{{\"cores_learned\":{},\"core_hits\":{},\
              \"subtrees_pruned\":{}}},\
              \"summary\":{{\"hits\":{},\"misses\":{},\"store_size\":{}}},\
              \"static\":{{\"lints_emitted\":{},\"blocks_removed\":{},\
              \"intervals_seeded\":{}}},\
+             \"prefilter\":{{\"checks\":{},\"hits\":{}}},\
              \"step1_ms\":{:.3},\"step2_ms\":{:.3}}}",
             json_escape(&self.property),
             json_escape(&self.pipeline),
@@ -241,6 +252,14 @@ impl VerifyReport {
             s.decisions,
             s.propagations,
             s.compactions,
+            s.portfolio_races,
+            s.races_won_by
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            s.clauses_imported,
+            s.clauses_exported,
             self.cores.cores_learned,
             self.cores.core_hits,
             self.cores.subtrees_pruned,
@@ -250,6 +269,8 @@ impl VerifyReport {
             self.static_stats.lints_emitted,
             self.static_stats.blocks_removed,
             self.static_stats.intervals_seeded,
+            self.prefilter.checks,
+            self.prefilter.hits,
             self.step1_time.as_secs_f64() * 1e3,
             self.step2_time.as_secs_f64() * 1e3,
         )

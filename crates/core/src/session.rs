@@ -67,6 +67,7 @@ use crate::compose::ComposedState;
 use crate::cores::{CoreStore, Pruner};
 use crate::generic::{run_generic, GenericReport};
 use crate::parallel::{drain_tasks, expand_frontier, WorkerCtx};
+use crate::prefilter::Prefilter;
 use crate::report::{json_escape, StaticStats, Verdict, VerifyReport};
 use crate::stateful::{analyze, StateFinding};
 use crate::step2::{
@@ -787,7 +788,7 @@ impl<'p> Verifier<'p> {
         let t1 = Instant::now();
         let composed = AtomicUsize::new(0);
         let core_store = &core_stores[mode_idx(mode)];
-        let (outcome, solver_stats, core_stats) = if threads == 1 {
+        let (outcome, solver_stats, core_stats, prefilter_stats) = if threads == 1 {
             // The session beside the cache outlives this check: later
             // properties in the same map mode reuse its blasted
             // constraints and learnt clauses. Stats are reported as
@@ -797,11 +798,13 @@ impl<'p> Verifier<'p> {
             let solver = solvers[mode_idx(mode)].get_or_insert_with(|| QuerySolver::new(cfg));
             let mut pruner = Pruner::new(Arc::clone(core_store), cfg.core_pruning, usize::MAX);
             pruner.sync();
+            let mut prefilter = Prefilter::new(cfg.concrete_prefilter, &sums.input, &cfg.sym);
             let before = solver.stats();
             let outcome = search(
                 pool,
                 solver,
                 &mut pruner,
+                &mut prefilter,
                 pipeline,
                 sums,
                 cfg,
@@ -816,7 +819,7 @@ impl<'p> Verifier<'p> {
             );
             let stats = solver.stats().delta(&before);
             pruner.publish();
-            (outcome, stats, pruner.stats)
+            (outcome, stats, pruner.stats, prefilter.stats)
         } else {
             // Frontier expansion prunes infeasible shallow prefixes
             // with the same persistent solver the sequential engine
@@ -826,10 +829,13 @@ impl<'p> Verifier<'p> {
             let solver = solvers[mode_idx(mode)].get_or_insert_with(|| QuerySolver::new(cfg));
             let mut pruner = Pruner::new(Arc::clone(core_store), cfg.core_pruning, usize::MAX);
             pruner.sync();
+            let mut frontier_prefilter =
+                Prefilter::new(cfg.concrete_prefilter, &sums.input, &cfg.sym);
             let tasks = expand_frontier(
                 pool,
                 solver,
                 &mut pruner,
+                &mut frontier_prefilter,
                 pipeline,
                 sums,
                 &kind,
@@ -848,7 +854,9 @@ impl<'p> Verifier<'p> {
                 composed: &composed,
                 core_store,
             };
-            drain_tasks(pool, &tasks, threads, &ctx)
+            let (outcome, stats, core_stats, mut pf) = drain_tasks(pool, &tasks, threads, &ctx);
+            pf.merge(&frontier_prefilter.stats);
+            (outcome, stats, core_stats, pf)
         };
         VerifyReport {
             property: name,
@@ -872,6 +880,7 @@ impl<'p> Verifier<'p> {
             } else {
                 StaticStats::default()
             },
+            prefilter: prefilter_stats,
             step1_time,
             step2_time: t1.elapsed(),
         }

@@ -10,6 +10,7 @@
 
 use crate::compose::{compose, ComposedState};
 use crate::cores::{CoreStats, Pruner};
+use crate::prefilter::Prefilter;
 use crate::report::{CounterExample, Verdict, VerifyReport};
 use crate::session::{CustomProperty, Property, Verifier};
 use crate::summary::PipelineSummaries;
@@ -78,6 +79,40 @@ pub struct VerifyConfig {
     /// `false` is the A/B baseline for the `static_simplify` bench
     /// ablation.
     pub static_simplify: bool,
+    /// `Some(n)`: blast-layer step-2 queries that exhaust
+    /// [`VerifyConfig::portfolio_escalation`] conflicts
+    /// single-threaded are re-run as a **portfolio race** of `n`
+    /// diversified clones of the session solver (first decided clone
+    /// wins and cancels the rest; glue clauses the racers learn flow
+    /// back into the session — see
+    /// [`bvsolve::SolveSession::set_portfolio`]). Requires
+    /// [`VerifyConfig::incremental`]; the fresh-solver baseline
+    /// ignores it. Verdicts, counterexample bytes and composed-path
+    /// counts are unchanged: decided answers are a property of the
+    /// query, races only move wall time, and winning models are
+    /// re-solved fresh like every session model. The one widening is
+    /// the usual budget caveat — a race spends more total conflicts
+    /// than one solver, so a portfolio run may decide a query the
+    /// single-threaded run left `Unknown` (never the reverse).
+    /// `None` (the default) keeps every query single-threaded.
+    pub portfolio: Option<usize>,
+    /// Conflicts granted to the single-threaded attempt before a
+    /// query counts as *hard* and escalates to a portfolio race
+    /// (inert unless [`VerifyConfig::portfolio`] is set). Cheap
+    /// queries — the overwhelming majority — never pay the clone and
+    /// thread-spawn cost.
+    pub portfolio_escalation: u64,
+    /// Whether the concrete-execution prefilter runs in front of the
+    /// step-2 solver: composed constraints are evaluated on a small
+    /// deterministic packet corpus, and a packet satisfying every
+    /// conjunct decides the query `Sat` by exhibition — no blast, no
+    /// CDCL (counters in [`crate::PrefilterStats`]). Sound by
+    /// construction (it can
+    /// only accelerate SAT answers) and deterministic (violations it
+    /// decides are re-solved fresh before reporting, so
+    /// counterexample bytes match a run with the filter off). `false`
+    /// is the A/B baseline.
+    pub concrete_prefilter: bool,
 }
 
 impl Default for VerifyConfig {
@@ -89,6 +124,9 @@ impl Default for VerifyConfig {
             incremental: true,
             core_pruning: true,
             static_simplify: false,
+            portfolio: None,
+            portfolio_escalation: 2_000,
+            concrete_prefilter: false,
         }
     }
 }
@@ -131,6 +169,9 @@ impl QuerySolver {
             let mut session = SolveSession::with_conflict_budget(cfg.solver_conflict_budget);
             // No pruner will read the cores, so don't build them.
             session.set_core_extraction(cfg.core_pruning);
+            if let Some(racers) = cfg.portfolio {
+                session.set_portfolio(racers, cfg.portfolio_escalation);
+            }
             QuerySolver::Session(Box::new(session))
         } else {
             // Sessions produce cores for free (assumption-driven
@@ -180,6 +221,11 @@ impl QuerySolver {
     /// facts in play already has that property and skips the re-run.
     /// Falls back to the in-flight model (equally valid) if the
     /// fresh re-run is budget-limited.
+    ///
+    /// With [`VerifyConfig::concrete_prefilter`] on, the fresh-solver
+    /// fast path is skipped too: the in-flight model may then be a
+    /// prefilter corpus packet, and re-solving keeps reported bytes
+    /// identical to a run with the filter off.
     pub(crate) fn confirm_model(
         &self,
         pool: &mut TermPool,
@@ -187,7 +233,10 @@ impl QuerySolver {
         state: &ComposedState,
         inflight: bvsolve::Model,
     ) -> bvsolve::Model {
-        if matches!(self, QuerySolver::Fresh(_)) && state.assumed.is_empty() {
+        if matches!(self, QuerySolver::Fresh(_))
+            && state.assumed.is_empty()
+            && !cfg.concrete_prefilter
+        {
             return inflight;
         }
         let mut fresh = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
@@ -198,15 +247,18 @@ impl QuerySolver {
     }
 }
 
-/// One feasibility query, with the conflict-driven pruning layer in
-/// front: a constraint set that subsumes a learned UNSAT core is
-/// refuted without touching the solver (`subtree` marks continuation
-/// nodes, whose skip prunes a whole search subtree), and every solver
-/// `Unsat` feeds its core back into the pruner.
+/// One feasibility query, with two short-circuit layers in front of
+/// the solver: the **concrete prefilter** decides trivially feasible
+/// states `Sat` by exhibiting a corpus packet, and the
+/// **conflict-driven pruner** refutes any constraint set subsuming a
+/// learned UNSAT core (`subtree` marks continuation nodes, whose skip
+/// prunes a whole search subtree). Every solver `Unsat` feeds its
+/// core back into the pruner.
 pub(crate) fn check(
     pool: &mut TermPool,
     solver: &mut QuerySolver,
     pruner: &mut Pruner,
+    prefilter: &mut Prefilter,
     state: &ComposedState,
     subtree: bool,
 ) -> Feas {
@@ -231,16 +283,29 @@ pub(crate) fn check(
             .collect();
         &combined
     };
+    // A corpus packet satisfying every conjunct is a sound Sat — and
+    // it cannot overlap the pruner (a concretely satisfied set has no
+    // UNSAT subset), so probing first never costs a core hit.
+    if let Some(a) = prefilter.try_sat(pool, cs) {
+        return Feas::Sat(bvsolve::Model::from_assignment(a.clone()));
+    }
     if pruner.known_unsat(cs, subtree) {
         return Feas::Unsat;
     }
     match solver.check_terms(pool, cs) {
-        SatVerdict::Sat(m) => Feas::Sat(m),
+        SatVerdict::Sat(m) => {
+            // Adopt the model: sibling paths share prefixes, so this
+            // packet likely decides the next extension check too.
+            prefilter.learn(m.assignment());
+            Feas::Sat(m)
+        }
         SatVerdict::Unsat(infeasibility) => {
             pruner.learn(infeasibility.core);
             Feas::Unsat
         }
-        SatVerdict::Unknown => Feas::Unknown,
+        // A session-level interrupt surfaces like a budget Unknown:
+        // the query was cancelled, not decided.
+        SatVerdict::Unknown | SatVerdict::Interrupted => Feas::Unknown,
     }
 }
 
@@ -458,6 +523,7 @@ pub(crate) fn search(
     pool: &mut TermPool,
     solver: &mut QuerySolver,
     pruner: &mut Pruner,
+    prefilter: &mut Prefilter,
     pipeline: &Pipeline,
     sums: &PipelineSummaries,
     cfg: &VerifyConfig,
@@ -475,7 +541,7 @@ pub(crate) fn search(
             match classify(pool, pipeline, sums, kind, &node, i, seg, reach) {
                 StepEvent::ViolationCheck(what, next) => {
                     composed.fetch_add(1, Ordering::Relaxed);
-                    match check(pool, solver, pruner, &next, false) {
+                    match check(pool, solver, pruner, prefilter, &next, false) {
                         Feas::Sat(m) => {
                             let m = solver.confirm_model(pool, cfg, &next, m);
                             return SearchOutcome::Violation(CounterExample::from_model(
@@ -492,13 +558,16 @@ pub(crate) fn search(
                 }
                 StepEvent::BlockerCheck(next) => {
                     composed.fetch_add(1, Ordering::Relaxed);
-                    if !matches!(check(pool, solver, pruner, &next, false), Feas::Unsat) {
+                    if !matches!(
+                        check(pool, solver, pruner, prefilter, &next, false),
+                        Feas::Unsat
+                    ) {
                         saw_unknown = true;
                     }
                 }
                 StepEvent::Continue(n) => {
                     composed.fetch_add(1, Ordering::Relaxed);
-                    match check(pool, solver, pruner, &n.state, true) {
+                    match check(pool, solver, pruner, prefilter, &n.state, true) {
                         Feas::Sat(_) | Feas::Unknown => stack.push(n),
                         Feas::Unsat => {}
                     }
@@ -573,6 +642,7 @@ pub(crate) fn aborted_report(
         cores: CoreStats::default(),
         summary: Default::default(),
         static_stats: Default::default(),
+        prefilter: Default::default(),
         step1_time: t0.elapsed(),
         step2_time: Default::default(),
     }
@@ -856,6 +926,7 @@ pub(crate) fn longest_paths_from(
     }
 
     let mut solver = QuerySolver::new(cfg);
+    let mut prefilter = Prefilter::new(cfg.concrete_prefilter, &sums.input, &cfg.sym);
     let mut heap: BinaryHeap<QNode> = BinaryHeap::new();
     heap.push(QNode {
         f: suffix[0],
@@ -872,7 +943,14 @@ pub(crate) fn longest_paths_from(
         }
         if node.terminal {
             // Admissible heuristic ⇒ this is the next-longest path.
-            if let Feas::Sat(m) = check(pool, &mut solver, pruner, &node.state, false) {
+            if let Feas::Sat(m) = check(
+                pool,
+                &mut solver,
+                pruner,
+                &mut prefilter,
+                &node.state,
+                false,
+            ) {
                 let m = solver.confirm_model(pool, cfg, &node.state, m);
                 out.push(LongestPath {
                     instrs: node.state.instrs,
@@ -896,7 +974,10 @@ pub(crate) fn longest_paths_from(
             }
             let next = compose(pool, &node.state, &summary.input, seg, node.stage, i);
             composed += 1;
-            let feasible = !matches!(check(pool, &mut solver, pruner, &next, true), Feas::Unsat);
+            let feasible = !matches!(
+                check(pool, &mut solver, pruner, &mut prefilter, &next, true),
+                Feas::Unsat
+            );
             if !feasible {
                 continue;
             }

@@ -53,7 +53,7 @@ impl Clause {
 }
 
 /// Arena of clauses.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ClauseDb {
     pub(crate) clauses: Vec<Clause>,
     /// Number of learnt clauses not yet deleted.

@@ -1,0 +1,175 @@
+//! A shared pool of learnt glue clauses for portfolio solving.
+//!
+//! Portfolio racers are *clones* of one incremental solver, so their
+//! clause databases speak the same variable numbering and a clause
+//! learnt by one racer is sound in every other — learnt clauses are
+//! implied by the problem clauses alone (assumptions enter CDCL as
+//! decisions, never as clauses). Racers harvest their glue clauses
+//! (LBD ≤ 2, the empirically most reusable tier, kept forever by DB
+//! reduction) into a [`SharedClausePool`]; solvers import pending
+//! entries at solve-call boundaries, the same lock-sparse replica
+//! idiom as the verifier's `CoreStore`: one mutex, taken only at
+//! publish/fetch boundaries, with per-consumer cursors so each
+//! clause crosses the lock once per consumer.
+//!
+//! Variable numbering is only stable within one *incarnation* of a
+//! solver: rebuilding it (e.g. the bit-blaster's compaction) renames
+//! every variable, invalidating pooled clauses wholesale. The pool
+//! therefore carries an **epoch** token: publishing or fetching with
+//! a stale epoch is a no-op, and [`SharedClausePool::advance`] bumps
+//! the epoch and drops all entries. Callers advance the epoch
+//! whenever the underlying numbering changes.
+
+use crate::lit::Lit;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on pooled clauses per epoch; publishes beyond it are
+/// dropped (the pool is an accelerator, never a correctness carrier).
+const MAX_POOL_CLAUSES: usize = 10_000;
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// Epoch token: clauses are valid only for consumers that share
+    /// the variable numbering this epoch was opened for.
+    epoch: u64,
+    /// Published clauses, append-only within an epoch.
+    clauses: Vec<Arc<Vec<Lit>>>,
+    /// Sorted-literal fingerprints of `clauses`, for deduplication.
+    seen: HashSet<Vec<Lit>>,
+}
+
+/// A lock-sparse, epoch-guarded store of shared glue clauses. See the
+/// module docs for the soundness argument and the replica protocol.
+#[derive(Debug, Default)]
+pub struct SharedClausePool {
+    inner: Mutex<PoolInner>,
+}
+
+impl SharedClausePool {
+    /// An empty pool at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current epoch token.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().expect("clause pool poisoned").epoch
+    }
+
+    /// Number of clauses stored in the current epoch.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("clause pool poisoned")
+            .clauses
+            .len()
+    }
+
+    /// Whether the current epoch holds no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Invalidates every stored clause and opens a new epoch (returned).
+    /// Call when the producing solver's variable numbering changes —
+    /// e.g. after a bit-blaster compaction rebuilds the solver.
+    pub fn advance(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("clause pool poisoned");
+        inner.epoch += 1;
+        inner.clauses.clear();
+        inner.seen.clear();
+        inner.epoch
+    }
+
+    /// Publishes `clauses` under `epoch`. Stale-epoch publishes and
+    /// duplicates are dropped silently; returns how many clauses were
+    /// actually stored.
+    pub fn publish(&self, epoch: u64, clauses: Vec<Vec<Lit>>) -> usize {
+        let mut inner = self.inner.lock().expect("clause pool poisoned");
+        if inner.epoch != epoch {
+            return 0;
+        }
+        let mut stored = 0;
+        for c in clauses {
+            if inner.clauses.len() >= MAX_POOL_CLAUSES {
+                break;
+            }
+            let mut key = c.clone();
+            key.sort();
+            key.dedup();
+            if inner.seen.insert(key) {
+                inner.clauses.push(Arc::new(c));
+                stored += 1;
+            }
+        }
+        stored
+    }
+
+    /// Returns the clauses published since `*cursor` and advances the
+    /// cursor, or an empty batch when `epoch` is stale (the caller's
+    /// numbering no longer matches; re-sync by adopting
+    /// [`SharedClausePool::epoch`] and cursor 0 after rebuilding).
+    pub fn fetch(&self, epoch: u64, cursor: &mut usize) -> Vec<Arc<Vec<Lit>>> {
+        let inner = self.inner.lock().expect("clause pool poisoned");
+        if inner.epoch != epoch {
+            return Vec::new();
+        }
+        let from = (*cursor).min(inner.clauses.len());
+        *cursor = inner.clauses.len();
+        inner.clauses[from..].iter().map(Arc::clone).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn l(i: usize, pos: bool) -> Lit {
+        Lit::new(Var::from_index(i), pos)
+    }
+
+    #[test]
+    fn publish_fetch_with_cursor() {
+        let pool = SharedClausePool::new();
+        let e = pool.epoch();
+        assert_eq!(pool.publish(e, vec![vec![l(0, true), l(1, false)]]), 1);
+        assert_eq!(pool.publish(e, vec![vec![l(2, true)]]), 1);
+        let mut cur = 0;
+        assert_eq!(pool.fetch(e, &mut cur).len(), 2);
+        assert_eq!(cur, 2);
+        assert!(pool.fetch(e, &mut cur).is_empty(), "cursor consumed all");
+        assert_eq!(pool.publish(e, vec![vec![l(3, true)]]), 1);
+        assert_eq!(pool.fetch(e, &mut cur).len(), 1, "only the new clause");
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let pool = SharedClausePool::new();
+        let e = pool.epoch();
+        // Same clause modulo literal order: one copy stored.
+        assert_eq!(pool.publish(e, vec![vec![l(0, true), l(1, true)]]), 1);
+        assert_eq!(pool.publish(e, vec![vec![l(1, true), l(0, true)]]), 0);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn epoch_guards_stale_producers_and_consumers() {
+        let pool = SharedClausePool::new();
+        let old = pool.epoch();
+        pool.publish(old, vec![vec![l(0, true)]]);
+        let new = pool.advance();
+        assert_ne!(old, new);
+        assert!(pool.is_empty(), "advance drops stored clauses");
+        assert_eq!(
+            pool.publish(old, vec![vec![l(1, true)]]),
+            0,
+            "stale publish"
+        );
+        pool.publish(new, vec![vec![l(2, true)]]);
+        let mut cur = 0;
+        assert!(pool.fetch(old, &mut cur).is_empty(), "stale fetch");
+        assert_eq!(pool.fetch(new, &mut cur).len(), 1);
+    }
+}
