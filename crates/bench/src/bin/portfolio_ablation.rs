@@ -18,8 +18,12 @@
 //! with mid-search glue exchange hedges the tail — the suite's
 //! semiprimes are ones where the deterministic default strategy
 //! stalls (found by sweeping, see the scenario comment), so the
-//! portfolio's win is the hedge working, not parallel hardware (CI
-//! runners may have one core).
+//! portfolio's win is the hedge working: a different strategy
+//! finishing early, not raw parallel throughput. On a single-core
+//! host the verifier auto-disables racing entirely (clones could only
+//! time-slice against the attempt they hedge), so the racing arms
+//! degenerate to `single` and the engagement/speedup assertions are
+//! skipped.
 //!
 //! With `DPV_JSON=1` every report is emitted as a JSON line plus one
 //! `{"bench":"portfolio",...}` summary line per (pipeline, mode,
@@ -119,14 +123,17 @@ struct Scenario {
     engines: &'static [usize],
     expect_races: bool,
     expect_prefilter_hits: bool,
-    /// Whether this scenario's *racing* arms are deterministic enough
-    /// for the `perf_diff` gate. Races decided within the exchange
-    /// warmup are a pure function of the diversification seeds
-    /// (factor-tail-prove); a scenario that races hundreds of queries
-    /// past the warmup picks up scheduling-dependent glue imports and
-    /// its racing wall clock swings ~1.4x run-to-run — those rows are
-    /// emitted with `"gate":false` so the trajectory record is
-    /// complete but the regression gate only sees reproducible rows.
+    /// Whether this scenario's *racing* arms feed the `perf_diff`
+    /// gate. Races decided within the exchange warmup are a pure
+    /// function of the diversification seeds (factor-tail-prove); a
+    /// scenario that races hundreds of queries past the warmup picks
+    /// up scheduling-dependent glue imports, which swings its racing
+    /// wall clock ~1.4x run-to-run — within the gate's 2x threshold,
+    /// so those rows are gated too (single-core runners additionally
+    /// auto-disable racing — see [`VerifyConfig::portfolio`] — making
+    /// the racing arms identical to `single` there). Rows are emitted
+    /// with `"gate":false` only where a scenario is known to exceed
+    /// the gate's tolerance.
     gate_racing_rows: bool,
     /// Asserted minimum seq step-2 speedup of the portfolio arm over
     /// the single arm (`None` skips the assertion).
@@ -192,7 +199,7 @@ fn scenarios() -> Vec<Scenario> {
             engines: &[1, 4],
             expect_races: true,
             expect_prefilter_hits: true,
-            gate_racing_rows: false,
+            gate_racing_rows: true,
             min_speedup: None,
         });
     }
@@ -358,7 +365,15 @@ fn emit_json(name: &str, arm: Arm, engine: &str, run: &ModeRun, gated: bool) {
 }
 
 fn main() {
+    // On a single-core host the verifier auto-disables racing (see
+    // `VerifyConfig::portfolio`): the racing arms degenerate to
+    // `single`, so the race-engagement and speedup claims are vacuous
+    // there — skip asserting them, keep the equality contract.
+    let racing_possible = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
     println!("Portfolio-racing ablation: step-2 solving, racing vs single-solver session");
+    if !racing_possible {
+        println!("(single-core host: racing auto-disabled, racing arms degenerate to single)");
+    }
     println!();
     row(&[
         "pipeline".into(),
@@ -390,7 +405,7 @@ fn main() {
 
             for (arm, run) in &arms {
                 assert_contract(name, engine, threads, &single, run, *arm);
-                if arm.races() && sc.expect_races {
+                if arm.races() && sc.expect_races && racing_possible {
                     assert!(
                         run.solver.portfolio_races > 0,
                         "{name} ({engine}): escalation budget {} must trigger races: {:?}",
@@ -424,7 +439,7 @@ fn main() {
             // portfolio must beat the single-solver session on seq
             // step-2 wall clock. Asserted only where the measured
             // margin is wide (the sweep showed >= 2x per instance).
-            if let (Some(min), 1) = (sc.min_speedup, threads) {
+            if let (Some(min), 1, true) = (sc.min_speedup, threads, racing_possible) {
                 let port = &arms
                     .iter()
                     .find(|(a, _)| *a == Arm::Portfolio)

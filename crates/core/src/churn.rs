@@ -1,0 +1,576 @@
+//! Config-update streams: incremental re-verification under
+//! control-plane churn.
+//!
+//! A deployed dataplane is not verified once — its tables mutate
+//! continuously (FIB updates, NAT statics, classifier rules), and
+//! gating every config push on a verdict means re-verifying at the
+//! control plane's update rate. A [`ChurnSession`] makes that cheap:
+//! it holds one verified pipeline plus all the warm state a fresh
+//! session would have to rebuild — the content-addressed
+//! [`SummaryStore`], a persistent [`TermPool`], per-mode learnt-core
+//! stores and incremental solver sessions — and exposes
+//! [`ChurnSession::apply_delta`], which applies one
+//! [`TableDelta`] and re-establishes every property.
+//!
+//! Three observations make per-update work O(change), not O(pipeline):
+//!
+//! 1. **Abstract summaries are table-blind.** [`MapMode::Abstract`]
+//!    keys exclude table contents, so crash-freedom and
+//!    bounded-execution summaries survive *every* table update
+//!    untouched.
+//! 2. **Tables-mode keys are per-stage.** A delta re-keys only the
+//!    touched stages ([`SummaryKey`] over the incrementally-maintained
+//!    table fingerprint); unchanged stages keep their summaries — and,
+//!    at [`ReuseLevel::Cores`] and above, their exact terms in the
+//!    persistent pool, so re-composed paths re-intern to identical
+//!    `TermId`s and previously learnt UNSAT cores keep pruning.
+//!    Cores referring to a *replaced* stage's terms can never match a
+//!    new composition (the pool is append-only, so stale `TermId`s are
+//!    never reused) — retention across updates is sound by
+//!    construction.
+//! 3. **Verdicts are deterministic.** The step-2 search is
+//!    deterministic over its inputs, so when an update leaves a mode's
+//!    summaries byte-identical (every table delta, for Abstract; no-op
+//!    deltas, for Tables), the previous report can be replayed without
+//!    searching at all ([`ReuseLevel::Sessions`]).
+//!
+//! The reuse ladder is explicit ([`ReuseLevel`]) so each rung can be
+//! measured — the `churn_ablation` benchmark drives identical update
+//! streams through every level and asserts verdict, counterexample
+//! and composed-path equality against full re-verification on every
+//! update.
+//!
+//! ```no_run
+//! use verifier::{ChurnSession, Property, ReuseLevel, VerifyConfig};
+//! use dataplane::{TableDelta, TableOp};
+//! # let pipeline = dataplane::Pipeline::new("p");
+//! let mut session = ChurnSession::new(
+//!     pipeline,
+//!     vec![Property::CrashFreedom],
+//!     VerifyConfig::default(),
+//!     ReuseLevel::Sessions,
+//! )
+//! .expect("search-based properties only");
+//! let initial = session.verify();
+//! for delta in [TableDelta::new("IPlookup", dpir::MapId(0), TableOp::LpmRemove(vec![(0, 24)]))] {
+//!     let report = session.apply_delta(&delta).expect("delta applies");
+//!     println!("update {}: {:?}", report.update, report.verdicts());
+//! }
+//! ```
+
+use crate::cores::CoreStore;
+use crate::report::{SummaryCacheStats, Verdict, VerifyReport};
+use crate::session::{run_seq_search, Property, SearchProp, Verifier};
+use crate::step2::{aborted_report, segment_count, verdict_of, QuerySolver, VerifyConfig};
+use crate::summary::{
+    rebase_stage, summarize_pipeline_with_store, MapMode, PipelineSummaries, SummaryKey,
+    SummaryStore,
+};
+use bvsolve::TermPool;
+use dataplane::{DeltaError, Pipeline, TableDelta};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How much state a [`ChurnSession`] carries across updates — the
+/// ablation ladder of the `churn_ablation` benchmark. Each level
+/// includes everything below it; all levels produce identical
+/// verdicts, counterexample bytes and composed-path counts (asserted
+/// continuously by the benchmark and the differential tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ReuseLevel {
+    /// Re-verify from scratch on every update: fresh summaries, fresh
+    /// pool, fresh solver, no carried cores. The baseline arm.
+    FullReverify,
+    /// Keep the content-addressed [`SummaryStore`] warm across
+    /// updates: only stages whose Tables-mode key changed re-execute;
+    /// everything else rebases from cache into a fresh per-update
+    /// pool.
+    Summaries,
+    /// Additionally keep the [`TermPool`] and the composed summaries
+    /// alive, patching only touched stages in place, and retain the
+    /// per-mode learnt-core stores — unchanged compositions re-intern
+    /// to identical `TermId`s, so old cores keep pruning new searches.
+    Cores,
+    /// Additionally keep the incremental solver sessions (blasted
+    /// constraints, learnt clauses, saved phases) across updates, and
+    /// replay the previous report outright for properties whose
+    /// mode's summaries this update did not change.
+    Sessions,
+}
+
+impl ReuseLevel {
+    /// The benchmark arm name for this level.
+    pub fn arm(&self) -> &'static str {
+        match self {
+            ReuseLevel::FullReverify => "full-reverify",
+            ReuseLevel::Summaries => "summary-reuse",
+            ReuseLevel::Cores => "core-reuse",
+            ReuseLevel::Sessions => "incremental-session",
+        }
+    }
+}
+
+/// A property was passed that the churn engine cannot re-check
+/// incrementally (the generic baseline and the state analysis are not
+/// step-2 searches).
+#[derive(Debug, Clone)]
+pub struct UnsupportedProperty(pub String);
+
+impl std::fmt::Display for UnsupportedProperty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "churn sessions support search-based properties only, got {}",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedProperty {}
+
+/// The outcome of one update (or of the initial verification):
+/// everything [`ChurnSession::apply_delta`] did and found.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// Update sequence number (`0` = initial verification).
+    pub update: u64,
+    /// `(stage index, pair view changed)` per stage the delta touched
+    /// (empty for the initial verification).
+    pub touched: Vec<(usize, bool)>,
+    /// One report per configured property, in configuration order.
+    pub reports: Vec<VerifyReport>,
+    /// Per property: whether the report was replayed from the
+    /// previous update without searching (only at
+    /// [`ReuseLevel::Sessions`], only when the property's mode saw no
+    /// summary change).
+    pub replayed: Vec<bool>,
+    /// Stages symbolically re-executed this update (store misses).
+    pub stages_reexecuted: usize,
+    /// Stages re-rebased from the warm store this update (store hits).
+    pub stages_rebased: usize,
+    /// Wall-clock spent refreshing step-1 state: delta patching plus
+    /// the summary building the property checks report.
+    pub step1_time: Duration,
+    /// Wall-clock spent re-establishing the properties (the step-2
+    /// search time summed over this update's reports).
+    pub step2_time: Duration,
+    /// Total wall-clock of the update, delta application included —
+    /// the per-update verdict latency the benchmark percentiles.
+    pub total_time: Duration,
+}
+
+impl UpdateReport {
+    /// The verdicts, in property order.
+    pub fn verdicts(&self) -> Vec<&Verdict> {
+        self.reports.iter().map(|r| &r.verdict).collect()
+    }
+}
+
+/// Running counters over a session's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChurnStats {
+    /// Updates applied (initial verification excluded).
+    pub updates: u64,
+    /// Stage summaries symbolically re-executed across all updates.
+    pub stages_reexecuted: u64,
+    /// Stage summaries patched in from the warm store across all
+    /// updates.
+    pub stages_rebased: u64,
+    /// Property checks replayed without searching.
+    pub checks_replayed: u64,
+}
+
+const N_MODES: usize = 2;
+
+fn mode_idx(mode: MapMode) -> usize {
+    match mode {
+        MapMode::Abstract => 0,
+        MapMode::Tables => 1,
+    }
+}
+
+/// A long-lived verification session over one owned pipeline,
+/// re-establishing a fixed property set after every table update.
+///
+/// See the [module docs](self) for the reuse model. All step-2 work is
+/// sequential — the session is built for per-update *latency* under a
+/// stream, where the warm state, not parallelism, is the lever (a
+/// fleet of variants still parallelizes across sessions, see
+/// [`crate::fleet`]).
+pub struct ChurnSession {
+    pipeline: Pipeline,
+    properties: Vec<Property>,
+    cfg: VerifyConfig,
+    level: ReuseLevel,
+    store: Arc<SummaryStore>,
+    pool: TermPool,
+    sums: [Option<PipelineSummaries>; N_MODES],
+    keys: [Vec<SummaryKey>; N_MODES],
+    solvers: [Option<QuerySolver>; N_MODES],
+    core_stores: [Arc<Mutex<CoreStore>>; N_MODES],
+    /// Last report per property, replayed at [`ReuseLevel::Sessions`]
+    /// when the property's mode saw no summary change.
+    memo: Vec<Option<VerifyReport>>,
+    updates: u64,
+    stats: ChurnStats,
+}
+
+impl ChurnSession {
+    /// A session over `pipeline`, checking `properties` after every
+    /// update at reuse `level`.
+    ///
+    /// Only search-based properties (crash-freedom, bounded-execution,
+    /// filtering, custom) are supported. [`VerifyConfig::static_simplify`]
+    /// is forced off: the simplified program cache cannot be patched
+    /// per-delta, and the pass rewrites programs, not tables, so churn
+    /// gains nothing from it.
+    pub fn new(
+        pipeline: Pipeline,
+        properties: Vec<Property>,
+        mut cfg: VerifyConfig,
+        level: ReuseLevel,
+    ) -> Result<Self, UnsupportedProperty> {
+        for p in &properties {
+            if SearchProp::of(p).is_none() {
+                return Err(UnsupportedProperty(format!("{p:?}")));
+            }
+        }
+        cfg.static_simplify = false;
+        let memo = properties.iter().map(|_| None).collect();
+        Ok(ChurnSession {
+            pipeline,
+            properties,
+            cfg,
+            level,
+            store: SummaryStore::shared(),
+            pool: TermPool::new(),
+            sums: [None, None],
+            keys: [Vec::new(), Vec::new()],
+            solvers: [None, None],
+            core_stores: [
+                Arc::new(Mutex::new(CoreStore::new())),
+                Arc::new(Mutex::new(CoreStore::new())),
+            ],
+            memo,
+            updates: 0,
+            stats: ChurnStats::default(),
+        })
+    }
+
+    /// Shares a (typically capacity-bounded) summary store instead of
+    /// the session-private one. Call before [`ChurnSession::verify`].
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<SummaryStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The pipeline in its current (post-deltas) configuration.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ChurnStats {
+        self.stats
+    }
+
+    /// The summary store the session consults.
+    pub fn store(&self) -> &Arc<SummaryStore> {
+        &self.store
+    }
+
+    /// Runs the initial full verification (update `0`). Subsequent
+    /// [`ChurnSession::apply_delta`] calls re-establish the same
+    /// properties incrementally.
+    pub fn verify(&mut self) -> UpdateReport {
+        let t0 = Instant::now();
+        self.run_update(Vec::new(), false, t0)
+    }
+
+    /// Applies one table update and re-establishes every property.
+    ///
+    /// The pipeline is mutated in place; on error (unknown stage or
+    /// table, op/kind mismatch) it is left untouched and no
+    /// verification runs.
+    pub fn apply_delta(&mut self, delta: &TableDelta) -> Result<UpdateReport, DeltaError> {
+        let t0 = Instant::now();
+        let effect = delta.apply(&mut self.pipeline)?;
+        self.updates += 1;
+        self.stats.updates += 1;
+        let tables_changed = effect.any_changed();
+        Ok(self.run_update(effect.touched, tables_changed, t0))
+    }
+
+    /// The shared driver behind [`ChurnSession::verify`] and
+    /// [`ChurnSession::apply_delta`].
+    fn run_update(
+        &mut self,
+        touched: Vec<(usize, bool)>,
+        tables_changed: bool,
+        t0: Instant,
+    ) -> UpdateReport {
+        let t_step1 = Instant::now();
+        // Which modes' summaries this update may have changed. Abstract
+        // keys are table-blind: no table delta ever touches them.
+        let mut mode_changed = [false; N_MODES];
+        mode_changed[mode_idx(MapMode::Tables)] = tables_changed;
+
+        let (stages_reexecuted, stages_rebased) = match self.level {
+            ReuseLevel::FullReverify | ReuseLevel::Summaries => {
+                // Nothing persists below the summary store; drop any
+                // state a lower-level constructor may have left and,
+                // for the baseline arm, the store contents too.
+                self.pool = TermPool::new();
+                self.sums = [None, None];
+                self.keys = [Vec::new(), Vec::new()];
+                self.solvers = [None, None];
+                self.core_stores = [
+                    Arc::new(Mutex::new(CoreStore::new())),
+                    Arc::new(Mutex::new(CoreStore::new())),
+                ];
+                self.memo.iter_mut().for_each(|m| *m = None);
+                if self.level == ReuseLevel::FullReverify {
+                    self.store.clear();
+                }
+                (0, 0)
+            }
+            ReuseLevel::Cores | ReuseLevel::Sessions => {
+                if self.level == ReuseLevel::Cores {
+                    // Solver sessions are per-update at this level;
+                    // cores, pool and summaries persist.
+                    self.solvers = [None, None];
+                    self.memo.iter_mut().for_each(|m| *m = None);
+                }
+                match self.patch_tables(&touched) {
+                    Ok(counts) => counts,
+                    Err(e) => {
+                        // A patch failure poisons the Tables cache;
+                        // report it like a step-1 abort.
+                        return self.aborted_update(touched, t0, e);
+                    }
+                }
+            }
+        };
+        self.stats.stages_reexecuted += stages_reexecuted as u64;
+        self.stats.stages_rebased += stages_rebased as u64;
+        let step1_patch = t_step1.elapsed();
+
+        let mut reports = Vec::with_capacity(self.properties.len());
+        let mut replayed = Vec::with_capacity(self.properties.len());
+        match self.level {
+            ReuseLevel::FullReverify | ReuseLevel::Summaries => {
+                // A fresh session per update *is* the semantics of
+                // these arms; `Verifier` with the shared (or private)
+                // store implements them exactly.
+                let mut v = Verifier::new(&self.pipeline).config(self.cfg.clone());
+                if self.level == ReuseLevel::Summaries {
+                    v = v.with_store(Arc::clone(&self.store));
+                }
+                for p in &self.properties {
+                    reports.push(v.check(p.clone()).expect_verify());
+                    replayed.push(false);
+                }
+            }
+            ReuseLevel::Cores | ReuseLevel::Sessions => {
+                let cache_stats = SummaryCacheStats {
+                    hits: stages_rebased,
+                    misses: stages_reexecuted,
+                    store_size: self.store.len(),
+                };
+                for i in 0..self.properties.len() {
+                    let spec = SearchProp::of(&self.properties[i]).expect("validated in new");
+                    let midx = mode_idx(spec.mode());
+                    let can_replay = self.level == ReuseLevel::Sessions
+                        && !mode_changed[midx]
+                        && self.sums[midx].is_some();
+                    if can_replay {
+                        if let Some(prev) = &self.memo[i] {
+                            // Deterministic search over byte-identical
+                            // summaries: the previous report *is* the
+                            // result (zero step-2 time — that is the
+                            // point).
+                            let mut r = prev.clone();
+                            r.step1_time = Duration::ZERO;
+                            r.step2_time = Duration::ZERO;
+                            reports.push(r);
+                            replayed.push(true);
+                            self.stats.checks_replayed += 1;
+                            continue;
+                        }
+                    }
+                    let report = self.run_one(&spec, cache_stats);
+                    self.memo[i] = Some(report.clone());
+                    reports.push(report);
+                    replayed.push(false);
+                }
+            }
+        }
+        // Attribute times uniformly across levels: step 1 is the
+        // delta patching/reset plus whatever summary building the
+        // property checks report (the `Verifier`-driven arms pay it
+        // inside `check`, the warm arms inside `ensure`); step 2 is
+        // the search time the reports carry. Driver overhead shows
+        // only in `total_time`.
+        let step1_time = step1_patch + reports.iter().map(|r| r.step1_time).sum::<Duration>();
+        let step2_time = reports.iter().map(|r| r.step2_time).sum();
+
+        UpdateReport {
+            update: self.updates,
+            touched,
+            reports,
+            replayed,
+            stages_reexecuted,
+            stages_rebased,
+            step1_time,
+            step2_time,
+            total_time: t0.elapsed(),
+        }
+    }
+
+    /// Ensures `mode`'s summaries exist in the persistent pool
+    /// (levels [`ReuseLevel::Cores`]+), recording per-stage keys.
+    fn ensure(&mut self, mode: MapMode) -> Result<(), symexec::SymError> {
+        let idx = mode_idx(mode);
+        if self.sums[idx].is_some() {
+            return Ok(());
+        }
+        let sums = summarize_pipeline_with_store(
+            &mut self.pool,
+            &self.pipeline,
+            &self.cfg.sym,
+            mode,
+            &self.store,
+            1,
+        )?;
+        self.keys[idx] = self
+            .pipeline
+            .stages
+            .iter()
+            .map(|s| SummaryKey::of(&s.element, mode, &self.cfg.sym))
+            .collect();
+        self.sums[idx] = Some(sums);
+        Ok(())
+    }
+
+    /// Re-summarizes, in place, every touched-and-changed stage of the
+    /// cached Tables summaries. Returns `(reexecuted, rebased)` stage
+    /// counts. Stages whose key is unchanged (and the whole Abstract
+    /// cache) keep their exact terms in the persistent pool.
+    fn patch_tables(
+        &mut self,
+        touched: &[(usize, bool)],
+    ) -> Result<(usize, usize), symexec::SymError> {
+        let idx = mode_idx(MapMode::Tables);
+        let mut reexecuted = 0;
+        let mut rebased = 0;
+        if self.sums[idx].is_none() {
+            // Nothing cached yet — the first property needing Tables
+            // builds from scratch (through the warm store).
+            return Ok((0, 0));
+        }
+        for &(k, changed) in touched {
+            if !changed {
+                continue;
+            }
+            let element = &self.pipeline.stages[k].element;
+            let key = SummaryKey::of(element, MapMode::Tables, &self.cfg.sym);
+            if key == self.keys[idx][k] {
+                continue;
+            }
+            let (stored, hit) = self.store.stage(element, MapMode::Tables, &self.cfg.sym)?;
+            if hit {
+                rebased += 1;
+            } else {
+                reexecuted += 1;
+            }
+            let sums = self.sums[idx].as_mut().expect("checked above");
+            let stage = rebase_stage(&mut self.pool, &stored, element);
+            sums.total_states = sums.total_states - sums.stages[k].states + stage.states;
+            sums.stages[k] = stage;
+            self.keys[idx][k] = key;
+        }
+        Ok((reexecuted, rebased))
+    }
+
+    /// One warm sequential property check (levels
+    /// [`ReuseLevel::Cores`]+).
+    fn run_one(&mut self, spec: &SearchProp, cache_stats: SummaryCacheStats) -> VerifyReport {
+        let t0 = Instant::now();
+        let mode = spec.mode();
+        let idx = mode_idx(mode);
+        let t_build = Instant::now();
+        let had_sums = self.sums[idx].is_some();
+        if let Err(e) = self.ensure(mode) {
+            return aborted_report(&spec.name(), &self.pipeline, e, t0);
+        }
+        let step1_time = if had_sums {
+            Duration::ZERO
+        } else {
+            t_build.elapsed()
+        };
+        let ChurnSession {
+            pipeline,
+            cfg,
+            pool,
+            sums,
+            solvers,
+            core_stores,
+            ..
+        } = self;
+        let sums = sums[idx].as_ref().expect("ensured");
+        let solver = solvers[idx].get_or_insert_with(|| QuerySolver::new(cfg));
+        let t1 = Instant::now();
+        let (outcome, solver_stats, core_stats, prefilter_stats, composed_paths) =
+            run_seq_search(pool, pipeline, sums, cfg, spec, solver, &core_stores[idx]);
+        VerifyReport {
+            property: spec.name(),
+            pipeline: pipeline.name.clone(),
+            verdict: verdict_of(outcome),
+            step1_states: sums.total_states,
+            step1_segments: segment_count(sums),
+            suspects: spec.suspects(pipeline, sums),
+            composed_paths,
+            solver: solver_stats,
+            cores: core_stats,
+            summary: cache_stats,
+            static_stats: Default::default(),
+            prefilter: prefilter_stats,
+            step1_time,
+            step2_time: t1.elapsed(),
+        }
+    }
+
+    /// Every property aborted on a step-1 failure during patching.
+    fn aborted_update(
+        &mut self,
+        touched: Vec<(usize, bool)>,
+        t0: Instant,
+        e: symexec::SymError,
+    ) -> UpdateReport {
+        // The Tables cache may be half-patched; drop it so the next
+        // update rebuilds from the store.
+        self.sums[mode_idx(MapMode::Tables)] = None;
+        self.memo.iter_mut().for_each(|m| *m = None);
+        let reports: Vec<VerifyReport> = self
+            .properties
+            .iter()
+            .map(|p| {
+                let name = SearchProp::of(p).expect("validated in new").name();
+                aborted_report(&name, &self.pipeline, e.clone(), t0)
+            })
+            .collect();
+        let replayed = vec![false; reports.len()];
+        UpdateReport {
+            update: self.updates,
+            touched,
+            reports,
+            replayed,
+            stages_reexecuted: 0,
+            stages_rebased: 0,
+            step1_time: t0.elapsed(),
+            step2_time: Duration::ZERO,
+            total_time: t0.elapsed(),
+        }
+    }
+}

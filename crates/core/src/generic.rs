@@ -88,7 +88,7 @@ pub(crate) fn run_generic(pipeline: &Pipeline, cfg: &SymConfig, loop_cap: u32) -
                 .unwrap_or(0);
             let mut m = ForkingMapModel::new(max_private);
             for (map, cfg_t) in &elem.tables {
-                m.set_table(*map, cfg_t.as_pairs());
+                m.set_table(*map, cfg_t.as_pairs().to_vec());
             }
             m
         })

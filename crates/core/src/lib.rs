@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod compose;
 pub mod cores;
 pub mod fleet;
@@ -65,6 +66,7 @@ pub mod stateful;
 pub mod step2;
 pub mod summary;
 
+pub use churn::{ChurnSession, ChurnStats, ReuseLevel, UnsupportedProperty, UpdateReport};
 pub use compose::ComposedState;
 pub use cores::{CoreStats, CoreStore};
 pub use fleet::{Fleet, FleetReport, VariantReport};

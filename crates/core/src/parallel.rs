@@ -281,7 +281,7 @@ fn run_task(
             let feas = check(pool, solver, pruner, prefilter, state, false);
             match (feas, violation) {
                 (Feas::Sat(m), Some(desc)) => {
-                    let m = solver.confirm_model(pool, ctx.cfg, state, m);
+                    let m = solver.confirm_model(pool, ctx.cfg, state, &ctx.sums.input, m);
                     TaskResult::Violation(CounterExample::from_model(
                         pool,
                         &ctx.sums.input,
@@ -433,21 +433,18 @@ pub(crate) fn drain_tasks(
 }
 
 /// Re-runs the winning violation task on a *fresh* clone of the master
-/// pool. A worker's pool diverges from the master as it interns terms
-/// for whatever tasks it happened to process first, and solver models
-/// over under-constrained inputs are sensitive to that ordering — so
-/// the counterexample found in-flight is valid but scheduling
-/// dependent. The re-run depends only on the master pool and the task
-/// index, making the reported packet identical across runs and thread
-/// counts.
+/// pool. The reported *bytes* are already scheduling-independent —
+/// `QuerySolver::confirm_model` extracts the canonical minimal model,
+/// a pure function of the path constraint's semantics — but the
+/// re-run keeps the rest of the counterexample (trace, description,
+/// feasibility bookkeeping) a function of the master pool and task
+/// index alone, independent of whichever diverged worker pool
+/// happened to find the violation first.
 ///
-/// The re-run always uses a fresh (non-incremental) solver, whatever
-/// `VerifyConfig::incremental` says: a session's models additionally
-/// depend on the learnt clauses and saved phases its worker happened
-/// to accumulate, which is exactly the history-dependence this
-/// re-extraction exists to erase. The sequential engine applies the
-/// same discipline through `QuerySolver::confirm_model`, so reported
-/// packets agree across engines and modes.
+/// The re-run uses a fresh (non-incremental) solver, whatever
+/// `VerifyConfig::incremental` says: its answers depend on nothing a
+/// worker accumulated, so the replayed task decides exactly as a
+/// single-threaded run would.
 fn reextract(
     i: usize,
     fallback: CounterExample,
@@ -464,9 +461,9 @@ fn reextract(
     // other workers learned.
     let mut pruner = Pruner::new(Arc::new(Mutex::new(CoreStore::new())), false, usize::MAX);
     // Same deterministic corpus as the workers'; its counters are
-    // replay bookkeeping and are not merged into the report. With the
-    // prefilter on, `confirm_model` inside the replay re-solves fresh
-    // anyway, so the reported bytes cannot be a corpus packet.
+    // replay bookkeeping and are not merged into the report. The
+    // reported bytes come from canonical minimal-model extraction
+    // inside `confirm_model`, never from a corpus packet directly.
     let mut prefilter = Prefilter::new(ctx.cfg.concrete_prefilter, &ctx.sums.input, &ctx.cfg.sym);
     let composed = AtomicUsize::new(0);
     let ctx2 = WorkerCtx {

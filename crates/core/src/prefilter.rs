@@ -36,11 +36,11 @@
 //! runs), so *hit counts* may vary across engines while verdicts
 //! cannot — a hit is always a `Sat` the solver would also have
 //! reached. Reported counterexamples stay byte-identical with the
-//! prefilter on or off: a violation decided by a corpus hit is
-//! re-solved on a fresh solver before it is reported
-//! (`QuerySolver::confirm_model` skips its fast path whenever the
-//! prefilter is enabled), exactly like session- and portfolio-found
-//! models.
+//! prefilter on or off: every reported violation goes through
+//! canonical minimal-model extraction
+//! (`QuerySolver::confirm_model`), which depends only on the path
+//! constraint's semantics — never on whether a corpus packet, a
+//! session model or a portfolio racer decided the query first.
 
 use bvsolve::{eval, Assignment, TermId, TermPool};
 use symexec::{SymConfig, SymInput};

@@ -117,7 +117,7 @@ pub struct StaticStats {
 }
 
 /// A full verification report (one property, one pipeline).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VerifyReport {
     /// Property name (e.g. `"crash-freedom"`).
     pub property: String,

@@ -364,6 +364,147 @@ impl std::fmt::Display for Report {
     }
 }
 
+/// A search-based property in resolved form: the single mapping from
+/// [`Property`] to the step-2 search parameters (mode, kind,
+/// reachability, suspects, initial-state constraints), shared by
+/// [`Verifier::check`] and [`crate::churn::ChurnSession`] so the two
+/// drivers cannot diverge on property semantics.
+pub(crate) enum SearchProp {
+    Crash,
+    Bounded { imax: u64 },
+    Filter(FilterProperty),
+    Custom(Arc<dyn CustomProperty>),
+}
+
+impl SearchProp {
+    /// Resolves a property, `None` for the non-search properties
+    /// (generic baseline, state analysis).
+    pub(crate) fn of(property: &Property) -> Option<SearchProp> {
+        match property {
+            Property::CrashFreedom => Some(SearchProp::Crash),
+            Property::Bounded { imax } => Some(SearchProp::Bounded { imax: *imax }),
+            Property::Filter(p) => Some(SearchProp::Filter(p.clone())),
+            Property::Custom(c) => Some(SearchProp::Custom(Arc::clone(c))),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn name(&self) -> String {
+        match self {
+            SearchProp::Crash => "crash-freedom".into(),
+            SearchProp::Bounded { imax } => format!("bounded-execution (imax={imax})"),
+            SearchProp::Filter(_) => "filtering".into(),
+            SearchProp::Custom(c) => c.name(),
+        }
+    }
+
+    pub(crate) fn mode(&self) -> MapMode {
+        match self {
+            SearchProp::Crash | SearchProp::Bounded { .. } => MapMode::Abstract,
+            SearchProp::Filter(_) => MapMode::Tables,
+            SearchProp::Custom(c) => c.mode(),
+        }
+    }
+
+    pub(crate) fn kind(&self) -> PropKind {
+        match self {
+            SearchProp::Crash => PropKind::Crash,
+            SearchProp::Bounded { imax } => PropKind::Bounded { imax: *imax },
+            SearchProp::Filter(_) => PropKind::Filter,
+            SearchProp::Custom(c) => PropKind::Custom(Arc::clone(c)),
+        }
+    }
+
+    pub(crate) fn reach(&self, sums: &PipelineSummaries) -> Vec<bool> {
+        match self {
+            SearchProp::Crash => crash_reach(sums),
+            _ => lookahead(sums, |_| true),
+        }
+    }
+
+    pub(crate) fn suspects(&self, pipeline: &Pipeline, sums: &PipelineSummaries) -> usize {
+        match self {
+            SearchProp::Crash => crash_suspects(sums),
+            SearchProp::Bounded { .. } => bounded_suspects(sums),
+            SearchProp::Filter(_) => filter_suspects(pipeline, sums),
+            SearchProp::Custom(c) => c.suspects(sums),
+        }
+    }
+
+    pub(crate) fn init_extra(
+        &self,
+        pool: &mut TermPool,
+        sums: &PipelineSummaries,
+        init: &mut ComposedState,
+    ) {
+        match self {
+            SearchProp::Filter(p) => crate::step2::constrain_filter(pool, sums, p, init),
+            SearchProp::Custom(c) => c.constrain_initial(pool, &sums.input, init),
+            _ => {}
+        }
+    }
+}
+
+/// The sequential step-2 engine for one resolved property: builds the
+/// initial state, syncs the conflict-driven pruner with the mode's
+/// core store, runs the DFS through the given (usually long-lived)
+/// solver, and publishes the learnt cores back. One code path behind
+/// both [`Verifier::check`] (`threads == 1`) and
+/// [`crate::churn::ChurnSession`], so a churn session's warm re-checks
+/// cannot diverge from a fresh session's. Returns the outcome, the
+/// solver/core/prefilter stat deltas and the composed-path count.
+pub(crate) fn run_seq_search(
+    pool: &mut TermPool,
+    pipeline: &Pipeline,
+    sums: &PipelineSummaries,
+    cfg: &VerifyConfig,
+    spec: &SearchProp,
+    solver: &mut QuerySolver,
+    core_store: &Arc<Mutex<CoreStore>>,
+) -> (
+    crate::step2::SearchOutcome,
+    bvsolve::SolverLayerStats,
+    crate::cores::CoreStats,
+    crate::prefilter::PrefilterStats,
+    usize,
+) {
+    let mut init = make_initial(pool, sums);
+    spec.init_extra(pool, sums, &mut init);
+    let reach = spec.reach(sums);
+    let kind = spec.kind();
+    let composed = AtomicUsize::new(0);
+    let mut pruner = Pruner::new(Arc::clone(core_store), cfg.core_pruning, usize::MAX);
+    pruner.sync();
+    let mut prefilter = Prefilter::new(cfg.concrete_prefilter, &sums.input, &cfg.sym);
+    let before = solver.stats();
+    let outcome = search(
+        pool,
+        solver,
+        &mut pruner,
+        &mut prefilter,
+        pipeline,
+        sums,
+        cfg,
+        &kind,
+        vec![Node {
+            stage: 0,
+            iter: 0,
+            state: init,
+        }],
+        &reach,
+        &composed,
+    );
+    let stats = solver.stats().delta(&before);
+    pruner.publish();
+    (
+        outcome,
+        stats,
+        pruner.stats,
+        prefilter.stats,
+        composed.into_inner(),
+    )
+}
+
 /// Cached step-1 output for one map mode.
 struct CachedSummaries {
     sums: PipelineSummaries,
@@ -625,32 +766,11 @@ impl<'p> Verifier<'p> {
     /// session cache when a previous check already built them for the
     /// same map mode.
     pub fn check(&mut self, property: Property) -> Report {
+        if let Some(spec) = SearchProp::of(&property) {
+            return Report::Verify(self.run_search(&spec));
+        }
         let pipeline = self.pipeline;
         match property {
-            Property::CrashFreedom => Report::Verify(self.run_search(
-                "crash-freedom".into(),
-                MapMode::Abstract,
-                PropKind::Crash,
-                crash_reach,
-                crash_suspects,
-                |_, _, _| {},
-            )),
-            Property::Bounded { imax } => Report::Verify(self.run_search(
-                format!("bounded-execution (imax={imax})"),
-                MapMode::Abstract,
-                PropKind::Bounded { imax },
-                |sums| lookahead(sums, |_| true),
-                bounded_suspects,
-                |_, _, _| {},
-            )),
-            Property::Filter(prop) => Report::Verify(self.run_search(
-                "filtering".into(),
-                MapMode::Tables,
-                PropKind::Filter,
-                |sums| lookahead(sums, |_| true),
-                |sums| filter_suspects(pipeline, sums),
-                |pool, sums, init| crate::step2::constrain_filter(pool, sums, &prop, init),
-            )),
             Property::Generic { loop_cap } => {
                 let t0 = Instant::now();
                 let report = run_generic(pipeline, &self.cfg.sym, loop_cap);
@@ -685,20 +805,7 @@ impl<'p> Verifier<'p> {
                     error: None,
                 })
             }
-            Property::Custom(custom) => {
-                let mode = custom.mode();
-                let name = custom.name();
-                let c2 = Arc::clone(&custom);
-                let c3 = Arc::clone(&custom);
-                Report::Verify(self.run_search(
-                    name,
-                    mode,
-                    PropKind::Custom(custom),
-                    |sums| lookahead(sums, |_| true),
-                    move |sums| c2.suspects(sums),
-                    move |pool, sums, init| c3.constrain_initial(pool, &sums.input, init),
-                ))
-            }
+            _ => unreachable!("search-based properties are handled above"),
         }
     }
 
@@ -740,19 +847,14 @@ impl<'p> Verifier<'p> {
     }
 
     /// The shared step-2 driver: cached summaries, one engine
-    /// dispatch. Sequential (`threads == 1`) runs the DFS in-place;
-    /// otherwise the search splits into a frontier of subtree tasks
-    /// drained by workers — both classify segments through the same
-    /// `step2::classify` kernel.
-    fn run_search(
-        &mut self,
-        name: String,
-        mode: MapMode,
-        kind: PropKind,
-        reach_of: impl Fn(&PipelineSummaries) -> Vec<bool>,
-        suspects_of: impl Fn(&PipelineSummaries) -> usize,
-        init_extra: impl FnOnce(&mut TermPool, &PipelineSummaries, &mut ComposedState),
-    ) -> VerifyReport {
+    /// dispatch. Sequential (`threads == 1`) runs the DFS in-place
+    /// (through [`run_seq_search`], shared with
+    /// [`crate::churn::ChurnSession`]); otherwise the search splits
+    /// into a frontier of subtree tasks drained by workers — both
+    /// classify segments through the same `step2::classify` kernel.
+    fn run_search(&mut self, spec: &SearchProp) -> VerifyReport {
+        let name = spec.name();
+        let mode = spec.mode();
         let threads = self.effective_threads();
         let t0 = Instant::now();
         let built = match self.ensure(mode) {
@@ -781,14 +883,10 @@ impl<'p> Verifier<'p> {
         } else {
             (Duration::ZERO, 0, 0)
         };
-        let mut init = make_initial(pool, sums);
-        init_extra(pool, sums, &mut init);
-        let reach = reach_of(sums);
 
         let t1 = Instant::now();
-        let composed = AtomicUsize::new(0);
         let core_store = &core_stores[mode_idx(mode)];
-        let (outcome, solver_stats, core_stats, prefilter_stats) = if threads == 1 {
+        let (outcome, solver_stats, core_stats, prefilter_stats, composed_paths) = if threads == 1 {
             // The session beside the cache outlives this check: later
             // properties in the same map mode reuse its blasted
             // constraints and learnt clauses. Stats are reported as
@@ -796,31 +894,13 @@ impl<'p> Verifier<'p> {
             // earlier checks (either engine) in and publishes this
             // check's harvest back at the end.
             let solver = solvers[mode_idx(mode)].get_or_insert_with(|| QuerySolver::new(cfg));
-            let mut pruner = Pruner::new(Arc::clone(core_store), cfg.core_pruning, usize::MAX);
-            pruner.sync();
-            let mut prefilter = Prefilter::new(cfg.concrete_prefilter, &sums.input, &cfg.sym);
-            let before = solver.stats();
-            let outcome = search(
-                pool,
-                solver,
-                &mut pruner,
-                &mut prefilter,
-                pipeline,
-                sums,
-                cfg,
-                &kind,
-                vec![Node {
-                    stage: 0,
-                    iter: 0,
-                    state: init,
-                }],
-                &reach,
-                &composed,
-            );
-            let stats = solver.stats().delta(&before);
-            pruner.publish();
-            (outcome, stats, pruner.stats, prefilter.stats)
+            run_seq_search(pool, pipeline, sums, cfg, spec, solver, core_store)
         } else {
+            let mut init = make_initial(pool, sums);
+            spec.init_extra(pool, sums, &mut init);
+            let reach = spec.reach(sums);
+            let kind = spec.kind();
+            let composed = AtomicUsize::new(0);
             // Frontier expansion prunes infeasible shallow prefixes
             // with the same persistent solver the sequential engine
             // would use, so the set of explored nodes — and hence the
@@ -856,7 +936,7 @@ impl<'p> Verifier<'p> {
             };
             let (outcome, stats, core_stats, mut pf) = drain_tasks(pool, &tasks, threads, &ctx);
             pf.merge(&frontier_prefilter.stats);
-            (outcome, stats, core_stats, pf)
+            (outcome, stats, core_stats, pf, composed.into_inner())
         };
         VerifyReport {
             property: name,
@@ -864,8 +944,8 @@ impl<'p> Verifier<'p> {
             verdict: verdict_of(outcome),
             step1_states: sums.total_states,
             step1_segments: segment_count(sums),
-            suspects: suspects_of(sums),
-            composed_paths: composed.into_inner(),
+            suspects: spec.suspects(pipeline, sums),
+            composed_paths,
             solver: solver_stats,
             cores: core_stats,
             summary: crate::report::SummaryCacheStats {

@@ -21,7 +21,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use symexec::{SegOutcome, Segment, SymConfig};
+use symexec::{SegOutcome, Segment, SymConfig, SymInput};
 
 /// Configuration of a verification run.
 #[derive(Debug, Clone)]
@@ -89,11 +89,15 @@ pub struct VerifyConfig {
     /// [`VerifyConfig::incremental`]; the fresh-solver baseline
     /// ignores it. Verdicts, counterexample bytes and composed-path
     /// counts are unchanged: decided answers are a property of the
-    /// query, races only move wall time, and winning models are
-    /// re-solved fresh like every session model. The one widening is
-    /// the usual budget caveat — a race spends more total conflicts
-    /// than one solver, so a portfolio run may decide a query the
-    /// single-threaded run left `Unknown` (never the reverse).
+    /// query, races only move wall time, and reported packets go
+    /// through canonical minimal-model extraction
+    /// (`QuerySolver::confirm_model`) regardless of which racer won.
+    /// The one widening is the usual budget caveat — a race spends
+    /// more total conflicts than one solver, so a portfolio run may
+    /// decide a query the single-threaded run left `Unknown` (never
+    /// the reverse). On a host with a single available core the race
+    /// is auto-disabled — the clones could only time-slice against
+    /// the attempt they are meant to overtake.
     /// `None` (the default) keeps every query single-threaded.
     pub portfolio: Option<usize>,
     /// Conflicts granted to the single-threaded attempt before a
@@ -107,11 +111,10 @@ pub struct VerifyConfig {
     /// deterministic packet corpus, and a packet satisfying every
     /// conjunct decides the query `Sat` by exhibition — no blast, no
     /// CDCL (counters in [`crate::PrefilterStats`]). Sound by
-    /// construction (it can
-    /// only accelerate SAT answers) and deterministic (violations it
-    /// decides are re-solved fresh before reporting, so
-    /// counterexample bytes match a run with the filter off). `false`
-    /// is the A/B baseline.
+    /// construction (it can only accelerate SAT answers) and
+    /// deterministic (reported packets go through canonical
+    /// minimal-model extraction, so counterexample bytes match a run
+    /// with the filter off). `false` is the A/B baseline.
     pub concrete_prefilter: bool,
 }
 
@@ -169,8 +172,16 @@ impl QuerySolver {
             let mut session = SolveSession::with_conflict_budget(cfg.solver_conflict_budget);
             // No pruner will read the cores, so don't build them.
             session.set_core_extraction(cfg.core_pruning);
+            // Racing diversified clones only buys wall time when a
+            // second core can actually run one; on a single-core host
+            // the clones would time-slice against the main attempt and
+            // strictly lose to just continuing it. Auto-disable there
+            // (verdict-invariant: races never change decided answers).
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
             if let Some(racers) = cfg.portfolio {
-                session.set_portfolio(racers, cfg.portfolio_escalation);
+                if cores > 1 {
+                    session.set_portfolio(racers, cfg.portfolio_escalation);
+                }
             }
             QuerySolver::Session(Box::new(session))
         } else {
@@ -209,42 +220,96 @@ impl QuerySolver {
         }
     }
 
-    /// Deterministic model extraction for a *winning* query: session
-    /// models depend on the solver history (learnt clauses, saved
-    /// phases accumulated by earlier queries), and models found with
-    /// [`ComposedState::assumed`] facts conjoined depend on which
-    /// facts the static simplifier derived — so the violation that
-    /// ends a search is re-solved on a fresh solver, over the path
-    /// `constraint` alone, making reported counterexample bytes
-    /// independent of which queries ran earlier and of
-    /// [`VerifyConfig::static_simplify`]. A fresh solver with no
-    /// facts in play already has that property and skips the re-run.
-    /// Falls back to the in-flight model (equally valid) if the
-    /// fresh re-run is budget-limited.
+    /// **Canonical** model extraction for a *winning* query: the
+    /// reported packet is the lexicographically-minimal witness of the
+    /// path `constraint` alone, over `(length, byte 0, byte 1, …)`.
     ///
-    /// With [`VerifyConfig::concrete_prefilter`] on, the fresh-solver
-    /// fast path is skipped too: the in-flight model may then be a
-    /// prefilter corpus packet, and re-solving keeps reported bytes
-    /// identical to a run with the filter off.
+    /// Minimality makes the bytes a pure function of the constraint's
+    /// *semantics* — not of solver history (learnt clauses, saved
+    /// phases), not of [`ComposedState::assumed`] facts, not of the
+    /// prefilter corpus, and not of the term pool's node orientation
+    /// (pools warmed across config updates intern the same composition
+    /// with different [`bvsolve::TermId`] numbering, which flips
+    /// commutative operand order and thereby CNF variable order — an
+    /// arbitrary-model extraction would report different, equally
+    /// valid, packets). Every engine — fresh, incremental, parallel,
+    /// portfolio, core-pruned, simplified, churn-warmed — therefore
+    /// reports byte-identical counterexamples for the same violation.
+    ///
+    /// Cost: one solve plus ~`log₂(range)` assumption re-solves per
+    /// reported field on a private [`SolveSession`] (circuits blasted
+    /// once, cheap layers first), paid once per *winning* violation.
+    /// Falls back to the in-flight model (equally valid, possibly
+    /// non-canonical) if any minimization step exhausts the conflict
+    /// budget.
     pub(crate) fn confirm_model(
         &self,
         pool: &mut TermPool,
         cfg: &VerifyConfig,
         state: &ComposedState,
+        input: &SymInput,
         inflight: bvsolve::Model,
     ) -> bvsolve::Model {
-        if matches!(self, QuerySolver::Fresh(_))
-            && state.assumed.is_empty()
-            && !cfg.concrete_prefilter
-        {
-            return inflight;
-        }
-        let mut fresh = BvSolver::with_conflict_budget(cfg.solver_conflict_budget);
-        match fresh.check(pool, &state.constraint) {
-            SatVerdict::Sat(m) => m,
-            _ => inflight,
-        }
+        canonical_model(pool, cfg, &state.constraint, input).unwrap_or(inflight)
     }
+}
+
+/// The lexicographically-minimal model of `constraint` over the
+/// reported fields, in report order: packet length first, then each
+/// byte below the minimized length. See
+/// [`QuerySolver::confirm_model`].
+fn canonical_model(
+    pool: &mut TermPool,
+    cfg: &VerifyConfig,
+    constraint: &[bvsolve::TermId],
+    input: &SymInput,
+) -> Option<bvsolve::Model> {
+    let mut s = SolveSession::with_conflict_budget(cfg.solver_conflict_budget);
+    for &c in constraint {
+        s.assert_constraint(c);
+    }
+    // `current` always satisfies the full active set (original
+    // constraint plus every pin so far) — it seeds each field's upper
+    // bound, so the search invariant "some model of the active set
+    // gives `t` a value in [lo, hi]" holds throughout: Sat tightens
+    // hi to a freshly-witnessed value, Unsat of `t <= mid` raises lo
+    // past mid. A cheap-layer Sat carries an empty model (value 0) —
+    // sound, it only fires when the active conjunction is
+    // tautological, so every value is achievable.
+    let mut current = match s.check(pool) {
+        SatVerdict::Sat(m) => m,
+        _ => return None,
+    };
+    let mut minimize = |pool: &mut TermPool, t, v: u32, w| -> Option<u64> {
+        let mut hi = current.var(v);
+        let mut lo = 0u64;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let bound = pool.mk_const(w, mid);
+            let le = pool.mk_ule(t, bound);
+            match s.check_assuming(pool, &[le]) {
+                SatVerdict::Sat(m) => {
+                    hi = m.var(v).min(mid);
+                    current = m;
+                }
+                SatVerdict::Unsat(_) => lo = mid + 1,
+                SatVerdict::Unknown | SatVerdict::Interrupted => return None,
+            }
+        }
+        let val = pool.mk_const(w, lo);
+        let pin = pool.mk_eq(t, val);
+        s.assert_constraint(pin);
+        Some(lo)
+    };
+    let mut out = bvsolve::Assignment::new();
+    let len = minimize(pool, input.pkt_len, input.len_var, 16)?;
+    out.set(input.len_var, len);
+    let last = (len as usize).min(input.pkt_bytes.len());
+    for i in 0..last {
+        let b = minimize(pool, input.pkt_bytes[i], input.pkt_byte_vars[i], 8)?;
+        out.set(input.pkt_byte_vars[i], b);
+    }
+    Some(bvsolve::Model::from_assignment(out))
 }
 
 /// One feasibility query, with two short-circuit layers in front of
@@ -543,7 +608,7 @@ pub(crate) fn search(
                     composed.fetch_add(1, Ordering::Relaxed);
                     match check(pool, solver, pruner, prefilter, &next, false) {
                         Feas::Sat(m) => {
-                            let m = solver.confirm_model(pool, cfg, &next, m);
+                            let m = solver.confirm_model(pool, cfg, &next, &sums.input, m);
                             return SearchOutcome::Violation(CounterExample::from_model(
                                 pool,
                                 &sums.input,
@@ -951,7 +1016,7 @@ pub(crate) fn longest_paths_from(
                 &node.state,
                 false,
             ) {
-                let m = solver.confirm_model(pool, cfg, &node.state, m);
+                let m = solver.confirm_model(pool, cfg, &node.state, &sums.input, m);
                 out.push(LongestPath {
                     instrs: node.state.instrs,
                     packet: CounterExample::from_model(

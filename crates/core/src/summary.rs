@@ -90,7 +90,7 @@ impl StageMapModel {
         let mut table_ids = Vec::new();
         if mode == MapMode::Tables {
             for (map, cfg) in &element.tables {
-                tables.set_table(*map, cfg.as_pairs());
+                tables.set_table(*map, cfg.as_pairs().to_vec());
                 table_ids.push(map.0);
             }
         }
@@ -185,12 +185,16 @@ impl SummaryKey {
             MapMode::Abstract => 0,
             MapMode::Tables => {
                 // Hash what execution actually consumes
-                // (`StageMapModel::new` flattens LPM to pairs), so
-                // configs with equal semantics share a summary.
-                let consumed: Vec<(u32, Vec<(u64, u64)>)> = element
+                // (`StageMapModel::new` feeds the canonical pair view
+                // to the ITE-chain model), so configs with equal
+                // semantics share a summary. The per-table pair-view
+                // fingerprint is cached and maintained incrementally
+                // by `TableConfig`, so keying is O(#maps), not
+                // O(table) — the hot path of config-update streams.
+                let consumed: Vec<(u32, u128, usize)> = element
                     .tables
                     .iter()
-                    .map(|(map, tc)| (map.0, tc.as_pairs()))
+                    .map(|(map, tc)| (map.0, tc.pairs_fingerprint(), tc.as_pairs().len()))
                     .collect();
                 fingerprint128(&consumed)
             }
@@ -236,6 +240,39 @@ pub struct StoredStage {
     states: usize,
 }
 
+impl StoredStage {
+    /// Approximate resident size: the private pool dominates (every
+    /// entry owns a compacted [`TermPool`]), so the estimate prices
+    /// terms and variables at their in-memory struct sizes and adds
+    /// the segment skeletons. Used only for the store's byte budget —
+    /// relative accuracy across entries is what matters, not absolute.
+    fn approx_bytes(&self) -> usize {
+        const TERM_BYTES: usize = 48; // op + operands + width + hash-index share
+        const VAR_BYTES: usize = 32; // width + creation metadata
+        self.pool.len() * TERM_BYTES
+            + self.pool.num_vars() * VAR_BYTES
+            + self.segments.len() * std::mem::size_of::<Segment>()
+            + std::mem::size_of::<SymInput>()
+    }
+}
+
+#[derive(Debug)]
+struct StoreEntry {
+    stage: Arc<StoredStage>,
+    bytes: usize,
+    /// Logical access clock at last hit or insertion; smallest = LRU.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    entries: HashMap<SummaryKey, StoreEntry>,
+    /// Sum of `StoreEntry::bytes` over `entries`.
+    bytes: usize,
+    /// Monotonic access counter backing the LRU order.
+    clock: u64,
+}
+
 /// A content-addressed, thread-safe cache of stage summaries.
 ///
 /// Sessions consult the store during step 1: a hit rebases the cached
@@ -250,15 +287,31 @@ pub struct StoredStage {
 /// Share one store across [`crate::Verifier`] sessions (or a whole
 /// [`crate::fleet::Fleet`]) with `Arc<SummaryStore>`; the Abstract and
 /// Tables caches both live here, keyed by [`SummaryKey::mode`].
+///
+/// ## Bounding
+///
+/// By default the store is unbounded. Long-lived stores sweeping many
+/// *distinct* Tables-mode configurations (fleet sweeps, config-update
+/// streams) grow linearly with configurations seen — each entry owns a
+/// full compacted [`TermPool`]. [`SummaryStore::bounded`] caps the
+/// store by entry count and/or approximate resident bytes; when a cap
+/// is exceeded after an insertion, least-recently-*used* entries (hits
+/// refresh recency, not just inserts) are evicted until the store fits
+/// again. Eviction is never a correctness concern — a cold key simply
+/// re-executes on next request — only cache temperature, which
+/// [`SummaryStore::evictions`] makes observable.
 #[derive(Debug, Default)]
 pub struct SummaryStore {
-    entries: Mutex<HashMap<SummaryKey, Arc<StoredStage>>>,
+    inner: Mutex<StoreInner>,
+    max_entries: Option<usize>,
+    max_bytes: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl SummaryStore {
-    /// An empty store.
+    /// An empty, unbounded store.
     pub fn new() -> Self {
         Self::default()
     }
@@ -268,14 +321,37 @@ impl SummaryStore {
         Arc::new(Self::new())
     }
 
+    /// An empty store with LRU capacity bounds: at most `max_entries`
+    /// summaries (`None` = unbounded) occupying at most `max_bytes`
+    /// approximate resident bytes (`None` = unbounded). The newest
+    /// entry always survives eviction, so a single summary larger than
+    /// `max_bytes` still caches (and evicts everything else).
+    pub fn bounded(max_entries: Option<usize>, max_bytes: Option<usize>) -> Self {
+        SummaryStore {
+            max_entries,
+            max_bytes,
+            ..Self::default()
+        }
+    }
+
     /// Distinct `(element, mode, tables, cfg)` summaries held.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("summary store poisoned").len()
+        self.inner
+            .lock()
+            .expect("summary store poisoned")
+            .entries
+            .len()
     }
 
     /// Whether the store holds no summaries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate resident bytes across all held summaries (the
+    /// quantity bounded by `max_bytes` in [`SummaryStore::bounded`]).
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.lock().expect("summary store poisoned").bytes
     }
 
     /// Lifetime count of stage requests served from cache.
@@ -288,17 +364,42 @@ impl SummaryStore {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Drops every cached summary (the hit/miss counters are kept).
-    ///
-    /// The store never evicts on its own, and each entry owns a full
-    /// [`TermPool`] — a long-lived store sweeping many *distinct*
-    /// Tables-mode configurations grows linearly with configurations
-    /// seen. Call this between sweeps whose table configs will not
-    /// recur (abstract-mode entries are table-blind and cheap to
-    /// rebuild, so clearing is never a correctness concern — only the
-    /// next requests' cache temperature).
+    /// Lifetime count of summaries evicted to satisfy the capacity
+    /// bounds. Nonzero means the working set exceeds the configured
+    /// capacity and some re-execution is being paid.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached summary (the hit/miss/eviction counters are
+    /// kept). With a [`SummaryStore::bounded`] store this is rarely
+    /// needed — the LRU bound holds residency steady on its own — but
+    /// it remains the way to force a fully cold baseline (ablations)
+    /// or to release everything between unrelated sweeps at once.
     pub fn clear(&self) {
-        self.entries.lock().expect("summary store poisoned").clear();
+        let mut inner = self.inner.lock().expect("summary store poisoned");
+        inner.entries.clear();
+        inner.bytes = 0;
+    }
+
+    /// Evicts least-recently-used entries until both bounds hold
+    /// again, never removing the newest entry. Caller holds the lock.
+    fn enforce_bounds(&self, inner: &mut StoreInner) {
+        let over = |inner: &StoreInner| {
+            self.max_entries.is_some_and(|m| inner.entries.len() > m)
+                || self.max_bytes.is_some_and(|m| inner.bytes > m)
+        };
+        while inner.entries.len() > 1 && over(inner) {
+            let lru = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty");
+            let evicted = inner.entries.remove(&lru).expect("present");
+            inner.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Fetches the summary for `element` under `(mode, cfg)`,
@@ -306,21 +407,22 @@ impl SummaryStore {
     /// hit. Execution happens outside the store lock; if two threads
     /// race on the same key both execute (identically — the executor
     /// is deterministic) and the first insert wins.
-    fn stage(
+    pub(crate) fn stage(
         &self,
         element: &Element,
         mode: MapMode,
         cfg: &SymConfig,
     ) -> Result<(Arc<StoredStage>, bool), SymError> {
         let key = SummaryKey::of(element, mode, cfg);
-        if let Some(found) = self
-            .entries
-            .lock()
-            .expect("summary store poisoned")
-            .get(&key)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(found), true));
+            let mut inner = self.inner.lock().expect("summary store poisoned");
+            let inner = &mut *inner;
+            if let Some(found) = inner.entries.get_mut(&key) {
+                inner.clock += 1;
+                found.last_used = inner.clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(&found.stage), true));
+            }
         }
         let mut exec_pool = TermPool::new();
         let exec_input = SymInput::fresh(&mut exec_pool, cfg, &element.name);
@@ -347,9 +449,31 @@ impl SummaryStore {
             states: report.states,
         });
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("summary store poisoned");
-        let entry = entries.entry(key).or_insert_with(|| Arc::clone(&stored));
-        Ok((Arc::clone(entry), false))
+        let mut inner = self.inner.lock().expect("summary store poisoned");
+        let inner = &mut *inner;
+        inner.clock += 1;
+        let clock = inner.clock;
+        let out = match inner.entries.entry(key) {
+            // Lost an execution race: keep the winner, refresh recency.
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                o.get_mut().last_used = clock;
+                Arc::clone(&o.get().stage)
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let bytes = stored.approx_bytes();
+                inner.bytes += bytes;
+                Arc::clone(
+                    &v.insert(StoreEntry {
+                        stage: stored,
+                        bytes,
+                        last_used: clock,
+                    })
+                    .stage,
+                )
+            }
+        };
+        self.enforce_bounds(inner);
+        Ok((out, false))
     }
 }
 
@@ -486,7 +610,11 @@ pub(crate) fn run_indexed<T: Send>(
 }
 
 /// Rebases a pool-independent stored summary into the master pool.
-fn rebase_stage(pool: &mut TermPool, stored: &StoredStage, element: &Element) -> StageSummary {
+pub(crate) fn rebase_stage(
+    pool: &mut TermPool,
+    stored: &StoredStage,
+    element: &Element,
+) -> StageSummary {
     let (input, segments) = import_summary(pool, &stored.pool, &stored.input, &stored.segments);
     StageSummary {
         name: element.name.clone(),
@@ -715,14 +843,187 @@ mod tests {
         );
     }
 
+    /// The churn contract: a delta moves a stage's Tables-mode key iff
+    /// it moves the table's canonical pair view (`as_pairs()` bytes).
+    #[test]
+    fn tables_key_tracks_exact_delta_pair_view() {
+        use dataplane::{TableDelta, TableOp};
+        let mut p = to_pipeline(
+            "t",
+            vec![
+                elements::ip_filter::ip_filter(vec![0x0BAD_0001]),
+                elements::ip_lookup::ip_lookup(2, vec![(0x0A00_0000, 8, 0)]),
+            ],
+        );
+        let key = |p: &dataplane::Pipeline, i: usize| {
+            SummaryKey::of(&p.stages[i].element, MapMode::Tables, &cfg())
+        };
+        let (k_filter, k_lookup) = (key(&p, 0), key(&p, 1));
+
+        // No-op overwrite (same key, same value): pair view unchanged,
+        // key unchanged.
+        let eff = TableDelta::new(
+            "IPFilter",
+            dpir::MapId(0),
+            TableOp::ExactInsert(vec![(0x0BAD_0001, 1)]),
+        )
+        .apply(&mut p)
+        .expect("ok");
+        assert!(!eff.any_changed());
+        assert_eq!(key(&p, 0), k_filter, "no-op insert must not move the key");
+
+        // Fresh insert: pair view changed, key moves — and only on the
+        // touched stage (the LPM stage is untouched).
+        let eff = TableDelta::new(
+            "IPFilter",
+            dpir::MapId(0),
+            TableOp::ExactInsert(vec![(0x0BAD_0099, 1)]),
+        )
+        .apply(&mut p)
+        .expect("ok");
+        assert!(eff.any_changed());
+        let k_after = key(&p, 0);
+        assert_ne!(k_after, k_filter, "fresh entry must move the key");
+        assert_eq!(key(&p, 1), k_lookup, "untouched stage key is stable");
+
+        // Removing it restores the exact pair bytes — and the key.
+        TableDelta::new(
+            "IPFilter",
+            dpir::MapId(0),
+            TableOp::ExactRemove(vec![0x0BAD_0099]),
+        )
+        .apply(&mut p)
+        .expect("ok");
+        assert_eq!(key(&p, 0), k_filter, "same pair bytes ⇒ same key");
+    }
+
+    #[test]
+    fn tables_key_tracks_lpm_delta_pair_view() {
+        use dataplane::{TableConfig, TableDelta, TableOp};
+        let mut p = to_pipeline(
+            "t",
+            vec![elements::ip_lookup::ip_lookup(2, vec![(0x0A00_0000, 8, 0)])],
+        );
+        let key =
+            |p: &dataplane::Pipeline| SummaryKey::of(&p.stages[0].element, MapMode::Tables, &cfg());
+        let k0 = key(&p);
+
+        // Removing an absent route is a no-op: key unchanged.
+        let eff = TableDelta::new(
+            "IPlookup",
+            dpir::MapId(0),
+            TableOp::LpmRemove(vec![(0x0B00_0000, 16)]),
+        )
+        .apply(&mut p)
+        .expect("ok");
+        assert!(!eff.any_changed());
+        assert_eq!(key(&p), k0, "absent-route remove must not move the key");
+
+        // A fresh route moves the key.
+        let eff = TableDelta::new(
+            "IPlookup",
+            dpir::MapId(0),
+            TableOp::LpmInsert(vec![(0x0B00_0000, 16, 1)]),
+        )
+        .apply(&mut p)
+        .expect("ok");
+        assert!(eff.any_changed());
+        let k1 = key(&p);
+        assert_ne!(k1, k0);
+
+        // Replacing the table with a copy of its current contents is a
+        // no-op replace: same pair bytes, same key.
+        let replica = p.stages[0].element.tables[0].1.clone();
+        let eff = TableDelta::new("IPlookup", dpir::MapId(0), TableOp::Replace(replica))
+            .apply(&mut p)
+            .expect("ok");
+        assert!(!eff.any_changed());
+        assert_eq!(key(&p), k1, "no-op replace must not move the key");
+
+        // Replacing with different contents moves it.
+        let eff = TableDelta::new(
+            "IPlookup",
+            dpir::MapId(0),
+            TableOp::Replace(TableConfig::lpm(vec![(0x0C00_0000, 8, 3)])),
+        )
+        .apply(&mut p)
+        .expect("ok");
+        assert!(eff.any_changed());
+        assert_ne!(key(&p), k1);
+    }
+
+    #[test]
+    fn bounded_store_evicts_least_recently_used() {
+        let a = to_pipeline("t", vec![elements::dec_ttl::dec_ttl()]).stages[0]
+            .element
+            .clone();
+        let b = to_pipeline("t", vec![elements::classifier::classifier()]).stages[0]
+            .element
+            .clone();
+        let c = to_pipeline("t", vec![elements::check_ip_header::check_ip_header(false)]).stages[0]
+            .element
+            .clone();
+        let store = SummaryStore::bounded(Some(2), None);
+        store.stage(&a, MapMode::Abstract, &cfg()).expect("ok");
+        store.stage(&b, MapMode::Abstract, &cfg()).expect("ok");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evictions(), 0);
+        // Touch `a` so `b` becomes the LRU entry, then overflow.
+        let (_, hit) = store.stage(&a, MapMode::Abstract, &cfg()).expect("ok");
+        assert!(hit);
+        store.stage(&c, MapMode::Abstract, &cfg()).expect("ok");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evictions(), 1);
+        let (_, hit_a) = store.stage(&a, MapMode::Abstract, &cfg()).expect("ok");
+        assert!(hit_a, "recently-used entry survived");
+        let (_, hit_b) = store.stage(&b, MapMode::Abstract, &cfg()).expect("ok");
+        assert!(!hit_b, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn bounded_store_enforces_byte_budget() {
+        let a = to_pipeline("t", vec![elements::dec_ttl::dec_ttl()]).stages[0]
+            .element
+            .clone();
+        let b = to_pipeline("t", vec![elements::classifier::classifier()]).stages[0]
+            .element
+            .clone();
+        // A budget of one byte forces every insertion to evict its
+        // predecessor — but the newest entry always survives.
+        let store = SummaryStore::bounded(None, Some(1));
+        store.stage(&a, MapMode::Abstract, &cfg()).expect("ok");
+        assert_eq!(store.len(), 1, "single oversized entry still caches");
+        assert!(store.approx_bytes() > 1);
+        store.stage(&b, MapMode::Abstract, &cfg()).expect("ok");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.evictions(), 1);
+        store.clear();
+        assert_eq!(store.approx_bytes(), 0);
+        assert_eq!(store.evictions(), 1, "clear keeps lifetime counters");
+    }
+
+    #[test]
+    fn unbounded_store_never_evicts() {
+        let store = SummaryStore::new();
+        for e in [
+            elements::dec_ttl::dec_ttl(),
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+        ] {
+            store.stage(&e, MapMode::Abstract, &cfg()).expect("ok");
+        }
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.evictions(), 0);
+    }
+
     #[test]
     fn lpm_and_equivalent_exact_share_a_tables_key() {
         let mut a = elements::dec_ttl::dec_ttl();
         a.tables
-            .push((dpir::MapId(0), TableConfig::Lpm(vec![(10, 8, 7)])));
+            .push((dpir::MapId(0), TableConfig::lpm(vec![(10, 8, 7)])));
         let mut b = elements::dec_ttl::dec_ttl();
         b.tables
-            .push((dpir::MapId(0), TableConfig::Exact(vec![(10, 7)])));
+            .push((dpir::MapId(0), TableConfig::exact(vec![(10, 7)])));
         assert_eq!(
             SummaryKey::of(&a, MapMode::Tables, &cfg()),
             SummaryKey::of(&b, MapMode::Tables, &cfg()),

@@ -696,7 +696,12 @@ fn portfolio_config_preserves_outcomes_and_counts_races() {
         assert_eq!(a.bytes, b.bytes, "portfolio cex bytes differ");
     }
     assert_eq!(base.composed_paths, raced.composed_paths);
-    assert!(raced.solver.portfolio_races > 0, "{:?}", raced.solver);
+    // Racing auto-disables on single-core hosts (no parallelism to
+    // exploit); the equality contract above still holds there, but the
+    // race counters only move when a second core exists.
+    if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+        assert!(raced.solver.portfolio_races > 0, "{:?}", raced.solver);
+    }
     assert_eq!(
         raced.solver.races_won_by.iter().sum::<u64>(),
         raced.solver.portfolio_races,

@@ -1,0 +1,320 @@
+//! Config-update deltas: incremental mutations of a pipeline's static
+//! tables.
+//!
+//! A control plane does not redeploy a pipeline to change a route — it
+//! streams table updates into the running dataplane. A [`TableDelta`]
+//! is one such update: insert/remove/replace entries on a named
+//! element's table. Applying it mutates the [`Pipeline`] in place and
+//! reports, per touched stage, whether the table's **canonical pair
+//! view** changed ([`TableConfig::as_pairs`]) — the signal a churn
+//! verification session uses to re-summarize only the touched stages
+//! (an update whose pair view is unchanged, e.g. a no-op replace or an
+//! LPM prefix-length-only edit, needs no re-verification at all in
+//! Tables mode).
+//!
+//! Deltas address stages by element name; when several stages share an
+//! element name (a repeated element), the delta applies to **all** of
+//! them — their tables are per-instance clones, and a control-plane
+//! update to "the FIB" means every instance of it.
+
+use crate::element::{TableConfig, TableKindError};
+use crate::pipeline::Pipeline;
+
+/// One incremental mutation of a table's contents.
+#[derive(Debug, Clone)]
+pub enum TableOp {
+    /// Insert (or overwrite by key) exact entries `(key, value)`.
+    ExactInsert(Vec<(u64, u64)>),
+    /// Remove exact entries by key (absent keys are no-ops).
+    ExactRemove(Vec<u64>),
+    /// Insert (or overwrite by `(prefix, prefix_len)`) LPM routes.
+    LpmInsert(Vec<(u32, u32, u32)>),
+    /// Remove LPM routes by `(prefix, prefix_len)` (absent routes are
+    /// no-ops).
+    LpmRemove(Vec<(u32, u32)>),
+    /// Replace the whole table (the kind may change).
+    Replace(TableConfig),
+}
+
+/// One config update: an op on a named element's table.
+#[derive(Debug, Clone)]
+pub struct TableDelta {
+    /// Element name the update addresses (every stage bearing it).
+    pub stage: String,
+    /// Which of the element's maps.
+    pub map: dpir::MapId,
+    /// The mutation.
+    pub op: TableOp,
+}
+
+impl TableDelta {
+    /// A delta on `stage`'s `map`.
+    pub fn new(stage: impl Into<String>, map: dpir::MapId, op: TableOp) -> Self {
+        TableDelta {
+            stage: stage.into(),
+            map,
+            op,
+        }
+    }
+
+    /// Applies the delta to `pipeline` in place.
+    ///
+    /// Returns one `(stage_index, pair_view_changed)` entry per stage
+    /// whose element bears [`Self::stage`]'s name; `pair_view_changed`
+    /// is whether that stage's canonical pair view
+    /// ([`TableConfig::as_pairs`]) differs from before — the
+    /// re-summarization signal. The pipeline is untouched on error.
+    pub fn apply(&self, pipeline: &mut Pipeline) -> Result<DeltaEffect, DeltaError> {
+        let targets: Vec<usize> = pipeline
+            .stages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.element.name == self.stage)
+            .map(|(i, _)| i)
+            .collect();
+        if targets.is_empty() {
+            return Err(DeltaError::NoSuchStage(self.stage.clone()));
+        }
+        // Validate before mutating: every target must have the table,
+        // and the op must match its kind (probe the first target's
+        // clone — all instances share the element definition's shape).
+        for &i in &targets {
+            let stage = &pipeline.stages[i];
+            let mut probe = stage
+                .element
+                .tables
+                .iter()
+                .find(|(m, _)| *m == self.map)
+                .map(|(_, c)| c.clone())
+                .ok_or(DeltaError::NoSuchTable {
+                    stage: self.stage.clone(),
+                    map: self.map,
+                })?;
+            self.apply_to(&mut probe)
+                .map_err(|kind| DeltaError::KindMismatch {
+                    stage: self.stage.clone(),
+                    map: self.map,
+                    kind,
+                })?;
+        }
+        let mut touched = Vec::with_capacity(targets.len());
+        for &i in &targets {
+            let cfg = pipeline.stages[i]
+                .element
+                .tables
+                .iter_mut()
+                .find(|(m, _)| *m == self.map)
+                .map(|(_, c)| c)
+                .expect("validated above");
+            let changed = self.apply_to(cfg).expect("validated above");
+            touched.push((i, changed));
+        }
+        Ok(DeltaEffect { touched })
+    }
+
+    /// Applies the op to one table, returning whether the canonical
+    /// pair view changed.
+    fn apply_to(&self, cfg: &mut TableConfig) -> Result<bool, TableKindError> {
+        let mut changed = false;
+        match &self.op {
+            TableOp::ExactInsert(entries) => {
+                for &(k, v) in entries {
+                    changed |= cfg.insert_exact(k, v)?;
+                }
+            }
+            TableOp::ExactRemove(keys) => {
+                for &k in keys {
+                    changed |= cfg.remove_exact(k)?;
+                }
+            }
+            TableOp::LpmInsert(routes) => {
+                for &(p, l, v) in routes {
+                    changed |= cfg.insert_lpm(p, l, v)?;
+                }
+            }
+            TableOp::LpmRemove(routes) => {
+                for &(p, l) in routes {
+                    changed |= cfg.remove_lpm(p, l)?;
+                }
+            }
+            TableOp::Replace(new) => {
+                changed = cfg.replace(new.clone());
+            }
+        }
+        Ok(changed)
+    }
+}
+
+/// What applying a delta touched.
+#[derive(Debug, Clone)]
+pub struct DeltaEffect {
+    /// `(stage index, canonical pair view changed)` per matching stage.
+    pub touched: Vec<(usize, bool)>,
+}
+
+impl DeltaEffect {
+    /// Whether any touched stage's pair view changed.
+    pub fn any_changed(&self) -> bool {
+        self.touched.iter().any(|&(_, c)| c)
+    }
+}
+
+/// Why a delta could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// No stage bears the named element.
+    NoSuchStage(String),
+    /// The named element has no table for the map.
+    NoSuchTable {
+        /// Element name addressed.
+        stage: String,
+        /// Map addressed.
+        map: dpir::MapId,
+    },
+    /// The op does not match the table's kind.
+    KindMismatch {
+        /// Element name addressed.
+        stage: String,
+        /// Map addressed.
+        map: dpir::MapId,
+        /// Which kind the op needed.
+        kind: TableKindError,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::NoSuchStage(s) => write!(f, "no stage named {s:?}"),
+            DeltaError::NoSuchTable { stage, map } => {
+                write!(f, "stage {stage:?} has no table for map {}", map.0)
+            }
+            DeltaError::KindMismatch { stage, map, kind } => {
+                write!(f, "stage {stage:?} map {}: {kind}", map.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+    use crate::pipeline::{Pipeline, Route, Stage};
+    use dpir::ProgramBuilder;
+
+    fn table_element(name: &str, cfg: TableConfig) -> Element {
+        let mut b = ProgramBuilder::new(name);
+        b.emit(0);
+        Element::straight(name, b.build().expect("valid")).with_table(dpir::MapId(0), cfg)
+    }
+
+    fn one_stage(cfg: TableConfig) -> Pipeline {
+        Pipeline {
+            name: "t".into(),
+            stages: vec![Stage {
+                element: table_element("tbl", cfg),
+                routes: vec![(0, Route::Sink(0))],
+            }],
+        }
+    }
+
+    fn pairs_of(p: &Pipeline) -> Vec<(u64, u64)> {
+        p.stages[0].element.tables[0].1.as_pairs().to_vec()
+    }
+
+    #[test]
+    fn exact_insert_remove_roundtrip() {
+        let mut p = one_stage(TableConfig::exact(vec![(1, 10), (2, 20)]));
+        let eff = TableDelta::new("tbl", dpir::MapId(0), TableOp::ExactInsert(vec![(3, 30)]))
+            .apply(&mut p)
+            .expect("ok");
+        assert_eq!(eff.touched, vec![(0, true)]);
+        assert_eq!(pairs_of(&p), vec![(1, 10), (2, 20), (3, 30)]);
+        let eff = TableDelta::new("tbl", dpir::MapId(0), TableOp::ExactRemove(vec![3, 99]))
+            .apply(&mut p)
+            .expect("ok");
+        assert!(eff.any_changed(), "3 was present");
+        assert_eq!(pairs_of(&p), vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn overwrite_same_value_is_a_noop() {
+        let mut p = one_stage(TableConfig::exact(vec![(1, 10)]));
+        let eff = TableDelta::new("tbl", dpir::MapId(0), TableOp::ExactInsert(vec![(1, 10)]))
+            .apply(&mut p)
+            .expect("ok");
+        assert!(!eff.any_changed());
+    }
+
+    #[test]
+    fn lpm_plen_only_edit_keeps_pair_view() {
+        let mut p = one_stage(TableConfig::lpm(vec![(10, 8, 7)]));
+        let fp0 = p.stages[0].element.tables[0].1.pairs_fingerprint();
+        // Removing the /8 and inserting the same prefix/value as /16
+        // changes the routes but not the flattened pair view.
+        TableDelta::new("tbl", dpir::MapId(0), TableOp::LpmRemove(vec![(10, 8)]))
+            .apply(&mut p)
+            .expect("ok");
+        let eff = TableDelta::new("tbl", dpir::MapId(0), TableOp::LpmInsert(vec![(10, 16, 7)]))
+            .apply(&mut p)
+            .expect("ok");
+        assert!(eff.any_changed(), "insert after remove changes the view");
+        assert_eq!(p.stages[0].element.tables[0].1.pairs_fingerprint(), fp0);
+    }
+
+    #[test]
+    fn replace_noop_detected() {
+        let mut p = one_stage(TableConfig::exact(vec![(10, 7)]));
+        // Same multiset via an LPM table, different kind: the pair
+        // view is unchanged.
+        let eff = TableDelta::new(
+            "tbl",
+            dpir::MapId(0),
+            TableOp::Replace(TableConfig::lpm(vec![(10, 8, 7)])),
+        )
+        .apply(&mut p)
+        .expect("ok");
+        assert!(!eff.any_changed());
+        let eff = TableDelta::new(
+            "tbl",
+            dpir::MapId(0),
+            TableOp::Replace(TableConfig::exact(vec![(10, 8)])),
+        )
+        .apply(&mut p)
+        .expect("ok");
+        assert!(eff.any_changed());
+    }
+
+    #[test]
+    fn errors_leave_pipeline_untouched() {
+        let mut p = one_stage(TableConfig::exact(vec![(1, 10)]));
+        let before = pairs_of(&p);
+        let err = TableDelta::new("tbl", dpir::MapId(0), TableOp::LpmInsert(vec![(1, 8, 2)]))
+            .apply(&mut p)
+            .expect_err("kind mismatch");
+        assert!(matches!(err, DeltaError::KindMismatch { .. }));
+        assert_eq!(pairs_of(&p), before);
+        let err = TableDelta::new("nope", dpir::MapId(0), TableOp::ExactRemove(vec![1]))
+            .apply(&mut p)
+            .expect_err("no such stage");
+        assert!(matches!(err, DeltaError::NoSuchStage(_)));
+        let err = TableDelta::new("tbl", dpir::MapId(7), TableOp::ExactRemove(vec![1]))
+            .apply(&mut p)
+            .expect_err("no such table");
+        assert!(matches!(err, DeltaError::NoSuchTable { .. }));
+    }
+
+    #[test]
+    fn incremental_fingerprint_matches_rebuild() {
+        let mut cfg = TableConfig::exact(vec![(5, 1), (3, 2)]);
+        cfg.insert_exact(9, 4).expect("ok");
+        cfg.remove_exact(3).expect("ok");
+        cfg.insert_exact(5, 7).expect("ok");
+        let rebuilt = TableConfig::exact(vec![(9, 4), (5, 7)]);
+        assert_eq!(cfg.as_pairs(), rebuilt.as_pairs());
+        assert_eq!(cfg.pairs_fingerprint(), rebuilt.pairs_fingerprint());
+    }
+}

@@ -8,32 +8,246 @@
 //! single iteration and compose it `t` times (§3.2).
 
 use crate::store::{ChainedHashMap, KvStore, LpmTable, StoreRuntime};
-use dpir::{run_program, ExecOutcome, ExecResult, MapRuntime, PacketData, PortId, Program};
+use dpir::{
+    fingerprint128, run_program, ExecOutcome, ExecResult, MapRuntime, PacketData, PortId, Program,
+};
 
-/// Configuration contents for one of an element's static maps.
-#[derive(Debug, Clone)]
-pub enum TableConfig {
+/// The raw configured entries backing a [`TableConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableContents {
     /// Exact-match entries `(key, value)` (filters, NAT statics).
     Exact(Vec<(u64, u64)>),
     /// LPM routes `(prefix, prefix_len, value)` (forwarding tables).
     Lpm(Vec<(u32, u32, u32)>),
 }
 
+/// Configuration contents for one of an element's static maps, plus a
+/// cached canonical *pair view* of them.
+///
+/// The pair view is what symbolic verification consumes (the
+/// ITE-chain table model and the generic baseline's per-entry
+/// forking): exact entries as-is, LPM routes flattened to their
+/// prefixes (the shape, not LPM precedence, drives verification
+/// cost). It is kept **canonical** — sorted by `(key, value)` — so it
+/// is a pure function of the entry multiset, and a 128-bit
+/// order-insensitive fingerprint over it is maintained incrementally:
+/// inserting or removing an entry updates the fingerprint in O(1)
+/// hashing work, which is what makes per-update summary re-keying
+/// O(delta) instead of O(table) under config-update streams (see
+/// [`crate::delta`]).
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    contents: TableContents,
+    pairs: Vec<(u64, u64)>,
+    fp: u128,
+}
+
+/// The canonical pair of one LPM route (prefix-len dropped).
+fn route_pair(p: u32, val: u32) -> (u64, u64) {
+    (p as u64, val as u64)
+}
+
+/// The fingerprint contribution of one canonical pair. Summed with
+/// wrapping arithmetic the contributions form an order-insensitive
+/// multiset fingerprint that supports O(1) insert/remove updates.
+fn pair_fp(pair: (u64, u64)) -> u128 {
+    fingerprint128(&pair)
+}
+
 impl TableConfig {
-    /// The contents as exact pairs, flattening LPM routes to their
-    /// prefixes — used by the generic baseline's per-entry forking and
-    /// by filtering proofs (where the shape, not LPM precedence,
-    /// drives cost).
-    pub fn as_pairs(&self) -> Vec<(u64, u64)> {
+    /// An exact-match table (filters, NAT statics).
+    pub fn exact(entries: Vec<(u64, u64)>) -> Self {
+        Self::from_contents(TableContents::Exact(entries))
+    }
+
+    /// An LPM table (forwarding tables).
+    pub fn lpm(routes: Vec<(u32, u32, u32)>) -> Self {
+        Self::from_contents(TableContents::Lpm(routes))
+    }
+
+    /// Wraps raw contents, building the canonical pair view.
+    pub fn from_contents(contents: TableContents) -> Self {
+        let mut cfg = TableConfig {
+            contents,
+            pairs: Vec::new(),
+            fp: 0,
+        };
+        cfg.rebuild();
+        cfg
+    }
+
+    fn rebuild(&mut self) {
+        self.pairs = match &self.contents {
+            TableContents::Exact(v) => v.clone(),
+            TableContents::Lpm(v) => v.iter().map(|&(p, _l, val)| route_pair(p, val)).collect(),
+        };
+        self.pairs.sort_unstable();
+        self.fp = self
+            .pairs
+            .iter()
+            .map(|&p| pair_fp(p))
+            .fold(0u128, u128::wrapping_add);
+    }
+
+    /// The raw configured entries (LPM routes keep their prefix
+    /// lengths — the concrete [`Element::build_stores`] runtime needs
+    /// them even though the symbolic pair view drops them).
+    pub fn contents(&self) -> &TableContents {
+        &self.contents
+    }
+
+    /// The canonical pair view: the contents as exact pairs, LPM
+    /// routes flattened to their prefixes, sorted by `(key, value)`.
+    /// Borrowed from an internal cache — calling this is free.
+    pub fn as_pairs(&self) -> &[(u64, u64)] {
+        &self.pairs
+    }
+
+    /// The order-insensitive 128-bit fingerprint of [`Self::as_pairs`],
+    /// maintained incrementally across [`Self::insert_exact`] /
+    /// [`Self::remove_exact`] / [`Self::insert_lpm`] /
+    /// [`Self::remove_lpm`]. O(1); equal pair views have equal
+    /// fingerprints regardless of configuration order or table kind.
+    pub fn pairs_fingerprint(&self) -> u128 {
+        self.fp
+    }
+
+    /// Number of entries in the pair view.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    fn pair_insert(&mut self, pair: (u64, u64)) {
+        let at = self.pairs.partition_point(|&p| p <= pair);
+        self.pairs.insert(at, pair);
+        self.fp = self.fp.wrapping_add(pair_fp(pair));
+    }
+
+    fn pair_remove(&mut self, pair: (u64, u64)) {
+        let at = self
+            .pairs
+            .binary_search(&pair)
+            .expect("pair view out of sync with contents");
+        self.pairs.remove(at);
+        self.fp = self.fp.wrapping_sub(pair_fp(pair));
+    }
+
+    /// Inserts (or overwrites, matching [`crate::store::ChainedHashMap`]
+    /// update-in-place semantics) one exact entry. Returns whether the
+    /// canonical pair view changed; `Err` on an LPM table.
+    pub fn insert_exact(&mut self, key: u64, value: u64) -> Result<bool, TableKindError> {
+        let TableContents::Exact(entries) = &mut self.contents else {
+            return Err(TableKindError::ExpectedExact);
+        };
+        if let Some(e) = entries.iter_mut().find(|e| e.0 == key) {
+            if e.1 == value {
+                return Ok(false);
+            }
+            let old = *e;
+            e.1 = value;
+            self.pair_remove(old);
+            self.pair_insert((key, value));
+        } else {
+            entries.push((key, value));
+            self.pair_insert((key, value));
+        }
+        Ok(true)
+    }
+
+    /// Removes one exact entry by key. Returns whether the canonical
+    /// pair view changed (`false` when the key was absent); `Err` on
+    /// an LPM table.
+    pub fn remove_exact(&mut self, key: u64) -> Result<bool, TableKindError> {
+        let TableContents::Exact(entries) = &mut self.contents else {
+            return Err(TableKindError::ExpectedExact);
+        };
+        let Some(at) = entries.iter().position(|e| e.0 == key) else {
+            return Ok(false);
+        };
+        let old = entries.remove(at);
+        self.pair_remove(old);
+        Ok(true)
+    }
+
+    /// Inserts (or overwrites, keyed by `(prefix, prefix_len)`) one
+    /// LPM route. Returns whether the canonical pair view changed —
+    /// note a route change can leave the view untouched (the view
+    /// drops prefix lengths); `Err` on an exact table.
+    pub fn insert_lpm(
+        &mut self,
+        prefix: u32,
+        plen: u32,
+        value: u32,
+    ) -> Result<bool, TableKindError> {
+        let TableContents::Lpm(routes) = &mut self.contents else {
+            return Err(TableKindError::ExpectedLpm);
+        };
+        if let Some(r) = routes.iter_mut().find(|r| r.0 == prefix && r.1 == plen) {
+            if r.2 == value {
+                return Ok(false);
+            }
+            let old = route_pair(r.0, r.2);
+            r.2 = value;
+            self.pair_remove(old);
+            self.pair_insert(route_pair(prefix, value));
+            Ok(true)
+        } else {
+            routes.push((prefix, plen, value));
+            self.pair_insert(route_pair(prefix, value));
+            Ok(true)
+        }
+    }
+
+    /// Removes one LPM route by `(prefix, prefix_len)`. Returns
+    /// whether the canonical pair view changed (`false` when the
+    /// route was absent); `Err` on an exact table.
+    pub fn remove_lpm(&mut self, prefix: u32, plen: u32) -> Result<bool, TableKindError> {
+        let TableContents::Lpm(routes) = &mut self.contents else {
+            return Err(TableKindError::ExpectedLpm);
+        };
+        let Some(at) = routes.iter().position(|r| r.0 == prefix && r.1 == plen) else {
+            return Ok(false);
+        };
+        let (p, _l, v) = routes.remove(at);
+        self.pair_remove(route_pair(p, v));
+        Ok(true)
+    }
+
+    /// Replaces the whole table (the kind may change). Returns whether
+    /// the canonical pair view changed — a no-op replace (same entry
+    /// multiset, any order or kind) reports `false`, which is what
+    /// lets churn sessions skip re-summarization for it.
+    pub fn replace(&mut self, new: TableConfig) -> bool {
+        let changed = self.fp != new.fp || self.pairs != new.pairs;
+        *self = new;
+        changed
+    }
+}
+
+/// A table delta op addressed a table of the wrong kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKindError {
+    /// The op needs an exact-match table.
+    ExpectedExact,
+    /// The op needs an LPM table.
+    ExpectedLpm,
+}
+
+impl std::fmt::Display for TableKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TableConfig::Exact(v) => v.clone(),
-            TableConfig::Lpm(v) => v
-                .iter()
-                .map(|&(p, _l, val)| (p as u64, val as u64))
-                .collect(),
+            TableKindError::ExpectedExact => write!(f, "op requires an exact-match table"),
+            TableKindError::ExpectedLpm => write!(f, "op requires an LPM table"),
         }
     }
 }
+
+impl std::error::Error for TableKindError {}
 
 /// How an element's program is driven.
 #[derive(Debug, Clone)]
@@ -123,8 +337,8 @@ impl Element {
                 .iter()
                 .find(|(m, _)| m.index() == i)
                 .map(|(_, c)| c);
-            let store: Box<dyn KvStore> = match cfg {
-                Some(TableConfig::Lpm(routes)) => {
+            let store: Box<dyn KvStore> = match cfg.map(TableConfig::contents) {
+                Some(TableContents::Lpm(routes)) => {
                     // /16 flattening keeps unit-test memory modest while
                     // preserving the two-level structure; the core-router
                     // bench uses `new_slash24` explicitly.
@@ -134,7 +348,7 @@ impl Element {
                     }
                     Box::new(t)
                 }
-                Some(TableConfig::Exact(pairs)) => {
+                Some(TableContents::Exact(pairs)) => {
                     let mut t = ChainedHashMap::new(3, (pairs.len() * 2).max(decl.capacity).max(8));
                     for &(k, v) in pairs {
                         let ok = t.write(k, v);

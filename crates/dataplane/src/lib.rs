@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod element;
 pub mod headers;
 pub mod pipeline;
@@ -26,6 +27,7 @@ pub mod runner;
 pub mod store;
 pub mod workload;
 
-pub use element::{Element, ElementKind, Table2Info, TableConfig};
+pub use delta::{DeltaEffect, DeltaError, TableDelta, TableOp};
+pub use element::{Element, ElementKind, Table2Info, TableConfig, TableContents, TableKindError};
 pub use pipeline::{Pipeline, Route, Stage};
 pub use runner::{PipelineOutcome, Runner, RunnerStats};

@@ -27,7 +27,7 @@ pub fn ip_filter(blacklist: Vec<u32>) -> Element {
     b.emit(0);
     let pairs = blacklist.into_iter().map(|ip| (ip as u64, 1u64)).collect();
     Element::straight("IPFilter", b.build().expect("ip_filter is valid"))
-        .with_table(table, TableConfig::Exact(pairs))
+        .with_table(table, TableConfig::exact(pairs))
 }
 
 #[cfg(test)]

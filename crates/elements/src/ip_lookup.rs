@@ -46,7 +46,7 @@ pub fn ip_lookup(num_ports: u8, routes: Vec<(u32, u32, u32)>) -> Element {
             uses_structs: true,
             ..Default::default()
         })
-        .with_table(fib, TableConfig::Lpm(routes))
+        .with_table(fib, TableConfig::lpm(routes))
 }
 
 #[cfg(test)]
