@@ -1,0 +1,397 @@
+//! `dpv-serve` — a long-lived verifier daemon over a warm
+//! [`ChurnSession`] and the persistent store.
+//!
+//! Verification as a standing service instead of a batch job: the
+//! daemon verifies a named pipeline once at startup (warm-starting
+//! step 1 from `--store` when a previous process left summaries
+//! there), then tails a delta file, coalescing each burst of table
+//! updates into **one** re-verification via
+//! [`ChurnSession::apply_batch`] and printing one JSON verdict line
+//! per burst. Learnt cores and summaries written back to `--store`
+//! make the *next* daemon start warm too — PR 9's in-process churn
+//! ladder, made cross-restart.
+//!
+//! ```text
+//! dpv-serve --pipeline firewalled-edge --store /var/lib/dpv \
+//!           --deltas /run/dpv/updates [--once] [--poll-ms 200] \
+//!           [--level incremental-session]
+//! ```
+//!
+//! The delta file is append-only text, one update per line (`#`
+//! starts a comment; numbers are decimal or `0x` hex):
+//!
+//! ```text
+//! IPFilter 0 exact-insert 0x0BAD0002=1,0x0BAD0003=1
+//! IPFilter 0 exact-remove 0x0BAD0002
+//! IPlookup 0 lpm-insert 0x0A000000/8=2,0xC0A80000/16=1
+//! IPlookup 0 lpm-remove 0x0A000000/8
+//! ?
+//! ```
+//!
+//! Consecutive delta lines form one burst (one `apply_batch`, one
+//! verdict line); a `?` line flushes the current burst and re-emits
+//! the latest verdicts. `--once` processes the file's current
+//! contents and exits (the CI/test mode); otherwise the daemon polls
+//! the file for appended bytes every `--poll-ms` (default 200),
+//! waiting for the file to appear if it does not exist yet.
+
+use dataplane::{TableDelta, TableOp};
+use dpv_bench::fig_verify_config;
+use elements::pipelines::{edge_fib, ip_router, to_pipeline, ROUTER_IP};
+use std::io::Write as _;
+use verifier::{ChurnSession, FilterProperty, Property, ReuseLevel, UpdateReport, Verdict};
+
+/// One parsed line of the delta file.
+#[derive(Debug)]
+enum Line {
+    /// A table update (joins the current burst).
+    Delta(TableDelta),
+    /// `?` — flush the burst and re-emit the latest verdicts.
+    Query,
+    /// Blank or comment.
+    Skip,
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("bad number {s:?}"))
+}
+
+fn parse_kv(item: &str) -> Result<(u64, u64), String> {
+    let (k, v) = item
+        .split_once('=')
+        .ok_or_else(|| format!("expected key=value, got {item:?}"))?;
+    Ok((parse_num(k)?, parse_num(v)?))
+}
+
+fn parse_prefix(s: &str) -> Result<(u32, u32), String> {
+    let (p, l) = s
+        .split_once('/')
+        .ok_or_else(|| format!("expected prefix/len, got {s:?}"))?;
+    Ok((parse_num(p)? as u32, parse_num(l)? as u32))
+}
+
+fn parse_line(line: &str) -> Result<Line, String> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(Line::Skip);
+    }
+    if line == "?" {
+        return Ok(Line::Query);
+    }
+    let mut parts = line.split_whitespace();
+    let stage = parts.next().expect("non-empty line has a first token");
+    let map = parse_num(parts.next().ok_or("missing map index")?)? as u32;
+    let op_name = parts.next().ok_or("missing op")?;
+    let args = parts.next().ok_or("missing op arguments")?;
+    if parts.next().is_some() {
+        return Err("trailing tokens after op arguments".into());
+    }
+    let items = args.split(',');
+    let op = match op_name {
+        "exact-insert" => TableOp::ExactInsert(items.map(parse_kv).collect::<Result<Vec<_>, _>>()?),
+        "exact-remove" => {
+            TableOp::ExactRemove(items.map(parse_num).collect::<Result<Vec<_>, _>>()?)
+        }
+        "lpm-insert" => TableOp::LpmInsert(
+            items
+                .map(|item| {
+                    let (pl, v) = item
+                        .split_once('=')
+                        .ok_or_else(|| format!("expected prefix/len=value, got {item:?}"))?;
+                    let (p, l) = parse_prefix(pl)?;
+                    Ok::<_, String>((p, l, parse_num(v)? as u32))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        "lpm-remove" => TableOp::LpmRemove(items.map(parse_prefix).collect::<Result<Vec<_>, _>>()?),
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Line::Delta(TableDelta::new(stage, dpir::MapId(map), op)))
+}
+
+/// The named workloads the daemon can serve: `(pipeline, properties)`.
+fn named_workload(name: &str) -> Option<(dataplane::Pipeline, Vec<Property>)> {
+    match name {
+        // The churn_ablation headline: edge router + §5.2 firewall,
+        // both table kinds live, all three paper properties.
+        "firewalled-edge" => Some((
+            to_pipeline(
+                "firewalled-edge",
+                vec![
+                    elements::classifier::classifier(),
+                    elements::check_ip_header::check_ip_header(false),
+                    elements::ip_filter::ip_filter(vec![0x0BAD_0001, 0x0BAD_0010]),
+                    elements::dec_ttl::dec_ttl(),
+                    elements::ip_options::ip_options(1, Some(ROUTER_IP)),
+                    elements::ip_lookup::ip_lookup(4, edge_fib()),
+                ],
+            ),
+            vec![
+                Property::CrashFreedom,
+                Property::Bounded { imax: 5_000 },
+                Property::Filter(FilterProperty::src(0x0BAD_0001)),
+            ],
+        )),
+        "edge-router" => Some((
+            to_pipeline("edge-router", ip_router(7, 1, edge_fib())),
+            vec![Property::CrashFreedom, Property::Bounded { imax: 5_000 }],
+        )),
+        _ => None,
+    }
+}
+
+fn parse_level(s: &str) -> Option<ReuseLevel> {
+    [
+        ReuseLevel::FullReverify,
+        ReuseLevel::Summaries,
+        ReuseLevel::Cores,
+        ReuseLevel::Sessions,
+    ]
+    .into_iter()
+    .find(|l| l.arm() == s)
+}
+
+struct Opts {
+    pipeline: String,
+    store: Option<String>,
+    deltas: Option<String>,
+    once: bool,
+    poll_ms: u64,
+    level: ReuseLevel,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dpv-serve --pipeline <firewalled-edge|edge-router> \
+         [--store <dir>] [--deltas <file>] [--once] [--poll-ms <n>] \
+         [--level <full-reverify|summary-reuse|core-reuse|incremental-session>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        pipeline: String::new(),
+        store: None,
+        deltas: None,
+        once: false,
+        poll_ms: 200,
+        level: ReuseLevel::Sessions,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--pipeline" => opts.pipeline = val(),
+            "--store" => opts.store = Some(val()),
+            "--deltas" => opts.deltas = Some(val()),
+            "--once" => opts.once = true,
+            "--poll-ms" => opts.poll_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--level" => opts.level = parse_level(&val()).unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    if opts.pipeline.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// One JSON verdict line per event, flushed immediately (the consumer
+/// is a pipe, not a terminal).
+fn emit(event: &str, report: &UpdateReport, extra: &str) {
+    let verdicts: Vec<String> = report
+        .reports
+        .iter()
+        .map(|r| {
+            let v = match &r.verdict {
+                Verdict::Proved => "\"proved\"".to_string(),
+                Verdict::Disproved(cex) => {
+                    let bytes: String = cex.bytes.iter().map(|b| format!("{b:02x}")).collect();
+                    format!("{{\"disproved\":\"{bytes}\"}}")
+                }
+                Verdict::Unknown(why) => format!("{{\"unknown\":{:?}}}", format!("{why:?}")),
+            };
+            format!("{{\"property\":{:?},\"verdict\":{v}}}", r.property)
+        })
+        .collect();
+    println!(
+        "{{\"event\":{event:?},\"update\":{},\"verdicts\":[{}],\
+         \"stages_reexecuted\":{},\"stages_rebased\":{},\
+         \"step1_ms\":{:.3},\"step2_ms\":{:.3},\"total_ms\":{:.3}{extra}}}",
+        report.update,
+        verdicts.join(","),
+        report.stages_reexecuted,
+        report.stages_rebased,
+        report.step1_time.as_secs_f64() * 1e3,
+        report.step2_time.as_secs_f64() * 1e3,
+        report.total_time.as_secs_f64() * 1e3,
+    );
+    let _ = std::io::stdout().flush();
+}
+
+/// Applies the pending burst (if any) as one coalesced re-verify.
+fn flush_burst(session: &mut ChurnSession, burst: &mut Vec<TableDelta>, last: &mut UpdateReport) {
+    if burst.is_empty() {
+        return;
+    }
+    let n = burst.len();
+    match session.apply_batch(burst) {
+        Ok(report) => {
+            emit("update", &report, &format!(",\"deltas\":{n}"));
+            *last = report;
+        }
+        Err(e) => {
+            eprintln!("dpv-serve: burst of {n} rejected, pipeline unchanged: {e}");
+            let _ = std::io::stderr().flush();
+        }
+    }
+    burst.clear();
+}
+
+fn main() {
+    let opts = parse_opts();
+    let Some((pipeline, props)) = named_workload(&opts.pipeline) else {
+        eprintln!("dpv-serve: unknown pipeline {:?}", opts.pipeline);
+        usage();
+    };
+    let mut session = ChurnSession::new(pipeline, props, fig_verify_config(), opts.level)
+        .expect("named workloads use search-based properties");
+    if let Some(dir) = &opts.store {
+        session = session
+            .with_store_path(dir)
+            .expect("store dir must be creatable");
+    }
+    let mut last = session.verify();
+    let loads = session.store().store_loads();
+    emit(
+        "verified",
+        &last,
+        &format!(",\"store_loads\":{loads},\"warm_start\":{}", loads > 0),
+    );
+
+    let Some(deltas_path) = &opts.deltas else {
+        // No delta source: verify once and exit (still useful — it
+        // leaves the store warm for the next start).
+        return;
+    };
+    let mut offset = 0u64;
+    let mut pending = String::new();
+    loop {
+        let appended = match std::fs::read(deltas_path) {
+            Ok(bytes) if bytes.len() as u64 > offset => {
+                let new = bytes[offset as usize..].to_vec();
+                offset = bytes.len() as u64;
+                String::from_utf8_lossy(&new).into_owned()
+            }
+            Ok(_) => String::new(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => {
+                eprintln!("dpv-serve: cannot read {deltas_path}: {e}");
+                String::new()
+            }
+        };
+        pending.push_str(&appended);
+        // Only complete lines are parsed; a partial trailing line
+        // stays pending until its newline arrives.
+        let mut burst: Vec<TableDelta> = Vec::new();
+        while let Some(nl) = pending.find('\n') {
+            let line: String = pending.drain(..=nl).collect();
+            match parse_line(&line) {
+                Ok(Line::Delta(d)) => burst.push(d),
+                Ok(Line::Query) => {
+                    flush_burst(&mut session, &mut burst, &mut last);
+                    emit("query", &last, "");
+                }
+                Ok(Line::Skip) => {}
+                Err(e) => {
+                    eprintln!("dpv-serve: ignoring line {:?}: {e}", line.trim_end());
+                }
+            }
+        }
+        flush_burst(&mut session, &mut burst, &mut last);
+        if opts.once {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(opts.poll_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_exact_ops() {
+        let Line::Delta(d) = parse_line("IPFilter 0 exact-insert 0x0BAD0002=1,3=4").unwrap() else {
+            panic!("expected delta");
+        };
+        assert_eq!(d.stage, "IPFilter");
+        assert_eq!(d.map, dpir::MapId(0));
+        match d.op {
+            TableOp::ExactInsert(kv) => assert_eq!(kv, vec![(0x0BAD_0002, 1), (3, 4)]),
+            other => panic!("wrong op: {other:?}"),
+        }
+        let Line::Delta(d) = parse_line("IPFilter 1 exact-remove 7,0x10").unwrap() else {
+            panic!("expected delta");
+        };
+        match d.op {
+            TableOp::ExactRemove(ks) => assert_eq!(ks, vec![7, 0x10]),
+            other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_lpm_ops() {
+        let Line::Delta(d) = parse_line("IPlookup 0 lpm-insert 0x0A000000/8=2").unwrap() else {
+            panic!("expected delta");
+        };
+        match d.op {
+            TableOp::LpmInsert(routes) => assert_eq!(routes, vec![(0x0A00_0000, 8, 2)]),
+            other => panic!("wrong op: {other:?}"),
+        }
+        let Line::Delta(d) = parse_line("IPlookup 0 lpm-remove 0x0A000000/8,1/32").unwrap() else {
+            panic!("expected delta");
+        };
+        match d.op {
+            TableOp::LpmRemove(routes) => assert_eq!(routes, vec![(0x0A00_0000, 8), (1, 32)]),
+            other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_comments_and_blanks() {
+        assert!(matches!(parse_line("?").unwrap(), Line::Query));
+        assert!(matches!(parse_line("").unwrap(), Line::Skip));
+        assert!(matches!(parse_line("  # comment").unwrap(), Line::Skip));
+        assert!(matches!(
+            parse_line("IPFilter 0 exact-remove 7 # drop the blacklist entry").unwrap(),
+            Line::Delta(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("IPFilter").is_err());
+        assert!(parse_line("IPFilter zero exact-remove 7").is_err());
+        assert!(parse_line("IPFilter 0 frobnicate 7").is_err());
+        assert!(parse_line("IPFilter 0 exact-insert 7").is_err());
+        assert!(parse_line("IPlookup 0 lpm-remove 0x0A000000").is_err());
+        assert!(parse_line("IPFilter 0 exact-remove 7 trailing").is_err());
+    }
+
+    #[test]
+    fn named_workloads_resolve() {
+        for name in ["firewalled-edge", "edge-router"] {
+            let (p, props) = named_workload(name).expect("known workload");
+            assert!(!p.stages.is_empty());
+            assert!(!props.is_empty());
+        }
+        assert!(named_workload("nonesuch").is_none());
+    }
+}

@@ -17,6 +17,14 @@
 //! With `DPV_JSON=1` each mode emits a `{"bench":"fleet",...}`
 //! summary line for the CI perf trajectory (`perf_diff` keys on
 //! bench/pipeline/mode/engine and gates on `step2_ms`).
+//!
+//! With `DPV_STORE_PATH=<dir>` a fourth arm runs against the
+//! *persistent* store at that directory and emits a `"mode":"disk"`
+//! row (marked `"gate":false` — it only exists when the env var is
+//! set, so it carries no perf_diff coverage contract). Running the
+//! binary twice against one directory is the CI cross-process check:
+//! the second run's disk arm must report `summary_hits > 0` with
+//! `summary_misses == 0` and a smaller `step1_ms` than the first.
 
 use dpv_bench::{fig_verify_config, fmt_dur, row};
 use elements::pipelines::{ip_router, to_pipeline};
@@ -83,14 +91,25 @@ fn emit_json(mode: &str, r: &FleetReport) {
         return;
     }
     println!("{}", r.to_json());
+    // The disk arm only runs when DPV_STORE_PATH is set, so its row
+    // must not enter the perf_diff coverage contract.
+    let gate = if mode == "disk" {
+        ",\"gate\":false"
+    } else {
+        ""
+    };
     println!(
         "{{\"bench\":\"fleet\",\"pipeline\":\"router-fleet\",\"mode\":\"{mode}\",\
          \"engine\":\"par{FLEET_THREADS}\",\"variants\":{VARIANTS},\
          \"summary_hits\":{},\"summary_misses\":{},\"store_size\":{},\
-         \"step1_ms\":{:.3},\"step2_ms\":{:.3},\"total_ms\":{:.3}}}",
+         \"store_loads\":{},\"store_writes\":{},\"load_bytes\":{},\
+         \"step1_ms\":{:.3},\"step2_ms\":{:.3},\"total_ms\":{:.3}{gate}}}",
         r.summary_hits,
         r.summary_misses,
         r.store_size,
+        r.store_loads,
+        r.store_writes,
+        r.load_bytes,
         r.step1_time().as_secs_f64() * 1e3,
         r.step2_time().as_secs_f64() * 1e3,
         r.time.as_secs_f64() * 1e3,
@@ -171,4 +190,29 @@ fn main() {
         "warm store must cut step-1 wall-clock by >= 1.3x (got {speedup:.2}x)"
     );
     println!("verdicts, counterexample bytes, composed paths: identical across modes (asserted)");
+
+    // Optional persistent arm: DPV_STORE_PATH=<dir> audits the same
+    // fleet against an on-disk store, so two *invocations of this
+    // binary* share step-1 work — the cross-process check CI runs.
+    if let Some(dir) = std::env::var_os("DPV_STORE_PATH") {
+        let disk = fleet()
+            .with_store_path(&dir)
+            .expect("DPV_STORE_PATH must be creatable")
+            .run();
+        assert_equivalent(&nostore, &disk, "nostore vs disk");
+        assert!(
+            disk.store_writes > 0 || disk.store_loads > 0,
+            "the disk arm must touch the persistent store"
+        );
+        print_row("disk", &disk, Some(warm.step1_time()));
+        emit_json("disk", &disk);
+        println!(
+            "disk store {}: step-1 {} | {} loads ({} bytes) | {} writes",
+            std::path::Path::new(&dir).display(),
+            fmt_dur(disk.step1_time()),
+            disk.store_loads,
+            disk.load_bytes,
+            disk.store_writes,
+        );
+    }
 }

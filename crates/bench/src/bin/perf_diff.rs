@@ -32,6 +32,7 @@
 //! DPV_JSON=1 cargo run --release -p dpv-bench --bin fig4a                 | grep '"bench"' >> BENCH_step2.json
 //! DPV_JSON=1 cargo run --release -p dpv-bench --bin portfolio_ablation    | grep '"bench"' >> BENCH_step2.json
 //! DPV_JSON=1 cargo run --release -p dpv-bench --bin churn_ablation        | grep '"bench"' >> BENCH_step2.json
+//! DPV_JSON=1 cargo run --release -p dpv-bench --bin store_ablation        | grep '"bench"' >> BENCH_step2.json
 //! ```
 
 use std::collections::BTreeMap;

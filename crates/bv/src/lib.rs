@@ -62,4 +62,4 @@ pub use migrate::Migrator;
 pub use pretty::print_term;
 pub use session::SolveSession;
 pub use solver::{BvSolver, Infeasibility, Model, SatVerdict, SolverLayerStats, MAX_RACERS};
-pub use term::{BinOp, Term, TermId, TermPool, UnOp, Width};
+pub use term::{BinOp, Term, TermId, TermPool, UnOp, Width, MAX_WIDTH};

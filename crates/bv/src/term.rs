@@ -264,6 +264,25 @@ impl TermPool {
         self.var_terms[id as usize]
     }
 
+    /// The [`TermId`] at dense index `idx` — the inverse of
+    /// [`TermId::index`]. Terms are stored in creation order and
+    /// children are always interned before their parents, so iterating
+    /// `0..len()` walks the pool in topological order. Panics if `idx`
+    /// is out of range.
+    pub fn term_id(&self, idx: usize) -> TermId {
+        assert!(idx < self.terms.len(), "term index out of range");
+        TermId(idx as u32)
+    }
+
+    /// Structural lookup: the id of an already-interned term equal to
+    /// `t`, or `None` if the pool holds no such term. Never interns —
+    /// useful for read-only matching against a pool whose construction
+    /// trajectory must not be disturbed (e.g. importing persisted
+    /// solver cores into a live session pool).
+    pub fn lookup(&self, t: &Term) -> Option<TermId> {
+        self.dedup.get(t).copied()
+    }
+
     /// The constant value of `t`, if it is a constant.
     pub fn const_value(&self, t: TermId) -> Option<u64> {
         match *self.get(t) {

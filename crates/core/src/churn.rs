@@ -59,6 +59,7 @@
 //! ```
 
 use crate::cores::CoreStore;
+use crate::persist::{load_cores, save_cores, CorePack};
 use crate::report::{SummaryCacheStats, Verdict, VerifyReport};
 use crate::session::{run_seq_search, Property, SearchProp, Verifier};
 use crate::step2::{aborted_report, segment_count, verdict_of, QuerySolver, VerifyConfig};
@@ -68,6 +69,8 @@ use crate::summary::{
 };
 use bvsolve::TermPool;
 use dataplane::{DeltaError, Pipeline, TableDelta};
+use dpir::fingerprint128;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -178,6 +181,14 @@ pub struct ChurnStats {
     pub stages_rebased: u64,
     /// Property checks replayed without searching.
     pub checks_replayed: u64,
+    /// Learnt cores resolved from the on-disk store into the session
+    /// across all updates (always zero without
+    /// [`ChurnSession::with_store_path`]). Resolution is find-only and
+    /// deduplicated by core subsumption, so on a deterministically
+    /// replayed stream these act as a checked backup of what the
+    /// session re-learns; they add pruning power when the restarted
+    /// stream diverges from the one that persisted them.
+    pub cores_imported: u64,
 }
 
 const N_MODES: usize = 2;
@@ -211,8 +222,32 @@ pub struct ChurnSession {
     /// Last report per property, replayed at [`ReuseLevel::Sessions`]
     /// when the property's mode saw no summary change.
     memo: Vec<Option<VerifyReport>>,
+    /// Directory for persisting learnt cores (and, via the persistent
+    /// summary store, step-1 summaries) across processes. Set by
+    /// [`ChurnSession::with_store_path`].
+    store_dir: Option<std::path::PathBuf>,
+    /// Per-mode cores loaded from disk but not yet imported into the
+    /// session (find-only import succeeds once the session's
+    /// deterministic term trajectory has interned the cores' terms;
+    /// the rest retry on later updates).
+    pending_cores: [Option<CorePack>; N_MODES],
+    /// Per-mode `(epoch, core count)` at the last on-disk save, so
+    /// unchanged stores are not rewritten every update.
+    cores_saved: [Option<(u128, usize)>; N_MODES],
     updates: u64,
     stats: ChurnStats,
+}
+
+/// The on-disk core-file epoch for one mode: a fingerprint of the
+/// per-stage summary keys, so a process that comes up with a different
+/// pipeline, table state or symexec configuration misses cleanly
+/// instead of loading another epoch's cores. (Loading them would still
+/// be *sound* — a core is an UNSAT term set, and the find-only import
+/// only materializes cores whose terms exist with identical variables
+/// — but epoch keying keeps the store tidy and the hit rate
+/// meaningful.)
+fn core_epoch(keys: &[SummaryKey]) -> u128 {
+    fingerprint128(&keys)
 }
 
 impl ChurnSession {
@@ -252,9 +287,27 @@ impl ChurnSession {
                 Arc::new(Mutex::new(CoreStore::new())),
             ],
             memo,
+            store_dir: None,
+            pending_cores: [None, None],
+            cores_saved: [None, None],
             updates: 0,
             stats: ChurnStats::default(),
         })
+    }
+
+    /// Backs the session with the on-disk store directory `dir`
+    /// (created if absent): step-1 summaries load through and write
+    /// back to the directory's content-addressed files (see
+    /// [`SummaryStore::persistent`]), and — at [`ReuseLevel::Cores`]
+    /// and above — learnt UNSAT cores are persisted per
+    /// `(mode, epoch)` after each update and re-imported on start-up,
+    /// so a restarted verifier daemon begins warm. Replaces any store
+    /// set earlier; call before [`ChurnSession::verify`].
+    pub fn with_store_path(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        self.store = Arc::new(SummaryStore::persistent(&dir)?);
+        self.store_dir = Some(dir);
+        Ok(self)
     }
 
     /// Shares a (typically capacity-bounded) summary store instead of
@@ -302,6 +355,54 @@ impl ChurnSession {
         Ok(self.run_update(effect.touched, tables_changed, t0))
     }
 
+    /// Applies a burst of table updates as **one** incremental step:
+    /// every delta is validated and applied atomically (any error
+    /// leaves the pipeline exactly as before `apply_batch` and nothing
+    /// re-verifies), the touched stages are coalesced, and the
+    /// property set is re-established once for the whole burst — not
+    /// once per delta. Control planes batch naturally (a BGP
+    /// convergence event is thousands of FIB updates), and per-stage
+    /// re-execution is keyed on the *net* table state, so a burst that
+    /// touches one stage fifty times re-summarizes it once — and a
+    /// burst whose deltas cancel out replays like a no-op.
+    pub fn apply_batch(&mut self, deltas: &[TableDelta]) -> Result<UpdateReport, DeltaError> {
+        let t0 = Instant::now();
+        let mut next = self.pipeline.clone();
+        let mut coalesced: BTreeMap<usize, bool> = BTreeMap::new();
+        for delta in deltas {
+            let effect = delta.apply(&mut next)?;
+            for (k, changed) in effect.touched {
+                *coalesced.entry(k).or_insert(false) |= changed;
+            }
+        }
+        self.pipeline = next;
+        self.updates += 1;
+        self.stats.updates += 1;
+        // The per-delta `changed` flags can overstate the net effect
+        // (an insert and a remove of the same entry cancel). When the
+        // session tracks per-stage keys (Cores+), recompute each flag
+        // against the cached key, so cancelled bursts keep their
+        // replay/no-op fast path.
+        let idx = mode_idx(MapMode::Tables);
+        let touched: Vec<(usize, bool)> = coalesced
+            .into_iter()
+            .map(|(k, changed)| {
+                let net = if self.sums[idx].is_some() {
+                    SummaryKey::of(
+                        &self.pipeline.stages[k].element,
+                        MapMode::Tables,
+                        &self.cfg.sym,
+                    ) != self.keys[idx][k]
+                } else {
+                    changed
+                };
+                (k, net)
+            })
+            .collect();
+        let tables_changed = touched.iter().any(|&(_, changed)| changed);
+        Ok(self.run_update(touched, tables_changed, t0))
+    }
+
     /// The shared driver behind [`ChurnSession::verify`] and
     /// [`ChurnSession::apply_delta`].
     fn run_update(
@@ -311,6 +412,13 @@ impl ChurnSession {
         t0: Instant,
     ) -> UpdateReport {
         let t_step1 = Instant::now();
+        // Disk-tier counter snapshot: each report of this update
+        // carries the update's deltas as of its construction.
+        let disk0 = (
+            self.store.store_loads(),
+            self.store.store_writes(),
+            self.store.load_bytes(),
+        );
         // Which modes' summaries this update may have changed. Abstract
         // keys are table-blind: no table delta ever touches them.
         let mut mode_changed = [false; N_MODES];
@@ -376,7 +484,7 @@ impl ChurnSession {
                 let cache_stats = SummaryCacheStats {
                     hits: stages_rebased,
                     misses: stages_reexecuted,
-                    store_size: self.store.len(),
+                    ..Default::default()
                 };
                 for i in 0..self.properties.len() {
                     let spec = SearchProp::of(&self.properties[i]).expect("validated in new");
@@ -399,12 +507,18 @@ impl ChurnSession {
                             continue;
                         }
                     }
-                    let report = self.run_one(&spec, cache_stats);
+                    let report = self.run_one(&spec, cache_stats, disk0);
                     self.memo[i] = Some(report.clone());
                     reports.push(report);
                     replayed.push(false);
                 }
             }
+        }
+        // Persist the learnt cores the warm arms accumulated, under
+        // the current epoch (no-op when the count is unchanged for
+        // that epoch, or without a store directory).
+        if matches!(self.level, ReuseLevel::Cores | ReuseLevel::Sessions) {
+            self.save_cores_to_disk();
         }
         // Attribute times uniformly across levels: step 1 is the
         // delta patching/reset plus whatever summary building the
@@ -450,7 +564,44 @@ impl ChurnSession {
             .map(|s| SummaryKey::of(&s.element, mode, &self.cfg.sym))
             .collect();
         self.sums[idx] = Some(sums);
+        // First build of this mode: pick up any cores a previous
+        // process persisted under the same epoch. They import lazily
+        // (find-only) as this session's term trajectory catches up —
+        // see `run_one`.
+        if let Some(dir) = &self.store_dir {
+            self.pending_cores[idx] = load_cores(dir, mode, core_epoch(&self.keys[idx]));
+        }
         Ok(())
+    }
+
+    /// Writes each mode's learnt cores to the store directory under
+    /// the mode's current epoch, skipping modes whose `(epoch, count)`
+    /// already matches the last save. Cores survive table churn (the
+    /// pool is append-only, so retention is sound — module docs), so
+    /// after an epoch move the full current set is re-saved under the
+    /// new epoch.
+    fn save_cores_to_disk(&mut self) {
+        let Some(dir) = &self.store_dir else { return };
+        for mode in [MapMode::Abstract, MapMode::Tables] {
+            let idx = mode_idx(mode);
+            if self.sums[idx].is_none() {
+                continue;
+            }
+            let cores: Vec<_> = {
+                let store = self.core_stores[idx].lock().expect("core store poisoned");
+                store.entries().cloned().collect()
+            };
+            if cores.is_empty() {
+                continue;
+            }
+            let epoch = core_epoch(&self.keys[idx]);
+            if self.cores_saved[idx] == Some((epoch, cores.len())) {
+                continue;
+            }
+            if save_cores(dir, mode, epoch, &self.pool, &cores) {
+                self.cores_saved[idx] = Some((epoch, cores.len()));
+            }
+        }
     }
 
     /// Re-summarizes, in place, every touched-and-changed stage of the
@@ -495,7 +646,12 @@ impl ChurnSession {
 
     /// One warm sequential property check (levels
     /// [`ReuseLevel::Cores`]+).
-    fn run_one(&mut self, spec: &SearchProp, cache_stats: SummaryCacheStats) -> VerifyReport {
+    fn run_one(
+        &mut self,
+        spec: &SearchProp,
+        cache_stats: SummaryCacheStats,
+        disk0: (u64, u64, u64),
+    ) -> VerifyReport {
         let t0 = Instant::now();
         let mode = spec.mode();
         let idx = mode_idx(mode);
@@ -509,35 +665,72 @@ impl ChurnSession {
         } else {
             t_build.elapsed()
         };
-        let ChurnSession {
-            pipeline,
-            cfg,
-            pool,
-            sums,
-            solvers,
-            core_stores,
-            ..
-        } = self;
-        let sums = sums[idx].as_ref().expect("ensured");
-        let solver = solvers[idx].get_or_insert_with(|| QuerySolver::new(cfg));
+        // Find-only import of any disk-loaded cores: on a diverged
+        // stream the terms may already be interned, in which case the
+        // cores prune this very search.
+        self.try_import_cores(idx);
         let t1 = Instant::now();
-        let (outcome, solver_stats, core_stats, prefilter_stats, composed_paths) =
-            run_seq_search(pool, pipeline, sums, cfg, spec, solver, &core_stores[idx]);
+        let (outcome, solver_stats, core_stats, prefilter_stats, composed_paths) = {
+            let ChurnSession {
+                pipeline,
+                cfg,
+                pool,
+                sums,
+                solvers,
+                core_stores,
+                ..
+            } = &mut *self;
+            let sums = sums[idx].as_ref().expect("ensured");
+            let solver = solvers[idx].get_or_insert_with(|| QuerySolver::new(cfg));
+            run_seq_search(pool, pipeline, sums, cfg, spec, solver, &core_stores[idx])
+        };
+        let step2_time = t1.elapsed();
+        // Retry after the search: on a deterministically replayed
+        // stream the search itself is what interns the terms a
+        // persisted core refers to, so a pack only becomes resolvable
+        // once the search that re-derives its cores has run. Resolved
+        // cores are deduplicated by core subsumption; the counter
+        // records recovery, while the pruning benefit accrues to
+        // diverged streams (pre-search attempt above).
+        self.try_import_cores(idx);
+        let sums = self.sums[idx].as_ref().expect("ensured");
         VerifyReport {
             property: spec.name(),
-            pipeline: pipeline.name.clone(),
+            pipeline: self.pipeline.name.clone(),
             verdict: verdict_of(outcome),
             step1_states: sums.total_states,
             step1_segments: segment_count(sums),
-            suspects: spec.suspects(pipeline, sums),
+            suspects: spec.suspects(&self.pipeline, sums),
             composed_paths,
             solver: solver_stats,
             cores: core_stats,
-            summary: cache_stats,
+            summary: SummaryCacheStats {
+                store_size: self.store.len(),
+                store_loads: self.store.store_loads() - disk0.0,
+                store_writes: self.store.store_writes() - disk0.1,
+                load_bytes: self.store.load_bytes() - disk0.2,
+                evictions: self.store.evictions(),
+                ..cache_stats
+            },
             static_stats: Default::default(),
             prefilter: prefilter_stats,
             step1_time,
-            step2_time: t1.elapsed(),
+            step2_time,
+        }
+    }
+
+    /// One find-only import pass over this mode's pending disk-loaded
+    /// cores, if any. Clears the pack once nothing is pending.
+    fn try_import_cores(&mut self, idx: usize) {
+        if let Some(pack) = self.pending_cores[idx].as_mut() {
+            let imported = {
+                let mut store = self.core_stores[idx].lock().expect("core store poisoned");
+                pack.import_into(&self.pool, &mut store)
+            };
+            self.stats.cores_imported += imported as u64;
+            if pack.pending() == 0 {
+                self.pending_cores[idx] = None;
+            }
         }
     }
 

@@ -121,6 +121,16 @@ impl Fleet {
         self
     }
 
+    /// Backs the fleet's shared store with the on-disk directory `dir`
+    /// (created if absent; see [`SummaryStore::persistent`]): step-1
+    /// warmth then survives the process and is shared across
+    /// concurrent fleets pointed at the same directory. Replaces any
+    /// store set earlier; call before [`Fleet::run`].
+    pub fn with_store_path(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.store = Arc::new(SummaryStore::persistent(dir)?);
+        Ok(self)
+    }
+
     /// Whether tasks share the fleet's summary store (the default).
     /// `false` gives every task a throwaway store — the "cold, no
     /// sharing" A/B baseline used by the `fleet_ablation` bench;
@@ -158,6 +168,9 @@ impl Fleet {
         let t0 = Instant::now();
         let hits0 = self.store.hits();
         let misses0 = self.store.misses();
+        let loads0 = self.store.store_loads();
+        let writes0 = self.store.store_writes();
+        let lbytes0 = self.store.load_bytes();
         let n_tasks = self.variants.len() * self.properties.len();
         let threads = effective_threads(self.threads).clamp(1, n_tasks.max(1));
 
@@ -187,6 +200,10 @@ impl Fleet {
             summary_hits: self.store.hits() - hits0,
             summary_misses: self.store.misses() - misses0,
             store_size: self.store.len(),
+            store_loads: self.store.store_loads() - loads0,
+            store_writes: self.store.store_writes() - writes0,
+            load_bytes: self.store.load_bytes() - lbytes0,
+            evictions: self.store.evictions(),
             time: t0.elapsed(),
         }
     }
@@ -233,6 +250,19 @@ pub struct FleetReport {
     pub summary_misses: u64,
     /// Store size after the run.
     pub store_size: usize,
+    /// Summaries loaded from the store's backing directory during this
+    /// run (zero for in-memory stores; each load also counts as a
+    /// [`summary_hits`](FleetReport::summary_hits) entry — disk loads
+    /// skip execution).
+    pub store_loads: u64,
+    /// Summaries written back to the backing directory during this
+    /// run.
+    pub store_writes: u64,
+    /// Bytes read from disk by `store_loads`.
+    pub load_bytes: u64,
+    /// In-memory LRU evictions over the store's lifetime (not a
+    /// per-run delta; always zero for unbounded stores).
+    pub evictions: u64,
     /// Wall-clock time of the whole run.
     pub time: Duration,
 }
@@ -304,10 +334,16 @@ impl FleetReport {
         format!(
             "{{\"kind\":\"fleet\",\"variants\":[{variants}],\
              \"summary_hits\":{},\"summary_misses\":{},\"store_size\":{},\
+             \"store_loads\":{},\"store_writes\":{},\"load_bytes\":{},\
+             \"evictions\":{},\
              \"step1_ms\":{:.3},\"step2_ms\":{:.3},\"time_ms\":{:.3}}}",
             self.summary_hits,
             self.summary_misses,
             self.store_size,
+            self.store_loads,
+            self.store_writes,
+            self.load_bytes,
+            self.evictions,
             self.step1_time().as_secs_f64() * 1e3,
             self.step2_time().as_secs_f64() * 1e3,
             self.time.as_secs_f64() * 1e3,

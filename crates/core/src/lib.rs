@@ -59,6 +59,7 @@ pub mod cores;
 pub mod fleet;
 pub mod generic;
 pub mod parallel;
+pub(crate) mod persist;
 mod prefilter;
 pub mod report;
 pub mod session;

@@ -1,0 +1,1330 @@
+//! Versioned binary codec behind the persistent store: step-1 stage
+//! summaries and step-2 solver cores, one content-addressed file each.
+//!
+//! ## Format
+//!
+//! Every file is `magic "DPVS" · version · kind · key echo ·
+//! payload-length · FNV-1a-64 checksum · payload`, all little-endian.
+//! The key echo repeats the content address the *filename* claims
+//! (the [`SummaryKey`] fingerprints for summaries; `(mode, epoch)` for
+//! cores), so a renamed or hash-colliding file cannot impersonate
+//! another entry. The payload serializes the reachable term-DAG of the
+//! entry: the var table in creation order, then one record per term in
+//! pool index order (children always precede parents — the pool is an
+//! append-only arena), then the entry body referencing terms by dense
+//! index.
+//!
+//! ## Why decode cannot produce wrong answers
+//!
+//! Every failure mode degrades to a cache **miss**, never a wrong
+//! summary:
+//!
+//! * truncation, bit flips and stale versions are caught by the
+//!   header checks and the payload checksum;
+//! * even a checksum-colliding payload is then structurally validated
+//!   record by record (widths in `1..=64`, child indices strictly
+//!   below the record, ITE conditions width 1, extension/extract/
+//!   concat bounds, var records in creation order) before any pool
+//!   constructor runs;
+//! * a summary that decodes is replayed through the same
+//!   [`TermPool`] constructors that built it, which reproduces the
+//!   saved compacted pool **byte for byte**: every stored term was
+//!   interned by the constructor for its own operator (top-level
+//!   imports and simplification byproducts alike), constructor
+//!   decisions depend only on the operand terms — identical by
+//!   induction over the record order — and a record exists at all
+//!   only because its constructor interned rather than simplified it.
+//!   A loaded entry is therefore indistinguishable from the entry
+//!   that was written, and sessions rebase from it through
+//!   [`import_summary`] exactly as from an in-memory hit — so disk
+//!   hits, memory hits and fresh executions all build byte-identical
+//!   session pools.
+//!
+//! Core files are sound under an even weaker contract: a core is a set
+//! of terms whose conjunction is UNSAT, and UNSAT survives injective
+//! variable renaming, so *any* well-formed core file may be imported
+//! into *any* session — at worst a useless core wastes a subsumption
+//! probe. Import is **find-only** ([`TermPool::lookup`]): cores whose
+//! terms the live session has not (yet) interned stay pending and are
+//! retried as the session's deterministic trajectory catches up,
+//! keeping the session pool's append-only construction order — which
+//! the byte-identity story above depends on — undisturbed.
+
+use crate::cores::CoreStore;
+use crate::summary::{MapMode, StoredStage, SummaryKey};
+use bvsolve::{BinOp, Migrator, Term, TermId, TermPool, UnOp, Width};
+use dpir::CrashReason;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+use symexec::{MapOpKind, MapOpRecord, SegOutcome, Segment, SymInput};
+
+const MAGIC: &[u8; 4] = b"DPVS";
+/// Bumped on any change to the encoding; mismatched files are misses.
+const VERSION: u32 = 1;
+const KIND_SUMMARY: u8 = 0;
+const KIND_CORES: u8 = 1;
+
+/// Why a store file was rejected (logged, then treated as a miss).
+#[derive(Debug)]
+pub(crate) enum StoreFileError {
+    /// The file does not match the expected header or payload shape.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StoreFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreFileError::Corrupt(what) => write!(f, "corrupt store file: {what}"),
+        }
+    }
+}
+
+type DecodeResult<T> = Result<T, StoreFileError>;
+
+fn corrupt<T>(what: &'static str) -> DecodeResult<T> {
+    Err(StoreFileError::Corrupt(what))
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ----------------------------------------------------------------------
+// Byte-level writer / reader
+// ----------------------------------------------------------------------
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn idx(&mut self, t: TermId) {
+        self.u32(t.index() as u32);
+    }
+    fn idx_list(&mut self, ts: &[TermId]) {
+        self.u32(ts.len() as u32);
+        for &t in ts {
+            self.idx(t);
+        }
+    }
+    fn var_list(&mut self, vs: &[u32]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return corrupt("truncated");
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> DecodeResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> DecodeResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> DecodeResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn str(&mut self) -> DecodeResult<String> {
+        let n = self.u32()? as usize;
+        match std::str::from_utf8(self.take(n)?) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => corrupt("non-utf8 string"),
+        }
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Term pool section
+// ----------------------------------------------------------------------
+
+fn unop_code(op: UnOp) -> u8 {
+    match op {
+        UnOp::Not => 0,
+        UnOp::Neg => 1,
+    }
+}
+
+fn unop_from(code: u8) -> DecodeResult<UnOp> {
+    match code {
+        0 => Ok(UnOp::Not),
+        1 => Ok(UnOp::Neg),
+        _ => corrupt("bad unary op"),
+    }
+}
+
+fn binop_code(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::UDiv => 3,
+        BinOp::URem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Lshr => 9,
+        BinOp::Eq => 10,
+        BinOp::Ult => 11,
+        BinOp::Ule => 12,
+        BinOp::Slt => 13,
+        BinOp::Sle => 14,
+    }
+}
+
+fn binop_from(code: u8) -> DecodeResult<BinOp> {
+    Ok(match code {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::UDiv,
+        4 => BinOp::URem,
+        5 => BinOp::And,
+        6 => BinOp::Or,
+        7 => BinOp::Xor,
+        8 => BinOp::Shl,
+        9 => BinOp::Lshr,
+        10 => BinOp::Eq,
+        11 => BinOp::Ult,
+        12 => BinOp::Ule,
+        13 => BinOp::Slt,
+        14 => BinOp::Sle,
+        _ => return corrupt("bad binary op"),
+    })
+}
+
+/// Serializes `pool` whole: var table in creation order, then one
+/// record per term in index order (already topological).
+fn encode_pool(e: &mut Enc, pool: &TermPool) {
+    e.u32(pool.num_vars() as u32);
+    for id in 0..pool.num_vars() as u32 {
+        e.str(pool.var_name(id));
+        e.u32(pool.var_width(id));
+    }
+    e.u32(pool.len() as u32);
+    for i in 0..pool.len() {
+        match *pool.get(pool.term_id(i)) {
+            Term::Const { width, value } => {
+                e.u8(0);
+                e.u32(width);
+                e.u64(value);
+            }
+            Term::Var { id, .. } => {
+                e.u8(1);
+                e.u32(id);
+            }
+            Term::Unary(op, a) => {
+                e.u8(2);
+                e.u8(unop_code(op));
+                e.idx(a);
+            }
+            Term::Binary(op, a, b) => {
+                e.u8(3);
+                e.u8(binop_code(op));
+                e.idx(a);
+                e.idx(b);
+            }
+            Term::Ite(c, a, b) => {
+                e.u8(4);
+                e.idx(c);
+                e.idx(a);
+                e.idx(b);
+            }
+            Term::ZExt(a, w) => {
+                e.u8(5);
+                e.idx(a);
+                e.u32(w);
+            }
+            Term::SExt(a, w) => {
+                e.u8(6);
+                e.idx(a);
+                e.u32(w);
+            }
+            Term::Extract { hi, lo, arg } => {
+                e.u8(7);
+                e.u32(hi);
+                e.u32(lo);
+                e.idx(arg);
+            }
+            Term::Concat(a, b) => {
+                e.u8(8);
+                e.idx(a);
+                e.idx(b);
+            }
+        }
+    }
+}
+
+/// Decoded pool plus the record-index → [`TermId`] map (identity for a
+/// faithful file; the map exists so even a checksum-colliding record
+/// stream that replays into a simplified term still yields *valid*
+/// references rather than out-of-pool ids).
+struct DecodedPool {
+    pool: TermPool,
+    map: Vec<TermId>,
+    n_vars: usize,
+}
+
+impl DecodedPool {
+    /// Resolves a record index read from the entry body.
+    fn term(&self, d: &mut Dec<'_>) -> DecodeResult<TermId> {
+        let i = d.u32()? as usize;
+        match self.map.get(i) {
+            Some(&t) => Ok(t),
+            None => corrupt("term reference out of range"),
+        }
+    }
+
+    fn term_list(&self, d: &mut Dec<'_>) -> DecodeResult<Vec<TermId>> {
+        let n = d.u32()? as usize;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(self.term(d)?);
+        }
+        Ok(out)
+    }
+
+    fn var(&self, d: &mut Dec<'_>) -> DecodeResult<u32> {
+        let v = d.u32()?;
+        if (v as usize) < self.n_vars {
+            Ok(v)
+        } else {
+            corrupt("var reference out of range")
+        }
+    }
+
+    fn var_list(&self, d: &mut Dec<'_>) -> DecodeResult<Vec<u32>> {
+        let n = d.u32()? as usize;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(self.var(d)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Replays a pool section into a fresh pool, validating every record
+/// **before** calling the constructor (the constructors `debug_assert`
+/// their preconditions, so a malformed record must never reach one).
+fn decode_pool(d: &mut Dec<'_>) -> DecodeResult<DecodedPool> {
+    let n_vars = d.u32()? as usize;
+    let mut vars: Vec<(String, Width)> = Vec::new();
+    for _ in 0..n_vars {
+        let name = d.str()?;
+        let w = d.u32()?;
+        if !(1..=bvsolve::MAX_WIDTH).contains(&w) {
+            return corrupt("bad var width");
+        }
+        vars.push((name, w));
+    }
+    let n_terms = d.u32()? as usize;
+    let mut pool = TermPool::new();
+    let mut map: Vec<TermId> = Vec::new();
+    // Structural width per *record* (== pool width of the mapped term:
+    // simplification never changes a term's width).
+    let mut widths: Vec<Width> = Vec::new();
+    let mut vars_made = 0usize;
+    for i in 0..n_terms {
+        let child = |d: &mut Dec<'_>| -> DecodeResult<usize> {
+            let c = d.u32()? as usize;
+            if c >= i {
+                return corrupt("child index not below record");
+            }
+            Ok(c)
+        };
+        let (t, w) = match d.u8()? {
+            0 => {
+                let w = d.u32()?;
+                let value = d.u64()?;
+                if !(1..=bvsolve::MAX_WIDTH).contains(&w) {
+                    return corrupt("bad const width");
+                }
+                (pool.mk_const(w, value), w)
+            }
+            1 => {
+                let id = d.u32()? as usize;
+                // Var terms must appear in creation order, one per var
+                // table entry — that is the only trajectory
+                // `fresh_var` can replay.
+                if id != vars_made || id >= n_vars {
+                    return corrupt("var record out of order");
+                }
+                let (name, w) = &vars[id];
+                vars_made += 1;
+                (pool.fresh_var(name, *w), *w)
+            }
+            2 => {
+                let op = unop_from(d.u8()?)?;
+                let a = child(d)?;
+                (pool.mk_unary(op, map[a]), widths[a])
+            }
+            3 => {
+                let op = binop_from(d.u8()?)?;
+                let a = child(d)?;
+                let b = child(d)?;
+                if widths[a] != widths[b] {
+                    return corrupt("binary width mismatch");
+                }
+                let w = if op.is_comparison() { 1 } else { widths[a] };
+                (pool.mk_binary(op, map[a], map[b]), w)
+            }
+            4 => {
+                let c = child(d)?;
+                let a = child(d)?;
+                let b = child(d)?;
+                if widths[c] != 1 || widths[a] != widths[b] {
+                    return corrupt("ite width mismatch");
+                }
+                (pool.mk_ite(map[c], map[a], map[b]), widths[a])
+            }
+            5 | 6 => {
+                let tag = d.buf[d.pos - 1];
+                let a = child(d)?;
+                let w = d.u32()?;
+                if w < widths[a] || w > bvsolve::MAX_WIDTH {
+                    return corrupt("bad extension width");
+                }
+                let t = if tag == 5 {
+                    pool.mk_zext(map[a], w)
+                } else {
+                    pool.mk_sext(map[a], w)
+                };
+                (t, w)
+            }
+            7 => {
+                let hi = d.u32()?;
+                let lo = d.u32()?;
+                let a = child(d)?;
+                if lo > hi || hi >= widths[a] {
+                    return corrupt("bad extract bounds");
+                }
+                (pool.mk_extract(map[a], hi, lo), hi - lo + 1)
+            }
+            8 => {
+                let a = child(d)?;
+                let b = child(d)?;
+                if widths[a] + widths[b] > bvsolve::MAX_WIDTH {
+                    return corrupt("concat too wide");
+                }
+                (pool.mk_concat(map[a], map[b]), widths[a] + widths[b])
+            }
+            _ => return corrupt("bad term tag"),
+        };
+        map.push(t);
+        widths.push(w);
+    }
+    if vars_made != n_vars {
+        return corrupt("unused var table entries");
+    }
+    Ok(DecodedPool { pool, map, n_vars })
+}
+
+// ----------------------------------------------------------------------
+// Summary entry body
+// ----------------------------------------------------------------------
+
+fn encode_input(e: &mut Enc, input: &SymInput) {
+    e.idx_list(&input.pkt_bytes);
+    e.idx(input.pkt_len);
+    e.idx_list(&input.meta);
+    e.var_list(&input.pkt_byte_vars);
+    e.u32(input.len_var);
+    e.var_list(&input.meta_vars);
+    e.idx_list(&input.base_constraints);
+}
+
+fn decode_input(d: &mut Dec<'_>, p: &DecodedPool) -> DecodeResult<SymInput> {
+    Ok(SymInput {
+        pkt_bytes: p.term_list(d)?,
+        pkt_len: p.term(d)?,
+        meta: p.term_list(d)?,
+        pkt_byte_vars: p.var_list(d)?,
+        len_var: p.var(d)?,
+        meta_vars: p.var_list(d)?,
+        base_constraints: p.term_list(d)?,
+    })
+}
+
+fn encode_outcome(e: &mut Enc, outcome: SegOutcome) {
+    match outcome {
+        SegOutcome::Emit(port) => {
+            e.u8(0);
+            e.u8(port);
+        }
+        SegOutcome::Drop => e.u8(1),
+        SegOutcome::Crash(reason) => {
+            e.u8(2);
+            match reason {
+                CrashReason::AssertFailed(i) => {
+                    e.u8(0);
+                    e.u32(i);
+                }
+                CrashReason::OobRead => e.u8(1),
+                CrashReason::OobWrite => e.u8(2),
+                CrashReason::DivByZero => e.u8(3),
+                CrashReason::Explicit(i) => {
+                    e.u8(4);
+                    e.u32(i);
+                }
+            }
+        }
+        SegOutcome::FuelExhausted => e.u8(3),
+    }
+}
+
+fn decode_outcome(d: &mut Dec<'_>) -> DecodeResult<SegOutcome> {
+    Ok(match d.u8()? {
+        0 => SegOutcome::Emit(d.u8()?),
+        1 => SegOutcome::Drop,
+        2 => SegOutcome::Crash(match d.u8()? {
+            0 => CrashReason::AssertFailed(d.u32()?),
+            1 => CrashReason::OobRead,
+            2 => CrashReason::OobWrite,
+            3 => CrashReason::DivByZero,
+            4 => CrashReason::Explicit(d.u32()?),
+            _ => return corrupt("bad crash reason"),
+        }),
+        3 => SegOutcome::FuelExhausted,
+        _ => return corrupt("bad segment outcome"),
+    })
+}
+
+fn encode_opt_var(e: &mut Enc, v: Option<u32>) {
+    match v {
+        Some(v) => {
+            e.u8(1);
+            e.u32(v);
+        }
+        None => e.u8(0),
+    }
+}
+
+fn decode_opt_var(d: &mut Dec<'_>, p: &DecodedPool) -> DecodeResult<Option<u32>> {
+    Ok(match d.u8()? {
+        0 => None,
+        1 => Some(p.var(d)?),
+        _ => return corrupt("bad option flag"),
+    })
+}
+
+fn encode_segment(e: &mut Enc, seg: &Segment) {
+    e.idx_list(&seg.constraint);
+    e.idx_list(&seg.assumed);
+    encode_outcome(e, seg.outcome);
+    e.idx_list(&seg.pkt_out);
+    e.idx(seg.len_out);
+    e.idx_list(&seg.meta_out);
+    e.u64(seg.instrs);
+    e.u32(seg.map_ops.len() as u32);
+    for op in &seg.map_ops {
+        e.u32(op.map.0);
+        e.u8(match op.kind {
+            MapOpKind::Read => 0,
+            MapOpKind::Write => 1,
+            MapOpKind::Test => 2,
+            MapOpKind::Expire => 3,
+        });
+        e.idx(op.key);
+        match op.value {
+            Some(v) => {
+                e.u8(1);
+                e.idx(v);
+            }
+            None => e.u8(0),
+        }
+        encode_opt_var(e, op.havoc_value_var);
+        encode_opt_var(e, op.havoc_flag_var);
+    }
+}
+
+fn decode_segment(d: &mut Dec<'_>, p: &DecodedPool) -> DecodeResult<Segment> {
+    let constraint = p.term_list(d)?;
+    let assumed = p.term_list(d)?;
+    let outcome = decode_outcome(d)?;
+    let pkt_out = p.term_list(d)?;
+    let len_out = p.term(d)?;
+    let meta_out = p.term_list(d)?;
+    let instrs = d.u64()?;
+    let n_ops = d.u32()? as usize;
+    let mut map_ops = Vec::new();
+    for _ in 0..n_ops {
+        let map = dpir::MapId(d.u32()?);
+        let kind = match d.u8()? {
+            0 => MapOpKind::Read,
+            1 => MapOpKind::Write,
+            2 => MapOpKind::Test,
+            3 => MapOpKind::Expire,
+            _ => return corrupt("bad map op kind"),
+        };
+        let key = p.term(d)?;
+        let value = match d.u8()? {
+            0 => None,
+            1 => Some(p.term(d)?),
+            _ => return corrupt("bad option flag"),
+        };
+        map_ops.push(MapOpRecord {
+            map,
+            kind,
+            key,
+            value,
+            havoc_value_var: decode_opt_var(d, p)?,
+            havoc_flag_var: decode_opt_var(d, p)?,
+        });
+    }
+    Ok(Segment {
+        constraint,
+        assumed,
+        outcome,
+        pkt_out,
+        len_out,
+        meta_out,
+        instrs,
+        map_ops,
+    })
+}
+
+// ----------------------------------------------------------------------
+// File framing
+// ----------------------------------------------------------------------
+
+fn finish_file(kind: u8, key_echo: &[u8], payload: Vec<u8>) -> Vec<u8> {
+    let mut f = Enc::default();
+    f.buf.extend_from_slice(MAGIC);
+    f.u32(VERSION);
+    f.u8(kind);
+    f.buf.extend_from_slice(key_echo);
+    f.u64(payload.len() as u64);
+    f.u64(fnv64(&payload));
+    f.buf.extend_from_slice(&payload);
+    f.buf
+}
+
+/// Checks the frame and returns a decoder over the verified payload.
+fn open_file<'a>(bytes: &'a [u8], kind: u8, key_echo: &[u8]) -> DecodeResult<Dec<'a>> {
+    let mut d = Dec::new(bytes);
+    if d.take(4)? != MAGIC {
+        return corrupt("bad magic");
+    }
+    if d.u32()? != VERSION {
+        return corrupt("unsupported format version");
+    }
+    if d.u8()? != kind {
+        return corrupt("wrong entry kind");
+    }
+    if d.take(key_echo.len())? != key_echo {
+        return corrupt("key echo does not match the requested entry");
+    }
+    let payload_len = d.u64()? as usize;
+    let checksum = d.u64()?;
+    let payload = d.take(payload_len)?;
+    if !d.done() {
+        return corrupt("trailing bytes");
+    }
+    if fnv64(payload) != checksum {
+        return corrupt("checksum mismatch");
+    }
+    Ok(Dec::new(payload))
+}
+
+fn mode_byte(mode: MapMode) -> u8 {
+    match mode {
+        MapMode::Abstract => 0,
+        MapMode::Tables => 1,
+    }
+}
+
+fn mode_char(mode: MapMode) -> char {
+    match mode {
+        MapMode::Abstract => 'a',
+        MapMode::Tables => 't',
+    }
+}
+
+fn summary_key_echo(key: &SummaryKey) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u128(key.program);
+    e.u8(mode_byte(key.mode));
+    e.u128(key.tables);
+    e.u128(key.sym);
+    e.buf
+}
+
+fn core_key_echo(mode: MapMode, epoch: u128) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u8(mode_byte(mode));
+    e.u128(epoch);
+    e.buf
+}
+
+pub(crate) fn summary_file_name(key: &SummaryKey) -> String {
+    format!(
+        "s-{:032x}-{}-{:032x}-{:032x}.dpvs",
+        key.program,
+        mode_char(key.mode),
+        key.tables,
+        key.sym
+    )
+}
+
+pub(crate) fn core_file_name(mode: MapMode, epoch: u128) -> String {
+    format!("c-{}-{:032x}.dpvc", mode_char(mode), epoch)
+}
+
+/// Atomic publish: write to a process-unique temp file in `dir`, then
+/// rename over the final name. Readers only ever see complete files.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!(".{}.tmp.{}", name, std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, dir.join(name)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Summary files
+// ----------------------------------------------------------------------
+
+pub(crate) fn encode_summary(key: &SummaryKey, stage: &StoredStage) -> Vec<u8> {
+    let mut p = Enc::default();
+    encode_pool(&mut p, &stage.pool);
+    encode_input(&mut p, &stage.input);
+    p.u32(stage.segments.len() as u32);
+    for seg in &stage.segments {
+        encode_segment(&mut p, seg);
+    }
+    p.u64(stage.states as u64);
+    finish_file(KIND_SUMMARY, &summary_key_echo(key), p.buf)
+}
+
+pub(crate) fn decode_summary(bytes: &[u8], key: &SummaryKey) -> DecodeResult<StoredStage> {
+    let mut d = open_file(bytes, KIND_SUMMARY, &summary_key_echo(key))?;
+    let decoded = decode_pool(&mut d)?;
+    let input = decode_input(&mut d, &decoded)?;
+    let n_segs = d.u32()? as usize;
+    let mut segments = Vec::new();
+    for _ in 0..n_segs {
+        segments.push(decode_segment(&mut d, &decoded)?);
+    }
+    let states = d.u64()? as usize;
+    if !d.done() {
+        return corrupt("trailing payload bytes");
+    }
+    // The replayed pool *is* the saved compacted pool, byte for byte
+    // (each record replays through the constructor that interned it;
+    // see the module docs), so this entry is indistinguishable from
+    // the one that was written and sessions rebase from it through
+    // [`import_summary`] exactly as from an in-memory hit. No
+    // re-normalization happens here — `import_summary` is only
+    // guaranteed stable *from* a compacted pool, not idempotent on
+    // one (simplification byproducts would re-order).
+    Ok(StoredStage {
+        pool: decoded.pool,
+        input,
+        segments,
+        states,
+    })
+}
+
+/// Loads the summary for `key` from `dir`. Any failure other than the
+/// file simply not existing is logged; every failure is a miss.
+pub(crate) fn load_summary(dir: &Path, key: &SummaryKey) -> Option<(StoredStage, u64)> {
+    let path = dir.join(summary_file_name(key));
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!("dpv-store: cannot read {}: {e}", path.display());
+            return None;
+        }
+    };
+    match decode_summary(&bytes, key) {
+        Ok(stage) => Some((stage, bytes.len() as u64)),
+        Err(e) => {
+            eprintln!("dpv-store: ignoring {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Writes the summary for `key` into `dir`; returns whether it landed
+/// (failures are logged and non-fatal — the store stays memory-only
+/// for that entry).
+pub(crate) fn save_summary(dir: &Path, key: &SummaryKey, stage: &StoredStage) -> bool {
+    let bytes = encode_summary(key, stage);
+    match write_atomic(dir, &summary_file_name(key), &bytes) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!(
+                "dpv-store: cannot write {}: {e}",
+                dir.join(summary_file_name(key)).display()
+            );
+            false
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Core files
+// ----------------------------------------------------------------------
+
+pub(crate) fn encode_cores(
+    mode: MapMode,
+    epoch: u128,
+    pool: &TermPool,
+    cores: &[Arc<Vec<TermId>>],
+) -> Vec<u8> {
+    // Compact: migrate only the cores' reachable DAG (all vars, in
+    // creation order, so var ids in the file equal session var ids —
+    // the identity the find-only importer checks by name and width).
+    let mut cp = TermPool::new();
+    let mut mig = Migrator::new();
+    mig.import_all_vars(pool, &mut cp);
+    let roots: Vec<Vec<TermId>> = cores
+        .iter()
+        .map(|core| core.iter().map(|&t| mig.import(t, pool, &mut cp)).collect())
+        .collect();
+    let mut p = Enc::default();
+    encode_pool(&mut p, &cp);
+    p.u32(roots.len() as u32);
+    for r in &roots {
+        p.idx_list(r);
+    }
+    finish_file(KIND_CORES, &core_key_echo(mode, epoch), p.buf)
+}
+
+/// A decoded core file, held until the live session pool has interned
+/// the terms each core needs ([`CorePack::import_into`] is retried;
+/// import never interns into the session pool).
+pub(crate) struct CorePack {
+    pool: TermPool,
+    cores: Vec<Vec<TermId>>,
+    done: Vec<bool>,
+}
+
+impl CorePack {
+    /// Cores not yet imported into a session store.
+    pub(crate) fn pending(&self) -> usize {
+        self.done.iter().filter(|&&d| !d).count()
+    }
+
+    /// Tries to import every still-pending core into `store` by
+    /// find-only structural lookup against `session`. A core imports
+    /// only when every one of its terms already exists in `session`
+    /// (with its variables matching the session's by id, name and
+    /// width); the rest stay pending for a later attempt. Returns how
+    /// many cores were resolved and offered to the store this call —
+    /// the store's subsumption check still deduplicates cores the
+    /// session has independently re-learned (on a deterministically
+    /// replayed stream that is all of them; the disk copy then serves
+    /// as a checked backup rather than new pruning power).
+    pub(crate) fn import_into(&mut self, session: &TermPool, store: &mut CoreStore) -> usize {
+        let mut memo: HashMap<TermId, Option<TermId>> = HashMap::new();
+        let mut imported = 0;
+        for i in 0..self.cores.len() {
+            if self.done[i] {
+                continue;
+            }
+            let mapped: Option<Vec<TermId>> = self.cores[i]
+                .iter()
+                .map(|&t| find_term(t, &self.pool, session, &mut memo))
+                .collect();
+            if let Some(mut core) = mapped {
+                core.sort_unstable();
+                core.dedup();
+                self.done[i] = true;
+                store.insert(Arc::new(core));
+                imported += 1;
+            }
+        }
+        imported
+    }
+}
+
+/// Maps `root` from `src` into `dst` without interning: every node is
+/// rebuilt over already-mapped children and looked up structurally;
+/// any absent node makes the whole term unmappable (`None`).
+/// Iterative post-order — core constraint DAGs can be deep.
+fn find_term(
+    root: TermId,
+    src: &TermPool,
+    dst: &TermPool,
+    memo: &mut HashMap<TermId, Option<TermId>>,
+) -> Option<TermId> {
+    let children = |t: &Term| -> Vec<TermId> {
+        match *t {
+            Term::Const { .. } | Term::Var { .. } => Vec::new(),
+            Term::Unary(_, a) | Term::ZExt(a, _) | Term::SExt(a, _) => vec![a],
+            Term::Extract { arg, .. } => vec![arg],
+            Term::Binary(_, a, b) | Term::Concat(a, b) => vec![a, b],
+            Term::Ite(c, a, b) => vec![c, a, b],
+        }
+    };
+    let mut stack = vec![root];
+    while let Some(&t) = stack.last() {
+        if memo.contains_key(&t) {
+            stack.pop();
+            continue;
+        }
+        let node = src.get(t);
+        let missing: Vec<TermId> = children(node)
+            .into_iter()
+            .filter(|c| !memo.contains_key(c))
+            .collect();
+        if !missing.is_empty() {
+            stack.extend(missing);
+            continue;
+        }
+        let m = |c: TermId| memo[&c];
+        let mapped = match *node {
+            Term::Const { .. } => dst.lookup(node),
+            Term::Var { id, width } => {
+                if (id as usize) < dst.num_vars()
+                    && dst.var_width(id) == width
+                    && dst.var_name(id) == src.var_name(id)
+                {
+                    Some(dst.var_term(id))
+                } else {
+                    None
+                }
+            }
+            Term::Unary(op, a) => m(a).and_then(|a| dst.lookup(&Term::Unary(op, a))),
+            Term::Binary(op, a, b) => match (m(a), m(b)) {
+                (Some(a), Some(b)) => {
+                    // Re-canonicalize commutative operands under *dst*
+                    // ids (constant left, else lower id left — the
+                    // `mk_binary` rule): the two pools intern the same
+                    // structure under different id orders, so the
+                    // node's stored operand order is pool-relative.
+                    let (a, b) = if op.is_commutative() {
+                        match (dst.const_value(a).is_some(), dst.const_value(b).is_some()) {
+                            (false, true) => (b, a),
+                            (false, false) if a > b => (b, a),
+                            _ => (a, b),
+                        }
+                    } else {
+                        (a, b)
+                    };
+                    dst.lookup(&Term::Binary(op, a, b))
+                }
+                _ => None,
+            },
+            Term::Ite(c, a, b) => match (m(c), m(a), m(b)) {
+                (Some(c), Some(a), Some(b)) => dst.lookup(&Term::Ite(c, a, b)),
+                _ => None,
+            },
+            Term::ZExt(a, w) => m(a).and_then(|a| dst.lookup(&Term::ZExt(a, w))),
+            Term::SExt(a, w) => m(a).and_then(|a| dst.lookup(&Term::SExt(a, w))),
+            Term::Extract { hi, lo, arg } => {
+                m(arg).and_then(|arg| dst.lookup(&Term::Extract { hi, lo, arg }))
+            }
+            Term::Concat(a, b) => match (m(a), m(b)) {
+                (Some(a), Some(b)) => dst.lookup(&Term::Concat(a, b)),
+                _ => None,
+            },
+        };
+        memo.insert(t, mapped);
+        stack.pop();
+    }
+    memo[&root]
+}
+
+pub(crate) fn decode_cores(bytes: &[u8], mode: MapMode, epoch: u128) -> DecodeResult<CorePack> {
+    let mut d = open_file(bytes, KIND_CORES, &core_key_echo(mode, epoch))?;
+    let decoded = decode_pool(&mut d)?;
+    let n_cores = d.u32()? as usize;
+    let mut cores = Vec::new();
+    for _ in 0..n_cores {
+        cores.push(decoded.term_list(&mut d)?);
+    }
+    if !d.done() {
+        return corrupt("trailing payload bytes");
+    }
+    let done = vec![false; cores.len()];
+    Ok(CorePack {
+        pool: decoded.pool,
+        cores,
+        done,
+    })
+}
+
+/// Loads the core file for `(mode, epoch)` from `dir`, if present and
+/// well-formed; every failure is logged (unless simply absent) and
+/// treated as "no persisted cores".
+pub(crate) fn load_cores(dir: &Path, mode: MapMode, epoch: u128) -> Option<CorePack> {
+    let path = dir.join(core_file_name(mode, epoch));
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!("dpv-store: cannot read {}: {e}", path.display());
+            return None;
+        }
+    };
+    match decode_cores(&bytes, mode, epoch) {
+        Ok(pack) => Some(pack),
+        Err(e) => {
+            eprintln!("dpv-store: ignoring {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Writes the core set for `(mode, epoch)` into `dir` (logged,
+/// non-fatal on failure).
+pub(crate) fn save_cores(
+    dir: &Path,
+    mode: MapMode,
+    epoch: u128,
+    pool: &TermPool,
+    cores: &[Arc<Vec<TermId>>],
+) -> bool {
+    let bytes = encode_cores(mode, epoch, pool, cores);
+    match write_atomic(dir, &core_file_name(mode, epoch), &bytes) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!(
+                "dpv-store: cannot write {}: {e}",
+                dir.join(core_file_name(mode, epoch)).display()
+            );
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symexec::SymConfig;
+
+    fn sample_key() -> SummaryKey {
+        SummaryKey {
+            program: 0x1234_5678_9abc_def0_1111_2222_3333_4444,
+            mode: MapMode::Tables,
+            tables: 7,
+            sym: 42,
+        }
+    }
+
+    /// A real stage summary to roundtrip (DecTTL under the default
+    /// config: small but exercises vars, ites, extracts, crash
+    /// segments).
+    fn sample_stage() -> (SummaryKey, Arc<StoredStage>) {
+        let e = elements::dec_ttl::dec_ttl();
+        let cfg = SymConfig {
+            max_pkt_bytes: 48,
+            ..Default::default()
+        };
+        let store = crate::SummaryStore::new();
+        let (stage, _) = store.stage(&e, MapMode::Abstract, &cfg).expect("ok");
+        (SummaryKey::of(&e, MapMode::Abstract, &cfg), stage)
+    }
+
+    fn pool_fingerprint(p: &TermPool) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for id in 0..p.num_vars() as u32 {
+            writeln!(s, "v {} {}", p.var_name(id), p.var_width(id)).unwrap();
+        }
+        for i in 0..p.len() {
+            writeln!(s, "{:?}", p.get(p.term_id(i))).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn summary_roundtrips_byte_identically() {
+        let (key, stage) = sample_stage();
+        let bytes = encode_summary(&key, &stage);
+        let back = decode_summary(&bytes, &key).expect("decodes");
+        assert_eq!(pool_fingerprint(&back.pool), pool_fingerprint(&stage.pool));
+        assert_eq!(back.states, stage.states);
+        assert_eq!(back.segments.len(), stage.segments.len());
+        for (a, b) in back.segments.iter().zip(&stage.segments) {
+            assert_eq!(a.constraint, b.constraint);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.pkt_out, b.pkt_out);
+            assert_eq!(a.len_out, b.len_out);
+        }
+        assert_eq!(back.input.pkt_byte_vars, stage.input.pkt_byte_vars);
+        assert_eq!(back.input.pkt_len, stage.input.pkt_len);
+        // Re-encoding the decoded stage reproduces the file exactly.
+        assert_eq!(encode_summary(&key, &back), bytes);
+    }
+
+    #[test]
+    fn header_tampering_is_rejected() {
+        let (key, stage) = sample_stage();
+        let bytes = encode_summary(&key, &stage);
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(decode_summary(&wrong_magic, &key).is_err());
+
+        let mut bumped = bytes.clone();
+        bumped[4] = bumped[4].wrapping_add(1); // version LE byte 0
+        assert!(decode_summary(&bumped, &key).is_err());
+
+        // A file for one key must not decode for another.
+        let other = sample_key();
+        assert!(decode_summary(&bytes, &other).is_err());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_not_panicking() {
+        let (key, stage) = sample_stage();
+        let bytes = encode_summary(&key, &stage);
+        // Exhaustive on short prefixes, sampled beyond.
+        for n in (0..bytes.len()).step_by(7).chain([bytes.len() - 1]) {
+            assert!(
+                decode_summary(&bytes[..n], &key).is_err(),
+                "prefix of {n} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected_or_identical() {
+        let (key, stage) = sample_stage();
+        let bytes = encode_summary(&key, &stage);
+        let reference = pool_fingerprint(&stage.pool);
+        // Fuzz-style sweep: flip one bit at a time across the whole
+        // image. Every flip must either fail to decode (the expected
+        // outcome: header checks + checksum) or — if it ever survived
+        // — decode to the identical summary. It must never panic.
+        let step = (bytes.len() / 997).max(1);
+        for byte in (0..bytes.len()).step_by(step) {
+            for bit in 0..8 {
+                let mut img = bytes.clone();
+                img[byte] ^= 1 << bit;
+                match decode_summary(&img, &key) {
+                    Err(_) => {}
+                    Ok(back) => {
+                        assert_eq!(pool_fingerprint(&back.pool), reference);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_fail_validation_before_constructors() {
+        // Handcraft payloads that pass the frame (we recompute the
+        // checksum) but violate structural invariants; each must be a
+        // clean decode error even under debug assertions.
+        let key = sample_key();
+        let frame = |payload: Vec<u8>| finish_file(KIND_SUMMARY, &summary_key_echo(&key), payload);
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("zero-width const", {
+                let mut e = Enc::default();
+                e.u32(0); // vars
+                e.u32(1); // terms
+                e.u8(0); // const
+                e.u32(0); // width 0
+                e.u64(1);
+                e.buf
+            }),
+            ("forward child reference", {
+                let mut e = Enc::default();
+                e.u32(0);
+                e.u32(1);
+                e.u8(2); // unary
+                e.u8(0); // not
+                e.u32(0); // child 0 == self
+                e.buf
+            }),
+            ("ite with wide condition", {
+                let mut e = Enc::default();
+                e.u32(0);
+                e.u32(3);
+                e.u8(0);
+                e.u32(8);
+                e.u64(1); // const w8
+                e.u8(0);
+                e.u32(8);
+                e.u64(2);
+                e.u8(4); // ite(c=0,a=1,b=1): cond width 8
+                e.u32(0);
+                e.u32(1);
+                e.u32(1);
+                e.buf
+            }),
+            ("extract beyond width", {
+                let mut e = Enc::default();
+                e.u32(0);
+                e.u32(2);
+                e.u8(0);
+                e.u32(8);
+                e.u64(1);
+                e.u8(7); // extract hi=9 lo=0 of w8
+                e.u32(9);
+                e.u32(0);
+                e.u32(0);
+                e.buf
+            }),
+            ("var out of creation order", {
+                let mut e = Enc::default();
+                e.u32(2); // two vars in the table
+                e.str("x");
+                e.u32(8);
+                e.str("y");
+                e.u32(8);
+                e.u32(1);
+                e.u8(1); // var record id 1 first
+                e.u32(1);
+                e.buf
+            }),
+            ("concat overflowing max width", {
+                let mut e = Enc::default();
+                e.u32(0);
+                e.u32(3);
+                e.u8(0);
+                e.u32(64);
+                e.u64(1);
+                e.u8(0);
+                e.u32(64);
+                e.u64(2);
+                e.u8(8);
+                e.u32(0);
+                e.u32(1);
+                e.buf
+            }),
+        ];
+        for (what, payload) in cases {
+            assert!(
+                decode_summary(&frame(payload), &key).is_err(),
+                "{what} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn cores_roundtrip_and_import_find_only() {
+        let mut pool = TermPool::new();
+        let x = pool.fresh_var("x", 8);
+        let y = pool.fresh_var("y", 8);
+        let c5 = pool.mk_const(8, 5);
+        let lt = pool.mk_ult(x, c5);
+        let ge = pool.mk_ule(c5, x);
+        let sum = pool.mk_add(x, y);
+        let eq = pool.mk_eq(sum, c5);
+        let cores = vec![Arc::new(vec![lt, ge]), Arc::new(vec![eq, lt])];
+        let bytes = encode_cores(MapMode::Abstract, 99, &pool, &cores);
+        let mut pack = decode_cores(&bytes, MapMode::Abstract, 99).expect("decodes");
+        assert_eq!(pack.pending(), 2);
+        // Wrong epoch / mode: rejected.
+        assert!(decode_cores(&bytes, MapMode::Abstract, 98).is_err());
+        assert!(decode_cores(&bytes, MapMode::Tables, 99).is_err());
+
+        // A fresh session that replays only part of the trajectory:
+        // the first core's terms exist, the second's `x + y` doesn't.
+        let mut session = TermPool::new();
+        let sx = session.fresh_var("x", 8);
+        session.fresh_var("y", 8);
+        let sc5 = session.mk_const(8, 5);
+        let slt = session.mk_ult(sx, sc5);
+        let sge = session.mk_ule(sc5, sx);
+        let pool_len_before = session.len();
+        let vars_before = session.num_vars();
+        let mut store = CoreStore::new();
+        assert_eq!(pack.import_into(&session, &mut store), 1);
+        assert_eq!(pack.pending(), 1, "partial trajectory: one core waits");
+        assert_eq!(store.len(), 1);
+        assert_eq!(session.len(), pool_len_before, "import never interns");
+        assert_eq!(session.num_vars(), vars_before);
+        let mut set = vec![slt, sge];
+        set.sort_unstable();
+        let fp = set.iter().fold(0u64, |acc, &t| {
+            acc | (1u64 << ((t.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58))
+        });
+        assert!(store.subsumed(fp, &set), "imported core prunes");
+
+        // Once the session interns the remaining terms, the retry
+        // imports the second core.
+        let ssum = session.mk_add(sx, session.var_term(1));
+        session.mk_eq(ssum, sc5);
+        assert_eq!(pack.import_into(&session, &mut store), 1);
+        assert_eq!(pack.pending(), 0);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn core_import_rejects_mismatched_vars() {
+        let mut pool = TermPool::new();
+        let x = pool.fresh_var("x", 8);
+        let c = pool.mk_const(8, 1);
+        let t = pool.mk_ult(x, c);
+        let bytes = encode_cores(MapMode::Tables, 1, &pool, &[Arc::new(vec![t])]);
+        let mut pack = decode_cores(&bytes, MapMode::Tables, 1).expect("decodes");
+        // Session var 0 has a different width: the core must not map.
+        let mut session = TermPool::new();
+        let sx = session.fresh_var("x", 16);
+        let sc = session.mk_const(16, 1);
+        session.mk_ult(sx, sc);
+        let mut store = CoreStore::new();
+        assert_eq!(pack.import_into(&session, &mut store), 0);
+        assert_eq!(store.len(), 0);
+        assert_eq!(pack.pending(), 1);
+    }
+
+    #[test]
+    fn file_names_are_distinct_per_key() {
+        let a = sample_key();
+        let mut b = a;
+        b.tables ^= 1;
+        assert_ne!(summary_file_name(&a), summary_file_name(&b));
+        let mut c = a;
+        c.mode = MapMode::Abstract;
+        assert_ne!(summary_file_name(&a), summary_file_name(&c));
+        assert_ne!(
+            core_file_name(MapMode::Abstract, 5),
+            core_file_name(MapMode::Tables, 5)
+        );
+    }
+}

@@ -96,6 +96,20 @@ pub struct SummaryCacheStats {
     /// grows across sessions sharing one store; reads zero for a
     /// session-private store, which is cleared after each build.
     pub store_size: usize,
+    /// Summaries loaded from the on-disk tier by this check's build
+    /// (zero for an in-memory store; see
+    /// [`crate::SummaryStore::persistent`]). Disk loads also count as
+    /// `hits` — they skip execution.
+    pub store_loads: u64,
+    /// Summaries written back to the on-disk tier by this check's
+    /// build.
+    pub store_writes: u64,
+    /// Bytes read from disk by `store_loads`.
+    pub load_bytes: u64,
+    /// In-memory entries evicted over the store's lifetime to respect
+    /// its LRU bounds (a store-lifetime counter, not a per-check
+    /// delta; disk files are never evicted).
+    pub evictions: u64,
 }
 
 /// Static-analysis counters for one check (see
@@ -224,7 +238,9 @@ impl VerifyReport {
              \"clauses_exported\":{}}},\
              \"cores\":{{\"cores_learned\":{},\"core_hits\":{},\
              \"subtrees_pruned\":{}}},\
-             \"summary\":{{\"hits\":{},\"misses\":{},\"store_size\":{}}},\
+             \"summary\":{{\"hits\":{},\"misses\":{},\"store_size\":{},\
+             \"store_loads\":{},\"store_writes\":{},\"load_bytes\":{},\
+             \"evictions\":{}}},\
              \"static\":{{\"lints_emitted\":{},\"blocks_removed\":{},\
              \"intervals_seeded\":{}}},\
              \"prefilter\":{{\"checks\":{},\"hits\":{}}},\
@@ -266,6 +282,10 @@ impl VerifyReport {
             self.summary.hits,
             self.summary.misses,
             self.summary.store_size,
+            self.summary.store_loads,
+            self.summary.store_writes,
+            self.summary.load_bytes,
+            self.summary.evictions,
             self.static_stats.lints_emitted,
             self.static_stats.blocks_removed,
             self.static_stats.intervals_seeded,

@@ -509,6 +509,13 @@ pub(crate) fn run_seq_search(
 struct CachedSummaries {
     sums: PipelineSummaries,
     build_time: Duration,
+    /// Disk-tier deltas of the build (summaries loaded from / written
+    /// to the store's backing directory, bytes read) — zero for
+    /// in-memory stores. Attributed to the check that built this mode,
+    /// like `build_time`.
+    store_loads: u64,
+    store_writes: u64,
+    load_bytes: u64,
 }
 
 fn mode_idx(mode: MapMode) -> usize {
@@ -715,6 +722,11 @@ impl<'p> Verifier<'p> {
             Some((p, _)) => p,
             None => pipeline,
         };
+        let (loads0, writes0, lbytes0) = (
+            store.store_loads(),
+            store.store_writes(),
+            store.load_bytes(),
+        );
         let sums = summarize_pipeline_with_store(pool, summarized, &cfg.sym, mode, store, threads)?;
         self.step1_runs += 1;
         if !self.store_shared {
@@ -727,6 +739,9 @@ impl<'p> Verifier<'p> {
         self.cache[idx] = Some(CachedSummaries {
             sums,
             build_time: t0.elapsed(),
+            store_loads: self.store.store_loads() - loads0,
+            store_writes: self.store.store_writes() - writes0,
+            load_bytes: self.store.load_bytes() - lbytes0,
         });
         Ok(true)
     }
@@ -952,6 +967,12 @@ impl<'p> Verifier<'p> {
                 hits: summary_hits,
                 misses: summary_misses,
                 store_size: store.len(),
+                store_loads: if built { cached.store_loads } else { 0 },
+                store_writes: if built { cached.store_writes } else { 0 },
+                load_bytes: if built { cached.load_bytes } else { 0 },
+                // Lifetime counter of the (possibly shared) store, like
+                // `store_size` — not a per-check delta.
+                evictions: store.evictions(),
             },
             // Attributed like `step1_time`: the check that built this
             // mode's summaries reports the static pass's counters.

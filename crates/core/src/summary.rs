@@ -234,10 +234,10 @@ impl SummaryKey {
 /// private [`TermPool`], ready to be rebased into any session pool.
 #[derive(Debug)]
 pub struct StoredStage {
-    pool: TermPool,
-    input: SymInput,
-    segments: Vec<Segment>,
-    states: usize,
+    pub(crate) pool: TermPool,
+    pub(crate) input: SymInput,
+    pub(crate) segments: Vec<Segment>,
+    pub(crate) states: usize,
 }
 
 impl StoredStage {
@@ -300,14 +300,35 @@ struct StoreInner {
 /// again. Eviction is never a correctness concern — a cold key simply
 /// re-executes on next request — only cache temperature, which
 /// [`SummaryStore::evictions`] makes observable.
+///
+/// ## Persistence
+///
+/// [`SummaryStore::persistent`] backs the store with a directory of
+/// content-addressed files (one per [`SummaryKey`], a versioned binary
+/// encoding of the pool-independent summary): a memory miss consults
+/// the directory before executing, and every executed summary is
+/// written back atomically (temp file + rename), so step-1 warmth
+/// survives process restarts and is shared across concurrent
+/// processes. A disk load takes the identical decode → [`Migrator`]
+/// normalization path as an in-memory hit, so persisted summaries are
+/// byte-identical to freshly built ones; files that are truncated,
+/// bit-flipped, version-bumped or otherwise unreadable are logged and
+/// treated as misses — never as answers. LRU eviction and
+/// [`SummaryStore::clear`] drop memory residency only; the files
+/// remain and simply re-load on next use.
 #[derive(Debug, Default)]
 pub struct SummaryStore {
     inner: Mutex<StoreInner>,
     max_entries: Option<usize>,
     max_bytes: Option<usize>,
+    /// Directory backing the store on disk, if persistent.
+    disk: Option<std::path::PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    store_loads: AtomicU64,
+    store_writes: AtomicU64,
+    load_bytes: AtomicU64,
 }
 
 impl SummaryStore {
@@ -332,6 +353,37 @@ impl SummaryStore {
             max_bytes,
             ..Self::default()
         }
+    }
+
+    /// An unbounded store persisted under `dir` (created if absent):
+    /// misses load through the directory's content-addressed files and
+    /// executed summaries are written back, so warmth survives the
+    /// process. See the type-level *Persistence* section.
+    pub fn persistent(dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        Self::persistent_bounded(dir, None, None)
+    }
+
+    /// A persistent store with the [`SummaryStore::bounded`] LRU caps
+    /// on *memory* residency (the backing directory is never pruned —
+    /// evicted entries re-load from disk instead of re-executing).
+    pub fn persistent_bounded(
+        dir: impl Into<std::path::PathBuf>,
+        max_entries: Option<usize>,
+        max_bytes: Option<usize>,
+    ) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SummaryStore {
+            disk: Some(dir),
+            max_entries,
+            max_bytes,
+            ..Self::default()
+        })
+    }
+
+    /// The backing directory of a [`SummaryStore::persistent`] store.
+    pub fn store_path(&self) -> Option<&std::path::Path> {
+        self.disk.as_deref()
     }
 
     /// Distinct `(element, mode, tables, cfg)` summaries held.
@@ -369,6 +421,26 @@ impl SummaryStore {
     /// capacity and some re-execution is being paid.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of summaries served from the backing directory
+    /// (each also counts as a [`SummaryStore::hits`] entry: a disk
+    /// load is a cache hit that skipped execution). Always `0` for
+    /// in-memory stores.
+    pub fn store_loads(&self) -> u64 {
+        self.store_loads.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of executed summaries written back to the
+    /// backing directory. Always `0` for in-memory stores.
+    pub fn store_writes(&self) -> u64 {
+        self.store_writes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime bytes read from the backing directory by successful
+    /// loads.
+    pub fn load_bytes(&self) -> u64 {
+        self.load_bytes.load(Ordering::Relaxed)
     }
 
     /// Drops every cached summary (the hit/miss/eviction counters are
@@ -424,6 +496,44 @@ impl SummaryStore {
                 return Ok((Arc::clone(&found.stage), true));
             }
         }
+        // Memory miss: consult the backing directory before paying for
+        // execution. A successful load is a *hit* — the stage was not
+        // re-executed — and any decode failure (missing, truncated,
+        // corrupt, wrong version) falls through to execution, which
+        // overwrites the bad file on write-back.
+        if let Some(dir) = &self.disk {
+            if let Some((stage, nbytes)) = crate::persist::load_summary(dir, &key) {
+                self.store_loads.fetch_add(1, Ordering::Relaxed);
+                self.load_bytes.fetch_add(nbytes, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let stored = Arc::new(stage);
+                let mut inner = self.inner.lock().expect("summary store poisoned");
+                let inner = &mut *inner;
+                inner.clock += 1;
+                let clock = inner.clock;
+                let out = match inner.entries.entry(key) {
+                    // Another thread raced the load/execute: keep it.
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        o.get_mut().last_used = clock;
+                        Arc::clone(&o.get().stage)
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let bytes = stored.approx_bytes();
+                        inner.bytes += bytes;
+                        Arc::clone(
+                            &v.insert(StoreEntry {
+                                stage: stored,
+                                bytes,
+                                last_used: clock,
+                            })
+                            .stage,
+                        )
+                    }
+                };
+                self.enforce_bounds(inner);
+                return Ok((out, true));
+            }
+        }
         let mut exec_pool = TermPool::new();
         let exec_input = SymInput::fresh(&mut exec_pool, cfg, &element.name);
         let mut model = StageMapModel::new(element, mode);
@@ -449,6 +559,14 @@ impl SummaryStore {
             states: report.states,
         });
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // Write-back (outside the lock; atomic temp+rename, so racing
+        // writers of the same key are harmless — both write identical
+        // bytes and either file is complete).
+        if let Some(dir) = &self.disk {
+            if crate::persist::save_summary(dir, &key, &stored) {
+                self.store_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let mut inner = self.inner.lock().expect("summary store poisoned");
         let inner = &mut *inner;
         inner.clock += 1;
@@ -634,7 +752,7 @@ pub(crate) fn rebase_stage(
 /// then every term reachable from the summary. Used both to compact
 /// summaries into their store entry and to rebase entries into
 /// session pools — one code path, so a hit reproduces a miss exactly.
-fn import_summary(
+pub(crate) fn import_summary(
     pool: &mut TermPool,
     src: &TermPool,
     src_input: &SymInput,

@@ -1,0 +1,400 @@
+//! Persistent-store integration: disk-loaded summaries and cores must
+//! be byte-indistinguishable from freshly built ones, corrupt store
+//! files must degrade to cache misses (never wrong answers, never
+//! panics), and [`ChurnSession::apply_batch`] must coalesce a burst of
+//! deltas into one re-verification that matches applying them one by
+//! one.
+//!
+//! The equality bar is the same as the incremental/churn differential
+//! suites: verdict labels, counterexample bytes, descriptions, traces
+//! and composed-path counts — cache temperature may only change who
+//! executes, never what is concluded.
+
+use dataplane::{Pipeline, TableDelta, TableOp};
+use elements::pipelines::{edge_fib, to_pipeline};
+use std::path::PathBuf;
+use std::sync::Arc;
+use symexec::SymConfig;
+use verifier::{
+    ChurnSession, FilterProperty, Property, ReuseLevel, SummaryKey, SummaryStore, Verdict,
+    Verifier, VerifyConfig, VerifyReport,
+};
+
+fn cfg() -> VerifyConfig {
+    VerifyConfig {
+        sym: SymConfig {
+            max_pkt_bytes: 48,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// A table-bearing router: exact-match firewall + LPM FIB, so the
+/// property set below exercises both map modes.
+fn router() -> Pipeline {
+    to_pipeline(
+        "persist-router",
+        vec![
+            elements::classifier::classifier(),
+            elements::check_ip_header::check_ip_header(false),
+            elements::ip_filter::ip_filter(vec![0x0BAD_0001, 0x0BAD_0010]),
+            elements::ip_lookup::ip_lookup(4, edge_fib()),
+        ],
+    )
+}
+
+fn props() -> Vec<Property> {
+    vec![
+        Property::CrashFreedom,
+        Property::Bounded { imax: 10_000 },
+        Property::Filter(FilterProperty::src(0x0BAD_0001)),
+    ]
+}
+
+/// A per-test scratch directory, removed on drop.
+struct TmpDir(PathBuf);
+
+impl TmpDir {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dpv-persist-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TmpDir(dir)
+    }
+}
+
+impl Drop for TmpDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn assert_identical(a: &VerifyReport, b: &VerifyReport, what: &str) {
+    match (&a.verdict, &b.verdict) {
+        (Verdict::Proved, Verdict::Proved) => {}
+        (Verdict::Disproved(x), Verdict::Disproved(y)) => {
+            assert_eq!(x.trace, y.trace, "{what}: trace differs");
+            assert_eq!(x.description, y.description, "{what}: description differs");
+            assert_eq!(x.bytes, y.bytes, "{what}: counterexample bytes differ");
+        }
+        (Verdict::Unknown(x), Verdict::Unknown(y)) => {
+            assert_eq!(x, y, "{what}: unknown reason differs")
+        }
+        (x, y) => panic!("{what}: {x:?} vs {y:?}"),
+    }
+    assert_eq!(
+        a.composed_paths, b.composed_paths,
+        "{what}: composed-path count differs"
+    );
+}
+
+fn check_all(p: &Pipeline, store: Option<Arc<SummaryStore>>, threads: usize) -> Vec<VerifyReport> {
+    let mut v = Verifier::new(p).config(cfg()).threads(threads);
+    if let Some(s) = store {
+        v = v.with_store(s);
+    }
+    v.check_all(&props())
+        .into_iter()
+        .map(|r| r.expect_verify())
+        .collect()
+}
+
+#[test]
+fn disk_loaded_summaries_match_fresh_builds_byte_for_byte() {
+    let tmp = TmpDir::new("roundtrip");
+    let p = router();
+    let baseline = check_all(&p, None, 1);
+
+    // Cold disk: everything executes, everything is written back.
+    let cold_store = Arc::new(SummaryStore::persistent(&tmp.0).expect("store dir"));
+    let cold = check_all(&p, Some(Arc::clone(&cold_store)), 1);
+    for (b, c) in baseline.iter().zip(&cold) {
+        assert_identical(b, c, &format!("cold-disk {}", b.property));
+    }
+    assert!(cold_store.store_writes() > 0, "cold run must persist");
+    assert_eq!(cold_store.store_loads(), 0, "nothing to load yet");
+
+    // Warm disk, cold memory — a fresh store over the same directory
+    // simulates a process restart. Step 1 must be all loads, zero
+    // executions, and every report byte-identical.
+    let warm_store = Arc::new(SummaryStore::persistent(&tmp.0).expect("store dir"));
+    let warm = check_all(&p, Some(Arc::clone(&warm_store)), 1);
+    for (b, w) in baseline.iter().zip(&warm) {
+        assert_identical(b, w, &format!("warm-disk {}", b.property));
+    }
+    assert_eq!(warm_store.misses(), 0, "warm disk must not re-execute");
+    assert!(warm_store.store_loads() > 0);
+    assert!(warm_store.load_bytes() > 0);
+
+    // The counters surface on the report (attributed to the building
+    // check) and in its JSON line.
+    let first = &warm[0];
+    assert!(
+        first.summary.store_loads > 0,
+        "building check must report its disk loads: {:?}",
+        first.summary
+    );
+    let j = first.to_json();
+    assert!(j.contains("\"store_loads\":"), "{j}");
+    assert!(j.contains("\"store_writes\":"), "{j}");
+    assert!(j.contains("\"load_bytes\":"), "{j}");
+    assert!(j.contains("\"evictions\":"), "{j}");
+
+    // Same contract through the parallel engine.
+    let par_store = Arc::new(SummaryStore::persistent(&tmp.0).expect("store dir"));
+    let par = check_all(&p, Some(par_store), 4);
+    for (b, w) in baseline.iter().zip(&par) {
+        assert_identical(b, w, &format!("warm-disk threads(4) {}", b.property));
+    }
+}
+
+#[test]
+fn corrupt_store_files_degrade_to_misses_never_wrong_answers() {
+    let tmp = TmpDir::new("corrupt");
+    let p = to_pipeline(
+        "corrupt-probe",
+        vec![
+            elements::classifier::classifier(),
+            elements::dec_ttl::dec_ttl(),
+        ],
+    );
+    let baseline = check_all(&p, None, 1);
+
+    let populate = Arc::new(SummaryStore::persistent(&tmp.0).expect("store dir"));
+    check_all(&p, Some(populate), 1);
+    let files: Vec<PathBuf> = std::fs::read_dir(&tmp.0)
+        .expect("dir")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    assert!(!files.is_empty(), "populate run must write store files");
+    let images: Vec<Vec<u8>> = files
+        .iter()
+        .map(|f| std::fs::read(f).expect("readable"))
+        .collect();
+
+    // Each mutilation is applied to every file at once; the run over
+    // the damaged directory must still agree with the fresh baseline
+    // (bad files are misses that re-execute and are overwritten).
+    type Mutilation = Box<dyn Fn(&[u8]) -> Vec<u8>>;
+    let mutilate: [(&str, Mutilation); 4] = [
+        ("truncated", Box::new(|b: &[u8]| b[..b.len() / 2].to_vec())),
+        ("emptied", Box::new(|_| Vec::new())),
+        (
+            "bit-flipped",
+            Box::new(|b: &[u8]| {
+                let mut v = b.to_vec();
+                let mid = v.len() / 2;
+                v[mid] ^= 0x10;
+                v
+            }),
+        ),
+        (
+            "version-bumped",
+            Box::new(|b: &[u8]| {
+                let mut v = b.to_vec();
+                v[4] = v[4].wrapping_add(1); // format-version word
+                v
+            }),
+        ),
+    ];
+    for (what, f) in &mutilate {
+        for (path, image) in files.iter().zip(&images) {
+            std::fs::write(path, f(image)).expect("write corrupt image");
+        }
+        let store = Arc::new(SummaryStore::persistent(&tmp.0).expect("store dir"));
+        let got = check_all(&p, Some(Arc::clone(&store)), 1);
+        for (b, g) in baseline.iter().zip(&got) {
+            assert_identical(b, g, &format!("{what} {}", b.property));
+        }
+        assert!(
+            store.misses() > 0,
+            "{what}: damaged files must fall back to execution"
+        );
+    }
+
+    // The corrupt runs re-wrote good files; the directory is warm
+    // again.
+    let healed = Arc::new(SummaryStore::persistent(&tmp.0).expect("store dir"));
+    let got = check_all(&p, Some(Arc::clone(&healed)), 1);
+    for (b, g) in baseline.iter().zip(&got) {
+        assert_identical(b, g, &format!("healed {}", b.property));
+    }
+    assert_eq!(healed.misses(), 0, "write-back must heal the store");
+}
+
+fn fib_delta(op: TableOp) -> TableDelta {
+    TableDelta::new("IPlookup", dpir::MapId(0), op)
+}
+
+fn filter_delta(op: TableOp) -> TableDelta {
+    TableDelta::new("IPFilter", dpir::MapId(0), op)
+}
+
+fn burst() -> Vec<TableDelta> {
+    vec![
+        filter_delta(TableOp::ExactRemove(vec![0x0BAD_0001])),
+        fib_delta(TableOp::LpmInsert(vec![(0x0C00_0000, 8, 2)])),
+        filter_delta(TableOp::ExactInsert(vec![(0x0BAD_0099, 1)])),
+        fib_delta(TableOp::LpmInsert(vec![(0x0C00_0000, 16, 3)])),
+    ]
+}
+
+#[test]
+fn apply_batch_matches_one_by_one_deltas() {
+    let mk = |level| {
+        ChurnSession::new(router(), props(), cfg(), level).expect("search-based properties")
+    };
+    for level in [ReuseLevel::Summaries, ReuseLevel::Sessions] {
+        let mut serial = mk(level);
+        serial.verify();
+        let mut last = None;
+        for d in &burst() {
+            last = Some(serial.apply_delta(d).expect("valid delta"));
+        }
+        let serial_final = last.expect("non-empty burst");
+
+        let mut batched = mk(level);
+        batched.verify();
+        let batch_report = batched.apply_batch(&burst()).expect("valid burst");
+
+        assert_eq!(batch_report.update, 1, "one burst, one update");
+        for (s, b) in serial_final.reports.iter().zip(&batch_report.reports) {
+            assert_identical(s, b, &format!("{level:?} batch-vs-serial {}", s.property));
+        }
+        // The burst touches two stages; each re-summarizes at most
+        // once however many deltas hit it.
+        assert!(
+            batch_report.stages_reexecuted + batch_report.stages_rebased <= 2,
+            "burst must coalesce per stage: {} reexecuted + {} rebased",
+            batch_report.stages_reexecuted,
+            batch_report.stages_rebased
+        );
+    }
+}
+
+#[test]
+fn apply_batch_cancelling_burst_is_a_no_op_update() {
+    let mut session = ChurnSession::new(router(), props(), cfg(), ReuseLevel::Sessions)
+        .expect("search-based properties");
+    let initial = session.verify();
+    // Insert-then-remove cancels: the net table state is unchanged, so
+    // at Sessions level every property replays without searching.
+    let report = session
+        .apply_batch(&[
+            filter_delta(TableOp::ExactInsert(vec![(0x0BAD_7777, 1)])),
+            filter_delta(TableOp::ExactRemove(vec![0x0BAD_7777])),
+        ])
+        .expect("valid burst");
+    assert!(
+        report.replayed.iter().all(|&r| r),
+        "cancelled burst must replay every property: {:?}",
+        report.replayed
+    );
+    assert_eq!(report.stages_reexecuted, 0);
+    assert_eq!(report.stages_rebased, 0);
+    for (i, b) in initial.reports.iter().zip(&report.reports) {
+        assert_identical(i, b, &format!("cancelled burst {}", i.property));
+    }
+}
+
+#[test]
+fn apply_batch_is_atomic_on_error() {
+    let mut session = ChurnSession::new(router(), props(), cfg(), ReuseLevel::Sessions)
+        .expect("search-based properties");
+    session.verify();
+    let keys_before: Vec<SummaryKey> = session
+        .pipeline()
+        .stages
+        .iter()
+        .map(|s| SummaryKey::of(&s.element, verifier::MapMode::Tables, &cfg().sym))
+        .collect();
+    let err = session.apply_batch(&[
+        filter_delta(TableOp::ExactInsert(vec![(0x0BAD_4242, 1)])),
+        TableDelta::new(
+            "NoSuchElement",
+            dpir::MapId(0),
+            TableOp::ExactRemove(vec![1]),
+        ),
+    ]);
+    assert!(err.is_err(), "batch with an invalid delta must fail");
+    let keys_after: Vec<SummaryKey> = session
+        .pipeline()
+        .stages
+        .iter()
+        .map(|s| SummaryKey::of(&s.element, verifier::MapMode::Tables, &cfg().sym))
+        .collect();
+    assert_eq!(
+        keys_before, keys_after,
+        "a failed batch must leave every table untouched (first delta included)"
+    );
+}
+
+#[test]
+fn churn_session_restarts_warm_from_store_path() {
+    let tmp = TmpDir::new("churn-restart");
+    let pruning_cfg = VerifyConfig {
+        core_pruning: true,
+        ..cfg()
+    };
+    let stream = burst();
+
+    // Reference trajectory without any persistence.
+    let mut plain = ChurnSession::new(router(), props(), pruning_cfg.clone(), ReuseLevel::Sessions)
+        .expect("search-based properties");
+    let mut expect = vec![plain.verify()];
+    for d in &stream {
+        expect.push(plain.apply_delta(d).expect("valid delta"));
+    }
+
+    // First "process": populates summaries and cores on disk.
+    let mut first = ChurnSession::new(router(), props(), pruning_cfg.clone(), ReuseLevel::Sessions)
+        .expect("search-based properties")
+        .with_store_path(&tmp.0)
+        .expect("store dir");
+    let mut got = vec![first.verify()];
+    for d in &stream {
+        got.push(first.apply_delta(d).expect("valid delta"));
+    }
+    for (e, g) in expect.iter().zip(&got) {
+        for (er, gr) in e.reports.iter().zip(&g.reports) {
+            assert_identical(er, gr, &format!("first process {}", er.property));
+        }
+    }
+    assert!(
+        first.store().store_writes() > 0,
+        "summaries must be persisted"
+    );
+    drop(first);
+
+    // Second "process" over the same directory and the same stream:
+    // step 1 loads instead of executing, and the previous process's
+    // learnt cores import once the deterministic term trajectory
+    // catches up.
+    let mut second = ChurnSession::new(router(), props(), pruning_cfg, ReuseLevel::Sessions)
+        .expect("search-based properties")
+        .with_store_path(&tmp.0)
+        .expect("store dir");
+    let mut got2 = vec![second.verify()];
+    for d in &stream {
+        got2.push(second.apply_delta(d).expect("valid delta"));
+    }
+    for (e, g) in expect.iter().zip(&got2) {
+        for (er, gr) in e.reports.iter().zip(&g.reports) {
+            assert_identical(er, gr, &format!("restarted process {}", er.property));
+        }
+    }
+    assert!(
+        second.store().store_loads() > 0,
+        "restart must load summaries from disk"
+    );
+    assert_eq!(
+        second.store().misses(),
+        0,
+        "the restarted process must never re-execute a stage"
+    );
+    assert!(
+        second.stats().cores_imported > 0,
+        "persisted cores must import on restart: {:?}",
+        second.stats()
+    );
+}

@@ -244,7 +244,10 @@ fn report_json_carries_summary_counters() {
     let r = v.check(Property::CrashFreedom);
     let json = r.to_json();
     assert!(
-        json.contains("\"summary\":{\"hits\":0,\"misses\":4,\"store_size\":4}"),
+        json.contains(
+            "\"summary\":{\"hits\":0,\"misses\":4,\"store_size\":4,\
+             \"store_loads\":0,\"store_writes\":0,\"load_bytes\":0,\"evictions\":0}"
+        ),
         "cold session executes every stage: {json}"
     );
     let mut v2 = Verifier::new(&p)
@@ -252,8 +255,10 @@ fn report_json_carries_summary_counters() {
         .with_store(Arc::clone(&store));
     let r2 = v2.check(Property::CrashFreedom);
     assert!(
-        r2.to_json()
-            .contains("\"summary\":{\"hits\":4,\"misses\":0,\"store_size\":4}"),
+        r2.to_json().contains(
+            "\"summary\":{\"hits\":4,\"misses\":0,\"store_size\":4,\
+             \"store_loads\":0,\"store_writes\":0,\"load_bytes\":0,\"evictions\":0}"
+        ),
         "warm session is all hits: {}",
         r2.to_json()
     );
